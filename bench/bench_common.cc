@@ -1,0 +1,174 @@
+#include "bench_common.h"
+
+#include <memory>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace specqp::bench {
+
+namespace {
+
+XkgBundle* BuildXkg() {
+  WallTimer timer;
+  auto* bundle = new XkgBundle;
+  XkgConfig config;  // defaults: 40k entities, 24 domains, 18 types/domain
+  bundle->data = GenerateXkg(config);
+
+  XkgWorkloadConfig workload;
+  workload.seed = 71;
+  workload.queries_per_size = 22;  // 66 ~ the paper's 65
+  workload.min_relaxations = 10;
+  bundle->workload = MakeXkgWorkload(bundle->data, workload);
+  std::fprintf(stderr, "[bench] XKG ready: %zu triples, %zu queries (%.1fs)\n",
+               bundle->data.store.size(), bundle->workload.size(),
+               timer.ElapsedSeconds());
+  return bundle;
+}
+
+TwitterBundle* BuildTwitter() {
+  WallTimer timer;
+  auto* bundle = new TwitterBundle;
+  TwitterConfig config;  // defaults: 120k tweets, 50 topics
+  bundle->data = GenerateTwitter(config);
+
+  TwitterWorkloadConfig workload;
+  workload.seed = 73;
+  workload.queries_per_size = 25;  // 50 queries as in the paper
+  workload.min_relaxations = 5;
+  bundle->workload = MakeTwitterWorkload(bundle->data, workload);
+  std::fprintf(stderr,
+               "[bench] Twitter ready: %zu triples, %zu queries (%.1fs)\n",
+               bundle->data.store.size(), bundle->workload.size(),
+               timer.ElapsedSeconds());
+  return bundle;
+}
+
+}  // namespace
+
+const XkgBundle& GetXkg() {
+  static const XkgBundle* bundle = BuildXkg();
+  return *bundle;
+}
+
+const TwitterBundle& GetTwitter() {
+  static const TwitterBundle* bundle = BuildTwitter();
+  return *bundle;
+}
+
+std::vector<QueryEvaluation> EvaluateWorkloadQuality(
+    Engine& engine, const ExhaustiveEvaluator& oracle,
+    const std::vector<Query>& workload) {
+  std::vector<QueryEvaluation> evaluations;
+  evaluations.reserve(workload.size());
+  for (const Query& query : workload) {
+    QueryEvaluation eval;
+    eval.query = &query;
+    eval.truth = oracle.Evaluate(query);
+    for (size_t k : kTopKs) {
+      eval.by_k[k] = EvaluateQualityWithTruth(engine, eval.truth, query, k);
+    }
+    evaluations.push_back(std::move(eval));
+  }
+  return evaluations;
+}
+
+std::vector<EfficiencyRecord> MeasureWorkloadEfficiency(
+    Engine& engine, const std::vector<Query>& workload, size_t k) {
+  std::vector<EfficiencyRecord> records;
+  records.reserve(workload.size());
+  for (const Query& query : workload) {
+    EfficiencyRecord record;
+    record.num_patterns = query.num_patterns();
+    record.metrics = MeasureEfficiency(engine, query, k);
+    record.patterns_relaxed = record.metrics.patterns_relaxed;
+    records.push_back(record);
+  }
+  return records;
+}
+
+void RunEfficiencyFigure(const std::string& title, Engine& engine,
+                         const std::vector<Query>& workload,
+                         GroupBy group_by) {
+  PrintTitle(title);
+  for (size_t k : kTopKs) {
+    const std::vector<EfficiencyRecord> records =
+        MeasureWorkloadEfficiency(engine, workload, k);
+
+    // Collect the group keys present.
+    std::map<size_t, std::vector<const EfficiencyRecord*>> groups;
+    for (const EfficiencyRecord& r : records) {
+      const size_t key = group_by == GroupBy::kNumPatterns
+                             ? r.num_patterns
+                             : r.patterns_relaxed;
+      groups[key].push_back(&r);
+    }
+
+    PrintSubtitle(StrFormat("k=%zu", k));
+    const std::vector<int> widths = {10, 8, 14, 14, 16, 16, 10};
+    PrintRow({group_by == GroupBy::kNumPatterns ? "#TP" : "#relaxed",
+              "queries", "T runtime ms", "S runtime ms", "T mem objects",
+              "S mem objects", "S/T time"},
+             widths);
+    PrintRule(widths);
+    for (const auto& [key, group] : groups) {
+      Aggregate t_ms;
+      Aggregate s_ms;
+      Aggregate t_obj;
+      Aggregate s_obj;
+      for (const EfficiencyRecord* r : group) {
+        t_ms.Add(r->metrics.trinit_ms);
+        s_ms.Add(r->metrics.spec_ms);
+        t_obj.Add(static_cast<double>(r->metrics.trinit_objects));
+        s_obj.Add(static_cast<double>(r->metrics.spec_objects));
+      }
+      const double ratio =
+          t_ms.Mean() > 0.0 ? s_ms.Mean() / t_ms.Mean() : 0.0;
+      PrintRow({StrFormat("%zu", key), StrFormat("%llu",
+                    static_cast<unsigned long long>(t_ms.count)),
+                StrFormat("%.3f", t_ms.Mean()), StrFormat("%.3f", s_ms.Mean()),
+                StrFormat("%.0f", t_obj.Mean()),
+                StrFormat("%.0f", s_obj.Mean()), StrFormat("%.2f", ratio)},
+               widths);
+    }
+  }
+  std::printf(
+      "\nShape check (paper Figs 6-9): S <= T on runtime and memory in "
+      "every group; the gap is largest at k=10 / few-patterns-relaxed and "
+      "shrinks as k or #relaxed grows; with all patterns relaxed S ~= T "
+      "plus planning overhead.\n");
+}
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSubtitle(const std::string& subtitle) {
+  std::printf("\n--- %s ---\n", subtitle.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    line += StrFormat("%-*s", width, cells[i].c_str());
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  int total = 0;
+  for (int w : widths) total += w;
+  std::printf("%s\n", std::string(static_cast<size_t>(total), '-').c_str());
+}
+
+std::string WithPaper(double measured, const char* paper_value) {
+  return StrFormat("%s (paper %s)", DoubleToString(measured, 2).c_str(),
+                   paper_value);
+}
+
+}  // namespace specqp::bench

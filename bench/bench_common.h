@@ -1,0 +1,88 @@
+#ifndef SPECQP_BENCH_BENCH_COMMON_H_
+#define SPECQP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/exhaustive.h"
+#include "datasets/evaluation.h"
+#include "datasets/twitter_generator.h"
+#include "datasets/workload.h"
+#include "datasets/xkg_generator.h"
+
+namespace specqp::bench {
+
+// The k values evaluated throughout the paper (section 4.4).
+inline constexpr size_t kTopKs[] = {10, 15, 20};
+
+// A dataset plus its query workload, sized so the whole bench suite runs in
+// minutes on a laptop while preserving the paper's workload structure
+// (section 4.2: XKG 65 queries of 2-4 patterns with >= 10 relaxations each
+// and non-empty originals; Twitter 50 queries of 2-3 patterns with >= 5
+// relaxations).
+struct XkgBundle {
+  XkgDataset data;
+  std::vector<Query> workload;  // grouped by pattern count: 2s, 3s, 4s
+};
+
+struct TwitterBundle {
+  TwitterDataset data;
+  std::vector<Query> workload;  // grouped: 2s then 3s
+};
+
+// Builds (lazily, once per process) the benchmark datasets. Generation is
+// seeded and deterministic, so every bench binary sees identical data.
+const XkgBundle& GetXkg();
+const TwitterBundle& GetTwitter();
+
+// Per-query cached evaluation shared by the quality tables: the exhaustive
+// ground truth is computed once per query and reused across k.
+struct QueryEvaluation {
+  const Query* query;
+  ExhaustiveEvaluator::EvalResult truth;
+  std::map<size_t, QualityMetrics> by_k;  // k -> metrics
+};
+
+// Runs the quality evaluation for every query in `workload` under every k
+// in kTopKs.
+std::vector<QueryEvaluation> EvaluateWorkloadQuality(
+    Engine& engine, const ExhaustiveEvaluator& oracle,
+    const std::vector<Query>& workload);
+
+// --- efficiency figures --------------------------------------------------------
+
+struct EfficiencyRecord {
+  size_t num_patterns = 0;
+  size_t patterns_relaxed = 0;  // by the Spec-QP plan
+  EfficiencyMetrics metrics;
+};
+
+// Measures every workload query under one k with the paper's warm-cache
+// methodology (5 runs, average of last 3).
+std::vector<EfficiencyRecord> MeasureWorkloadEfficiency(
+    Engine& engine, const std::vector<Query>& workload, size_t k);
+
+// Prints one figure family (runtimes + memory for k in {10,15,20}),
+// grouped either by query size ("No. of triple patterns", Figures 6/8) or
+// by the number of patterns the Spec-QP plan relaxed (Figures 7/9).
+enum class GroupBy { kNumPatterns, kPatternsRelaxed };
+void RunEfficiencyFigure(const std::string& title, Engine& engine,
+                         const std::vector<Query>& workload, GroupBy group_by);
+
+// --- table formatting ---------------------------------------------------------
+
+void PrintTitle(const std::string& title);
+void PrintSubtitle(const std::string& subtitle);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+void PrintRule(const std::vector<int>& widths);
+
+// "0.91 (paper 0.91)" comparison cell.
+std::string WithPaper(double measured, const char* paper_value);
+
+}  // namespace specqp::bench
+
+#endif  // SPECQP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,138 @@
+// Extension E1 (the paper's section-6 future work): chain relaxations —
+// "replacing a triple pattern with a chain of triple patterns". An XKG
+// variant with a <relatedTo> value graph is generated; chain rules
+// (?s <attr> <v>) ~> (?s <attr> ?z)(?z <relatedTo> <v>) are mined alongside
+// the simple rules, and the workload runs with and without them.
+//
+// Reported: answer availability (how often the top-k can be filled),
+// top-k score mass, runtime, and memory, for TriniT and Spec-QP.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datasets/workload.h"
+#include "datasets/xkg_generator.h"
+#include "util/string_util.h"
+
+namespace specqp::bench {
+namespace {
+
+struct RunStats {
+  Aggregate filled;     // fraction of k answers produced
+  Aggregate top_score;  // best answer score
+  Aggregate runtime_ms;
+  Aggregate objects;
+};
+
+RunStats RunWorkload(Engine& engine, const std::vector<Query>& workload,
+                     Strategy strategy, size_t k) {
+  RunStats stats;
+  for (const Query& query : workload) {
+    engine.Warm(query);
+    const Engine::QueryResult result = engine.Execute(query, k, strategy);
+    stats.filled.Add(static_cast<double>(result.rows.size()) /
+                     static_cast<double>(k));
+    stats.top_score.Add(result.rows.empty() ? 0.0 : result.rows[0].score);
+    stats.runtime_ms.Add(result.stats.plan_ms + result.stats.exec_ms);
+    stats.objects.Add(static_cast<double>(result.stats.answer_objects));
+  }
+  return stats;
+}
+
+int Run() {
+  PrintTitle(
+      "Extension E1: chain relaxations (paper section 6 future work) — "
+      "simple rules only vs simple + chain rules");
+
+  // A compact XKG with the value graph enabled. Queries target sparse
+  // originals so the relaxation space is what fills the top-k.
+  XkgConfig config;
+  config.seed = 2024;
+  config.num_entities = 15000;
+  config.num_domains = 12;
+  config.types_per_domain = 12;
+  config.num_attributes = 4;
+  config.values_per_attribute = 12;
+  config.generate_value_graph = true;
+  const XkgDataset with_chains = GenerateXkg(config);
+
+  // Rule-set variants over the same store, so runtimes are comparable:
+  // no rules at all, simple rules only, chain rules only, and both.
+  RelaxationIndex no_rules;
+  RelaxationIndex simple_only;
+  for (const RelaxationRule& rule : with_chains.rules.AllRules()) {
+    SPECQP_CHECK(simple_only.AddRule(rule).ok());
+  }
+  RelaxationIndex chains_only;
+  {
+    // Chain rules live per domain pattern; collect them via the attribute
+    // vocabulary.
+    for (size_t d = 0; d < with_chains.attribute_values.size(); ++d) {
+      for (size_t a = 0; a < with_chains.attribute_values[d].size(); ++a) {
+        for (TermId value : with_chains.attribute_values[d][a]) {
+          const PatternKey key{kInvalidTermId,
+                               with_chains.attribute_predicates[a], value};
+          for (const ChainRelaxationRule& rule :
+               with_chains.rules.ChainRulesFor(key)) {
+            SPECQP_CHECK(chains_only.AddChainRule(rule).ok());
+          }
+        }
+      }
+    }
+  }
+
+  XkgWorkloadConfig wl;
+  wl.seed = 31;
+  wl.queries_per_size = 10;
+  wl.min_relaxations = 5;
+  wl.cardinality_bands = {{1, 6}};  // recall-starved queries
+  const std::vector<Query> workload = MakeXkgWorkload(with_chains, wl);
+
+  std::printf("dataset: %zu triples, %zu simple rules, %zu chain rules, "
+              "%zu queries\n",
+              with_chains.store.size(), with_chains.rules.total_rules(),
+              with_chains.rules.total_chain_rules(), workload.size());
+
+  const size_t k = 10;
+  Engine engine_none(&with_chains.store, &no_rules);
+  Engine engine_simple(&with_chains.store, &simple_only);
+  Engine engine_chains(&with_chains.store, &chains_only);
+  Engine engine_both(&with_chains.store, &with_chains.rules);
+
+  const std::vector<int> widths = {30, 12, 12, 14, 14};
+  PrintRow({"configuration", "top-k fill", "top score", "runtime ms",
+            "mem objects"},
+           widths);
+  PrintRule(widths);
+  auto row = [&](const char* name, const RunStats& stats) {
+    PrintRow({name, StrFormat("%.2f", stats.filled.Mean()),
+              StrFormat("%.3f", stats.top_score.Mean()),
+              StrFormat("%.3f", stats.runtime_ms.Mean()),
+              StrFormat("%.0f", stats.objects.Mean())},
+             widths);
+  };
+  row("TriniT, no relaxations",
+      RunWorkload(engine_none, workload, Strategy::kTrinit, k));
+  row("TriniT, chains only",
+      RunWorkload(engine_chains, workload, Strategy::kTrinit, k));
+  row("TriniT, simple only",
+      RunWorkload(engine_simple, workload, Strategy::kTrinit, k));
+  row("TriniT, simple + chains",
+      RunWorkload(engine_both, workload, Strategy::kTrinit, k));
+  row("Spec-QP, simple only",
+      RunWorkload(engine_simple, workload, Strategy::kSpecQp, k));
+  row("Spec-QP, simple + chains",
+      RunWorkload(engine_both, workload, Strategy::kSpecQp, k));
+
+  std::printf(
+      "\nShape check: chains raise top-k fill and/or score mass (more of "
+      "the relaxation space is reachable) at additional operator cost; "
+      "Spec-QP keeps its advantage over TriniT in both configurations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specqp::bench
+
+int main() { return specqp::bench::Run(); }

@@ -1,0 +1,22 @@
+// Reproduces Figure 7: runtimes and memory of TriniT (T) vs Spec-QP (S)
+// over the XKG workload, grouped by the number of triple patterns the
+// Spec-QP plan relaxed (0-4), for k in {10, 15, 20}.
+//
+// Paper shape: largest gains when 0 patterns are relaxed; the two systems
+// converge as more patterns are relaxed; when all patterns are relaxed,
+// Spec-QP's runtime is slightly above TriniT's (planning overhead) and its
+// memory equals TriniT's.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace specqp;
+  using namespace specqp::bench;
+  const XkgBundle& xkg = GetXkg();
+  Engine engine(&xkg.data.store, &xkg.data.rules);
+  RunEfficiencyFigure(
+      "Figure 7: XKG runtimes & memory, T vs S, by #patterns relaxed by "
+      "Spec-QP",
+      engine, xkg.workload, GroupBy::kPatternsRelaxed);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 8: runtimes and memory of TriniT (T) vs Spec-QP (S)
+// over the Twitter workload, grouped by the number of triple patterns in
+// the query (2, 3), for k in {10, 15, 20}.
+//
+// Paper shape: S consistently at or below T; the margin shrinks as k grows
+// because the sparse original tag conjunctions increasingly need their
+// relaxations.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace specqp;
+  using namespace specqp::bench;
+  const TwitterBundle& twitter = GetTwitter();
+  Engine engine(&twitter.data.store, &twitter.data.rules);
+  RunEfficiencyFigure(
+      "Figure 8: Twitter runtimes & memory, T vs S, by #triple patterns",
+      engine, twitter.workload, GroupBy::kNumPatterns);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 9: runtimes and memory of TriniT (T) vs Spec-QP (S)
+// over the Twitter workload, grouped by the number of triple patterns the
+// Spec-QP plan relaxed (0-3), for k in {10, 15, 20}.
+//
+// Paper shape: mirrors Figure 7 — most Twitter queries end up with all
+// patterns relaxed, where S ~= T plus a small planning overhead.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace specqp;
+  using namespace specqp::bench;
+  const TwitterBundle& twitter = GetTwitter();
+  Engine engine(&twitter.data.store, &twitter.data.rules);
+  RunEfficiencyFigure(
+      "Figure 9: Twitter runtimes & memory, T vs S, by #patterns relaxed "
+      "by Spec-QP",
+      engine, twitter.workload, GroupBy::kPatternsRelaxed);
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Operator microbenchmarks (google-benchmark): throughput of the building
+// blocks behind the tables/figures — pattern scans, incremental merges,
+// rank joins, histogram convolution + refit, and PLANGEN latency.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "rdf/posting_list.h"
+#include "rdf/triple_store.h"
+#include "relax/relaxation_index.h"
+#include "stats/convolution.h"
+#include "stats/grid_pdf.h"
+#include "topk/incremental_merge.h"
+#include "topk/pattern_scan.h"
+#include "topk/rank_join.h"
+#include "topk/top_k.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace specqp {
+namespace {
+
+// Synthetic store: `num_objects` object constants under one predicate, each
+// with ~num_triples/num_objects power-law-scored subjects.
+struct MicroFixture {
+  TripleStore store;
+  RelaxationIndex rules;
+  TermId predicate = kInvalidTermId;
+  std::vector<TermId> objects;
+
+  explicit MicroFixture(size_t num_subjects, size_t num_objects,
+                        size_t triples_per_subject) {
+    Rng rng(20240607);
+    Dictionary& dict = store.dict();
+    predicate = dict.Intern("p");
+    for (size_t o = 0; o < num_objects; ++o) {
+      objects.push_back(dict.Intern("obj" + std::to_string(o)));
+    }
+    for (size_t s = 0; s < num_subjects; ++s) {
+      const TermId subject = dict.Intern("sub" + std::to_string(s));
+      const double score =
+          1e6 / static_cast<double>((s % 1000) + 1);  // power law
+      for (size_t t = 0; t < triples_per_subject; ++t) {
+        store.AddEncoded(subject, predicate,
+                         objects[rng.NextBounded(objects.size())], score);
+      }
+    }
+    store.Finalize();
+    // Rules: each object relaxes to the next few, decaying weights.
+    for (size_t o = 0; o < num_objects; ++o) {
+      for (size_t j = 1; j <= 5 && o + j < num_objects; ++j) {
+        RelaxationRule rule;
+        rule.from = PatternKey{kInvalidTermId, predicate, objects[o]};
+        rule.to = PatternKey{kInvalidTermId, predicate, objects[o + j]};
+        rule.weight = 0.9 / static_cast<double>(j);
+        (void)rules.AddRule(rule);
+      }
+    }
+  }
+
+  TriplePattern Pattern(size_t object_index, VarId var) const {
+    return TriplePattern(PatternTerm::Var(var), PatternTerm::Const(predicate),
+                         PatternTerm::Const(objects[object_index]));
+  }
+};
+
+MicroFixture& Fixture() {
+  static auto* fx = new MicroFixture(20000, 16, 4);
+  return *fx;
+}
+
+void BM_PostingListBuild(benchmark::State& state) {
+  MicroFixture& fx = Fixture();
+  const PatternKey key = fx.Pattern(0, 0).Key();
+  for (auto _ : state) {
+    PostingList list = BuildPostingList(fx.store, key);
+    benchmark::DoNotOptimize(list.entries.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(fx.store.CountMatches(key)));
+}
+BENCHMARK(BM_PostingListBuild);
+
+void BM_PatternScanDrain(benchmark::State& state) {
+  MicroFixture& fx = Fixture();
+  PostingListCache cache(&fx.store);
+  const TriplePattern pattern = fx.Pattern(1, 0);
+  auto list = cache.Get(pattern.Key());
+  for (auto _ : state) {
+    ExecStats stats;
+    PatternScan scan(&fx.store, list, pattern, 1, 1.0, &stats);
+    ScoredRow row;
+    size_t n = 0;
+    while (scan.Next(&row)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(list->size()));
+}
+BENCHMARK(BM_PatternScanDrain);
+
+void BM_IncrementalMergeTopK(benchmark::State& state) {
+  const size_t num_inputs = static_cast<size_t>(state.range(0));
+  MicroFixture& fx = Fixture();
+  PostingListCache cache(&fx.store);
+  for (auto _ : state) {
+    ExecStats stats;
+    std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
+    for (size_t i = 0; i < num_inputs; ++i) {
+      const TriplePattern pattern = fx.Pattern(i % fx.objects.size(), 0);
+      inputs.push_back(std::make_unique<PatternScan>(
+          &fx.store, cache.Get(pattern.Key()), pattern, 1,
+          1.0 / static_cast<double>(i + 1), &stats));
+    }
+    IncrementalMerge merge(std::move(inputs), &stats);
+    const auto rows = PullTopK(&merge, 20, &stats);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_IncrementalMergeTopK)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_RankJoinTopK(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  MicroFixture& fx = Fixture();
+  PostingListCache cache(&fx.store);
+  const TriplePattern left = fx.Pattern(0, 0);
+  const TriplePattern right = fx.Pattern(1, 0);
+  for (auto _ : state) {
+    ExecStats stats;
+    auto l = std::make_unique<PatternScan>(&fx.store, cache.Get(left.Key()),
+                                           left, 1, 1.0, &stats);
+    auto r = std::make_unique<PatternScan>(&fx.store, cache.Get(right.Key()),
+                                           right, 1, 1.0, &stats);
+    RankJoin join(std::move(l), std::move(r), {0}, &stats);
+    const auto rows = PullTopK(&join, k, &stats);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_RankJoinTopK)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ConvolveRefitChain(benchmark::State& state) {
+  const int patterns = static_cast<int>(state.range(0));
+  TwoBucketHistogram h(0.2, 0.8);
+  for (auto _ : state) {
+    TwoBucketHistogram acc = h;
+    for (int i = 1; i < patterns; ++i) {
+      acc = RefitTwoBucket(ConvolveTwoBucket(acc, h), 0.8);
+    }
+    benchmark::DoNotOptimize(acc.sigma_r());
+  }
+}
+BENCHMARK(BM_ConvolveRefitChain)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_GridConvolveChain(benchmark::State& state) {
+  const int patterns = static_cast<int>(state.range(0));
+  TwoBucketHistogram h(0.2, 0.8);
+  const double delta = 1.0 / 512.0;
+  for (auto _ : state) {
+    GridPdf acc = GridPdf::FromDistribution(h, delta);
+    for (int i = 1; i < patterns; ++i) {
+      acc = GridPdf::Convolve(acc, GridPdf::FromDistribution(h, delta));
+    }
+    benchmark::DoNotOptimize(acc.Mean());
+  }
+}
+BENCHMARK(BM_GridConvolveChain)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PlangenLatency(benchmark::State& state) {
+  const size_t num_patterns = static_cast<size_t>(state.range(0));
+  MicroFixture& fx = Fixture();
+  Engine engine(&fx.store, &fx.rules);
+  Query query;
+  const VarId s = query.GetOrAddVariable("s");
+  for (size_t i = 0; i < num_patterns; ++i) {
+    query.AddPattern(fx.Pattern(i, s));
+  }
+  query.AddProjection(s);
+  engine.Warm(query);
+  (void)engine.PlanOnly(query, 10);  // warm the stats/selectivity memos
+  for (auto _ : state) {
+    QueryPlan plan = engine.PlanOnly(query, 10);
+    benchmark::DoNotOptimize(plan.singletons.data());
+  }
+}
+BENCHMARK(BM_PlangenLatency)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_EndToEndQuery(benchmark::State& state) {
+  const bool speculative = state.range(0) != 0;
+  MicroFixture& fx = Fixture();
+  Engine engine(&fx.store, &fx.rules);
+  Query query;
+  const VarId s = query.GetOrAddVariable("s");
+  query.AddPattern(fx.Pattern(0, s));
+  query.AddPattern(fx.Pattern(1, s));
+  query.AddPattern(fx.Pattern(2, s));
+  query.AddProjection(s);
+  engine.Warm(query);
+  for (auto _ : state) {
+    const auto result = engine.Execute(
+        query, 10, speculative ? Strategy::kSpecQp : Strategy::kTrinit);
+    benchmark::DoNotOptimize(result.rows.data());
+  }
+  state.SetLabel(speculative ? "Spec-QP" : "TriniT");
+}
+BENCHMARK(BM_EndToEndQuery)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace specqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Reproduces Table 2: precision (== recall) of Spec-QP's top-k against the
+// true top-k, for k in {10, 15, 20}, on XKG and Twitter.
+//
+// Paper values: XKG 0.70 / 0.88 / 0.91, Twitter 0.72 / 0.78 / 0.80.
+// Expected shape: precision >= ~0.7 everywhere and increasing with k.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace specqp::bench {
+namespace {
+
+std::map<size_t, double> MeanPrecisionByK(
+    const std::vector<QueryEvaluation>& evals) {
+  std::map<size_t, double> result;
+  for (size_t k : kTopKs) {
+    Aggregate agg;
+    for (const QueryEvaluation& eval : evals) {
+      agg.Add(eval.by_k.at(k).precision);
+    }
+    result[k] = agg.Mean();
+  }
+  return result;
+}
+
+int Run() {
+  PrintTitle("Table 2: Precision (and Recall) over each dataset");
+
+  const XkgBundle& xkg = GetXkg();
+  Engine xkg_engine(&xkg.data.store, &xkg.data.rules);
+  ExhaustiveEvaluator xkg_oracle(&xkg.data.store, &xkg.data.rules);
+  const auto xkg_evals =
+      EvaluateWorkloadQuality(xkg_engine, xkg_oracle, xkg.workload);
+  const auto xkg_precision = MeanPrecisionByK(xkg_evals);
+
+  const TwitterBundle& twitter = GetTwitter();
+  Engine tw_engine(&twitter.data.store, &twitter.data.rules);
+  ExhaustiveEvaluator tw_oracle(&twitter.data.store, &twitter.data.rules);
+  const auto tw_evals =
+      EvaluateWorkloadQuality(tw_engine, tw_oracle, twitter.workload);
+  const auto tw_precision = MeanPrecisionByK(tw_evals);
+
+  const std::map<size_t, const char*> paper_xkg = {
+      {10, "0.70"}, {15, "0.88"}, {20, "0.91"}};
+  const std::map<size_t, const char*> paper_twitter = {
+      {10, "0.72"}, {15, "0.78"}, {20, "0.80"}};
+
+  const std::vector<int> widths = {6, 26, 26};
+  PrintRow({"k", "XKG", "Twitter"}, widths);
+  PrintRule(widths);
+  for (size_t k : kTopKs) {
+    PrintRow({StrFormat("%zu", k),
+              WithPaper(xkg_precision.at(k), paper_xkg.at(k)),
+              WithPaper(tw_precision.at(k), paper_twitter.at(k))},
+             widths);
+  }
+
+  std::printf(
+      "\nShape check: precision should be >= ~0.7 and increase with k.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace specqp::bench
+
+int main() { return specqp::bench::Run(); }

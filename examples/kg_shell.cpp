@@ -1,0 +1,271 @@
+// Interactive shell over a Spec-QP knowledge graph: generate or load a
+// store, type SPARQL-subset queries, inspect plans and relaxations.
+//
+//   $ ./build/examples/kg_shell            # generates a demo music KG
+//   $ echo 'k 5
+//     plan SELECT ?s WHERE { ?s <rdf:type> <singer> }
+//     run SELECT ?s WHERE { ?s <rdf:type> <singer> }' | ./build/examples/kg_shell
+//
+// Commands:
+//   run <query>        execute under Spec-QP and print the top-k
+//   trinit <query>     execute under the TriniT baseline
+//   plan <query>       show PLANGEN's decision without executing
+//   rules <term>       list relaxations for (?s <rdf:type> <term>) or any
+//                      (?s <p> <o>) via "rules <p> <o>"
+//   k <n>              set k (default 10)
+//   save <prefix>      write <prefix>.store and <prefix>.rules
+//   load <prefix>      load them back
+//   stats              store and cache statistics
+//   help / quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "rdf/store_io.h"
+#include "relax/miner.h"
+#include "relax/rules_io.h"
+#include "topk/scored_row.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+using namespace specqp;
+
+namespace {
+
+// The demo KG: the music example from the paper's introduction.
+void BuildDemoKg(TripleStore* store, RelaxationIndex* rules) {
+  Rng rng(7);
+  const char* roles[] = {"singer",   "vocalist",  "jazz_singer", "artist",
+                         "lyricist", "writer",    "guitarist",   "musician",
+                         "pianist",  "percussionist"};
+  for (int i = 0; i < 2000; ++i) {
+    const std::string artist = "artist" + std::to_string(i);
+    const double popularity = 1e4 / (i + 1.0);
+    // Correlated role membership so mining finds Table-1-like rules.
+    const bool sings = rng.NextBool(0.3);
+    if (sings) {
+      store->Add(artist, "rdf:type", "singer", popularity);
+      if (rng.NextBool(0.9)) {
+        store->Add(artist, "rdf:type", "vocalist", popularity);
+      }
+      if (rng.NextBool(0.15)) {
+        store->Add(artist, "rdf:type", "jazz_singer", popularity);
+      }
+    }
+    if (rng.NextBool(0.2)) {
+      store->Add(artist, "rdf:type", "lyricist", popularity);
+      if (rng.NextBool(0.85)) {
+        store->Add(artist, "rdf:type", "writer", popularity);
+      }
+    }
+    for (const char* instrument : {"guitarist", "pianist", "percussionist"}) {
+      if (rng.NextBool(0.15)) {
+        store->Add(artist, "rdf:type", instrument, popularity);
+        if (rng.NextBool(0.9)) {
+          store->Add(artist, "rdf:type", "musician", popularity);
+        }
+      }
+    }
+    if (rng.NextBool(0.5)) store->Add(artist, "rdf:type", "artist", popularity);
+    (void)roles;
+  }
+  store->Finalize();
+  MinerOptions miner;
+  miner.min_support = 5;
+  const Status status = MineObjectCooccurrence(
+      *store, store->MustId("rdf:type"), miner, rules);
+  SPECQP_CHECK(status.ok()) << status.ToString();
+}
+
+class Shell {
+ public:
+  Shell() {
+    store_ = std::make_unique<TripleStore>();
+    rules_ = std::make_unique<RelaxationIndex>();
+    BuildDemoKg(store_.get(), rules_.get());
+    RebuildEngine();
+    std::printf("demo KG ready: %zu triples, %zu relaxation rules. Type "
+                "'help' for commands.\n",
+                store_->size(), rules_->total_rules());
+  }
+
+  int Loop() {
+    std::string line;
+    while (true) {
+      std::printf("specqp> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  void RebuildEngine() { engine_ = std::make_unique<Engine>(store_.get(),
+                                                            rules_.get()); }
+
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) return true;
+    std::string rest;
+    std::getline(in, rest);
+    const std::string arg(StripWhitespace(rest));
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "commands: run <query> | trinit <query> | plan <query> | "
+          "rules <p> <o> | k <n> | save <prefix> | load <prefix> | stats | "
+          "quit\n");
+    } else if (cmd == "k") {
+      const int value = std::atoi(arg.c_str());
+      if (value >= 1) {
+        k_ = static_cast<size_t>(value);
+        std::printf("k = %zu\n", k_);
+      } else {
+        std::printf("usage: k <positive integer>\n");
+      }
+    } else if (cmd == "run" || cmd == "trinit") {
+      Execute(arg, cmd == "run" ? Strategy::kSpecQp : Strategy::kTrinit);
+    } else if (cmd == "plan") {
+      Plan(arg);
+    } else if (cmd == "rules") {
+      ShowRules(arg);
+    } else if (cmd == "save") {
+      Save(arg);
+    } else if (cmd == "load") {
+      Load(arg);
+    } else if (cmd == "stats") {
+      std::printf("store: %zu triples, %zu terms; rules: %zu simple, %zu "
+                  "chain; posting cache: %zu lists (%llu hits / %llu "
+                  "misses)\n",
+                  store_->size(), store_->dict().size(),
+                  rules_->total_rules(), rules_->total_chain_rules(),
+                  engine_->postings().size(),
+                  static_cast<unsigned long long>(engine_->postings().hits()),
+                  static_cast<unsigned long long>(
+                      engine_->postings().misses()));
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void Execute(const std::string& text, Strategy strategy) {
+    auto parsed = ParseQuery(text, store_->dict());
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    const auto result = engine_->Execute(parsed.value(), k_, strategy);
+    std::printf("[%s] plan %s — %.3f ms, %llu answer objects\n",
+                std::string(StrategyName(strategy)).c_str(),
+                result.plan.ToString().c_str(),
+                result.stats.plan_ms + result.stats.exec_ms,
+                static_cast<unsigned long long>(result.stats.answer_objects));
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      std::printf("  #%-3zu %s\n", i + 1,
+                  RowToString(result.rows[i], parsed.value(), store_->dict())
+                      .c_str());
+    }
+    if (result.rows.empty()) std::printf("  (no answers)\n");
+  }
+
+  void Plan(const std::string& text) {
+    auto parsed = ParseQuery(text, store_->dict());
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    PlanDiagnostics diag;
+    const QueryPlan plan = engine_->PlanOnly(parsed.value(), k_, &diag);
+    std::printf("plan %s   (E_Q(k=%zu) = %s, est. %0.f answers)\n",
+                plan.ToString().c_str(), k_,
+                DoubleToString(diag.eq_k, 3).c_str(),
+                diag.cardinality_estimate);
+    for (const PatternDecision& d : diag.decisions) {
+      std::printf("  q%zu: %s E_Q'(1)=%s -> %s\n", d.pattern_index,
+                  d.has_relaxations ? "has relaxations," : "no relaxations,",
+                  DoubleToString(d.eq_prime_top, 3).c_str(),
+                  d.relax ? "RELAX" : "join group");
+    }
+  }
+
+  void ShowRules(const std::string& arg) {
+    std::istringstream in(arg);
+    std::string p;
+    std::string o;
+    in >> p >> o;
+    if (o.empty()) {
+      o = p;
+      p = "rdf:type";
+    }
+    auto pid = store_->dict().Find(p);
+    auto oid = store_->dict().Find(o);
+    if (!pid.ok() || !oid.ok()) {
+      std::printf("unknown term(s)\n");
+      return;
+    }
+    const PatternKey key{kInvalidTermId, pid.value(), oid.value()};
+    const auto rules = rules_->RulesFor(key);
+    if (rules.empty()) std::printf("  (no rules)\n");
+    for (const RelaxationRule& rule : rules) {
+      std::printf("  %s\n", RuleToString(rule, store_->dict()).c_str());
+    }
+    for (const ChainRelaxationRule& rule : rules_->ChainRulesFor(key)) {
+      std::printf("  %s\n", ChainRuleToString(rule, store_->dict()).c_str());
+    }
+  }
+
+  void Save(const std::string& prefix) {
+    if (prefix.empty()) {
+      std::printf("usage: save <prefix>\n");
+      return;
+    }
+    Status s = SaveStore(*store_, prefix + ".store");
+    if (s.ok()) s = SaveRules(*rules_, prefix + ".rules");
+    std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+  }
+
+  void Load(const std::string& prefix) {
+    if (prefix.empty()) {
+      std::printf("usage: load <prefix>\n");
+      return;
+    }
+    auto store = LoadStore(prefix + ".store");
+    if (!store.ok()) {
+      std::printf("%s\n", store.status().ToString().c_str());
+      return;
+    }
+    auto rules = LoadRules(prefix + ".rules");
+    if (!rules.ok()) {
+      std::printf("%s\n", rules.status().ToString().c_str());
+      return;
+    }
+    *store_ = std::move(store).value();
+    *rules_ = std::move(rules).value();
+    RebuildEngine();
+    std::printf("loaded: %zu triples, %zu rules\n", store_->size(),
+                rules_->total_rules());
+  }
+
+  std::unique_ptr<TripleStore> store_;
+  std::unique_ptr<RelaxationIndex> rules_;
+  std::unique_ptr<Engine> engine_;
+  size_t k_ = 10;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Loop();
+}

@@ -1,0 +1,124 @@
+// The paper's running example at scale: "Which singers also write lyrics
+// and play guitar and piano?" over a synthetic music knowledge graph with
+// mined relaxations, comparing TriniT (all relaxations processed) against
+// Spec-QP (speculatively pruned).
+//
+//   $ ./build/examples/music_kg
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "relax/miner.h"
+#include "relax/relaxation.h"
+#include "topk/scored_row.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+using namespace specqp;
+
+namespace {
+
+// Builds a music KG: artists with Zipfian popularity; roles assigned with
+// correlated co-membership (every singer is also a vocalist, most
+// guitarists are musicians, ...) so that mining recovers Table-1-style
+// relaxations.
+TripleStore BuildMusicKg(size_t num_artists) {
+  Rng rng(4242);
+  TripleStore store;
+  struct Role {
+    const char* name;
+    double base_prob;                 // membership probability
+    const char* implies;              // nearly-always co-assigned role
+    double implies_prob;
+  };
+  const std::vector<Role> roles = {
+      {"singer", 0.20, "vocalist", 0.95},
+      {"vocalist", 0.15, "artist", 1.0},
+      {"jazz_singer", 0.04, "vocalist", 0.9},
+      {"lyricist", 0.12, "writer", 0.9},
+      {"writer", 0.10, "artist", 1.0},
+      {"guitarist", 0.15, "musician", 0.95},
+      {"pianist", 0.10, "musician", 0.95},
+      {"percussionist", 0.05, "musician", 0.95},
+      {"instrumentalist", 0.08, "musician", 1.0},
+      {"musician", 0.20, "artist", 1.0},
+      {"artist", 0.25, nullptr, 0.0},
+  };
+  for (size_t i = 0; i < num_artists; ++i) {
+    const std::string artist = "artist" + std::to_string(i);
+    const double popularity =
+        1e5 / std::pow(static_cast<double>(i + 1), 0.8);
+    for (const Role& role : roles) {
+      if (!rng.NextBool(role.base_prob)) continue;
+      store.Add(artist, "rdf:type", role.name, popularity);
+      if (role.implies != nullptr && rng.NextBool(role.implies_prob)) {
+        store.Add(artist, "rdf:type", role.implies, popularity);
+      }
+    }
+  }
+  store.Finalize();
+  return store;
+}
+
+}  // namespace
+
+int main() {
+  TripleStore store = BuildMusicKg(4000);
+  std::printf("music KG: %zu triples over %zu terms\n", store.size(),
+              store.dict().size());
+
+  // Mine relaxation rules from role co-membership (the paper's weighting).
+  RelaxationIndex rules;
+  MinerOptions miner;
+  miner.min_support = 5;
+  const Status mined = MineObjectCooccurrence(
+      store, store.MustId("rdf:type"), miner, &rules);
+  SPECQP_CHECK(mined.ok()) << mined.ToString();
+  std::printf("mined %zu relaxation rules\n\n", rules.total_rules());
+
+  // Show the rules for <singer> — compare with Table 1 of the paper.
+  const PatternKey singer_key{kInvalidTermId, store.MustId("rdf:type"),
+                              store.MustId("singer")};
+  std::printf("top relaxations for <singer>:\n");
+  size_t shown = 0;
+  for (const RelaxationRule& rule : rules.RulesFor(singer_key)) {
+    std::printf("  %s\n", RuleToString(rule, store.dict()).c_str());
+    if (++shown >= 4) break;
+  }
+
+  // The intro query.
+  Engine engine(&store, &rules);
+  const char* text =
+      "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <rdf:type> <lyricist> ."
+      " ?s <rdf:type> <guitarist> . ?s <rdf:type> <pianist> }";
+  std::printf("\nquery: %s\n", text);
+
+  for (Strategy strategy : {Strategy::kTrinit, Strategy::kSpecQp}) {
+    auto result = engine.ExecuteText(text, /*k=*/10, strategy);
+    SPECQP_CHECK(result.ok()) << result.status().ToString();
+    std::printf("\n[%s] plan %s\n", std::string(StrategyName(strategy)).c_str(),
+                result->plan.ToString().c_str());
+    std::printf("  %-28s %.3f ms (plan %.3f ms)\n", "runtime:",
+                result->stats.plan_ms + result->stats.exec_ms,
+                result->stats.plan_ms);
+    std::printf("  %-28s %llu\n", "answer objects:",
+                static_cast<unsigned long long>(
+                    result->stats.answer_objects));
+    auto parsed = ParseQuery(text, store.dict());
+    for (size_t i = 0; i < result->rows.size() && i < 3; ++i) {
+      std::printf("  #%zu %s\n", i + 1,
+                  RowToString(result->rows[i], parsed.value(), store.dict())
+                      .c_str());
+    }
+  }
+  std::printf(
+      "\nBoth strategies agree on the top answers; Spec-QP gets there with "
+      "fewer intermediate answer objects whenever relaxations are "
+      "prunable.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: build a scored knowledge graph, declare weighted relaxation
+// rules, and run a top-k SPARQL query under the Spec-QP speculative planner.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "core/exhaustive.h"
+#include "rdf/triple_store.h"
+#include "relax/relaxation_index.h"
+#include "topk/scored_row.h"
+#include "util/logging.h"
+
+using namespace specqp;
+
+int main() {
+  // 1. Load triples. Scores are KG-level popularity/confidence values
+  //    (here: artist popularity).
+  TripleStore store;
+  store.Add("shakira", "rdf:type", "singer", 100);
+  store.Add("beyonce", "rdf:type", "singer", 90);
+  store.Add("adele", "rdf:type", "singer", 85);
+  store.Add("sting", "rdf:type", "vocalist", 80);
+  store.Add("shakira", "rdf:type", "vocalist", 100);
+  store.Add("norah", "rdf:type", "vocalist", 55);
+  store.Add("sting", "rdf:type", "lyricist", 80);
+  store.Add("bob", "rdf:type", "lyricist", 60);
+  store.Add("shakira", "rdf:type", "writer", 100);
+  store.Add("sting", "rdf:type", "writer", 80);
+  store.Add("taylor", "rdf:type", "writer", 65);
+  store.Finalize();
+
+  // 2. Declare weighted relaxation rules (normally mined from the KG; see
+  //    relax/miner.h). <singer> may be relaxed to <vocalist> at weight 0.9,
+  //    <lyricist> to <writer> at 0.8.
+  RelaxationIndex rules;
+  const TermId type = store.MustId("rdf:type");
+  SPECQP_CHECK(rules
+                   .AddRule({PatternKey{kInvalidTermId, type,
+                                        store.MustId("singer")},
+                             PatternKey{kInvalidTermId, type,
+                                        store.MustId("vocalist")},
+                             0.9})
+                   .ok());
+  SPECQP_CHECK(rules
+                   .AddRule({PatternKey{kInvalidTermId, type,
+                                        store.MustId("lyricist")},
+                             PatternKey{kInvalidTermId, type,
+                                        store.MustId("writer")},
+                             0.8})
+                   .ok());
+
+  // 3. Run a query. The engine plans speculatively: patterns whose
+  //    relaxations cannot reach the top-k are executed as plain rank joins.
+  Engine engine(&store, &rules);
+  const char* text =
+      "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <rdf:type> <lyricist> }";
+  auto result = engine.ExecuteText(text, /*k=*/3, Strategy::kSpecQp);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query : %s\n", text);
+  std::printf("plan  : %s   (patterns left of '|' run without relaxations)\n",
+              result->plan.ToString().c_str());
+  std::printf("top-%zu:\n", result->rows.size());
+  auto parsed = ParseQuery(text, store.dict());
+  for (const ScoredRow& row : result->rows) {
+    std::printf("  %s\n",
+                RowToString(row, parsed.value(), store.dict()).c_str());
+  }
+  std::printf("cost  : %llu intermediate answer objects, %.3f ms\n",
+              static_cast<unsigned long long>(result->stats.answer_objects),
+              result->stats.plan_ms + result->stats.exec_ms);
+  return 0;
+}

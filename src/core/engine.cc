@@ -1,0 +1,106 @@
+#include "core/engine.h"
+
+#include "query/parser.h"
+#include "topk/top_k.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace specqp {
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSpecQp:
+      return "Spec-QP";
+    case Strategy::kTrinit:
+      return "TriniT";
+    case Strategy::kNoRelax:
+      return "NoRelax";
+  }
+  return "?";
+}
+
+Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
+               const EngineOptions& options)
+    : store_(store),
+      rules_(rules),
+      options_(options),
+      postings_(store),
+      catalog_(store, &postings_, options.head_fraction),
+      selectivity_(store, options.selectivity_mode),
+      estimator_(&catalog_, &selectivity_, options.estimator_model,
+                 options.grid_delta),
+      planner_(&estimator_, rules),
+      executor_(store, &postings_, rules) {
+  SPECQP_CHECK(store_ != nullptr && rules_ != nullptr);
+  SPECQP_CHECK(store_->finalized()) << "Engine requires a finalized store";
+}
+
+Engine::QueryResult Engine::Execute(const Query& query, size_t k,
+                                    Strategy strategy) {
+  SPECQP_CHECK(k >= 1);
+  QueryResult result;
+
+  WallTimer plan_timer;
+  switch (strategy) {
+    case Strategy::kSpecQp:
+      result.plan = planner_.Plan(query, k, &result.diagnostics);
+      break;
+    case Strategy::kTrinit:
+      result.plan = QueryPlan::TrinitPlan(query.num_patterns());
+      break;
+    case Strategy::kNoRelax:
+      result.plan = QueryPlan::NoRelaxationsPlan(query.num_patterns());
+      break;
+  }
+  result.stats.plan_ms = plan_timer.ElapsedMillis();
+
+  WallTimer exec_timer;
+  auto root = executor_.Build(query, result.plan, &result.stats);
+  result.rows = PullTopK(root.get(), k, &result.stats);
+  result.stats.exec_ms = exec_timer.ElapsedMillis();
+
+  // Chain relaxations execute with trailing scratch slots for their fresh
+  // variables (always kInvalidTermId at the root); trim rows back to the
+  // query's own variables.
+  for (ScoredRow& row : result.rows) {
+    if (row.bindings.size() > query.num_vars()) {
+      row.bindings.resize(query.num_vars());
+    }
+  }
+  return result;
+}
+
+Result<Engine::QueryResult> Engine::ExecuteText(std::string_view text,
+                                                size_t k, Strategy strategy) {
+  SPECQP_ASSIGN_OR_RETURN(Query query, ParseQuery(text, store_->dict()));
+  return Execute(query, k, strategy);
+}
+
+QueryPlan Engine::PlanOnly(const Query& query, size_t k,
+                           PlanDiagnostics* diagnostics) {
+  return planner_.Plan(query, k, diagnostics);
+}
+
+void Engine::Warm(const Query& query) {
+  for (const TriplePattern& q : query.patterns()) {
+    const PatternKey key = q.Key();
+    postings_.Get(key);
+    catalog_.GetStats(key);
+    for (const RelaxationRule& rule : rules_->RulesFor(key)) {
+      postings_.Get(rule.to);
+      catalog_.GetStats(rule.to);
+    }
+    for (const ChainRelaxationRule& rule : rules_->ChainRulesFor(key)) {
+      const PatternKey hop1{kInvalidTermId, rule.hop1_predicate,
+                            kInvalidTermId};
+      const PatternKey hop2{kInvalidTermId, rule.hop2_predicate,
+                            rule.hop2_object};
+      postings_.Get(hop1);
+      catalog_.GetStats(hop1);
+      postings_.Get(hop2);
+      catalog_.GetStats(hop2);
+    }
+  }
+}
+
+}  // namespace specqp

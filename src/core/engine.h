@@ -1,0 +1,104 @@
+#ifndef SPECQP_CORE_ENGINE_H_
+#define SPECQP_CORE_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/plan_executor.h"
+#include "core/planner.h"
+#include "core/query_plan.h"
+#include "query/query.h"
+#include "rdf/posting_list.h"
+#include "rdf/triple_store.h"
+#include "relax/relaxation_index.h"
+#include "stats/catalog.h"
+#include "stats/selectivity.h"
+#include "topk/exec_stats.h"
+#include "topk/scored_row.h"
+#include "util/result.h"
+
+namespace specqp {
+
+// How a query is planned and executed.
+enum class Strategy {
+  kSpecQp,   // PLANGEN speculation (the paper's contribution)
+  kTrinit,   // all patterns relaxed through incremental merges (baseline)
+  kNoRelax,  // plain rank joins, relaxations ignored (lower bound)
+};
+
+std::string_view StrategyName(Strategy strategy);
+
+struct EngineOptions {
+  // The paper uses exact join selectivities (footnote 3).
+  SelectivityEstimator::Mode selectivity_mode =
+      SelectivityEstimator::Mode::kExact;
+  // The paper's two-bucket model; kExactGrid is the multi-bucket ablation.
+  ExpectedScoreEstimator::Model estimator_model =
+      ExpectedScoreEstimator::Model::kTwoBucket;
+  // 80/20 rule boundary for all histograms.
+  double head_fraction = 0.8;
+  // Grid resolution for the kExactGrid estimator.
+  double grid_delta = 1.0 / 512.0;
+};
+
+// Facade wiring the whole stack together: posting lists, statistics,
+// selectivities, PLANGEN, and plan execution over a knowledge graph plus a
+// relaxation rule set (both owned by the caller and shared across engines
+// so baselines run against identical data and caches are comparable).
+class Engine {
+ public:
+  struct QueryResult {
+    QueryPlan plan;
+    PlanDiagnostics diagnostics;  // filled for kSpecQp
+    std::vector<ScoredRow> rows;  // the top-k, score-descending
+    ExecStats stats;
+  };
+
+  Engine(const TripleStore* store, const RelaxationIndex* rules,
+         const EngineOptions& options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Plans (according to `strategy`) and executes `query`, returning the
+  // top-k answers plus all execution counters.
+  QueryResult Execute(const Query& query, size_t k, Strategy strategy);
+
+  // Parses `text` against the store's dictionary, then Execute()s it.
+  Result<QueryResult> ExecuteText(std::string_view text, size_t k,
+                                  Strategy strategy);
+
+  // Plans without executing (for planner-only studies).
+  QueryPlan PlanOnly(const Query& query, size_t k,
+                     PlanDiagnostics* diagnostics = nullptr);
+
+  // Pre-materialises posting lists and statistics for a query and its
+  // relaxations — the paper's warm-cache setting (section 4.4) separates
+  // this cost from query runtimes.
+  void Warm(const Query& query);
+
+  const TripleStore& store() const { return *store_; }
+  const RelaxationIndex& rules() const { return *rules_; }
+  PostingListCache& postings() { return postings_; }
+  StatisticsCatalog& catalog() { return catalog_; }
+  SelectivityEstimator& selectivity() { return selectivity_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const TripleStore* store_;
+  const RelaxationIndex* rules_;
+  EngineOptions options_;
+
+  PostingListCache postings_;
+  StatisticsCatalog catalog_;
+  SelectivityEstimator selectivity_;
+  ExpectedScoreEstimator estimator_;
+  Planner planner_;
+  PlanExecutor executor_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_ENGINE_H_

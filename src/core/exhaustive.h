@@ -1,0 +1,65 @@
+#ifndef SPECQP_CORE_EXHAUSTIVE_H_
+#define SPECQP_CORE_EXHAUSTIVE_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/triple_store.h"
+#include "relax/relaxation_index.h"
+
+namespace specqp {
+
+// Ground-truth evaluator: materialises *every* answer reachable through the
+// relaxation space with its exact score under the operational semantics
+// (per-pattern maximum over derivations, summed across patterns —
+// Definitions 5-8 as realised by the operator pipeline), together with
+// per-pattern provenance. Completely independent of the operator code, so
+// tests can cross-check TriniT/Spec-QP against it; the quality benchmarks
+// (Tables 2-4) use it to derive true top-k answers and the set of
+// relaxations actually required.
+class ExhaustiveEvaluator {
+ public:
+  struct Answer {
+    std::vector<TermId> bindings;  // width = query.num_vars()
+    double score = 0.0;            // sum over patterns of best_scores
+    // Per pattern: the best derivation score (max over the original pattern
+    // and every relaxation, Definition 8) ...
+    std::vector<double> best_scores;
+    // ... and the best score achievable through the *original* pattern
+    // only; kNoOriginal when the answer does not match the original at all.
+    std::vector<double> original_scores;
+
+    // True iff the best derivation for pattern `i` used a relaxation (ties
+    // count as original).
+    bool ViaRelaxation(size_t i) const {
+      return original_scores[i] < best_scores[i];
+    }
+
+    static constexpr double kNoOriginal = -1.0;
+  };
+
+  struct EvalResult {
+    std::vector<Answer> answers;  // sorted by score desc, bindings asc
+
+    // Pattern indices whose relaxations are *required* to produce the true
+    // top-k: disabling pattern i's relaxations (answers then score through
+    // i's original pattern only, and answers with no original match for i
+    // disappear) changes the set of top-k answer bindings.
+    std::vector<size_t> RequiredRelaxations(size_t k) const;
+  };
+
+  ExhaustiveEvaluator(const TripleStore* store, const RelaxationIndex* rules);
+
+  ExhaustiveEvaluator(const ExhaustiveEvaluator&) = delete;
+  ExhaustiveEvaluator& operator=(const ExhaustiveEvaluator&) = delete;
+
+  EvalResult Evaluate(const Query& query) const;
+
+ private:
+  const TripleStore* store_;
+  const RelaxationIndex* rules_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_EXHAUSTIVE_H_

@@ -1,0 +1,156 @@
+#include "core/plan_executor.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "topk/incremental_merge.h"
+#include "topk/pattern_scan.h"
+#include "topk/project.h"
+#include "topk/rank_join.h"
+#include "util/logging.h"
+
+namespace specqp {
+
+namespace {
+
+// A built sub-plan plus the set of variables it binds.
+struct Unit {
+  std::unique_ptr<ScoredRowIterator> op;
+  std::vector<bool> bound;  // per VarId
+};
+
+std::vector<bool> PatternBound(const TriplePattern& q, size_t width) {
+  std::vector<bool> bound(width, false);
+  VarId vars[3];
+  const int n = q.Variables(vars);
+  for (int i = 0; i < n; ++i) bound[vars[i]] = true;
+  return bound;
+}
+
+std::vector<VarId> SharedBound(const std::vector<bool>& a,
+                               const std::vector<bool>& b) {
+  std::vector<VarId> shared;
+  for (size_t v = 0; v < a.size(); ++v) {
+    if (a[v] && b[v]) shared.push_back(static_cast<VarId>(v));
+  }
+  return shared;
+}
+
+// Joins `units` left-deep into `acc` (greedy: prefer the earliest unit
+// sharing a variable with the accumulated bound set).
+void FoldInto(Unit* acc, std::vector<Unit>* units, ExecStats* stats) {
+  while (!units->empty()) {
+    size_t pick = 0;
+    bool connected = false;
+    for (size_t i = 0; i < units->size(); ++i) {
+      if (!SharedBound(acc->bound, (*units)[i].bound).empty()) {
+        pick = i;
+        connected = true;
+        break;
+      }
+    }
+    (void)connected;  // cross product when nothing connects
+    Unit next = std::move((*units)[pick]);
+    units->erase(units->begin() + static_cast<ptrdiff_t>(pick));
+
+    std::vector<VarId> join_vars = SharedBound(acc->bound, next.bound);
+    acc->op = std::make_unique<RankJoin>(std::move(acc->op),
+                                         std::move(next.op),
+                                         std::move(join_vars), stats);
+    for (size_t v = 0; v < acc->bound.size(); ++v) {
+      if (next.bound[v]) acc->bound[v] = true;
+    }
+  }
+}
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(const TripleStore* store,
+                           PostingListCache* postings,
+                           const RelaxationIndex* rules)
+    : store_(store), postings_(postings), rules_(rules) {
+  SPECQP_CHECK(store_ != nullptr && postings_ != nullptr && rules_ != nullptr);
+}
+
+std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
+                                                       const QueryPlan& plan,
+                                                       ExecStats* stats) {
+  SPECQP_CHECK(stats != nullptr);
+  SPECQP_CHECK(plan.join_group.size() + plan.singletons.size() ==
+               query.num_patterns())
+      << "plan does not cover the query";
+
+  // Chain relaxations bind a fresh intermediate variable each; those get
+  // trailing binding slots beyond the query's own variables (cleared again
+  // by a projection before the chain's rows reach the merge, so the extra
+  // slots are kInvalidTermId everywhere above the chain joins).
+  size_t num_chain_slots = 0;
+  for (size_t i : plan.singletons) {
+    num_chain_slots += rules_->ChainRulesFor(query.pattern(i).Key()).size();
+  }
+  const size_t width = query.num_vars() + num_chain_slots;
+  VarId next_chain_slot = static_cast<VarId>(query.num_vars());
+
+  auto make_scan = [&](const TriplePattern& pattern, double weight) {
+    return std::make_unique<PatternScan>(store_,
+                                         postings_->Get(pattern.Key()),
+                                         pattern, width, weight, stats);
+  };
+
+  // Join-group units: bare scans.
+  std::vector<Unit> group_units;
+  for (size_t i : plan.join_group) {
+    const TriplePattern& q = query.pattern(i);
+    group_units.push_back(Unit{make_scan(q, 1.0), PatternBound(q, width)});
+  }
+
+  // Singleton units: incremental merges over pattern + relaxations.
+  std::vector<Unit> singleton_units;
+  for (size_t i : plan.singletons) {
+    const TriplePattern& q = query.pattern(i);
+    std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
+    inputs.push_back(make_scan(q, 1.0));
+    for (const RelaxationRule& rule : rules_->RulesFor(q.Key())) {
+      auto relaxed = ApplyRule(q, rule);
+      SPECQP_CHECK(relaxed.ok()) << relaxed.status().ToString();
+      inputs.push_back(make_scan(relaxed.value(), rule.weight));
+    }
+    // Chain relaxations: rank-join the two hops on the fresh variable
+    // (each hop discounted by w/2, so the chain tops out at w), then hide
+    // the intermediate so the merge deduplicates per subject.
+    for (const ChainRelaxationRule& rule :
+         rules_->ChainRulesFor(q.Key())) {
+      const VarId fresh = next_chain_slot++;
+      auto chain = ApplyChainRule(q, rule, fresh);
+      SPECQP_CHECK(chain.ok()) << chain.status().ToString();
+      auto join = std::make_unique<RankJoin>(
+          make_scan(chain->hop1, rule.weight / 2.0),
+          make_scan(chain->hop2, rule.weight / 2.0),
+          std::vector<VarId>{fresh}, stats);
+      inputs.push_back(std::make_unique<ProjectIterator>(
+          std::move(join), std::vector<VarId>{fresh}));
+    }
+    singleton_units.push_back(
+        Unit{std::make_unique<IncrementalMerge>(std::move(inputs), stats),
+             PatternBound(q, width)});
+  }
+
+  // Left-deep fold: join group first (section 3.2.2 step 1), then the
+  // singleton merges (step 3).
+  Unit acc;
+  if (!group_units.empty()) {
+    acc = std::move(group_units.front());
+    group_units.erase(group_units.begin());
+    FoldInto(&acc, &group_units, stats);
+    FoldInto(&acc, &singleton_units, stats);
+  } else {
+    SPECQP_CHECK(!singleton_units.empty());
+    acc = std::move(singleton_units.front());
+    singleton_units.erase(singleton_units.begin());
+    FoldInto(&acc, &singleton_units, stats);
+  }
+  return std::move(acc.op);
+}
+
+}  // namespace specqp

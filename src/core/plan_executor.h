@@ -1,0 +1,50 @@
+#ifndef SPECQP_CORE_PLAN_EXECUTOR_H_
+#define SPECQP_CORE_PLAN_EXECUTOR_H_
+
+#include <memory>
+
+#include "core/query_plan.h"
+#include "query/query.h"
+#include "rdf/posting_list.h"
+#include "rdf/triple_store.h"
+#include "relax/relaxation_index.h"
+#include "topk/exec_stats.h"
+#include "topk/operator.h"
+
+namespace specqp {
+
+// Turns a query plan into an operator tree (section 3.2.2):
+//
+//   1. join-group patterns -> plain PatternScans, combined left-deep with
+//      RankJoins (no relaxations),
+//   2. each singleton -> an IncrementalMerge over the pattern's scan plus
+//      one weighted scan per relaxation rule,
+//   3. RankJoins over the join-group result and the singleton merges.
+//
+// Within each phase the next input is chosen greedily among the remaining
+// ones so that it shares a variable with what is already joined (falling
+// back to plan order when nothing connects); this keeps the paper's
+// group-then-singletons structure while avoiding gratuitous cross
+// products.
+class PlanExecutor {
+ public:
+  PlanExecutor(const TripleStore* store, PostingListCache* postings,
+               const RelaxationIndex* rules);
+
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
+
+  // Builds the tree; `stats` must outlive the returned iterator.
+  std::unique_ptr<ScoredRowIterator> Build(const Query& query,
+                                           const QueryPlan& plan,
+                                           ExecStats* stats);
+
+ private:
+  const TripleStore* store_;
+  PostingListCache* postings_;
+  const RelaxationIndex* rules_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_PLAN_EXECUTOR_H_

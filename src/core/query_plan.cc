@@ -1,0 +1,37 @@
+#include "core/query_plan.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace specqp {
+
+bool QueryPlan::IsSingleton(size_t pattern_index) const {
+  return std::find(singletons.begin(), singletons.end(), pattern_index) !=
+         singletons.end();
+}
+
+QueryPlan QueryPlan::TrinitPlan(size_t num_patterns) {
+  QueryPlan plan;
+  plan.singletons.resize(num_patterns);
+  for (size_t i = 0; i < num_patterns; ++i) plan.singletons[i] = i;
+  return plan;
+}
+
+QueryPlan QueryPlan::NoRelaxationsPlan(size_t num_patterns) {
+  QueryPlan plan;
+  plan.join_group.resize(num_patterns);
+  for (size_t i = 0; i < num_patterns; ++i) plan.join_group[i] = i;
+  return plan;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out = "{";
+  for (size_t i : join_group) out += StrFormat(" q%zu", i);
+  out += " |";
+  for (size_t i : singletons) out += StrFormat(" q%zu*", i);
+  out += " }";
+  return out;
+}
+
+}  // namespace specqp

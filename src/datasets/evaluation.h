@@ -1,0 +1,70 @@
+#ifndef SPECQP_DATASETS_EVALUATION_H_
+#define SPECQP_DATASETS_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/exhaustive.h"
+#include "query/query.h"
+
+namespace specqp {
+
+// Per-query quality metrics (section 4.3), comparing Spec-QP against the
+// true top-k derived by the exhaustive oracle (which TriniT provably
+// matches — enforced by the integration tests).
+struct QualityMetrics {
+  // |Spec-QP top-k ∩ true top-k| / min(k, |true answers|). Precision and
+  // recall coincide (same denominator k).
+  double precision = 0.0;
+  // Mean / stddev of |score_spec(rank) - score_true(rank)| over ranks.
+  double score_error_mean = 0.0;
+  double score_error_std = 0.0;
+  // Mean percentage deviation relative to the true score at each rank.
+  double score_error_pct = 0.0;
+  // Did PLANGEN's singleton set exactly equal the set of patterns whose
+  // relaxations are required for the true top-k?
+  bool prediction_exact = false;
+  size_t required_relaxations = 0;   // ground truth set size
+  size_t predicted_relaxations = 0;  // PLANGEN's singleton count
+  uint64_t true_answer_count = 0;    // answers in the relaxation space
+};
+
+QualityMetrics EvaluateQuality(Engine& engine, const ExhaustiveEvaluator& oracle,
+                               const Query& query, size_t k);
+
+// Same, against a pre-computed oracle result (lets callers evaluate several
+// values of k without re-running the exhaustive evaluation).
+QualityMetrics EvaluateQualityWithTruth(
+    Engine& engine, const ExhaustiveEvaluator::EvalResult& truth,
+    const Query& query, size_t k);
+
+// Per-query efficiency measurements mirroring the paper's methodology
+// (section 4.4): caches warmed, `runs` consecutive executions per strategy,
+// reported value = average of the last `avg_last`.
+struct EfficiencyMetrics {
+  double trinit_ms = 0.0;
+  double spec_ms = 0.0;  // includes Spec-QP planning time
+  double spec_plan_ms = 0.0;
+  uint64_t trinit_objects = 0;
+  uint64_t spec_objects = 0;
+  size_t patterns_relaxed = 0;  // by the Spec-QP plan
+};
+
+EfficiencyMetrics MeasureEfficiency(Engine& engine, const Query& query,
+                                    size_t k, int runs = 5, int avg_last = 3);
+
+// Simple aggregate helpers for the benchmark tables.
+struct Aggregate {
+  double sum = 0.0;
+  uint64_t count = 0;
+  void Add(double v) {
+    sum += v;
+    ++count;
+  }
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_DATASETS_EVALUATION_H_

@@ -1,0 +1,47 @@
+#ifndef SPECQP_QUERY_PARSER_H_
+#define SPECQP_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/query.h"
+#include "rdf/dictionary.h"
+#include "util/result.h"
+
+namespace specqp {
+
+struct ParseOptions {
+  // When false (default), a constant term that is not in the dictionary is a
+  // NOT_FOUND parse error — catching typos early. When true, unknown terms
+  // are interned; the resulting pattern simply has an empty match set.
+  bool intern_unknown_terms = false;
+};
+
+// Parses the SPARQL subset used throughout the paper:
+//
+//   SELECT ?s ?o WHERE {
+//     ?s <rdf:type> <singer> .
+//     ?s 'plays' ?o
+//   }
+//
+// Grammar (case-insensitive keywords, '.' separates patterns, trailing '.'
+// allowed):
+//
+//   query    := SELECT proj WHERE '{' pattern ('.' pattern)* '.'? '}'
+//   proj     := '*' | var+
+//   pattern  := term term term
+//   term     := var | '<' chars '>' | quoted | bareword
+//   var      := '?' ident
+//
+// Constants may be written <iri>, 'single-quoted', "double-quoted", or as
+// bare words; the delimiters are stripped before dictionary lookup, so
+// <singer> and 'singer' denote the same term.
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict,
+                         const ParseOptions& options = {});
+
+// Read-only variant: unknown terms are parse errors and the dictionary is
+// never mutated.
+Result<Query> ParseQuery(std::string_view text, const Dictionary& dict);
+
+}  // namespace specqp
+
+#endif  // SPECQP_QUERY_PARSER_H_

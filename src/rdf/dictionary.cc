@@ -1,0 +1,37 @@
+#include "rdf/dictionary.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace specqp {
+
+TermId Dictionary::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  SPECQP_CHECK(terms_.size() < kInvalidTermId) << "dictionary full";
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+Result<TermId> Dictionary::Find(std::string_view term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) {
+    return Status::NotFound(
+        StrFormat("term '%.*s' not in dictionary",
+                  static_cast<int>(term.size()), term.data()));
+  }
+  return it->second;
+}
+
+bool Dictionary::Contains(std::string_view term) const {
+  return index_.find(term) != index_.end();
+}
+
+std::string_view Dictionary::Name(TermId id) const {
+  SPECQP_CHECK(id < terms_.size()) << "TermId out of range: " << id;
+  return terms_[id];
+}
+
+}  // namespace specqp

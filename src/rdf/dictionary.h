@@ -1,0 +1,51 @@
+#ifndef SPECQP_RDF_DICTIONARY_H_
+#define SPECQP_RDF_DICTIONARY_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "rdf/term.h"
+#include "util/result.h"
+
+namespace specqp {
+
+// Bidirectional string <-> TermId mapping. Interning the same string twice
+// returns the same id; ids are dense, starting at 0, in insertion order.
+//
+// Strings are stored in a deque so that the string_view keys of the reverse
+// index stay valid as the dictionary grows (deque growth never moves
+// existing elements).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  // Returns the id for `term`, interning it if unseen.
+  TermId Intern(std::string_view term);
+
+  // Returns the id for `term` or kNotFound if never interned.
+  Result<TermId> Find(std::string_view term) const;
+
+  // True iff `term` has been interned.
+  bool Contains(std::string_view term) const;
+
+  // The string for `id`; id must be < size().
+  std::string_view Name(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> index_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_DICTIONARY_H_

@@ -1,0 +1,43 @@
+#include "rdf/posting_list.h"
+
+#include <algorithm>
+
+namespace specqp {
+
+PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
+  PostingList list;
+  const auto indices = store.MatchIndices(key);
+  list.entries.reserve(indices.size());
+  double max_raw = 0.0;
+  for (uint32_t idx : indices) {
+    max_raw = std::max(max_raw, store.triple(idx).score);
+  }
+  list.max_raw_score = max_raw;
+  for (uint32_t idx : indices) {
+    const double raw = store.triple(idx).score;
+    const double norm = max_raw > 0.0 ? raw / max_raw : 0.0;
+    list.entries.push_back(PostingEntry{idx, norm});
+  }
+  std::sort(list.entries.begin(), list.entries.end(),
+            [](const PostingEntry& a, const PostingEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.triple_index < b.triple_index;
+            });
+  return list;
+}
+
+std::shared_ptr<const PostingList> PostingListCache::Get(
+    const PatternKey& key) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto list = std::make_shared<const PostingList>(
+      BuildPostingList(*store_, key));
+  cache_.emplace(key, list);
+  return list;
+}
+
+}  // namespace specqp

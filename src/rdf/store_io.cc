@@ -1,0 +1,209 @@
+#include "rdf/store_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace specqp {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'Q', 'P', 'S', 'T', 'O', 'R', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+static_assert(sizeof(double) == 8, "store format assumes 8-byte doubles");
+
+void AppendU32(std::string* buf, uint32_t v) {
+  char tmp[4];
+  std::memcpy(tmp, &v, 4);
+  buf->append(tmp, 4);
+}
+
+void AppendU64(std::string* buf, uint64_t v) {
+  char tmp[8];
+  std::memcpy(tmp, &v, 8);
+  buf->append(tmp, 8);
+}
+
+void AppendF64(std::string* buf, double v) {
+  char tmp[8];
+  std::memcpy(tmp, &v, 8);
+  buf->append(tmp, 8);
+}
+
+// Sequential reader over an in-memory blob with bounds checking.
+class BlobReader {
+ public:
+  BlobReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadBytes(void* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return ReadBytes(v, 4); }
+  bool ReadU64(uint64_t* v) { return ReadBytes(v, 8); }
+  bool ReadF64(double* v) { return ReadBytes(v, 8); }
+
+  const char* cursor() const { return data_ + pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+  void Advance(size_t n) { pos_ += n; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status SaveStore(const TripleStore& store, const std::string& path) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition("SaveStore requires a finalized store");
+  }
+
+  std::string dict_section;
+  const Dictionary& dict = store.dict();
+  AppendU32(&dict_section, static_cast<uint32_t>(dict.size()));
+  for (TermId id = 0; id < dict.size(); ++id) {
+    std::string_view name = dict.Name(id);
+    AppendU32(&dict_section, static_cast<uint32_t>(name.size()));
+    dict_section.append(name);
+  }
+
+  std::string triple_section;
+  AppendU64(&triple_section, store.size());
+  for (const Triple& t : store.triples()) {
+    AppendU32(&triple_section, t.s);
+    AppendU32(&triple_section, t.p);
+    AppendU32(&triple_section, t.o);
+    AppendF64(&triple_section, t.score);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), 4);
+
+  for (const std::string* section : {&dict_section, &triple_section}) {
+    out.write(section->data(), static_cast<std::streamsize>(section->size()));
+    const uint32_t crc = Crc32c(section->data(), section->size());
+    out.write(reinterpret_cast<const char*>(&crc), 4);
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<TripleStore> LoadStore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::string blob(static_cast<size_t>(file_size), '\0');
+  in.read(blob.data(), file_size);
+  if (!in) {
+    return Status::IoError(StrFormat("short read from '%s'", path.c_str()));
+  }
+
+  BlobReader reader(blob.data(), blob.size());
+  char magic[8];
+  if (!reader.ReadBytes(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::Corruption("bad magic; not a Spec-QP store file");
+  }
+  uint32_t version = 0;
+  if (!reader.ReadU32(&version)) return Status::Corruption("truncated header");
+  if (version != kFormatVersion) {
+    return Status::Corruption(StrFormat("unsupported version %u", version));
+  }
+
+  TripleStore store;
+
+  // Dictionary section.
+  {
+    const char* section_start = reader.cursor();
+    uint32_t term_count = 0;
+    if (!reader.ReadU32(&term_count)) {
+      return Status::Corruption("truncated dictionary header");
+    }
+    for (uint32_t i = 0; i < term_count; ++i) {
+      uint32_t len = 0;
+      if (!reader.ReadU32(&len) || reader.remaining() < len) {
+        return Status::Corruption("truncated dictionary entry");
+      }
+      std::string_view name(reader.cursor(), len);
+      reader.Advance(len);
+      const TermId id = store.dict().Intern(name);
+      if (id != i) {
+        return Status::Corruption("duplicate term in dictionary section");
+      }
+    }
+    const size_t section_len =
+        static_cast<size_t>(reader.cursor() - section_start);
+    uint32_t stored_crc = 0;
+    if (!reader.ReadU32(&stored_crc)) {
+      return Status::Corruption("missing dictionary CRC");
+    }
+    if (Crc32c(section_start, section_len) != stored_crc) {
+      return Status::Corruption("dictionary section CRC mismatch");
+    }
+  }
+
+  // Triple section.
+  {
+    const char* section_start = reader.cursor();
+    uint64_t triple_count = 0;
+    if (!reader.ReadU64(&triple_count)) {
+      return Status::Corruption("truncated triple header");
+    }
+    const size_t dict_size = store.dict().size();
+    for (uint64_t i = 0; i < triple_count; ++i) {
+      uint32_t s = 0;
+      uint32_t p = 0;
+      uint32_t o = 0;
+      double score = 0.0;
+      if (!reader.ReadU32(&s) || !reader.ReadU32(&p) || !reader.ReadU32(&o) ||
+          !reader.ReadF64(&score)) {
+        return Status::Corruption("truncated triple entry");
+      }
+      if (s >= dict_size || p >= dict_size || o >= dict_size) {
+        return Status::Corruption("triple references unknown term id");
+      }
+      if (!(score >= 0.0)) {
+        return Status::Corruption("triple has invalid score");
+      }
+      store.AddEncoded(s, p, o, score);
+    }
+    const size_t section_len =
+        static_cast<size_t>(reader.cursor() - section_start);
+    uint32_t stored_crc = 0;
+    if (!reader.ReadU32(&stored_crc)) {
+      return Status::Corruption("missing triple CRC");
+    }
+    if (Crc32c(section_start, section_len) != stored_crc) {
+      return Status::Corruption("triple section CRC mismatch");
+    }
+  }
+
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after triple section");
+  }
+
+  store.Finalize();
+  return store;
+}
+
+}  // namespace specqp

@@ -1,0 +1,35 @@
+#ifndef SPECQP_RDF_STORE_IO_H_
+#define SPECQP_RDF_STORE_IO_H_
+
+#include <string>
+
+#include "rdf/triple_store.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace specqp {
+
+// Binary store format "SQPSTOR1":
+//
+//   [8]  magic "SQPSTOR1"
+//   [4]  u32 format version (currently 1)
+//   dictionary section:
+//     [4] u32 term count
+//     per term: [4] u32 byte length, [len] bytes
+//     [4] u32 CRC-32C of the section payload
+//   triple section:
+//     [8] u64 triple count
+//     per triple: [4]*3 u32 s,p,o, [8] f64 score
+//     [4] u32 CRC-32C of the section payload
+//
+// All integers little-endian (asserted at build time for this target).
+// Load verifies magic, version, CRCs, and id ranges, and returns a
+// finalized store.
+
+Status SaveStore(const TripleStore& store, const std::string& path);
+
+Result<TripleStore> LoadStore(const std::string& path);
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_STORE_IO_H_

@@ -1,0 +1,25 @@
+#ifndef SPECQP_RDF_TERM_H_
+#define SPECQP_RDF_TERM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace specqp {
+
+// Dictionary-encoded identifier for an RDF term (entity, predicate, or
+// literal token). Every string in the knowledge graph is interned exactly
+// once; triples and patterns carry TermIds only.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId =
+    std::numeric_limits<TermId>::max();
+
+// Index of a variable inside one query's variable table (see
+// query/query.h). Variables are per-query, not global.
+using VarId = uint16_t;
+
+inline constexpr VarId kInvalidVarId = std::numeric_limits<VarId>::max();
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_TERM_H_

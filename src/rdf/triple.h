@@ -1,0 +1,55 @@
+#ifndef SPECQP_RDF_TRIPLE_H_
+#define SPECQP_RDF_TRIPLE_H_
+
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace specqp {
+
+// One scored RDF statement <s p o>. The score is the raw, KG-level score
+// (confidence / popularity, Definition 1); per-pattern normalisation
+// (Definition 5) happens when posting lists are materialised.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+  double score = 0.0;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o && a.score == b.score;
+  }
+};
+
+// Term value of triple `t` at slot 0 (s), 1 (p), 2 (o).
+inline TermId SlotValue(const Triple& t, int slot) {
+  switch (slot) {
+    case 0:
+      return t.s;
+    case 1:
+      return t.p;
+    default:
+      return t.o;
+  }
+}
+
+// Positional comparators for the three permutation indexes.
+struct OrderSpo {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+struct OrderPos {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+  }
+};
+struct OrderOsp {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+  }
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_TRIPLE_H_

@@ -1,0 +1,65 @@
+#include "rdf/triple_pattern.h"
+
+#include "util/logging.h"
+
+namespace specqp {
+
+TermId PatternTerm::term() const {
+  SPECQP_CHECK(!is_var_) << "PatternTerm::term() on a variable";
+  return static_cast<TermId>(id_);
+}
+
+VarId PatternTerm::var() const {
+  SPECQP_CHECK(is_var_) << "PatternTerm::var() on a constant";
+  return static_cast<VarId>(id_);
+}
+
+PatternKey TriplePattern::Key() const {
+  PatternKey key;
+  if (s.is_constant()) key.s = s.term();
+  if (p.is_constant()) key.p = p.term();
+  if (o.is_constant()) key.o = o.term();
+  return key;
+}
+
+int TriplePattern::Variables(VarId out[3]) const {
+  int n = 0;
+  auto add = [&](const PatternTerm& t) {
+    if (!t.is_variable()) return;
+    for (int i = 0; i < n; ++i) {
+      if (out[i] == t.var()) return;
+    }
+    out[n++] = t.var();
+  };
+  add(s);
+  add(p);
+  add(o);
+  return n;
+}
+
+int SlotOfVar(const TriplePattern& q, VarId v) {
+  if (q.s.is_variable() && q.s.var() == v) return 0;
+  if (q.p.is_variable() && q.p.var() == v) return 1;
+  if (q.o.is_variable() && q.o.var() == v) return 2;
+  return -1;
+}
+
+bool ConsistentMatch(const TriplePattern& q, const Triple& t) {
+  if (q.s.is_variable()) {
+    if (q.p.is_variable() && q.p.var() == q.s.var() && t.p != t.s) return false;
+    if (q.o.is_variable() && q.o.var() == q.s.var() && t.o != t.s) return false;
+  }
+  if (q.p.is_variable() && q.o.is_variable() && q.o.var() == q.p.var() &&
+      t.o != t.p) {
+    return false;
+  }
+  return true;
+}
+
+bool TriplePattern::UsesVariable(VarId v) const {
+  return (s.is_variable() && s.var() == v) ||
+         (p.is_variable() && p.var() == v) ||
+         (o.is_variable() && o.var() == v);
+}
+
+}  // namespace specqp

@@ -1,0 +1,128 @@
+#ifndef SPECQP_RDF_TRIPLE_PATTERN_H_
+#define SPECQP_RDF_TRIPLE_PATTERN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace specqp {
+
+// One position of a triple pattern: either a constant term or a variable.
+class PatternTerm {
+ public:
+  PatternTerm() : is_var_(true), id_(kInvalidVarId) {}
+
+  static PatternTerm Const(TermId t) { return PatternTerm(false, t); }
+  static PatternTerm Var(VarId v) { return PatternTerm(true, v); }
+
+  bool is_variable() const { return is_var_; }
+  bool is_constant() const { return !is_var_; }
+
+  TermId term() const;
+  VarId var() const;
+
+  friend bool operator==(const PatternTerm& a, const PatternTerm& b) {
+    return a.is_var_ == b.is_var_ && a.id_ == b.id_;
+  }
+
+ private:
+  PatternTerm(bool is_var, uint32_t id) : is_var_(is_var), id_(id) {}
+
+  bool is_var_;
+  uint32_t id_;  // TermId if constant, VarId if variable
+};
+
+// Identifies the *match set* of a pattern: bound constants with
+// kInvalidTermId in free positions. Two patterns with equal keys match
+// exactly the same triples regardless of how their variables are named, so
+// the statistics catalog, posting-list cache, and relaxation index are all
+// keyed on PatternKey.
+struct PatternKey {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool s_bound() const { return s != kInvalidTermId; }
+  bool p_bound() const { return p != kInvalidTermId; }
+  bool o_bound() const { return o != kInvalidTermId; }
+  int num_bound() const {
+    return (s_bound() ? 1 : 0) + (p_bound() ? 1 : 0) + (o_bound() ? 1 : 0);
+  }
+
+  // True iff `t` agrees with every bound position.
+  bool Matches(const Triple& t) const {
+    return (!s_bound() || t.s == s) && (!p_bound() || t.p == p) &&
+           (!o_bound() || t.o == o);
+  }
+
+  friend bool operator==(const PatternKey& a, const PatternKey& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+struct PatternKeyHash {
+  size_t operator()(const PatternKey& k) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    };
+    mix(k.s);
+    mix(k.p);
+    mix(k.o);
+    return static_cast<size_t>(h);
+  }
+};
+
+// A triple pattern <S P O> (Definition 2): each position is a constant or a
+// query variable.
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  TriplePattern() = default;
+  TriplePattern(PatternTerm s_in, PatternTerm p_in, PatternTerm o_in)
+      : s(s_in), p(p_in), o(o_in) {}
+
+  // The match-set key (variable names erased).
+  PatternKey Key() const;
+
+  // Variables appearing in this pattern (at most 3, without duplicates).
+  // Returns the count and fills `out[0..count)`.
+  int Variables(VarId out[3]) const;
+
+  bool UsesVariable(VarId v) const;
+
+  friend bool operator==(const TriplePattern& a, const TriplePattern& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+// First slot (0=s, 1=p, 2=o) where variable `v` occurs in `q`, or -1.
+int SlotOfVar(const TriplePattern& q, VarId v);
+
+// True when triple `t` is a consistent match for `q` even if `q` repeats a
+// variable (e.g. <?x p ?x> requires t.s == t.o). Constant agreement is
+// assumed to be guaranteed by the index lookup already.
+bool ConsistentMatch(const TriplePattern& q, const Triple& t);
+
+struct TriplePatternHash {
+  size_t operator()(const TriplePattern& q) const {
+    PatternKeyHash kh;
+    size_t h = kh(q.Key());
+    auto mix_var = [&h](const PatternTerm& t) {
+      h = h * 1315423911u + (t.is_variable() ? 0x85EBCA6Bu + t.var() : 0u);
+    };
+    mix_var(q.s);
+    mix_var(q.p);
+    mix_var(q.o);
+    return h;
+  }
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_TRIPLE_PATTERN_H_

@@ -1,0 +1,107 @@
+#ifndef SPECQP_RDF_TRIPLE_STORE_H_
+#define SPECQP_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/triple_pattern.h"
+#include "util/status.h"
+
+namespace specqp {
+
+// In-memory scored triple store with three permutation indexes (SPO, POS,
+// OSP). Together they answer every bound/free combination of a triple
+// pattern with a binary-searched contiguous range:
+//
+//   bound slots      index    prefix
+//   --------------   ------   -----------
+//   (none)           SPO      full scan
+//   s / s,p / s,p,o  SPO      (s) / (s,p) / (s,p,o)
+//   p / p,o          POS      (p) / (p,o)
+//   o / o,s          OSP      (o) / (o,s)
+//
+// This plays the role PostgreSQL played in the paper: the source of the
+// matches of a triple pattern (posting_list.h adds the ORDER BY score DESC
+// on top).
+//
+// Usage: Add() triples, then Finalize() once; all query methods require a
+// finalized store. Duplicate (s,p,o) rows are collapsed by Finalize keeping
+// the maximum score.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  // --- loading phase -------------------------------------------------------
+
+  // Interns the strings and records the triple. Score must be >= 0.
+  void Add(std::string_view s, std::string_view p, std::string_view o,
+           double score);
+
+  // Records a triple over already-interned ids.
+  void AddEncoded(TermId s, TermId p, TermId o, double score);
+
+  // Builds the permutation indexes; idempotent. Must be called before any
+  // query method.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // --- query phase ---------------------------------------------------------
+
+  size_t size() const { return triples_.size(); }
+  const Triple& triple(uint32_t index) const { return triples_[index]; }
+  std::span<const Triple> triples() const { return triples_; }
+
+  // Indices (into triples()) of all triples matching the key, in index
+  // order. The returned span aliases internal storage.
+  std::span<const uint32_t> MatchIndices(const PatternKey& key) const;
+
+  size_t CountMatches(const PatternKey& key) const {
+    return MatchIndices(key).size();
+  }
+
+  // True iff the fully-bound triple exists.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  // Number of distinct values taken by the given slot (0 = s, 1 = p, 2 = o)
+  // across the matches of `key`. The slot must be free in `key`. Used by the
+  // independence-assumption selectivity estimator.
+  size_t CountDistinct(const PatternKey& key, int slot) const;
+
+  // Maximum raw score among matches of `key`; 0 if no matches. This is the
+  // normaliser of Definition 5.
+  double MaxScore(const PatternKey& key) const;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  // Convenience: id for an existing term; CHECK-fails if absent (intended
+  // for tests and examples where the term is known to exist).
+  TermId MustId(std::string_view term) const;
+
+ private:
+  void CheckFinalized() const;
+
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+  bool finalized_ = false;
+
+  // Permutations of [0, triples_.size()) sorted by the respective order.
+  std::vector<uint32_t> spo_;
+  std::vector<uint32_t> pos_;
+  std::vector<uint32_t> osp_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_TRIPLE_STORE_H_

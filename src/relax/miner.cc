@@ -1,0 +1,140 @@
+#include "relax/miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+Status MineObjectCooccurrence(const TripleStore& store, TermId predicate,
+                              const MinerOptions& options,
+                              RelaxationIndex* index) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition("miner requires a finalized store");
+  }
+  SPECQP_CHECK(index != nullptr);
+
+  // Collect object -> subjects and subject -> objects adjacency for the
+  // predicate. Sizes are bounded by the number of (s, predicate, o) triples.
+  PatternKey all{kInvalidTermId, predicate, kInvalidTermId};
+  std::unordered_map<TermId, std::vector<TermId>> subjects_of_object;
+  std::unordered_map<TermId, std::vector<TermId>> objects_of_subject;
+  for (uint32_t idx : store.MatchIndices(all)) {
+    const Triple& t = store.triple(idx);
+    subjects_of_object[t.o].push_back(t.s);
+    objects_of_subject[t.s].push_back(t.o);
+  }
+
+  for (auto& [object, subjects] : subjects_of_object) {
+    const size_t support_o1 = subjects.size();
+    if (support_o1 == 0) continue;
+
+    // Count co-occurring objects over (a sample of) the subject list.
+    size_t examined = subjects.size();
+    if (options.max_subject_sample > 0 &&
+        examined > options.max_subject_sample) {
+      examined = options.max_subject_sample;
+    }
+    std::unordered_map<TermId, size_t> co_counts;
+    for (size_t i = 0; i < examined; ++i) {
+      for (TermId other : objects_of_subject[subjects[i]]) {
+        if (other == object) continue;
+        ++co_counts[other];
+      }
+    }
+
+    // Scale counts back up when sampling, so weights stay comparable.
+    const double scale =
+        static_cast<double>(subjects.size()) / static_cast<double>(examined);
+
+    std::vector<RelaxationRule> candidates;
+    candidates.reserve(co_counts.size());
+    for (const auto& [other, count] : co_counts) {
+      const double support = static_cast<double>(count) * scale;
+      if (support < static_cast<double>(options.min_support)) continue;
+      double weight = support / static_cast<double>(support_o1);
+      weight = std::min(weight, options.weight_cap);
+      if (weight < options.min_weight) continue;
+      RelaxationRule rule;
+      rule.from = PatternKey{kInvalidTermId, predicate, object};
+      rule.to = PatternKey{kInvalidTermId, predicate, other};
+      rule.weight = weight;
+      candidates.push_back(rule);
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const RelaxationRule& a, const RelaxationRule& b) {
+                if (a.weight != b.weight) return a.weight > b.weight;
+                return a.to.o < b.to.o;
+              });
+    if (candidates.size() > options.max_rules_per_pattern) {
+      candidates.resize(options.max_rules_per_pattern);
+    }
+    for (const RelaxationRule& rule : candidates) {
+      SPECQP_RETURN_IF_ERROR(index->AddRule(rule));
+    }
+  }
+  return Status::Ok();
+}
+
+Status MineChainRelaxations(const TripleStore& store, TermId predicate,
+                            TermId related_predicate,
+                            const ChainMinerOptions& options,
+                            RelaxationIndex* index) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition("miner requires a finalized store");
+  }
+  SPECQP_CHECK(index != nullptr);
+
+  // Distinct objects of `predicate`.
+  std::unordered_set<TermId> objects;
+  for (uint32_t idx : store.MatchIndices(
+           PatternKey{kInvalidTermId, predicate, kInvalidTermId})) {
+    objects.insert(store.triple(idx).o);
+  }
+
+  for (TermId object : objects) {
+    // Subjects matching the original pattern (?s predicate object).
+    std::unordered_set<TermId> original_subjects;
+    for (uint32_t idx : store.MatchIndices(
+             PatternKey{kInvalidTermId, predicate, object})) {
+      original_subjects.insert(store.triple(idx).s);
+    }
+
+    // Intermediates: z with (z related object); chain subjects: s with
+    // (s predicate z).
+    std::unordered_set<TermId> chain_subjects;
+    for (uint32_t idx : store.MatchIndices(
+             PatternKey{kInvalidTermId, related_predicate, object})) {
+      const TermId z = store.triple(idx).s;
+      for (uint32_t sidx : store.MatchIndices(
+               PatternKey{kInvalidTermId, predicate, z})) {
+        chain_subjects.insert(store.triple(sidx).s);
+      }
+    }
+    if (chain_subjects.size() < options.min_support) continue;
+
+    size_t both = 0;
+    for (TermId s : chain_subjects) {
+      if (original_subjects.count(s) > 0) ++both;
+    }
+    double weight = static_cast<double>(both) /
+                    static_cast<double>(chain_subjects.size());
+    weight = std::min(weight, options.weight_cap);
+    if (weight < options.min_weight) continue;
+
+    ChainRelaxationRule rule;
+    rule.from = PatternKey{kInvalidTermId, predicate, object};
+    rule.hop1_predicate = predicate;
+    rule.hop2_predicate = related_predicate;
+    rule.hop2_object = object;
+    rule.weight = weight;
+    SPECQP_RETURN_IF_ERROR(index->AddChainRule(rule));
+  }
+  return Status::Ok();
+}
+
+}  // namespace specqp

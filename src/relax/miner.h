@@ -1,0 +1,63 @@
+#ifndef SPECQP_RELAX_MINER_H_
+#define SPECQP_RELAX_MINER_H_
+
+#include "rdf/triple_store.h"
+#include "relax/relaxation_index.h"
+#include "util/status.h"
+
+namespace specqp {
+
+struct MinerOptions {
+  // Minimum number of common subjects for a rule to be emitted.
+  size_t min_support = 2;
+  // Keep at most this many rules per domain pattern (the strongest ones).
+  size_t max_rules_per_pattern = 25;
+  // Rules with containment weight below this are dropped.
+  double min_weight = 0.01;
+  // Weights are clamped to this cap so a relaxation never scores *equal* to
+  // the original pattern (containment can reach 1.0 when inst(O1) is a
+  // subset of inst(O2), e.g. a type and its super-type).
+  double weight_cap = 0.95;
+  // For very popular objects, only this many subjects are examined when
+  // counting co-occurrences (keeps mining near-linear; 0 = no cap).
+  size_t max_subject_sample = 4096;
+};
+
+// Mines object-position relaxation rules for every pattern of the form
+// (?s <predicate> O): for each pair of objects O1, O2 co-occurring on a
+// subject,
+//
+//     w(O1 -> O2) = |subjects(p, O1) ∩ subjects(p, O2)| / |subjects(p, O1)|
+//
+// which is exactly the paper's Twitter weighting
+// (#tweets_having_T1_and_T2 / #tweets_having_T1, section 4.2) and the
+// co-instance containment used for XKG-style type relaxations
+// (<singer> ~> <vocalist> with high weight because most singers are also
+// vocalists). Emitted rules are appended to `index`.
+Status MineObjectCooccurrence(const TripleStore& store, TermId predicate,
+                              const MinerOptions& options,
+                              RelaxationIndex* index);
+
+struct ChainMinerOptions {
+  // Minimum number of subjects reachable through the chain.
+  size_t min_support = 3;
+  double min_weight = 0.05;
+  double weight_cap = 0.9;
+};
+
+// Mines chain relaxations (the section-6 extension): for every object o of
+// `predicate` that has incoming `related_predicate` edges,
+//
+//   (?s <predicate> <o>)  ~>  (?s <predicate> ?z) . (?z <related> <o>)
+//
+// with weight = |subjects(chain) ∩ subjects(?s predicate o)| /
+// |subjects(chain)| — the precision of "matches something related to o" as
+// a predictor of "matches o", clamped to weight_cap.
+Status MineChainRelaxations(const TripleStore& store, TermId predicate,
+                            TermId related_predicate,
+                            const ChainMinerOptions& options,
+                            RelaxationIndex* index);
+
+}  // namespace specqp
+
+#endif  // SPECQP_RELAX_MINER_H_

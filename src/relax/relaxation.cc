@@ -1,0 +1,103 @@
+#include "relax/relaxation.h"
+
+#include "util/string_util.h"
+
+namespace specqp {
+
+Status ValidateRule(const RelaxationRule& rule) {
+  if (!(rule.weight > 0.0) || rule.weight > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("relaxation weight %f outside (0, 1]", rule.weight));
+  }
+  if (rule.from.s_bound() != rule.to.s_bound() ||
+      rule.from.p_bound() != rule.to.p_bound() ||
+      rule.from.o_bound() != rule.to.o_bound()) {
+    return Status::InvalidArgument(
+        "relaxation rule changes which positions are bound");
+  }
+  if (rule.from == rule.to) {
+    return Status::InvalidArgument("relaxation rule maps a pattern to itself");
+  }
+  return Status::Ok();
+}
+
+Result<TriplePattern> ApplyRule(const TriplePattern& pattern,
+                                const RelaxationRule& rule) {
+  if (!(pattern.Key() == rule.from)) {
+    return Status::FailedPrecondition(
+        "rule does not apply: pattern key differs from rule domain");
+  }
+  TriplePattern out = pattern;
+  if (out.s.is_constant()) out.s = PatternTerm::Const(rule.to.s);
+  if (out.p.is_constant()) out.p = PatternTerm::Const(rule.to.p);
+  if (out.o.is_constant()) out.o = PatternTerm::Const(rule.to.o);
+  return out;
+}
+
+Status ValidateChainRule(const ChainRelaxationRule& rule) {
+  if (!(rule.weight > 0.0) || rule.weight > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("chain relaxation weight %f outside (0, 1]", rule.weight));
+  }
+  if (rule.from.s_bound() || !rule.from.p_bound() || !rule.from.o_bound()) {
+    return Status::InvalidArgument(
+        "chain relaxation domain must be (?s <p> <o>): subject free, "
+        "predicate and object bound");
+  }
+  if (rule.hop1_predicate == kInvalidTermId ||
+      rule.hop2_predicate == kInvalidTermId ||
+      rule.hop2_object == kInvalidTermId) {
+    return Status::InvalidArgument("chain relaxation hops must be bound");
+  }
+  return Status::Ok();
+}
+
+Result<ChainPatterns> ApplyChainRule(const TriplePattern& pattern,
+                                     const ChainRelaxationRule& rule,
+                                     VarId fresh_var) {
+  if (!(pattern.Key() == rule.from)) {
+    return Status::FailedPrecondition(
+        "chain rule does not apply: pattern key differs from rule domain");
+  }
+  if (!pattern.s.is_variable()) {
+    return Status::FailedPrecondition(
+        "chain rule requires a subject variable");
+  }
+  ChainPatterns out;
+  out.hop1 = TriplePattern(pattern.s, PatternTerm::Const(rule.hop1_predicate),
+                           PatternTerm::Var(fresh_var));
+  out.hop2 = TriplePattern(PatternTerm::Var(fresh_var),
+                           PatternTerm::Const(rule.hop2_predicate),
+                           PatternTerm::Const(rule.hop2_object));
+  return out;
+}
+
+namespace {
+std::string KeyToString(const PatternKey& key, const Dictionary& dict) {
+  auto render = [&dict](TermId id) -> std::string {
+    if (id == kInvalidTermId) return "?";
+    std::string_view name = dict.Name(id);
+    return StrFormat("<%.*s>", static_cast<int>(name.size()), name.data());
+  };
+  return render(key.s) + " " + render(key.p) + " " + render(key.o);
+}
+}  // namespace
+
+std::string RuleToString(const RelaxationRule& rule, const Dictionary& dict) {
+  return StrFormat("%s ~> %s (w=%s)", KeyToString(rule.from, dict).c_str(),
+                   KeyToString(rule.to, dict).c_str(),
+                   DoubleToString(rule.weight).c_str());
+}
+
+std::string ChainRuleToString(const ChainRelaxationRule& rule,
+                              const Dictionary& dict) {
+  auto name = [&dict](TermId id) { return std::string(dict.Name(id)); };
+  return StrFormat("%s ~> (?s <%s> ?z)(?z <%s> <%s>) (w=%s)",
+                   KeyToString(rule.from, dict).c_str(),
+                   name(rule.hop1_predicate).c_str(),
+                   name(rule.hop2_predicate).c_str(),
+                   name(rule.hop2_object).c_str(),
+                   DoubleToString(rule.weight).c_str());
+}
+
+}  // namespace specqp

@@ -1,0 +1,90 @@
+#ifndef SPECQP_RELAX_RELAXATION_H_
+#define SPECQP_RELAX_RELAXATION_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_pattern.h"
+#include "util/result.h"
+
+namespace specqp {
+
+// A weighted relaxation rule r = (q, q', w) (Definition 7). Both sides are
+// stored as match-set keys (variable names erased): a rule rewrites the
+// constants of a pattern and leaves its variables in place, so the key is
+// the entire identity of each side. `weight` in (0, 1] is the score
+// reduction applied to matches of the relaxed pattern.
+struct RelaxationRule {
+  PatternKey from;
+  PatternKey to;
+  double weight = 0.0;
+
+  friend bool operator==(const RelaxationRule& a, const RelaxationRule& b) {
+    return a.from == b.from && a.to == b.to && a.weight == b.weight;
+  }
+};
+
+// Validates structural well-formedness: weight in (0, 1], identical bound
+// mask on both sides, from != to.
+Status ValidateRule(const RelaxationRule& rule);
+
+// Rewrites `pattern` (whose Key() must equal rule.from) by substituting the
+// constants of rule.to; variables keep their positions and ids. Definition 8's
+// "result of applying r to Q" for a single pattern.
+Result<TriplePattern> ApplyRule(const TriplePattern& pattern,
+                                const RelaxationRule& rule);
+
+// "<singer> ~> <vocalist> (w=0.8)" — for logs and examples.
+std::string RuleToString(const RelaxationRule& rule, const Dictionary& dict);
+
+// ---------------------------------------------------------------------------
+// Chain relaxations — the paper's section-6 future work: "replacing a
+// triple pattern with a chain of triple patterns". A rule
+//
+//   (?s <p> <o>)  ~>  (?s <hop1_p> ?z) . (?z <hop2_p> <hop2_o>)   [w]
+//
+// rewrites an object-bound pattern into a two-hop chain through a fresh
+// variable ?z ("plays something related to the guitar" instead of "plays
+// the guitar"). Operationally each hop contributes w/2 times its
+// normalised score, so the chain's total contribution lies in [0, w] —
+// preserving PLANGEN's invariant that a relaxation's best possible
+// contribution equals its weight.
+// ---------------------------------------------------------------------------
+
+struct ChainRelaxationRule {
+  // Domain pattern: subject free, predicate + object bound.
+  PatternKey from;
+  TermId hop1_predicate = kInvalidTermId;  // (?s hop1_p ?z)
+  TermId hop2_predicate = kInvalidTermId;  // (?z hop2_p hop2_o)
+  TermId hop2_object = kInvalidTermId;
+  double weight = 0.0;
+
+  friend bool operator==(const ChainRelaxationRule& a,
+                         const ChainRelaxationRule& b) {
+    return a.from == b.from && a.hop1_predicate == b.hop1_predicate &&
+           a.hop2_predicate == b.hop2_predicate &&
+           a.hop2_object == b.hop2_object && a.weight == b.weight;
+  }
+};
+
+// weight in (0, 1]; domain has exactly subject free; hop terms valid.
+Status ValidateChainRule(const ChainRelaxationRule& rule);
+
+// The two concrete hop patterns for `pattern` (whose Key() must equal
+// rule.from and whose subject must be a variable); `fresh_var` is the
+// binding slot for ?z, assigned by the caller.
+struct ChainPatterns {
+  TriplePattern hop1;
+  TriplePattern hop2;
+};
+Result<ChainPatterns> ApplyChainRule(const TriplePattern& pattern,
+                                     const ChainRelaxationRule& rule,
+                                     VarId fresh_var);
+
+// "<plays><guitar> ~> (?s <plays> ?z)(?z <relatedTo> <guitar>) (w=0.6)".
+std::string ChainRuleToString(const ChainRelaxationRule& rule,
+                              const Dictionary& dict);
+
+}  // namespace specqp
+
+#endif  // SPECQP_RELAX_RELAXATION_H_

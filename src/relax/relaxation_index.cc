@@ -1,0 +1,103 @@
+#include "relax/relaxation_index.h"
+
+#include <algorithm>
+
+namespace specqp {
+
+namespace {
+bool RuleOrder(const RelaxationRule& a, const RelaxationRule& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  return std::tie(a.to.s, a.to.p, a.to.o) < std::tie(b.to.s, b.to.p, b.to.o);
+}
+}  // namespace
+
+Status RelaxationIndex::AddRule(const RelaxationRule& rule) {
+  SPECQP_RETURN_IF_ERROR(ValidateRule(rule));
+  std::vector<RelaxationRule>& bucket = rules_[rule.from];
+  for (RelaxationRule& existing : bucket) {
+    if (existing.to == rule.to) {
+      if (rule.weight > existing.weight) {
+        existing.weight = rule.weight;
+        std::sort(bucket.begin(), bucket.end(), RuleOrder);
+      }
+      return Status::Ok();
+    }
+  }
+  // Insert keeping the bucket sorted by weight.
+  auto pos = std::upper_bound(bucket.begin(), bucket.end(), rule, RuleOrder);
+  bucket.insert(pos, rule);
+  ++total_rules_;
+  return Status::Ok();
+}
+
+std::span<const RelaxationRule> RelaxationIndex::RulesFor(
+    const PatternKey& key) const {
+  auto it = rules_.find(key);
+  if (it == rules_.end()) return {};
+  return it->second;
+}
+
+const RelaxationRule* RelaxationIndex::TopRule(const PatternKey& key) const {
+  auto span = RulesFor(key);
+  return span.empty() ? nullptr : &span.front();
+}
+
+Status RelaxationIndex::AddChainRule(const ChainRelaxationRule& rule) {
+  SPECQP_RETURN_IF_ERROR(ValidateChainRule(rule));
+  std::vector<ChainRelaxationRule>& bucket = chain_rules_[rule.from];
+  auto same_hops = [&rule](const ChainRelaxationRule& existing) {
+    return existing.hop1_predicate == rule.hop1_predicate &&
+           existing.hop2_predicate == rule.hop2_predicate &&
+           existing.hop2_object == rule.hop2_object;
+  };
+  auto order = [](const ChainRelaxationRule& a, const ChainRelaxationRule& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return std::tie(a.hop1_predicate, a.hop2_predicate, a.hop2_object) <
+           std::tie(b.hop1_predicate, b.hop2_predicate, b.hop2_object);
+  };
+  for (ChainRelaxationRule& existing : bucket) {
+    if (same_hops(existing)) {
+      if (rule.weight > existing.weight) {
+        existing.weight = rule.weight;
+        std::sort(bucket.begin(), bucket.end(), order);
+      }
+      return Status::Ok();
+    }
+  }
+  bucket.insert(std::upper_bound(bucket.begin(), bucket.end(), rule, order),
+                rule);
+  ++total_chain_rules_;
+  return Status::Ok();
+}
+
+std::span<const ChainRelaxationRule> RelaxationIndex::ChainRulesFor(
+    const PatternKey& key) const {
+  auto it = chain_rules_.find(key);
+  if (it == chain_rules_.end()) return {};
+  return it->second;
+}
+
+const ChainRelaxationRule* RelaxationIndex::TopChainRule(
+    const PatternKey& key) const {
+  auto span = ChainRulesFor(key);
+  return span.empty() ? nullptr : &span.front();
+}
+
+std::vector<RelaxationRule> RelaxationIndex::AllRules() const {
+  std::vector<RelaxationRule> all;
+  all.reserve(total_rules_);
+  for (const auto& [key, bucket] : rules_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RelaxationRule& a, const RelaxationRule& b) {
+              if (!(a.from == b.from)) {
+                return std::tie(a.from.s, a.from.p, a.from.o) <
+                       std::tie(b.from.s, b.from.p, b.from.o);
+              }
+              return RuleOrder(a, b);
+            });
+  return all;
+}
+
+}  // namespace specqp

@@ -1,0 +1,74 @@
+#ifndef SPECQP_RELAX_RELAXATION_INDEX_H_
+#define SPECQP_RELAX_RELAXATION_INDEX_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_pattern.h"
+#include "relax/relaxation.h"
+#include "util/status.h"
+
+namespace specqp {
+
+// All relaxation rules of a knowledge graph, grouped by domain pattern and
+// kept sorted by descending weight — so the planner's "top-weighted
+// relaxation" (section 3.2.1) is rules.front(), and the incremental merge
+// receives lists already ordered by the weight-derived score cap.
+class RelaxationIndex {
+ public:
+  RelaxationIndex() = default;
+
+  RelaxationIndex(const RelaxationIndex&) = delete;
+  RelaxationIndex& operator=(const RelaxationIndex&) = delete;
+  RelaxationIndex(RelaxationIndex&&) = default;
+  RelaxationIndex& operator=(RelaxationIndex&&) = default;
+
+  // Validates and inserts. A duplicate (from, to) pair keeps the higher
+  // weight.
+  Status AddRule(const RelaxationRule& rule);
+
+  // Rules whose domain is `key`, sorted by weight descending (ties by
+  // target ids for determinism). Empty span if none.
+  std::span<const RelaxationRule> RulesFor(const PatternKey& key) const;
+
+  // The top-weighted rule for `key`, or nullptr.
+  const RelaxationRule* TopRule(const PatternKey& key) const;
+
+  size_t NumRulesFor(const PatternKey& key) const {
+    return RulesFor(key).size();
+  }
+  size_t total_rules() const { return total_rules_; }
+  size_t num_domains() const { return rules_.size(); }
+
+  // Every rule in a deterministic order (by domain key, then weight
+  // descending) — for serialisation and debugging.
+  std::vector<RelaxationRule> AllRules() const;
+
+  // --- chain relaxations (section-6 extension) -----------------------------
+
+  // Validates and inserts; duplicates (same domain and hops) keep the
+  // higher weight.
+  Status AddChainRule(const ChainRelaxationRule& rule);
+
+  // Chain rules for `key`, sorted by weight descending.
+  std::span<const ChainRelaxationRule> ChainRulesFor(
+      const PatternKey& key) const;
+
+  const ChainRelaxationRule* TopChainRule(const PatternKey& key) const;
+
+  size_t total_chain_rules() const { return total_chain_rules_; }
+
+ private:
+  std::unordered_map<PatternKey, std::vector<RelaxationRule>, PatternKeyHash>
+      rules_;
+  std::unordered_map<PatternKey, std::vector<ChainRelaxationRule>,
+                     PatternKeyHash>
+      chain_rules_;
+  size_t total_rules_ = 0;
+  size_t total_chain_rules_ = 0;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RELAX_RELAXATION_INDEX_H_

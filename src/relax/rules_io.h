@@ -1,0 +1,31 @@
+#ifndef SPECQP_RELAX_RULES_IO_H_
+#define SPECQP_RELAX_RULES_IO_H_
+
+#include <string>
+
+#include "relax/relaxation_index.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace specqp {
+
+// Binary relaxation-rule format "SQPRULE1":
+//
+//   [8]  magic "SQPRULE1"
+//   [4]  u32 format version (currently 1)
+//   [8]  u64 rule count
+//   per rule: from.s from.p from.o to.s to.p to.o (u32 each), weight (f64)
+//   [4]  u32 CRC-32C over the payload (count + rules)
+//
+// TermIds refer to the dictionary of the store the rules were mined from,
+// so a rule file only makes sense next to its store file (see
+// rdf/store_io.h). Load validates magic, version, CRC, and each rule's
+// structural invariants.
+
+Status SaveRules(const RelaxationIndex& rules, const std::string& path);
+
+Result<RelaxationIndex> LoadRules(const std::string& path);
+
+}  // namespace specqp
+
+#endif  // SPECQP_RELAX_RULES_IO_H_

@@ -1,0 +1,52 @@
+#include "stats/catalog.h"
+
+#include "util/logging.h"
+
+namespace specqp {
+
+TwoBucketHistogram PatternStats::Histogram() const {
+  SPECQP_CHECK(!empty()) << "histogram of an empty pattern";
+  return TwoBucketHistogram(sigma_r, s_r / s_m, /*upper=*/1.0);
+}
+
+StatisticsCatalog::StatisticsCatalog(const TripleStore* store,
+                                     PostingListCache* postings,
+                                     double head_fraction)
+    : store_(store), postings_(postings), head_fraction_(head_fraction) {
+  SPECQP_CHECK(store_ != nullptr && postings_ != nullptr);
+  SPECQP_CHECK(head_fraction_ > 0.0 && head_fraction_ < 1.0);
+}
+
+const PatternStats& StatisticsCatalog::GetStats(const PatternKey& key) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(key, Compute(key)).first->second;
+}
+
+PatternStats StatisticsCatalog::Compute(const PatternKey& key) {
+  const auto list = postings_->Get(key);
+  PatternStats stats;
+  stats.m = list->size();
+  if (list->empty()) return stats;
+
+  double total = 0.0;
+  for (const PostingEntry& e : list->entries) total += e.score;
+  stats.s_m = total;
+  if (total <= 0.0) return stats;
+
+  double acc = 0.0;
+  for (const PostingEntry& e : list->entries) {
+    acc += e.score;
+    if (acc >= head_fraction_ * total) {
+      stats.sigma_r = e.score;
+      stats.s_r = acc;
+      return stats;
+    }
+  }
+  // Fell through only via floating-point slack; use the full list.
+  stats.sigma_r = list->entries.back().score;
+  stats.s_r = acc;
+  return stats;
+}
+
+}  // namespace specqp

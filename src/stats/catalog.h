@@ -1,0 +1,62 @@
+#ifndef SPECQP_STATS_CATALOG_H_
+#define SPECQP_STATS_CATALOG_H_
+
+#include <unordered_map>
+
+#include "rdf/posting_list.h"
+#include "rdf/triple_pattern.h"
+#include "rdf/triple_store.h"
+#include "stats/two_bucket_histogram.h"
+
+namespace specqp {
+
+// The four precomputed values the paper stores per triple pattern
+// (section 3.1.1), over *normalised* (Definition 5) scores:
+//
+//   m       — number of matching triples
+//   sigma_r — score at the rank r where 80% of the score mass is reached
+//   s_r     — cumulative score through rank r
+//   s_m     — cumulative score through rank m (total mass)
+struct PatternStats {
+  uint64_t m = 0;
+  double sigma_r = 0.0;
+  double s_r = 0.0;
+  double s_m = 0.0;
+
+  bool empty() const { return m == 0 || s_m <= 0.0; }
+
+  // The two-bucket model induced by the stats; requires !empty().
+  TwoBucketHistogram Histogram() const;
+};
+
+// Computes and memoises PatternStats per pattern key. The paper precomputes
+// these offline for every triple pattern; we compute them on first access
+// from the posting list and cache them, which is observationally equivalent
+// under the paper's warm-cache methodology (the benchmark harness warms the
+// catalog before timing, section 4.4).
+class StatisticsCatalog {
+ public:
+  StatisticsCatalog(const TripleStore* store, PostingListCache* postings,
+                    double head_fraction = 0.8);
+
+  StatisticsCatalog(const StatisticsCatalog&) = delete;
+  StatisticsCatalog& operator=(const StatisticsCatalog&) = delete;
+
+  const PatternStats& GetStats(const PatternKey& key);
+
+  double head_fraction() const { return head_fraction_; }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  PatternStats Compute(const PatternKey& key);
+
+  const TripleStore* store_;
+  PostingListCache* postings_;
+  double head_fraction_;
+  std::unordered_map<PatternKey, PatternStats, PatternKeyHash> cache_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_CATALOG_H_

@@ -1,0 +1,95 @@
+#include "stats/convolution.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+namespace {
+
+// Evaluates (f_a * f_b)(z) exactly for piecewise-constant inputs:
+//   f(z) = Σ_{buckets i of a, j of b} h_i · h_j · |A_i ∩ (z − B_j)|
+// where A_i = [lo, hi] of a's bucket and z − B_j = [z − B_hi, z − B_lo].
+double ConvolutionAt(const TwoBucketHistogram& a, const TwoBucketHistogram& b,
+                     double z) {
+  struct Bucket {
+    double lo, hi, h;
+  };
+  const std::array<Bucket, 2> ab = {
+      Bucket{0.0, a.sigma_r(), a.Pdf(a.sigma_r() / 2.0)},
+      Bucket{a.sigma_r(), a.upper(),
+             a.Pdf((a.sigma_r() + a.upper()) / 2.0)},
+  };
+  const std::array<Bucket, 2> bb = {
+      Bucket{0.0, b.sigma_r(), b.Pdf(b.sigma_r() / 2.0)},
+      Bucket{b.sigma_r(), b.upper(),
+             b.Pdf((b.sigma_r() + b.upper()) / 2.0)},
+  };
+  double f = 0.0;
+  for (const Bucket& x : ab) {
+    for (const Bucket& y : bb) {
+      const double lo = std::max(x.lo, z - y.hi);
+      const double hi = std::min(x.hi, z - y.lo);
+      if (hi > lo) f += x.h * y.h * (hi - lo);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+PiecewiseLinearPdf ConvolveTwoBucket(const TwoBucketHistogram& a,
+                                     const TwoBucketHistogram& b) {
+  // Critical points: sums of bucket endpoints. Between consecutive critical
+  // points every overlap length is linear in z, so sampling the exact value
+  // at each critical point and interpolating linearly is an exact
+  // representation.
+  const std::array<double, 3> ea = {0.0, a.sigma_r(), a.upper()};
+  const std::array<double, 3> eb = {0.0, b.sigma_r(), b.upper()};
+  std::vector<double> xs;
+  xs.reserve(9);
+  for (double x : ea) {
+    for (double y : eb) xs.push_back(x + y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double p, double q) { return std::abs(p - q) < 1e-15; }),
+           xs.end());
+
+  std::vector<PiecewiseLinearPdf::Knot> knots;
+  knots.reserve(xs.size());
+  for (double x : xs) {
+    knots.push_back({x, ConvolutionAt(a, b, x)});
+  }
+  return PiecewiseLinearPdf(std::move(knots), /*normalize=*/true);
+}
+
+TwoBucketHistogram RefitTwoBucket(const ScoreDistribution& dist,
+                                  double head_fraction) {
+  SPECQP_CHECK(head_fraction > 0.0 && head_fraction < 1.0);
+  const double total = dist.Mean();
+  const double upper = dist.upper();
+  if (total <= 0.0) {
+    return TwoBucketHistogram(upper * 0.5, 0.0, upper);
+  }
+  // PartialExpectationAbove(t) decreases monotonically from Mean() to 0;
+  // bisect for the head_fraction crossing.
+  const double target = head_fraction * total;
+  double lo = 0.0;
+  double hi = upper;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (dist.PartialExpectationAbove(mid) >= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double sigma_r = 0.5 * (lo + hi);
+  return TwoBucketHistogram(sigma_r, head_fraction, upper);
+}
+
+}  // namespace specqp

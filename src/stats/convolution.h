@@ -1,0 +1,29 @@
+#ifndef SPECQP_STATS_CONVOLUTION_H_
+#define SPECQP_STATS_CONVOLUTION_H_
+
+#include "stats/piecewise.h"
+#include "stats/two_bucket_histogram.h"
+
+namespace specqp {
+
+// Exact convolution of two two-bucket (piecewise-constant) densities. The
+// result — the density of the sum of one score drawn from each — is a
+// continuous piecewise-linear function on [0, a.upper() + b.upper()] whose
+// breakpoints are the pairwise sums of the input bucket boundaries
+// (section 3.1.2, Figure 4).
+PiecewiseLinearPdf ConvolveTwoBucket(const TwoBucketHistogram& a,
+                                     const TwoBucketHistogram& b);
+
+// The paper's "fit the curve" step: collapses an arbitrary distribution
+// back into the two-bucket model. The new bucket boundary sigma_r is the
+// threshold t* at which the expected score mass above t* equals
+// head_fraction (0.8) of the total expected score; the head bucket then
+// carries exactly head_fraction of the probability mass, matching how
+// FromScores fits raw posting lists. Solved by bisection on the monotone
+// PartialExpectationAbove.
+TwoBucketHistogram RefitTwoBucket(const ScoreDistribution& dist,
+                                  double head_fraction = 0.8);
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_CONVOLUTION_H_

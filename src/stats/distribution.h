@@ -1,0 +1,37 @@
+#ifndef SPECQP_STATS_DISTRIBUTION_H_
+#define SPECQP_STATS_DISTRIBUTION_H_
+
+namespace specqp {
+
+// Continuous score distribution on [0, upper()]. Both the paper's two-bucket
+// histogram and the exact piecewise-linear convolution result implement this
+// interface; the order-statistics estimator (order_statistics.h) works with
+// either.
+class ScoreDistribution {
+ public:
+  virtual ~ScoreDistribution() = default;
+
+  // Upper end of the support ([0, 1] for a single pattern, [0, n] for an
+  // n-pattern query under sum aggregation).
+  virtual double upper() const = 0;
+
+  virtual double Pdf(double x) const = 0;
+
+  // P(X <= x); monotone non-decreasing, Cdf(upper()) == 1.
+  virtual double Cdf(double x) const = 0;
+
+  // Smallest x with Cdf(x) >= p, for p in [0, 1].
+  virtual double InverseCdf(double p) const = 0;
+
+  virtual double Mean() const = 0;
+
+  // Partial expectation E[X · 1{X >= t}] = ∫_t^upper x·f(x) dx — the
+  // expected per-answer score mass above threshold t. Used when refitting a
+  // convolved distribution back to a two-bucket histogram (the 80% boundary
+  // is the t with PartialExpectationAbove(t) = 0.8 · Mean()).
+  virtual double PartialExpectationAbove(double t) const = 0;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_DISTRIBUTION_H_

@@ -1,0 +1,119 @@
+#include "stats/grid_pdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+GridPdf GridPdf::FromDistribution(const ScoreDistribution& dist,
+                                  double delta) {
+  SPECQP_CHECK(delta > 0.0);
+  const size_t bins =
+      static_cast<size_t>(std::ceil(dist.upper() / delta - 1e-12));
+  SPECQP_CHECK(bins >= 1);
+  std::vector<double> masses(bins);
+  double prev = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    const double hi = std::min((static_cast<double>(i) + 1.0) * delta,
+                               dist.upper());
+    const double c = dist.Cdf(hi);
+    masses[i] = std::max(c - prev, 0.0);
+    prev = c;
+  }
+  return GridPdf(std::move(masses), delta);
+}
+
+GridPdf::GridPdf(std::vector<double> masses, double delta)
+    : masses_(std::move(masses)), delta_(delta) {
+  SPECQP_CHECK(!masses_.empty());
+  SPECQP_CHECK(delta_ > 0.0);
+  double total = 0.0;
+  for (double m : masses_) {
+    SPECQP_CHECK(m >= 0.0);
+    total += m;
+  }
+  SPECQP_CHECK(total > 0.0);
+  cum_.resize(masses_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < masses_.size(); ++i) {
+    masses_[i] /= total;
+    acc += masses_[i];
+    cum_[i] = acc;
+  }
+  cum_.back() = 1.0;
+}
+
+double GridPdf::Pdf(double x) const {
+  if (x < 0.0 || x >= upper()) return 0.0;
+  const size_t i = std::min(static_cast<size_t>(x / delta_),
+                            masses_.size() - 1);
+  return masses_[i] / delta_;
+}
+
+double GridPdf::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= upper()) return 1.0;
+  const size_t i = std::min(static_cast<size_t>(x / delta_),
+                            masses_.size() - 1);
+  const double below = (i == 0) ? 0.0 : cum_[i - 1];
+  const double frac = (x - static_cast<double>(i) * delta_) / delta_;
+  return below + masses_[i] * frac;
+}
+
+double GridPdf::InverseCdf(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), p);
+  if (it == cum_.end()) return upper();
+  const size_t i = static_cast<size_t>(it - cum_.begin());
+  const double below = (i == 0) ? 0.0 : cum_[i - 1];
+  const double frac =
+      (masses_[i] > 0.0) ? (p - below) / masses_[i] : 0.0;
+  return (static_cast<double>(i) + std::clamp(frac, 0.0, 1.0)) * delta_;
+}
+
+double GridPdf::Mean() const {
+  double mean = 0.0;
+  for (size_t i = 0; i < masses_.size(); ++i) {
+    mean += masses_[i] * (static_cast<double>(i) + 0.5) * delta_;
+  }
+  return mean;
+}
+
+double GridPdf::PartialExpectationAbove(double t) const {
+  if (t <= 0.0) return Mean();
+  if (t >= upper()) return 0.0;
+  double total = 0.0;
+  const size_t first = std::min(static_cast<size_t>(t / delta_),
+                                masses_.size() - 1);
+  for (size_t i = first; i < masses_.size(); ++i) {
+    const double lo = static_cast<double>(i) * delta_;
+    const double hi = lo + delta_;
+    if (hi <= t) continue;
+    const double eff_lo = std::max(lo, t);
+    const double frac = (hi - eff_lo) / delta_;
+    total += masses_[i] * frac * 0.5 * (eff_lo + hi);
+  }
+  return total;
+}
+
+GridPdf GridPdf::Convolve(const GridPdf& a, const GridPdf& b) {
+  SPECQP_CHECK(std::abs(a.delta_ - b.delta_) < 1e-12)
+      << "grid convolution requires equal bin widths";
+  std::vector<double> out(a.masses_.size() + b.masses_.size(), 0.0);
+  // The sum of two bin midpoints (i+0.5)δ + (j+0.5)δ = (i+j+1)δ lands on a
+  // bin *edge*; splitting the product mass evenly between the bins on
+  // either side keeps the convolution mean exact (no half-bin bias).
+  for (size_t i = 0; i < a.masses_.size(); ++i) {
+    if (a.masses_[i] == 0.0) continue;
+    for (size_t j = 0; j < b.masses_.size(); ++j) {
+      const double m = a.masses_[i] * b.masses_[j];
+      out[i + j] += 0.5 * m;
+      out[i + j + 1] += 0.5 * m;
+    }
+  }
+  return GridPdf(std::move(out), a.delta_);
+}
+
+}  // namespace specqp

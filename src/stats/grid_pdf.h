@@ -1,0 +1,49 @@
+#ifndef SPECQP_STATS_GRID_PDF_H_
+#define SPECQP_STATS_GRID_PDF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace specqp {
+
+// Numerically-gridded density: probability masses over uniform bins of
+// width `delta` starting at 0. Supports repeated *exact-shape* convolution
+// without the paper's two-bucket refit — the "multi-bucket histogram"
+// alternative the paper mentions would improve estimates at higher planning
+// cost (section 4.5.2). Used by the ablation benchmarks; the default
+// planner path never touches this class.
+class GridPdf final : public ScoreDistribution {
+ public:
+  // Discretises `dist` onto ceil(upper/delta) bins; bin mass is the exact
+  // cdf difference over the bin.
+  static GridPdf FromDistribution(const ScoreDistribution& dist, double delta);
+
+  GridPdf(std::vector<double> masses, double delta);
+
+  double upper() const override {
+    return delta_ * static_cast<double>(masses_.size());
+  }
+  double delta() const { return delta_; }
+  size_t bins() const { return masses_.size(); }
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double InverseCdf(double p) const override;
+  double Mean() const override;
+  double PartialExpectationAbove(double t) const override;
+
+  // Discrete convolution of the bin masses; both inputs must share delta.
+  // The result has a.bins() + b.bins() bins.
+  static GridPdf Convolve(const GridPdf& a, const GridPdf& b);
+
+ private:
+  std::vector<double> masses_;     // sums to 1
+  std::vector<double> cum_;        // cum_[i] = sum of masses_[0..i]
+  double delta_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_GRID_PDF_H_

@@ -1,0 +1,15 @@
+#include "stats/order_statistics.h"
+
+#include "util/logging.h"
+
+namespace specqp {
+
+double ExpectedScoreAtRank(const ScoreDistribution& dist, double n,
+                           uint64_t rank) {
+  SPECQP_CHECK(rank >= 1);
+  if (n < static_cast<double>(rank)) return 0.0;
+  const double quantile = (n - static_cast<double>(rank) + 1.0) / (n + 1.0);
+  return dist.InverseCdf(quantile);
+}
+
+}  // namespace specqp

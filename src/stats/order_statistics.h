@@ -1,0 +1,33 @@
+#ifndef SPECQP_STATS_ORDER_STATISTICS_H_
+#define SPECQP_STATS_ORDER_STATISTICS_H_
+
+#include <cstdint>
+
+#include "stats/distribution.h"
+
+namespace specqp {
+
+// Expected value of the order statistic at a *descending* rank (rank 1 =
+// highest score) out of n i.i.d. samples from `dist`, using the standard
+// approximation from David & Nagaraja (the paper's [7]):
+//
+//   E(X_(i)) ≈ F^{-1}( i / (m + 1) )
+//
+// with ascending index i = n - rank + 1, i.e. quantile (n - rank + 1)/(n + 1).
+//
+// `n` is a (possibly fractional) cardinality estimate. Returns 0 when
+// n < rank: the sample is not expected to contain that rank at all, which
+// PLANGEN treats as "the original query cannot fill the top-k".
+double ExpectedScoreAtRank(const ScoreDistribution& dist, double n,
+                           uint64_t rank);
+
+// Convenience for the two scores PLANGEN compares (Algorithm 1):
+// E_Q(k) — expected k-th best answer score of the original query — and
+// E_Q'(1) — expected best score of a relaxed query.
+inline double ExpectedTopScore(const ScoreDistribution& dist, double n) {
+  return ExpectedScoreAtRank(dist, n, 1);
+}
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_ORDER_STATISTICS_H_

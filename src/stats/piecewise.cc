@@ -1,0 +1,145 @@
+#include "stats/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+PiecewiseLinearPdf::PiecewiseLinearPdf(std::vector<Knot> knots, bool normalize)
+    : knots_(std::move(knots)) {
+  SPECQP_CHECK(knots_.size() >= 2) << "need at least two knots";
+  for (size_t i = 0; i < knots_.size(); ++i) {
+    SPECQP_CHECK(knots_[i].f >= -1e-12) << "negative density";
+    knots_[i].f = std::max(knots_[i].f, 0.0);
+    if (i > 0) {
+      SPECQP_CHECK(knots_[i].x > knots_[i - 1].x)
+          << "knots must be strictly increasing";
+    }
+  }
+
+  // Total mass by trapezoid (exact for a piecewise-linear density).
+  double mass = 0.0;
+  for (size_t i = 0; i + 1 < knots_.size(); ++i) {
+    mass += 0.5 * (knots_[i].f + knots_[i + 1].f) *
+            (knots_[i + 1].x - knots_[i].x);
+  }
+  if (normalize) {
+    SPECQP_CHECK(mass > 0.0) << "cannot normalise a zero-mass density";
+    for (Knot& k : knots_) k.f /= mass;
+    mass = 1.0;
+  }
+
+  cdf_at_knot_.resize(knots_.size());
+  cdf_at_knot_[0] = 0.0;
+  for (size_t i = 0; i + 1 < knots_.size(); ++i) {
+    cdf_at_knot_[i + 1] =
+        cdf_at_knot_[i] + 0.5 * (knots_[i].f + knots_[i + 1].f) *
+                              (knots_[i + 1].x - knots_[i].x);
+  }
+  // Pin the last cdf value so InverseCdf(1) is exact despite rounding.
+  if (normalize) cdf_at_knot_.back() = 1.0;
+}
+
+size_t PiecewiseLinearPdf::SegmentFor(double x) const {
+  // Largest i with knots_[i].x <= x, capped to the last segment start.
+  auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double v, const Knot& k) { return v < k.x; });
+  size_t i = (it == knots_.begin()) ? 0 : static_cast<size_t>(it - knots_.begin()) - 1;
+  return std::min(i, knots_.size() - 2);
+}
+
+double PiecewiseLinearPdf::Pdf(double x) const {
+  if (x < lower() || x > upper()) return 0.0;
+  const size_t i = SegmentFor(x);
+  const Knot& a = knots_[i];
+  const Knot& b = knots_[i + 1];
+  const double t = (x - a.x) / (b.x - a.x);
+  return a.f + t * (b.f - a.f);
+}
+
+double PiecewiseLinearPdf::Cdf(double x) const {
+  if (x <= lower()) return 0.0;
+  if (x >= upper()) return cdf_at_knot_.back();
+  const size_t i = SegmentFor(x);
+  const Knot& a = knots_[i];
+  const Knot& b = knots_[i + 1];
+  const double dx = x - a.x;
+  const double slope = (b.f - a.f) / (b.x - a.x);
+  return cdf_at_knot_[i] + a.f * dx + 0.5 * slope * dx * dx;
+}
+
+double PiecewiseLinearPdf::InverseCdf(double p) const {
+  p = std::clamp(p, 0.0, cdf_at_knot_.back());
+  // Find the segment whose cdf range contains p.
+  auto it = std::lower_bound(cdf_at_knot_.begin(), cdf_at_knot_.end(), p);
+  size_t i = (it == cdf_at_knot_.begin())
+                 ? 0
+                 : static_cast<size_t>(it - cdf_at_knot_.begin()) - 1;
+  i = std::min(i, knots_.size() - 2);
+  const Knot& a = knots_[i];
+  const Knot& b = knots_[i + 1];
+  const double target = p - cdf_at_knot_[i];
+  if (target <= 0.0) return a.x;
+  const double slope = (b.f - a.f) / (b.x - a.x);
+  // Solve 0.5*slope*dx^2 + a.f*dx - target = 0 for dx >= 0.
+  double dx;
+  if (std::abs(slope) < 1e-14) {
+    dx = (a.f > 0.0) ? target / a.f : (b.x - a.x);
+  } else {
+    const double disc = a.f * a.f + 2.0 * slope * target;
+    dx = (-a.f + std::sqrt(std::max(disc, 0.0))) / slope;
+  }
+  dx = std::clamp(dx, 0.0, b.x - a.x);
+  return a.x + dx;
+}
+
+double PiecewiseLinearPdf::Mean() const {
+  // ∫ x f(x) dx over a segment with f linear: closed form via midpoint of
+  // the linear density: ∫ x (a.f + s(x-a.x)) dx.
+  double mean = 0.0;
+  for (size_t i = 0; i + 1 < knots_.size(); ++i) {
+    const Knot& a = knots_[i];
+    const Knot& b = knots_[i + 1];
+    const double w = b.x - a.x;
+    // Exact: ∫_{a.x}^{b.x} x f(x) dx with linear f equals
+    // w * ( a.f*(a.x/2 + w/6)*2 ... ) — use the standard quadrature: for a
+    // linear integrand product, Simpson with the segment endpoints and
+    // midpoint is exact (degree 2 polynomial).
+    const double mid_x = 0.5 * (a.x + b.x);
+    const double mid_f = 0.5 * (a.f + b.f);
+    mean += w / 6.0 * (a.x * a.f + 4.0 * mid_x * mid_f + b.x * b.f);
+  }
+  return mean;
+}
+
+double PiecewiseLinearPdf::PartialExpectationAbove(double t) const {
+  if (t <= lower()) return Mean();
+  if (t >= upper()) return 0.0;
+  const size_t seg = SegmentFor(t);
+  double total = 0.0;
+  // Partial piece of segment `seg` from t to its right end.
+  {
+    const Knot& a = knots_[seg];
+    const Knot& b = knots_[seg + 1];
+    const double slope = (b.f - a.f) / (b.x - a.x);
+    const double f_at_t = a.f + slope * (t - a.x);
+    const double w = b.x - a.x - (t - a.x);
+    const double mid_x = 0.5 * (t + b.x);
+    const double mid_f = 0.5 * (f_at_t + b.f);
+    total += w / 6.0 * (t * f_at_t + 4.0 * mid_x * mid_f + b.x * b.f);
+  }
+  for (size_t i = seg + 1; i + 1 < knots_.size(); ++i) {
+    const Knot& a = knots_[i];
+    const Knot& b = knots_[i + 1];
+    const double w = b.x - a.x;
+    const double mid_x = 0.5 * (a.x + b.x);
+    const double mid_f = 0.5 * (a.f + b.f);
+    total += w / 6.0 * (a.x * a.f + 4.0 * mid_x * mid_f + b.x * b.f);
+  }
+  return total;
+}
+
+}  // namespace specqp

@@ -1,0 +1,55 @@
+#ifndef SPECQP_STATS_PIECEWISE_H_
+#define SPECQP_STATS_PIECEWISE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace specqp {
+
+// A continuous piecewise-linear probability density given by knots
+// (x_i, f_i) with x_0 < x_1 < ... < x_k and linear interpolation between
+// them; zero outside [x_0, x_k]. This is the exact shape produced by
+// convolving two piecewise-constant densities (section 3.1.2: "The
+// resulting pdf is a multi-piece-wise linear function").
+//
+// All moments/quantiles are closed-form per segment: the cdf is piecewise
+// quadratic, the partial expectation piecewise cubic.
+class PiecewiseLinearPdf final : public ScoreDistribution {
+ public:
+  struct Knot {
+    double x = 0.0;
+    double f = 0.0;  // density at x
+  };
+
+  // Knots must be sorted by strictly increasing x with non-negative f and
+  // at least two knots. If `normalize` (default) the densities are rescaled
+  // so the total mass is exactly 1.
+  explicit PiecewiseLinearPdf(std::vector<Knot> knots, bool normalize = true);
+
+  double upper() const override { return knots_.back().x; }
+  double lower() const { return knots_.front().x; }
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double InverseCdf(double p) const override;
+  double Mean() const override;
+  double PartialExpectationAbove(double t) const override;
+
+  // P(X >= t).
+  double MassAbove(double t) const { return 1.0 - Cdf(t); }
+
+  const std::vector<Knot>& knots() const { return knots_; }
+
+ private:
+  // Index of the segment [x_i, x_{i+1}] containing x (clamped).
+  size_t SegmentFor(double x) const;
+
+  std::vector<Knot> knots_;
+  std::vector<double> cdf_at_knot_;  // cdf_at_knot_[i] = Cdf(x_i)
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_PIECEWISE_H_

@@ -1,0 +1,95 @@
+#include "stats/two_bucket_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+TwoBucketHistogram::TwoBucketHistogram(double sigma_r, double head_mass,
+                                       double upper)
+    : upper_(upper) {
+  SPECQP_CHECK(upper > 0.0);
+  const double lo = kMinBucketWidth * upper;
+  sigma_r_ = std::clamp(sigma_r, lo, upper - lo);
+  head_mass_ = std::clamp(head_mass, 0.0, 1.0);
+}
+
+TwoBucketHistogram TwoBucketHistogram::FromScores(
+    std::span<const double> scores_desc, double upper, double head_fraction) {
+  SPECQP_CHECK(!scores_desc.empty());
+  double total = 0.0;
+  for (double s : scores_desc) {
+    SPECQP_DCHECK(s >= 0.0 && s <= upper + 1e-12);
+    total += s;
+  }
+  if (total <= 0.0) {
+    // All-zero scores: a thin near-zero distribution.
+    return TwoBucketHistogram(upper * 0.5, 0.0, upper);
+  }
+  double acc = 0.0;
+  size_t r = scores_desc.size() - 1;
+  for (size_t i = 0; i < scores_desc.size(); ++i) {
+    acc += scores_desc[i];
+    if (acc >= head_fraction * total) {
+      r = i;
+      break;
+    }
+  }
+  // Realised head fraction (>= head_fraction unless the loop fell through).
+  double realised = 0.0;
+  for (size_t i = 0; i <= r; ++i) realised += scores_desc[i];
+  realised /= total;
+  return TwoBucketHistogram(scores_desc[r], realised, upper);
+}
+
+double TwoBucketHistogram::Pdf(double x) const {
+  if (x < 0.0 || x > upper_) return 0.0;
+  if (x < sigma_r_) return (1.0 - head_mass_) / sigma_r_;
+  return head_mass_ / (upper_ - sigma_r_);
+}
+
+double TwoBucketHistogram::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= upper_) return 1.0;
+  if (x < sigma_r_) return (1.0 - head_mass_) * (x / sigma_r_);
+  return (1.0 - head_mass_) +
+         head_mass_ * ((x - sigma_r_) / (upper_ - sigma_r_));
+}
+
+double TwoBucketHistogram::InverseCdf(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  const double tail = 1.0 - head_mass_;
+  if (p <= tail) {
+    if (tail <= 0.0) return sigma_r_;
+    return sigma_r_ * (p / tail);
+  }
+  if (head_mass_ <= 0.0) return sigma_r_;
+  return sigma_r_ + (upper_ - sigma_r_) * ((p - tail) / head_mass_);
+}
+
+double TwoBucketHistogram::Mean() const {
+  const double tail_mean = sigma_r_ / 2.0;
+  const double head_mean = (sigma_r_ + upper_) / 2.0;
+  return (1.0 - head_mass_) * tail_mean + head_mass_ * head_mean;
+}
+
+double TwoBucketHistogram::PartialExpectationAbove(double t) const {
+  if (t >= upper_) return 0.0;
+  if (t < 0.0) t = 0.0;
+  const double tail_height = (1.0 - head_mass_) / sigma_r_;
+  const double head_height = head_mass_ / (upper_ - sigma_r_);
+  if (t >= sigma_r_) {
+    return head_height * (upper_ * upper_ - t * t) / 2.0;
+  }
+  return tail_height * (sigma_r_ * sigma_r_ - t * t) / 2.0 +
+         head_height * (upper_ * upper_ - sigma_r_ * sigma_r_) / 2.0;
+}
+
+TwoBucketHistogram TwoBucketHistogram::ScaledBy(double w) const {
+  SPECQP_CHECK(w > 0.0 && w <= 1.0);
+  return TwoBucketHistogram(sigma_r_ * w, head_mass_, upper_ * w);
+}
+
+}  // namespace specqp

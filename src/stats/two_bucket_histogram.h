@@ -1,0 +1,63 @@
+#ifndef SPECQP_STATS_TWO_BUCKET_HISTOGRAM_H_
+#define SPECQP_STATS_TWO_BUCKET_HISTOGRAM_H_
+
+#include <span>
+
+#include "stats/distribution.h"
+
+namespace specqp {
+
+// The paper's score-distribution model (section 3.1.1): a two-bucket
+// histogram over [0, upper] with boundary sigma_r,
+//
+//   f(x) = (1 - head_mass) / sigma_r            for 0 <= x < sigma_r
+//   f(x) = head_mass / (upper - sigma_r)        for sigma_r <= x <= upper
+//
+// where head_mass = S_r / S_m is the *score-mass* fraction of the top-ranked
+// answers (the "80%" of the 80/20 rule). Note the paper's deliberate
+// approximation: the probability mass of each bucket equals its share of
+// the score mass, i.e. P(X >= sigma_r) = 0.8 even though only ~20% of
+// answers actually score that high under a power law. We reproduce the
+// formula exactly; it is what PLANGEN's predictions are built on.
+class TwoBucketHistogram final : public ScoreDistribution {
+ public:
+  // sigma_r is clamped into [kMinBucketWidth*upper, (1-kMinBucketWidth)*upper]
+  // and head_mass into [0, 1] to keep densities finite.
+  TwoBucketHistogram(double sigma_r, double head_mass, double upper = 1.0);
+
+  // Fits the model to observed scores sorted in *descending* order (a
+  // pattern's normalised posting-list scores): finds the smallest rank r
+  // whose cumulative score mass reaches `head_fraction` (0.8) of the total,
+  // sets sigma_r to the score at rank r and head_mass to the realised
+  // fraction. Scores must be within [0, upper]. Returns a degenerate
+  // near-uniform histogram if all scores are zero.
+  static TwoBucketHistogram FromScores(std::span<const double> scores_desc,
+                                       double upper = 1.0,
+                                       double head_fraction = 0.8);
+
+  double upper() const override { return upper_; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double InverseCdf(double p) const override;
+  double Mean() const override;
+  double PartialExpectationAbove(double t) const override;
+
+  double sigma_r() const { return sigma_r_; }
+  double head_mass() const { return head_mass_; }
+
+  // The distribution of w*X for w in (0, 1]: support shrinks to
+  // [0, w*upper]. Models a relaxation's weight discount (Definition 8): the
+  // relaxed pattern's normalised scores are capped at its rule weight.
+  TwoBucketHistogram ScaledBy(double w) const;
+
+  static constexpr double kMinBucketWidth = 1e-9;
+
+ private:
+  double sigma_r_;
+  double head_mass_;
+  double upper_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_TWO_BUCKET_HISTOGRAM_H_

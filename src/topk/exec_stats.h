@@ -1,0 +1,45 @@
+#ifndef SPECQP_TOPK_EXEC_STATS_H_
+#define SPECQP_TOPK_EXEC_STATS_H_
+
+#include <cstdint>
+
+namespace specqp {
+
+// Counters shared by all operators of one query execution.
+//
+// `answer_objects` is the paper's memory metric (section 4.3): every
+// intermediate answer object materialised during processing. Our counting
+// policy (identical for both engines, so the T-vs-S comparison is
+// apples-to-apples):
+//   - +1 per row materialised from a posting list by a PatternScan, and
+//   - +1 per join result constructed by a RankJoin.
+// IncrementalMerge forwards scan rows without constructing new objects, so
+// its traffic is visible through the scan counter.
+struct ExecStats {
+  uint64_t answer_objects = 0;
+  uint64_t scan_rows = 0;        // rows emitted by pattern scans
+  uint64_t merge_rows = 0;       // rows emitted by incremental merges
+  uint64_t merge_duplicates = 0; // rows suppressed by merge dedup
+  uint64_t join_results = 0;     // rows constructed by rank joins
+  uint64_t join_hash_probes = 0;
+  double plan_ms = 0.0;
+  double exec_ms = 0.0;
+
+  void Reset() { *this = ExecStats(); }
+
+  ExecStats& operator+=(const ExecStats& other) {
+    answer_objects += other.answer_objects;
+    scan_rows += other.scan_rows;
+    merge_rows += other.merge_rows;
+    merge_duplicates += other.merge_duplicates;
+    join_results += other.join_results;
+    join_hash_probes += other.join_hash_probes;
+    plan_ms += other.plan_ms;
+    exec_ms += other.exec_ms;
+    return *this;
+  }
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_EXEC_STATS_H_

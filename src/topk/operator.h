@@ -1,0 +1,33 @@
+#ifndef SPECQP_TOPK_OPERATOR_H_
+#define SPECQP_TOPK_OPERATOR_H_
+
+#include "topk/scored_row.h"
+
+namespace specqp {
+
+// Pull-based iterator over scored rows in non-increasing score order.
+//
+// Contract:
+//   - Next() fills `out` and returns true, or returns false at exhaustion
+//     (and stays false afterwards).
+//   - Scores of successive rows never increase.
+//   - UpperBound() is >= the score of every row Next() will still return,
+//     and never increases between calls. A negative bound (kExhausted)
+//     signals that no further row can arrive.
+//
+// These invariants are what allow rank joins and the top-k driver to stop
+// early without reading entire inputs (section 2.1).
+class ScoredRowIterator {
+ public:
+  virtual ~ScoredRowIterator() = default;
+
+  virtual bool Next(ScoredRow* out) = 0;
+  virtual double UpperBound() const = 0;
+
+  // Sentinel bound strictly below any real score (scores are >= 0).
+  static constexpr double kExhausted = -1.0;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_OPERATOR_H_

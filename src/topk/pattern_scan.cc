@@ -1,0 +1,45 @@
+#include "topk/pattern_scan.h"
+
+#include "util/logging.h"
+
+namespace specqp {
+
+PatternScan::PatternScan(const TripleStore* store,
+                         std::shared_ptr<const PostingList> list,
+                         const TriplePattern& pattern, size_t width,
+                         double weight, ExecStats* stats)
+    : store_(store),
+      list_(std::move(list)),
+      pattern_(pattern),
+      width_(width),
+      weight_(weight),
+      stats_(stats) {
+  SPECQP_CHECK(store_ != nullptr && list_ != nullptr && stats_ != nullptr);
+  SPECQP_CHECK(weight_ > 0.0 && weight_ <= 1.0);
+}
+
+bool PatternScan::Next(ScoredRow* out) {
+  while (cursor_ < list_->entries.size()) {
+    const PostingEntry& entry = list_->entries[cursor_++];
+    const Triple& t = store_->triple(entry.triple_index);
+    if (!ConsistentMatch(pattern_, t)) continue;
+
+    out->bindings.assign(width_, kInvalidTermId);
+    if (pattern_.s.is_variable()) out->bindings[pattern_.s.var()] = t.s;
+    if (pattern_.p.is_variable()) out->bindings[pattern_.p.var()] = t.p;
+    if (pattern_.o.is_variable()) out->bindings[pattern_.o.var()] = t.o;
+    out->score = weight_ * entry.score;
+
+    ++stats_->scan_rows;
+    ++stats_->answer_objects;
+    return true;
+  }
+  return false;
+}
+
+double PatternScan::UpperBound() const {
+  if (cursor_ >= list_->entries.size()) return kExhausted;
+  return weight_ * list_->entries[cursor_].score;
+}
+
+}  // namespace specqp

@@ -1,0 +1,48 @@
+#ifndef SPECQP_TOPK_PATTERN_SCAN_H_
+#define SPECQP_TOPK_PATTERN_SCAN_H_
+
+#include <memory>
+
+#include "rdf/posting_list.h"
+#include "rdf/triple_pattern.h"
+#include "rdf/triple_store.h"
+#include "topk/exec_stats.h"
+#include "topk/operator.h"
+
+namespace specqp {
+
+// Sorted access to one triple pattern: streams the pattern's posting list
+// (already sorted by descending normalised score) as rows binding the
+// pattern's variables, each score multiplied by `weight` — 1.0 for an
+// original pattern, the rule weight w for a relaxation feeding an
+// incremental merge (Definition 8).
+class PatternScan final : public ScoredRowIterator {
+ public:
+  // `width` is the owning query's variable count. `list` must come from the
+  // pattern's key. `stats` may not be null and must outlive the scan.
+  PatternScan(const TripleStore* store, std::shared_ptr<const PostingList> list,
+              const TriplePattern& pattern, size_t width, double weight,
+              ExecStats* stats);
+
+  PatternScan(const PatternScan&) = delete;
+  PatternScan& operator=(const PatternScan&) = delete;
+
+  bool Next(ScoredRow* out) override;
+  double UpperBound() const override;
+
+  const TriplePattern& pattern() const { return pattern_; }
+  double weight() const { return weight_; }
+
+ private:
+  const TripleStore* store_;
+  std::shared_ptr<const PostingList> list_;
+  TriplePattern pattern_;
+  size_t width_;
+  double weight_;
+  ExecStats* stats_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_PATTERN_SCAN_H_

@@ -1,0 +1,22 @@
+#include "topk/project.h"
+
+#include "util/logging.h"
+
+namespace specqp {
+
+ProjectIterator::ProjectIterator(std::unique_ptr<ScoredRowIterator> input,
+                                 std::vector<VarId> cleared_vars)
+    : input_(std::move(input)), cleared_vars_(std::move(cleared_vars)) {
+  SPECQP_CHECK(input_ != nullptr);
+}
+
+bool ProjectIterator::Next(ScoredRow* out) {
+  if (!input_->Next(out)) return false;
+  for (VarId v : cleared_vars_) {
+    SPECQP_DCHECK(v < out->bindings.size());
+    out->bindings[v] = kInvalidTermId;
+  }
+  return true;
+}
+
+}  // namespace specqp

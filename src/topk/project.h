@@ -1,0 +1,35 @@
+#ifndef SPECQP_TOPK_PROJECT_H_
+#define SPECQP_TOPK_PROJECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "topk/operator.h"
+
+namespace specqp {
+
+// Clears the given binding slots (sets them to kInvalidTermId) in every row
+// of the wrapped iterator, preserving order, scores, and bounds. Used to
+// hide the fresh join variable of a chain relaxation before its rows enter
+// an incremental merge: downstream duplicate suppression must treat two
+// chains reaching the same subject through different intermediates as
+// derivations of the *same* answer (Definition 8: max over derivations).
+class ProjectIterator final : public ScoredRowIterator {
+ public:
+  ProjectIterator(std::unique_ptr<ScoredRowIterator> input,
+                  std::vector<VarId> cleared_vars);
+
+  ProjectIterator(const ProjectIterator&) = delete;
+  ProjectIterator& operator=(const ProjectIterator&) = delete;
+
+  bool Next(ScoredRow* out) override;
+  double UpperBound() const override { return input_->UpperBound(); }
+
+ private:
+  std::unique_ptr<ScoredRowIterator> input_;
+  std::vector<VarId> cleared_vars_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_PROJECT_H_

@@ -1,0 +1,129 @@
+#include "topk/rank_join.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+RankJoin::RankJoin(std::unique_ptr<ScoredRowIterator> left,
+                   std::unique_ptr<ScoredRowIterator> right,
+                   std::vector<VarId> join_vars, ExecStats* stats)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      join_vars_(std::move(join_vars)),
+      stats_(stats) {
+  SPECQP_CHECK(left_ != nullptr && right_ != nullptr && stats_ != nullptr);
+}
+
+RankJoin::JoinKey RankJoin::KeyOf(const ScoredRow& row) const {
+  JoinKey key;
+  key.reserve(join_vars_.size());
+  for (VarId v : join_vars_) {
+    SPECQP_DCHECK(row.bindings[v] != kInvalidTermId)
+        << "join variable unbound in input row";
+    key.push_back(row.bindings[v]);
+  }
+  return key;
+}
+
+double RankJoin::Threshold() const {
+  const double ub_l = left_done_ ? -kInf : left_->UpperBound();
+  const double ub_r = right_done_ ? -kInf : right_->UpperBound();
+  // Before any row is seen on a side, its "top" defaults to the side's
+  // upper bound (conservative).
+  const double top_l = left_seen_ ? left_top_ : std::max(ub_l, 0.0);
+  const double top_r = right_seen_ ? right_top_ : std::max(ub_r, 0.0);
+
+  // Corner bounds: (seen left) x (unseen right) and (unseen left) x (seen
+  // right). A corner with an exhausted unseen side cannot produce results.
+  const double corner_lr = right_done_ ? -kInf : top_l + ub_r;
+  const double corner_rl = left_done_ ? -kInf : ub_l + top_r;
+  return std::max(corner_lr, corner_rl);
+}
+
+bool RankJoin::Advance() {
+  // HRJN* pull strategy: take from the input whose unseen rows have the
+  // higher bound; alternate on ties.
+  const double ub_l = left_done_ ? -kInf : left_->UpperBound();
+  const double ub_r = right_done_ ? -kInf : right_->UpperBound();
+  if (left_done_ && right_done_) return false;
+
+  bool pull_left;
+  if (left_done_) {
+    pull_left = false;
+  } else if (right_done_) {
+    pull_left = true;
+  } else if (ub_l != ub_r) {
+    pull_left = ub_l > ub_r;
+  } else {
+    pull_left = pull_left_next_;
+    pull_left_next_ = !pull_left_next_;
+  }
+
+  ScoredRowIterator* input = pull_left ? left_.get() : right_.get();
+  ScoredRow row;
+  if (!input->Next(&row)) {
+    (pull_left ? left_done_ : right_done_) = true;
+    return true;  // state changed; caller re-evaluates
+  }
+
+  if (pull_left) {
+    if (!left_seen_) {
+      left_seen_ = true;
+      left_top_ = row.score;
+    }
+  } else {
+    if (!right_seen_) {
+      right_seen_ = true;
+      right_top_ = row.score;
+    }
+  }
+
+  const JoinKey key = KeyOf(row);
+  HashTable& own = pull_left ? left_table_ : right_table_;
+  HashTable& other = pull_left ? right_table_ : left_table_;
+
+  ++stats_->join_hash_probes;
+  auto it = other.find(key);
+  if (it != other.end()) {
+    for (const ScoredRow& match : it->second) {
+      ScoredRow merged = row;
+      MergeBindingsInto(match, &merged);
+      merged.score = row.score + match.score;
+      ++stats_->join_results;
+      ++stats_->answer_objects;
+      queue_.push(std::move(merged));
+    }
+  }
+  own[std::move(key)].push_back(std::move(row));
+  return true;
+}
+
+bool RankJoin::Next(ScoredRow* out) {
+  while (true) {
+    const double threshold = Threshold();
+    if (!queue_.empty() && queue_.top().score >= threshold - kEps) {
+      *out = queue_.top();
+      queue_.pop();
+      return true;
+    }
+    if (!Advance()) {
+      // Both inputs exhausted: drain whatever is buffered.
+      if (queue_.empty()) return false;
+      *out = queue_.top();
+      queue_.pop();
+      return true;
+    }
+  }
+}
+
+double RankJoin::UpperBound() const {
+  const double threshold = Threshold();
+  const double buffered =
+      queue_.empty() ? -kInf : queue_.top().score;
+  const double bound = std::max(threshold, buffered);
+  return (bound == -kInf) ? kExhausted : bound;
+}
+
+}  // namespace specqp

@@ -1,0 +1,85 @@
+#ifndef SPECQP_TOPK_RANK_JOIN_H_
+#define SPECQP_TOPK_RANK_JOIN_H_
+
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "topk/exec_stats.h"
+#include "topk/operator.h"
+
+namespace specqp {
+
+// Hash Rank Join (HRJN, Ilyas et al. — the paper's [15, 17]): joins two
+// score-descending inputs on the given variables and emits join results in
+// descending order of the score *sum*, reading as little of each input as
+// possible.
+//
+// State: one hash table per input keyed on the join-variable values, an
+// output priority queue, and the classic corner-bound threshold
+//
+//   T = max( topL + ubR , ubL + topR )
+//
+// where topX is the highest score seen on input X (its first row) and ubX
+// the input's bound on unseen rows. A buffered result is emitted once its
+// score reaches T; when an input is exhausted, its corner term drops out.
+// Input selection follows HRJN*: pull from the input with the higher
+// remaining upper bound.
+class RankJoin final : public ScoredRowIterator {
+ public:
+  // `join_vars`: variables bound on both sides (may be empty — degenerates
+  // to a cross product, still score-ordered).
+  RankJoin(std::unique_ptr<ScoredRowIterator> left,
+           std::unique_ptr<ScoredRowIterator> right,
+           std::vector<VarId> join_vars, ExecStats* stats);
+
+  RankJoin(const RankJoin&) = delete;
+  RankJoin& operator=(const RankJoin&) = delete;
+
+  bool Next(ScoredRow* out) override;
+  double UpperBound() const override;
+
+ private:
+  using JoinKey = std::vector<TermId>;
+  using HashTable = std::unordered_map<JoinKey, std::vector<ScoredRow>,
+                                       BindingsHash>;
+
+  JoinKey KeyOf(const ScoredRow& row) const;
+  double Threshold() const;
+  // Pulls one row from the chosen input and joins it against the other
+  // side's table; returns false if both inputs are exhausted.
+  bool Advance();
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  static constexpr double kEps = 1e-9;
+
+  std::unique_ptr<ScoredRowIterator> left_;
+  std::unique_ptr<ScoredRowIterator> right_;
+  std::vector<VarId> join_vars_;
+  ExecStats* stats_;
+
+  HashTable left_table_;
+  HashTable right_table_;
+  bool left_done_ = false;
+  bool right_done_ = false;
+  bool left_seen_ = false;
+  bool right_seen_ = false;
+  double left_top_ = 0.0;
+  double right_top_ = 0.0;
+  bool pull_left_next_ = true;  // tie-breaker for alternating pulls
+
+  struct QueueOrder {
+    // std::priority_queue keeps the *greatest* element (per comparator) on
+    // top; RowBefore(a, b) == "a should be emitted before b".
+    bool operator()(const ScoredRow& a, const ScoredRow& b) const {
+      return RowBefore(b, a);
+    }
+  };
+  std::priority_queue<ScoredRow, std::vector<ScoredRow>, QueueOrder> queue_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_RANK_JOIN_H_

@@ -1,0 +1,23 @@
+#include "topk/top_k.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+std::vector<ScoredRow> PullTopK(ScoredRowIterator* root, size_t k,
+                                ExecStats* stats) {
+  SPECQP_CHECK(root != nullptr && stats != nullptr);
+  std::vector<ScoredRow> out;
+  out.reserve(k);
+  std::unordered_set<std::vector<TermId>, BindingsHash> seen;
+  ScoredRow row;
+  while (out.size() < k && root->Next(&row)) {
+    if (!seen.insert(row.bindings).second) continue;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace specqp

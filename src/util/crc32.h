@@ -1,0 +1,16 @@
+#ifndef SPECQP_UTIL_CRC32_H_
+#define SPECQP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace specqp {
+
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) over a byte span; used to
+// protect the sections of the on-disk store format against corruption.
+// `seed` allows incremental computation: Crc32c(b, n2, Crc32c(a, n1)).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_CRC32_H_

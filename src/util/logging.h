@@ -1,0 +1,97 @@
+#ifndef SPECQP_UTIL_LOGGING_H_
+#define SPECQP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace specqp {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Minimum severity that is emitted; defaults to kInfo. Not thread-safe to
+// mutate concurrently with logging (set it once at startup).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace specqp
+
+#define SPECQP_LOG(severity)                                        \
+  ::specqp::internal::LogMessage(::specqp::LogSeverity::k##severity, \
+                                 __FILE__, __LINE__)
+
+// Always-on invariant check; aborts with a message when `cond` is false.
+// Additional context can be streamed: SPECQP_CHECK(x > 0) << "x=" << x;
+#define SPECQP_CHECK(cond)                                       \
+  (cond) ? (void)0                                               \
+         : ::specqp::internal::Voidify() &                       \
+               ::specqp::internal::LogMessage(                   \
+                   ::specqp::LogSeverity::kFatal, __FILE__,      \
+                   __LINE__)                                     \
+                   << "Check failed: " #cond " "
+
+#define SPECQP_CHECK_EQ(a, b) SPECQP_CHECK((a) == (b))
+#define SPECQP_CHECK_NE(a, b) SPECQP_CHECK((a) != (b))
+#define SPECQP_CHECK_LT(a, b) SPECQP_CHECK((a) < (b))
+#define SPECQP_CHECK_LE(a, b) SPECQP_CHECK((a) <= (b))
+#define SPECQP_CHECK_GT(a, b) SPECQP_CHECK((a) > (b))
+#define SPECQP_CHECK_GE(a, b) SPECQP_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define SPECQP_DCHECK(cond) SPECQP_CHECK(cond)
+#else
+#define SPECQP_DCHECK(cond) \
+  true ? (void)0 : ::specqp::internal::Voidify() & ::specqp::internal::NullStream()
+#endif
+
+namespace specqp::internal {
+
+// Lets the CHECK macros use the ternary operator with a streamed RHS.
+struct Voidify {
+  void operator&(LogMessage&) {}
+  void operator&(NullStream&) {}
+  void operator&(LogMessage&&) {}
+  void operator&(NullStream&&) {}
+};
+
+}  // namespace specqp::internal
+
+#endif  // SPECQP_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+#ifndef SPECQP_UTIL_RESULT_H_
+#define SPECQP_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace specqp {
+
+// Result<T> holds either a value of type T or a non-OK Status, mirroring
+// absl::StatusOr. Accessing the value of an errored Result aborts (program
+// logic error); callers must check ok() first or use value_or().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so functions returning Result<T> can
+  // `return value;` and `return SomeStatus;` symmetrically.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    SPECQP_CHECK(!std::get<Status>(state_).ok())
+        << "Result<T> constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    SPECQP_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    SPECQP_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    SPECQP_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(state_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace specqp
+
+// Evaluates `expr` (a Result<T>), propagates its error, otherwise moves the
+// value into `lhs`. `lhs` may include a declaration: SPECQP_ASSIGN_OR_RETURN(
+// auto x, Foo());
+#define SPECQP_ASSIGN_OR_RETURN(lhs, expr)                      \
+  SPECQP_ASSIGN_OR_RETURN_IMPL_(                                \
+      SPECQP_RESULT_CONCAT_(_specqp_result, __LINE__), lhs, expr)
+
+#define SPECQP_RESULT_CONCAT_INNER_(a, b) a##b
+#define SPECQP_RESULT_CONCAT_(a, b) SPECQP_RESULT_CONCAT_INNER_(a, b)
+
+#define SPECQP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // SPECQP_UTIL_RESULT_H_

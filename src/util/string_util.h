@@ -1,0 +1,34 @@
+#ifndef SPECQP_UTIL_STRING_UTIL_H_
+#define SPECQP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specqp {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on a single separator character; empty pieces are kept.
+std::vector<std::string_view> StrSplit(std::string_view s, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+// Joins pieces with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Locale-independent ASCII lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+// Formats a double compactly ("0.8", "12.25") for table output.
+std::string DoubleToString(double v, int precision = 4);
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_STRING_UTIL_H_

@@ -1,0 +1,45 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  SPECQP_CHECK(n >= 1);
+  SPECQP_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  SPECQP_CHECK(i < n_);
+  const double lo = (i == 0) ? 0.0 : cdf_[i - 1];
+  return cdf_[i] - lo;
+}
+
+std::vector<double> PowerLawScores(uint64_t n, double s, double scale) {
+  std::vector<double> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = scale / std::pow(static_cast<double>(i + 1), s);
+  }
+  return out;
+}
+
+}  // namespace specqp

@@ -1,0 +1,46 @@
+#ifndef SPECQP_UTIL_ZIPF_H_
+#define SPECQP_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace specqp {
+
+// Samples ranks in [0, n) from a Zipf(s) distribution:
+// P(rank = i) proportional to 1 / (i + 1)^s.
+//
+// The paper's score model rests on power-law-distributed triple scores
+// (the 80/20 observation behind the two-bucket histogram, section 3.1.1);
+// both dataset generators use this sampler for entity popularity, tag
+// frequency, retweet counts, and inlink counts.
+//
+// Implementation: precomputed cumulative table + binary search. O(n) memory,
+// O(log n) per sample, exact (no rejection), deterministic given the Rng.
+class ZipfDistribution {
+ public:
+  // n must be >= 1; s >= 0 (s == 0 is uniform).
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng* rng) const;
+
+  // P(rank = i).
+  double Pmf(uint64_t i) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+// Returns a vector of n power-law "scores": score(i) = scale / (i+1)^s,
+// descending; handy for assigning raw triple scores by popularity rank.
+std::vector<double> PowerLawScores(uint64_t n, double s, double scale);
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_ZIPF_H_

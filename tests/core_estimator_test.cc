@@ -1,0 +1,137 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/posting_list.h"
+#include "stats/catalog.h"
+#include "stats/selectivity.h"
+#include "test_util.h"
+
+namespace specqp {
+namespace {
+
+using specqp::testing::MakeMusicFixture;
+using specqp::testing::MusicFixture;
+
+struct EstimatorHarness {
+  PostingListCache postings;
+  StatisticsCatalog catalog;
+  SelectivityEstimator selectivity;
+  ExpectedScoreEstimator estimator;
+
+  explicit EstimatorHarness(
+      const TripleStore* store,
+      ExpectedScoreEstimator::Model model =
+          ExpectedScoreEstimator::Model::kTwoBucket)
+      : postings(store),
+        catalog(store, &postings),
+        selectivity(store),
+        estimator(&catalog, &selectivity, model) {}
+};
+
+TEST(EstimatorTest, SinglePatternCardinalityAndDistribution) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const Query query = fx.TypeQuery({"singer"});
+  const auto estimate = h.estimator.EstimateQuery(query);
+  ASSERT_FALSE(estimate.empty());
+  EXPECT_DOUBLE_EQ(estimate.cardinality, 5.0);
+  EXPECT_DOUBLE_EQ(estimate.distribution->upper(), 1.0);
+  // Top expected score is near the top of the normalised range.
+  EXPECT_GT(estimate.ExpectedAtRank(1), 0.6);
+  EXPECT_LE(estimate.ExpectedAtRank(1), 1.0);
+}
+
+TEST(EstimatorTest, RanksBeyondCardinalityAreZero) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const auto estimate = h.estimator.EstimateQuery(fx.TypeQuery({"singer"}));
+  EXPECT_DOUBLE_EQ(estimate.ExpectedAtRank(6), 0.0);  // only 5 singers
+  EXPECT_GT(estimate.ExpectedAtRank(5), 0.0);
+}
+
+TEST(EstimatorTest, TwoPatternSupportIsSumOfUppers) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const auto estimate =
+      h.estimator.EstimateQuery(fx.TypeQuery({"singer", "vocalist"}));
+  ASSERT_FALSE(estimate.empty());
+  EXPECT_DOUBLE_EQ(estimate.distribution->upper(), 2.0);
+  EXPECT_DOUBLE_EQ(estimate.cardinality, 3.0);  // exact intersection
+}
+
+TEST(EstimatorTest, WeightsScaleSupportAndScores) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const Query query = fx.TypeQuery({"singer", "vocalist"});
+  const auto full = h.estimator.EstimateQuery(query);
+  const auto discounted = h.estimator.EstimateQuery(query, {1.0, 0.5});
+  ASSERT_FALSE(discounted.empty());
+  EXPECT_DOUBLE_EQ(discounted.distribution->upper(), 1.5);
+  EXPECT_LT(discounted.ExpectedAtRank(1), full.ExpectedAtRank(1));
+}
+
+TEST(EstimatorTest, EmptyPatternYieldsEmptyEstimate) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  // jazz_singer ∩ guitarist is empty.
+  const auto estimate =
+      h.estimator.EstimateQuery(fx.TypeQuery({"jazz_singer", "guitarist"}));
+  EXPECT_TRUE(estimate.empty());
+  EXPECT_DOUBLE_EQ(estimate.ExpectedAtRank(1), 0.0);
+}
+
+TEST(EstimatorTest, GridModelAgreesRoughlyWithTwoBucket) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness two(&fx.store);
+  EstimatorHarness grid(&fx.store,
+                        ExpectedScoreEstimator::Model::kExactGrid);
+  const Query query = fx.TypeQuery({"vocalist", "artist"});
+  const auto a = two.estimator.EstimateQuery(query);
+  const auto b = grid.estimator.EstimateQuery(query);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(a.cardinality, b.cardinality);
+  // The two models approximate the same distribution; expected top scores
+  // should be in the same ballpark (the two-bucket model is optimistic).
+  EXPECT_NEAR(a.ExpectedAtRank(1), b.ExpectedAtRank(1), 0.35);
+  EXPECT_NEAR(a.distribution->Mean(), b.distribution->Mean(), 0.35);
+}
+
+TEST(EstimatorTest, ThreePatternChainedConvolution) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const auto estimate = h.estimator.EstimateQuery(
+      fx.TypeQuery({"singer", "vocalist", "artist"}));
+  ASSERT_FALSE(estimate.empty());
+  EXPECT_DOUBLE_EQ(estimate.distribution->upper(), 3.0);
+  // Expected top score of a 3-pattern star over popular entities is high
+  // but below the theoretical max.
+  const double top = estimate.ExpectedAtRank(1);
+  EXPECT_GT(top, 1.5);
+  EXPECT_LT(top, 3.0);
+}
+
+TEST(EstimatorTest, MonotoneInRank) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const auto estimate =
+      h.estimator.EstimateQuery(fx.TypeQuery({"vocalist", "musician"}));
+  ASSERT_FALSE(estimate.empty());
+  double prev = 1e9;
+  for (uint64_t rank = 1; rank <= 6; ++rank) {
+    const double v = estimate.ExpectedAtRank(rank);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(EstimatorDeathTest, WeightsSizeMustMatch) {
+  MusicFixture fx = MakeMusicFixture();
+  EstimatorHarness h(&fx.store);
+  const Query query = fx.TypeQuery({"singer", "vocalist"});
+  EXPECT_DEATH((void)h.estimator.EstimateQuery(query, {1.0}), "weights");
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,145 @@
+#include "core/exhaustive.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace specqp {
+namespace {
+
+using specqp::testing::MakeMusicFixture;
+using specqp::testing::MusicFixture;
+
+TEST(ExhaustiveTest, SinglePatternOriginalOnly) {
+  MusicFixture fx = MakeMusicFixture();
+  RelaxationIndex no_rules;
+  ExhaustiveEvaluator oracle(&fx.store, &no_rules);
+  const auto result = oracle.Evaluate(fx.TypeQuery({"singer"}));
+  ASSERT_EQ(result.answers.size(), 5u);
+  // Sorted descending; top answer is shakira at normalised 1.0.
+  EXPECT_EQ(result.answers[0].bindings[0], fx.Id("shakira"));
+  EXPECT_DOUBLE_EQ(result.answers[0].score, 1.0);
+  for (const auto& answer : result.answers) {
+    EXPECT_FALSE(answer.ViaRelaxation(0));
+    EXPECT_DOUBLE_EQ(answer.original_scores[0], answer.best_scores[0]);
+  }
+}
+
+TEST(ExhaustiveTest, RelaxationExtendsAnswerSet) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  const auto result = oracle.Evaluate(fx.TypeQuery({"singer"}));
+  // With singer ~> vocalist/jazz_singer/artist every entity is reachable.
+  EXPECT_EQ(result.answers.size(), 10u);
+
+  // sting is not a singer; his best derivation must be via relaxation.
+  bool found_sting = false;
+  for (const auto& answer : result.answers) {
+    if (answer.bindings[0] != fx.Id("sting")) continue;
+    found_sting = true;
+    EXPECT_TRUE(answer.ViaRelaxation(0));
+    EXPECT_DOUBLE_EQ(answer.original_scores[0],
+                     ExhaustiveEvaluator::Answer::kNoOriginal);
+    // Best: vocalist rule (0.9) on his vocalist score 80/100 = 0.72;
+    // vs artist rule (0.5) at 80/100*0.5 = 0.4.
+    EXPECT_NEAR(answer.best_scores[0], 0.72, 1e-9);
+  }
+  EXPECT_TRUE(found_sting);
+}
+
+TEST(ExhaustiveTest, MaxOverDerivationsPerPattern) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  const auto result = oracle.Evaluate(fx.TypeQuery({"singer"}));
+  // shakira is a singer (1.0 original) and also reachable via the
+  // vocalist rule (0.9 * 1.0): the original wins (ties/maxima favour the
+  // better score).
+  ASSERT_EQ(result.answers[0].bindings[0], fx.Id("shakira"));
+  EXPECT_DOUBLE_EQ(result.answers[0].best_scores[0], 1.0);
+  EXPECT_FALSE(result.answers[0].ViaRelaxation(0));
+}
+
+TEST(ExhaustiveTest, RequiredRelaxationsEmptyWhenOriginalsFillTopK) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  // 5 original singers with the highest popularity; for k=3 the top-3 are
+  // original-only (shakira 1.0, beyonce 0.9, adele 0.85) and the best
+  // relaxed answer (sting via vocalist: 0.72) cannot displace them.
+  const auto result = oracle.Evaluate(fx.TypeQuery({"singer"}));
+  EXPECT_TRUE(result.RequiredRelaxations(3).empty());
+}
+
+TEST(ExhaustiveTest, RequiredRelaxationsWhenTopKNeedsThem) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  // k=7 > 5 singers: relaxed answers must appear in the top-7, so the
+  // pattern's relaxations are required.
+  const auto result = oracle.Evaluate(fx.TypeQuery({"singer"}));
+  const auto required = result.RequiredRelaxations(7);
+  ASSERT_EQ(required.size(), 1u);
+  EXPECT_EQ(required[0], 0u);
+}
+
+TEST(ExhaustiveTest, RequiredRelaxationsPerPattern) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  // singer ∧ pianist: only adele matches both originals. For k=3 the
+  // remaining two answers need relaxations; check that disabling either
+  // pattern's rules changes the top-3 (both required).
+  const auto result =
+      oracle.Evaluate(fx.TypeQuery({"singer", "pianist"}));
+  ASSERT_GE(result.answers.size(), 3u);
+  const auto required = result.RequiredRelaxations(3);
+  EXPECT_EQ(required.size(), 2u);
+}
+
+TEST(ExhaustiveTest, RequiredRelaxationsRespectsK) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  const auto result = oracle.Evaluate(fx.TypeQuery({"singer"}));
+  // Monotone-ish: a k small enough to be covered by originals requires
+  // nothing; a k beyond the original count requires the pattern.
+  EXPECT_TRUE(result.RequiredRelaxations(1).empty());
+  EXPECT_FALSE(result.RequiredRelaxations(10).empty());
+}
+
+TEST(ExhaustiveTest, AnswerScoreIsSumOfPatternBests) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  const auto result =
+      oracle.Evaluate(fx.TypeQuery({"singer", "lyricist"}));
+  for (const auto& answer : result.answers) {
+    double sum = 0.0;
+    for (double s : answer.best_scores) sum += s;
+    EXPECT_NEAR(answer.score, sum, 1e-12);
+  }
+}
+
+TEST(ExhaustiveTest, EmptyQueryResult) {
+  MusicFixture fx = MakeMusicFixture();
+  RelaxationIndex no_rules;
+  ExhaustiveEvaluator oracle(&fx.store, &no_rules);
+  // jazz_singer ∩ guitarist is empty and stays empty without rules.
+  const auto result =
+      oracle.Evaluate(fx.TypeQuery({"jazz_singer", "guitarist"}));
+  EXPECT_TRUE(result.answers.empty());
+  EXPECT_TRUE(result.RequiredRelaxations(10).empty());
+}
+
+TEST(ExhaustiveTest, DeterministicOrdering) {
+  MusicFixture fx = MakeMusicFixture();
+  ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
+  const Query query = fx.TypeQuery({"singer", "lyricist"});
+  const auto a = oracle.Evaluate(query);
+  const auto b = oracle.Evaluate(query);
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].bindings, b.answers[i].bindings);
+    EXPECT_DOUBLE_EQ(a.answers[i].score, b.answers[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,225 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/triple_pattern.h"
+
+namespace specqp {
+namespace {
+
+Query MakeChainQuery() {
+  // ?x p ?y . ?y p ?z . ?z p ?w
+  Query q;
+  const VarId x = q.GetOrAddVariable("x");
+  const VarId y = q.GetOrAddVariable("y");
+  const VarId z = q.GetOrAddVariable("z");
+  const VarId w = q.GetOrAddVariable("w");
+  q.AddPattern(TriplePattern(PatternTerm::Var(x), PatternTerm::Const(0),
+                             PatternTerm::Var(y)));
+  q.AddPattern(TriplePattern(PatternTerm::Var(y), PatternTerm::Const(0),
+                             PatternTerm::Var(z)));
+  q.AddPattern(TriplePattern(PatternTerm::Var(z), PatternTerm::Const(0),
+                             PatternTerm::Var(w)));
+  return q;
+}
+
+TEST(QueryTest, VariableRegistrationIsIdempotent) {
+  Query q;
+  const VarId a = q.GetOrAddVariable("s");
+  const VarId b = q.GetOrAddVariable("s");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(q.num_vars(), 1u);
+  EXPECT_EQ(q.var_name(a), "s");
+}
+
+TEST(QueryTest, FindVariable) {
+  Query q;
+  q.GetOrAddVariable("s");
+  EXPECT_TRUE(q.FindVariable("s").ok());
+  EXPECT_FALSE(q.FindVariable("t").ok());
+}
+
+TEST(QueryTest, SharedVarsOfStarQuery) {
+  Query q;
+  const VarId s = q.GetOrAddVariable("s");
+  q.AddPattern(TriplePattern(PatternTerm::Var(s), PatternTerm::Const(1),
+                             PatternTerm::Const(2)));
+  q.AddPattern(TriplePattern(PatternTerm::Var(s), PatternTerm::Const(1),
+                             PatternTerm::Const(3)));
+  const auto shared = q.SharedVars(0, 1);
+  ASSERT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared[0], s);
+}
+
+TEST(QueryTest, SharedVarsOfChainQuery) {
+  Query q = MakeChainQuery();
+  EXPECT_EQ(q.SharedVars(0, 1).size(), 1u);  // y
+  EXPECT_EQ(q.SharedVars(1, 2).size(), 1u);  // z
+  EXPECT_TRUE(q.SharedVars(0, 2).empty());
+}
+
+TEST(QueryTest, SharedVarsWithSet) {
+  Query q = MakeChainQuery();
+  const auto shared = q.SharedVarsWithSet(1, {0, 2});
+  EXPECT_EQ(shared.size(), 2u);  // y with pattern 0, z with pattern 2
+}
+
+TEST(QueryTest, ConnectedChain) {
+  Query q = MakeChainQuery();
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(QueryTest, DisconnectedQuery) {
+  Query q;
+  const VarId a = q.GetOrAddVariable("a");
+  const VarId b = q.GetOrAddVariable("b");
+  q.AddPattern(TriplePattern(PatternTerm::Var(a), PatternTerm::Const(0),
+                             PatternTerm::Const(1)));
+  q.AddPattern(TriplePattern(PatternTerm::Var(b), PatternTerm::Const(0),
+                             PatternTerm::Const(2)));
+  EXPECT_FALSE(q.IsConnected());
+}
+
+TEST(QueryTest, SinglePatternIsConnected) {
+  Query q;
+  const VarId s = q.GetOrAddVariable("s");
+  q.AddPattern(TriplePattern(PatternTerm::Var(s), PatternTerm::Const(0),
+                             PatternTerm::Const(1)));
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(QueryTest, ReplacePattern) {
+  Query q = MakeChainQuery();
+  const TriplePattern replacement(PatternTerm::Var(0), PatternTerm::Const(9),
+                                  PatternTerm::Var(1));
+  q.ReplacePattern(0, replacement);
+  EXPECT_EQ(q.pattern(0), replacement);
+  EXPECT_EQ(q.num_patterns(), 3u);
+}
+
+TEST(QueryTest, ToStringRendersSparql) {
+  Dictionary dict;
+  const TermId type = dict.Intern("rdf:type");
+  const TermId singer = dict.Intern("singer");
+  Query q;
+  const VarId s = q.GetOrAddVariable("s");
+  q.AddPattern(TriplePattern(PatternTerm::Var(s), PatternTerm::Const(type),
+                             PatternTerm::Const(singer)));
+  q.AddProjection(s);
+  EXPECT_EQ(q.ToString(dict),
+            "SELECT ?s WHERE { ?s <rdf:type> <singer> }");
+}
+
+TEST(QueryTest, ToStringMultiPattern) {
+  Dictionary dict;
+  const TermId p = dict.Intern("p");
+  const TermId a = dict.Intern("a");
+  const TermId b = dict.Intern("b");
+  Query q;
+  const VarId s = q.GetOrAddVariable("s");
+  q.AddPattern(TriplePattern(PatternTerm::Var(s), PatternTerm::Const(p),
+                             PatternTerm::Const(a)));
+  q.AddPattern(TriplePattern(PatternTerm::Var(s), PatternTerm::Const(p),
+                             PatternTerm::Const(b)));
+  q.AddProjection(s);
+  EXPECT_EQ(q.ToString(dict),
+            "SELECT ?s WHERE { ?s <p> <a> . ?s <p> <b> }");
+}
+
+// --- TriplePattern / PatternKey ---------------------------------------------
+
+TEST(PatternTermTest, ConstAndVarAccessors) {
+  const PatternTerm c = PatternTerm::Const(7);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.term(), 7u);
+  const PatternTerm v = PatternTerm::Var(2);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_EQ(v.var(), 2u);
+}
+
+TEST(PatternTermDeathTest, WrongAccessorAborts) {
+  const PatternTerm c = PatternTerm::Const(7);
+  EXPECT_DEATH((void)c.var(), "on a constant");
+  const PatternTerm v = PatternTerm::Var(2);
+  EXPECT_DEATH((void)v.term(), "on a variable");
+}
+
+TEST(TriplePatternTest, KeyErasesVariables) {
+  const TriplePattern q(PatternTerm::Var(0), PatternTerm::Const(5),
+                        PatternTerm::Const(9));
+  const PatternKey key = q.Key();
+  EXPECT_FALSE(key.s_bound());
+  EXPECT_TRUE(key.p_bound());
+  EXPECT_TRUE(key.o_bound());
+  EXPECT_EQ(key.p, 5u);
+  EXPECT_EQ(key.o, 9u);
+  EXPECT_EQ(key.num_bound(), 2);
+}
+
+TEST(TriplePatternTest, SameKeyForDifferentVariableNames) {
+  const TriplePattern a(PatternTerm::Var(0), PatternTerm::Const(5),
+                        PatternTerm::Const(9));
+  const TriplePattern b(PatternTerm::Var(3), PatternTerm::Const(5),
+                        PatternTerm::Const(9));
+  EXPECT_EQ(a.Key(), b.Key());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TriplePatternTest, VariablesDeduplicated) {
+  const TriplePattern q(PatternTerm::Var(1), PatternTerm::Const(5),
+                        PatternTerm::Var(1));
+  VarId vars[3];
+  EXPECT_EQ(q.Variables(vars), 1);
+  EXPECT_EQ(vars[0], 1u);
+}
+
+TEST(TriplePatternTest, UsesVariable) {
+  const TriplePattern q(PatternTerm::Var(1), PatternTerm::Const(5),
+                        PatternTerm::Var(2));
+  EXPECT_TRUE(q.UsesVariable(1));
+  EXPECT_TRUE(q.UsesVariable(2));
+  EXPECT_FALSE(q.UsesVariable(0));
+}
+
+TEST(TriplePatternTest, SlotOfVar) {
+  const TriplePattern q(PatternTerm::Var(1), PatternTerm::Const(5),
+                        PatternTerm::Var(2));
+  EXPECT_EQ(SlotOfVar(q, 1), 0);
+  EXPECT_EQ(SlotOfVar(q, 2), 2);
+  EXPECT_EQ(SlotOfVar(q, 0), -1);
+}
+
+TEST(TriplePatternTest, ConsistentMatchRepeatedVariable) {
+  const TriplePattern q(PatternTerm::Var(0), PatternTerm::Const(5),
+                        PatternTerm::Var(0));
+  EXPECT_TRUE(ConsistentMatch(q, Triple{3, 5, 3, 1.0}));
+  EXPECT_FALSE(ConsistentMatch(q, Triple{3, 5, 4, 1.0}));
+}
+
+TEST(TriplePatternTest, ConsistentMatchDistinctVariables) {
+  const TriplePattern q(PatternTerm::Var(0), PatternTerm::Const(5),
+                        PatternTerm::Var(1));
+  EXPECT_TRUE(ConsistentMatch(q, Triple{3, 5, 4, 1.0}));
+  EXPECT_TRUE(ConsistentMatch(q, Triple{3, 5, 3, 1.0}));
+}
+
+TEST(PatternKeyTest, MatchesSemantics) {
+  PatternKey key{kInvalidTermId, 5, 9};
+  EXPECT_TRUE(key.Matches(Triple{1, 5, 9, 0.0}));
+  EXPECT_TRUE(key.Matches(Triple{2, 5, 9, 0.0}));
+  EXPECT_FALSE(key.Matches(Triple{1, 6, 9, 0.0}));
+  EXPECT_FALSE(key.Matches(Triple{1, 5, 8, 0.0}));
+}
+
+TEST(PatternKeyTest, HashDistinguishesKeys) {
+  PatternKeyHash h;
+  PatternKey a{kInvalidTermId, 5, 9};
+  PatternKey b{kInvalidTermId, 5, 10};
+  PatternKey c{5, kInvalidTermId, 9};
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_EQ(h(a), h(PatternKey{kInvalidTermId, 5, 9}));
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,87 @@
+#include "rdf/dictionary.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace specqp {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("c"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.Intern("same");
+  EXPECT_EQ(dict.Intern("same"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, NameRoundTrips) {
+  Dictionary dict;
+  const TermId a = dict.Intern("rdf:type");
+  const TermId b = dict.Intern("#intoyouvideo");
+  EXPECT_EQ(dict.Name(a), "rdf:type");
+  EXPECT_EQ(dict.Name(b), "#intoyouvideo");
+}
+
+TEST(DictionaryTest, FindExistingAndMissing) {
+  Dictionary dict;
+  dict.Intern("x");
+  auto found = dict.Find("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0u);
+  auto missing = dict.Find("y");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, Contains) {
+  Dictionary dict;
+  dict.Intern("present");
+  EXPECT_TRUE(dict.Contains("present"));
+  EXPECT_FALSE(dict.Contains("absent"));
+}
+
+TEST(DictionaryTest, EmptyStringIsAValidTerm) {
+  Dictionary dict;
+  const TermId id = dict.Intern("");
+  EXPECT_EQ(dict.Name(id), "");
+  EXPECT_TRUE(dict.Contains(""));
+}
+
+TEST(DictionaryTest, ViewsStayValidAcrossGrowth) {
+  Dictionary dict;
+  const TermId first = dict.Intern("first-term-with-a-long-name");
+  const std::string_view view = dict.Name(first);
+  // Force plenty of growth; deque storage must not move existing strings.
+  for (int i = 0; i < 10000; ++i) {
+    dict.Intern("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "first-term-with-a-long-name");
+  EXPECT_EQ(dict.Find("first-term-with-a-long-name").value(), first);
+}
+
+TEST(DictionaryTest, ManyDistinctTerms) {
+  Dictionary dict;
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(dict.Intern("t" + std::to_string(i)),
+              static_cast<TermId>(i));
+  }
+  EXPECT_EQ(dict.size(), 5000u);
+  EXPECT_EQ(dict.Find("t4999").value(), 4999u);
+}
+
+TEST(DictionaryDeathTest, NameOutOfRangeAborts) {
+  Dictionary dict;
+  dict.Intern("only");
+  EXPECT_DEATH((void)dict.Name(5), "out of range");
+}
+
+}  // namespace
+}  // namespace specqp

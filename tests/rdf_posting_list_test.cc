@@ -1,0 +1,146 @@
+#include "rdf/posting_list.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace specqp {
+namespace {
+
+TripleStore MakeScoredStore() {
+  TripleStore store;
+  store.Add("a", "type", "singer", 100.0);
+  store.Add("b", "type", "singer", 50.0);
+  store.Add("c", "type", "singer", 25.0);
+  store.Add("d", "type", "pianist", 10.0);
+  store.Finalize();
+  return store;
+}
+
+TEST(PostingListTest, SortedDescendingAndNormalised) {
+  TripleStore store = MakeScoredStore();
+  PatternKey key{kInvalidTermId, store.MustId("type"),
+                 store.MustId("singer")};
+  const PostingList list = BuildPostingList(store, key);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list.max_raw_score, 100.0);
+  EXPECT_DOUBLE_EQ(list.entries[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(list.entries[1].score, 0.5);
+  EXPECT_DOUBLE_EQ(list.entries[2].score, 0.25);
+}
+
+TEST(PostingListTest, TopNormalisedScoreIsAlwaysOne) {
+  // Definition 5: the best match of any non-empty pattern scores exactly 1.
+  TripleStore store = MakeScoredStore();
+  PatternKey key{kInvalidTermId, store.MustId("type"),
+                 store.MustId("pianist")};
+  const PostingList list = BuildPostingList(store, key);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_DOUBLE_EQ(list.entries[0].score, 1.0);
+}
+
+TEST(PostingListTest, EmptyPattern) {
+  TripleStore store = MakeScoredStore();
+  PatternKey key{store.MustId("a"), store.MustId("type"),
+                 store.MustId("pianist")};
+  const PostingList list = BuildPostingList(store, key);
+  EXPECT_TRUE(list.empty());
+  EXPECT_DOUBLE_EQ(list.max_raw_score, 0.0);
+}
+
+TEST(PostingListTest, AllZeroScores) {
+  TripleStore store;
+  store.Add("a", "p", "x", 0.0);
+  store.Add("b", "p", "x", 0.0);
+  store.Finalize();
+  PatternKey key{kInvalidTermId, store.MustId("p"), store.MustId("x")};
+  const PostingList list = BuildPostingList(store, key);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(list.entries[0].score, 0.0);
+  EXPECT_DOUBLE_EQ(list.entries[1].score, 0.0);
+}
+
+TEST(PostingListTest, TiesBrokenByTripleIndex) {
+  TripleStore store;
+  store.Add("b", "p", "x", 5.0);
+  store.Add("a", "p", "x", 5.0);
+  store.Finalize();
+  PatternKey key{kInvalidTermId, store.MustId("p"), store.MustId("x")};
+  const PostingList list = BuildPostingList(store, key);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_LT(list.entries[0].triple_index, list.entries[1].triple_index);
+}
+
+TEST(PostingListCacheTest, HitsAndMisses) {
+  TripleStore store = MakeScoredStore();
+  PostingListCache cache(&store);
+  PatternKey key{kInvalidTermId, store.MustId("type"),
+                 store.MustId("singer")};
+  auto first = cache.Get(key);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  auto second = cache.Get(key);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(PostingListCacheTest, DifferentKeysDifferentLists) {
+  TripleStore store = MakeScoredStore();
+  PostingListCache cache(&store);
+  PatternKey singer{kInvalidTermId, store.MustId("type"),
+                    store.MustId("singer")};
+  PatternKey pianist{kInvalidTermId, store.MustId("type"),
+                     store.MustId("pianist")};
+  auto a = cache.Get(singer);
+  auto b = cache.Get(pianist);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PostingListCacheTest, ListSurvivesCacheClear) {
+  TripleStore store = MakeScoredStore();
+  PostingListCache cache(&store);
+  PatternKey key{kInvalidTermId, store.MustId("type"),
+                 store.MustId("singer")};
+  auto list = cache.Get(key);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(list->size(), 3u);  // shared_ptr keeps it alive
+}
+
+// Property: normalised scores are in [0, 1], sorted, and proportional to
+// the raw scores.
+class PostingListPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostingListPropertyTest, NormalisationInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 3);
+  testing::RandomStoreConfig cfg;
+  cfg.num_triples = 250;
+  TripleStore store = testing::MakeRandomStore(&rng, cfg);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const Triple& anchor =
+        store.triple(static_cast<uint32_t>(rng.NextBounded(store.size())));
+    PatternKey key{kInvalidTermId, anchor.p, anchor.o};
+    const PostingList list = BuildPostingList(store, key);
+    ASSERT_FALSE(list.empty());
+    double prev = 2.0;
+    for (const PostingEntry& e : list.entries) {
+      EXPECT_GE(e.score, 0.0);
+      EXPECT_LE(e.score, 1.0);
+      EXPECT_LE(e.score, prev);
+      prev = e.score;
+      EXPECT_NEAR(e.score * list.max_raw_score,
+                  store.triple(e.triple_index).score, 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(list.entries.front().score, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingListPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace specqp

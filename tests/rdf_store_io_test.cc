@@ -1,0 +1,185 @@
+#include "rdf/store_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace specqp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StoreIoTest, RoundTripSmallStore) {
+  TripleStore store;
+  store.Add("shakira", "rdf:type", "singer", 100.0);
+  store.Add("sting", "rdf:type", "vocalist", 80.0);
+  store.Finalize();
+
+  const std::string path = TempPath("small.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+
+  auto loaded = LoadStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TripleStore& copy = loaded.value();
+  EXPECT_EQ(copy.size(), store.size());
+  EXPECT_EQ(copy.dict().size(), store.dict().size());
+  EXPECT_TRUE(copy.Contains(copy.MustId("shakira"), copy.MustId("rdf:type"),
+                            copy.MustId("singer")));
+  PatternKey key{kInvalidTermId, copy.MustId("rdf:type"),
+                 copy.MustId("singer")};
+  EXPECT_DOUBLE_EQ(copy.MaxScore(key), 100.0);
+}
+
+TEST(StoreIoTest, RoundTripPreservesEverything) {
+  Rng rng(99);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 500;
+  TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+
+  const std::string path = TempPath("random.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  auto loaded = LoadStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TripleStore& copy = loaded.value();
+
+  ASSERT_EQ(copy.size(), store.size());
+  for (size_t i = 0; i < store.size(); ++i) {
+    const Triple& a = store.triple(static_cast<uint32_t>(i));
+    const Triple& b = copy.triple(static_cast<uint32_t>(i));
+    EXPECT_EQ(a, b);
+  }
+  ASSERT_EQ(copy.dict().size(), store.dict().size());
+  for (TermId id = 0; id < store.dict().size(); ++id) {
+    EXPECT_EQ(copy.dict().Name(id), store.dict().Name(id));
+  }
+}
+
+TEST(StoreIoTest, RoundTripEmptyStore) {
+  TripleStore store;
+  store.Finalize();
+  const std::string path = TempPath("empty.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  auto loaded = LoadStore(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+}
+
+TEST(StoreIoTest, SaveRequiresFinalizedStore) {
+  TripleStore store;
+  store.Add("a", "p", "x", 1.0);
+  const Status s = SaveStore(store, TempPath("unfinalized.sqp"));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StoreIoTest, LoadMissingFileFails) {
+  auto r = LoadStore(TempPath("does_not_exist.sqp"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(StoreIoTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.sqp");
+  std::ofstream out(path, std::ios::binary);
+  out << "NOTASTORE-file-content";
+  out.close();
+  auto r = LoadStore(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, LoadRejectsTruncatedFile) {
+  TripleStore store;
+  store.Add("a", "p", "x", 1.0);
+  store.Add("b", "p", "y", 2.0);
+  store.Finalize();
+  const std::string path = TempPath("full.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+
+  // Truncate the file at several points; every prefix must be rejected.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string blob(size, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(size));
+  in.close();
+
+  for (size_t cut : {size / 4, size / 2, size - 3}) {
+    const std::string cut_path = TempPath("truncated.sqp");
+    std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    auto r = LoadStore(cut_path);
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(StoreIoTest, LoadDetectsBitFlip) {
+  TripleStore store;
+  store.Add("a", "p", "x", 1.0);
+  store.Add("b", "q", "y", 2.0);
+  store.Finalize();
+  const std::string path = TempPath("flip.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string blob(size, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(size));
+  in.close();
+
+  // Flip one payload byte in the middle (inside a section, not the header).
+  blob[size / 2] = static_cast<char>(blob[size / 2] ^ 0x40);
+  const std::string bad_path = TempPath("flipped.sqp");
+  std::ofstream out(bad_path, std::ios::binary);
+  out.write(blob.data(), static_cast<std::streamsize>(size));
+  out.close();
+
+  auto r = LoadStore(bad_path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, LoadRejectsTrailingGarbage) {
+  TripleStore store;
+  store.Add("a", "p", "x", 1.0);
+  store.Finalize();
+  const std::string path = TempPath("trailing.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << "extra";
+  out.close();
+  auto r = LoadStore(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, LoadedStoreAnswersQueries) {
+  Rng rng(1234);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 300;
+  TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+  const std::string path = TempPath("query.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  auto loaded = LoadStore(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Match counts agree on a sample of keys.
+  for (int i = 0; i < 20; ++i) {
+    const Triple& t =
+        store.triple(static_cast<uint32_t>(rng.NextBounded(store.size())));
+    PatternKey key{kInvalidTermId, t.p, t.o};
+    EXPECT_EQ(loaded.value().CountMatches(key), store.CountMatches(key));
+  }
+}
+
+}  // namespace
+}  // namespace specqp

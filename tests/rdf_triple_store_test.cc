@@ -1,0 +1,201 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace specqp {
+namespace {
+
+TripleStore MakeSmallStore() {
+  TripleStore store;
+  store.Add("a", "p", "x", 3.0);
+  store.Add("a", "p", "y", 2.0);
+  store.Add("b", "p", "x", 5.0);
+  store.Add("b", "q", "x", 1.0);
+  store.Add("c", "q", "y", 4.0);
+  store.Finalize();
+  return store;
+}
+
+TEST(TripleStoreTest, SizeAfterFinalize) {
+  TripleStore store = MakeSmallStore();
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_TRUE(store.finalized());
+}
+
+TEST(TripleStoreTest, DuplicatesCollapseKeepingMaxScore) {
+  TripleStore store;
+  store.Add("a", "p", "x", 1.0);
+  store.Add("a", "p", "x", 9.0);
+  store.Add("a", "p", "x", 4.0);
+  store.Finalize();
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.triple(0).score, 9.0);
+}
+
+TEST(TripleStoreTest, ContainsFullyBound) {
+  TripleStore store = MakeSmallStore();
+  EXPECT_TRUE(store.Contains(store.MustId("a"), store.MustId("p"),
+                             store.MustId("x")));
+  EXPECT_FALSE(store.Contains(store.MustId("a"), store.MustId("q"),
+                              store.MustId("x")));
+}
+
+TEST(TripleStoreTest, MatchByPredicateObject) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key{kInvalidTermId, store.MustId("p"), store.MustId("x")};
+  const auto matches = store.MatchIndices(key);
+  ASSERT_EQ(matches.size(), 2u);
+  for (uint32_t idx : matches) {
+    EXPECT_EQ(store.triple(idx).p, store.MustId("p"));
+    EXPECT_EQ(store.triple(idx).o, store.MustId("x"));
+  }
+}
+
+TEST(TripleStoreTest, MatchBySubjectOnly) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key{store.MustId("b"), kInvalidTermId, kInvalidTermId};
+  EXPECT_EQ(store.MatchIndices(key).size(), 2u);
+}
+
+TEST(TripleStoreTest, MatchBySubjectObject) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key{store.MustId("b"), kInvalidTermId, store.MustId("x")};
+  EXPECT_EQ(store.MatchIndices(key).size(), 2u);
+}
+
+TEST(TripleStoreTest, MatchAllWildcards) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key;
+  EXPECT_EQ(store.MatchIndices(key).size(), store.size());
+}
+
+TEST(TripleStoreTest, NoMatches) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key{store.MustId("c"), store.MustId("p"), kInvalidTermId};
+  EXPECT_TRUE(store.MatchIndices(key).empty());
+  EXPECT_EQ(store.CountMatches(key), 0u);
+}
+
+TEST(TripleStoreTest, CountDistinct) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key{kInvalidTermId, store.MustId("p"), kInvalidTermId};
+  EXPECT_EQ(store.CountDistinct(key, 0), 2u);  // subjects a, b
+  EXPECT_EQ(store.CountDistinct(key, 2), 2u);  // objects x, y
+}
+
+TEST(TripleStoreTest, MaxScore) {
+  TripleStore store = MakeSmallStore();
+  PatternKey key{kInvalidTermId, store.MustId("p"), store.MustId("x")};
+  EXPECT_DOUBLE_EQ(store.MaxScore(key), 5.0);
+  PatternKey none{store.MustId("c"), store.MustId("p"), kInvalidTermId};
+  EXPECT_DOUBLE_EQ(store.MaxScore(none), 0.0);
+}
+
+TEST(TripleStoreTest, EmptyStoreFinalizes) {
+  TripleStore store;
+  store.Finalize();
+  EXPECT_EQ(store.size(), 0u);
+  PatternKey key;
+  EXPECT_TRUE(store.MatchIndices(key).empty());
+}
+
+TEST(TripleStoreDeathTest, QueryBeforeFinalizeAborts) {
+  TripleStore store;
+  store.Add("a", "p", "x", 1.0);
+  PatternKey key;
+  EXPECT_DEATH((void)store.MatchIndices(key), "Finalize");
+}
+
+TEST(TripleStoreDeathTest, AddAfterFinalizeAborts) {
+  TripleStore store;
+  store.Finalize();
+  EXPECT_DEATH(store.Add("a", "p", "x", 1.0), "Add after Finalize");
+}
+
+TEST(TripleStoreDeathTest, NegativeScoreAborts) {
+  TripleStore store;
+  EXPECT_DEATH(store.Add("a", "p", "x", -1.0), "negative");
+}
+
+// --- property sweep: every bound/free shape equals brute force -------------
+
+struct ShapeCase {
+  bool bind_s;
+  bool bind_p;
+  bool bind_o;
+};
+
+class TripleStoreShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TripleStoreShapeTest, MatchesEqualBruteForce) {
+  const auto [seed, shape_mask] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  testing::RandomStoreConfig cfg;
+  cfg.num_subjects = 12;
+  cfg.num_predicates = 3;
+  cfg.num_objects = 8;
+  cfg.num_triples = 120;
+  TripleStore store = testing::MakeRandomStore(&rng, cfg);
+
+  // Try several random keys for this bound/free shape.
+  for (int trial = 0; trial < 20; ++trial) {
+    const Triple& anchor =
+        store.triple(static_cast<uint32_t>(rng.NextBounded(store.size())));
+    PatternKey key;
+    if (shape_mask & 1) key.s = anchor.s;
+    if (shape_mask & 2) key.p = anchor.p;
+    if (shape_mask & 4) key.o = anchor.o;
+
+    std::multiset<std::tuple<TermId, TermId, TermId>> expected;
+    for (const Triple& t : store.triples()) {
+      if (key.Matches(t)) expected.insert({t.s, t.p, t.o});
+    }
+    std::multiset<std::tuple<TermId, TermId, TermId>> actual;
+    for (uint32_t idx : store.MatchIndices(key)) {
+      const Triple& t = store.triple(idx);
+      EXPECT_TRUE(key.Matches(t));
+      actual.insert({t.s, t.p, t.o});
+    }
+    EXPECT_EQ(actual, expected) << "shape mask " << shape_mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapesAndSeeds, TripleStoreShapeTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 8)));
+
+// Distinct counts also match brute force across shapes.
+class TripleStoreDistinctTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripleStoreDistinctTest, CountDistinctEqualsBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  testing::RandomStoreConfig cfg;
+  cfg.num_triples = 200;
+  TripleStore store = testing::MakeRandomStore(&rng, cfg);
+
+  const Triple& anchor =
+      store.triple(static_cast<uint32_t>(rng.NextBounded(store.size())));
+  PatternKey key{kInvalidTermId, anchor.p, kInvalidTermId};
+
+  for (int slot : {0, 2}) {
+    std::set<TermId> expected;
+    for (const Triple& t : store.triples()) {
+      if (key.Matches(t)) expected.insert(slot == 0 ? t.s : t.o);
+    }
+    EXPECT_EQ(store.CountDistinct(key, slot), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStoreDistinctTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace specqp

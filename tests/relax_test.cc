@@ -1,0 +1,277 @@
+#include "relax/miner.h"
+#include "relax/relaxation.h"
+#include "relax/relaxation_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace specqp {
+namespace {
+
+RelaxationRule MakeRule(TermId p, TermId from_o, TermId to_o, double w) {
+  return RelaxationRule{PatternKey{kInvalidTermId, p, from_o},
+                        PatternKey{kInvalidTermId, p, to_o}, w};
+}
+
+TEST(RelaxationRuleTest, ValidRulePasses) {
+  EXPECT_TRUE(ValidateRule(MakeRule(1, 2, 3, 0.8)).ok());
+  EXPECT_TRUE(ValidateRule(MakeRule(1, 2, 3, 1.0)).ok());
+}
+
+TEST(RelaxationRuleTest, RejectsBadWeights) {
+  EXPECT_FALSE(ValidateRule(MakeRule(1, 2, 3, 0.0)).ok());
+  EXPECT_FALSE(ValidateRule(MakeRule(1, 2, 3, -0.1)).ok());
+  EXPECT_FALSE(ValidateRule(MakeRule(1, 2, 3, 1.5)).ok());
+}
+
+TEST(RelaxationRuleTest, RejectsMaskChange) {
+  RelaxationRule rule;
+  rule.from = PatternKey{kInvalidTermId, 1, 2};
+  rule.to = PatternKey{5, 1, kInvalidTermId};  // binds s, frees o
+  rule.weight = 0.5;
+  EXPECT_FALSE(ValidateRule(rule).ok());
+}
+
+TEST(RelaxationRuleTest, RejectsSelfRule) {
+  EXPECT_FALSE(ValidateRule(MakeRule(1, 2, 2, 0.5)).ok());
+}
+
+TEST(ApplyRuleTest, SubstitutesConstantsKeepsVariables) {
+  const TriplePattern pattern(PatternTerm::Var(3), PatternTerm::Const(1),
+                              PatternTerm::Const(2));
+  const auto relaxed = ApplyRule(pattern, MakeRule(1, 2, 9, 0.7));
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_TRUE(relaxed.value().s.is_variable());
+  EXPECT_EQ(relaxed.value().s.var(), 3u);
+  EXPECT_EQ(relaxed.value().p.term(), 1u);
+  EXPECT_EQ(relaxed.value().o.term(), 9u);
+}
+
+TEST(ApplyRuleTest, FailsWhenDomainDiffers) {
+  const TriplePattern pattern(PatternTerm::Var(0), PatternTerm::Const(1),
+                              PatternTerm::Const(5));
+  const auto relaxed = ApplyRule(pattern, MakeRule(1, 2, 9, 0.7));
+  EXPECT_FALSE(relaxed.ok());
+  EXPECT_EQ(relaxed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RelaxationIndexTest, RulesSortedByWeightDescending) {
+  RelaxationIndex index;
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 3, 0.5)).ok());
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 4, 0.9)).ok());
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 5, 0.7)).ok());
+  const auto rules = index.RulesFor(PatternKey{kInvalidTermId, 1, 2});
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_DOUBLE_EQ(rules[0].weight, 0.9);
+  EXPECT_DOUBLE_EQ(rules[1].weight, 0.7);
+  EXPECT_DOUBLE_EQ(rules[2].weight, 0.5);
+}
+
+TEST(RelaxationIndexTest, TopRule) {
+  RelaxationIndex index;
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 3, 0.5)).ok());
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 4, 0.9)).ok());
+  const RelaxationRule* top = index.TopRule(PatternKey{kInvalidTermId, 1, 2});
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->to.o, 4u);
+  EXPECT_EQ(index.TopRule(PatternKey{kInvalidTermId, 1, 99}), nullptr);
+}
+
+TEST(RelaxationIndexTest, DuplicateKeepsHigherWeight) {
+  RelaxationIndex index;
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 3, 0.5)).ok());
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 3, 0.8)).ok());
+  const auto rules = index.RulesFor(PatternKey{kInvalidTermId, 1, 2});
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_DOUBLE_EQ(rules[0].weight, 0.8);
+  EXPECT_EQ(index.total_rules(), 1u);
+
+  // Lower weight duplicate is ignored.
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 3, 0.2)).ok());
+  EXPECT_DOUBLE_EQ(index.RulesFor(PatternKey{kInvalidTermId, 1, 2})[0].weight,
+                   0.8);
+}
+
+TEST(RelaxationIndexTest, InvalidRuleRejected) {
+  RelaxationIndex index;
+  EXPECT_FALSE(index.AddRule(MakeRule(1, 2, 2, 0.5)).ok());
+  EXPECT_EQ(index.total_rules(), 0u);
+}
+
+TEST(RelaxationIndexTest, CountsPerDomain) {
+  RelaxationIndex index;
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 3, 0.5)).ok());
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 2, 4, 0.6)).ok());
+  ASSERT_TRUE(index.AddRule(MakeRule(1, 7, 3, 0.5)).ok());
+  EXPECT_EQ(index.NumRulesFor(PatternKey{kInvalidTermId, 1, 2}), 2u);
+  EXPECT_EQ(index.NumRulesFor(PatternKey{kInvalidTermId, 1, 7}), 1u);
+  EXPECT_EQ(index.num_domains(), 2u);
+  EXPECT_EQ(index.total_rules(), 3u);
+}
+
+TEST(RuleToStringTest, RendersReadably) {
+  Dictionary dict;
+  const TermId type = dict.Intern("rdf:type");
+  const TermId singer = dict.Intern("singer");
+  const TermId vocalist = dict.Intern("vocalist");
+  const std::string text =
+      RuleToString(MakeRule(type, singer, vocalist, 0.8), dict);
+  EXPECT_NE(text.find("<singer>"), std::string::npos);
+  EXPECT_NE(text.find("<vocalist>"), std::string::npos);
+  EXPECT_NE(text.find("0.8"), std::string::npos);
+}
+
+// --- miner -------------------------------------------------------------------
+
+TEST(MinerTest, CooccurrenceWeightsMatchPaperFormula) {
+  // tweets: t1{a,b}, t2{a,b}, t3{a,c}, t4{b}
+  TripleStore store;
+  store.Add("t1", "hasTag", "a", 1.0);
+  store.Add("t1", "hasTag", "b", 1.0);
+  store.Add("t2", "hasTag", "a", 1.0);
+  store.Add("t2", "hasTag", "b", 1.0);
+  store.Add("t3", "hasTag", "a", 1.0);
+  store.Add("t3", "hasTag", "c", 1.0);
+  store.Add("t4", "hasTag", "b", 1.0);
+  store.Finalize();
+
+  MinerOptions options;
+  options.min_support = 1;
+  options.min_weight = 0.0;
+  options.weight_cap = 1.0;
+  RelaxationIndex index;
+  ASSERT_TRUE(MineObjectCooccurrence(store, store.MustId("hasTag"), options,
+                                     &index)
+                  .ok());
+
+  const TermId has_tag = store.MustId("hasTag");
+  auto weight_of = [&](const char* from, const char* to) -> double {
+    for (const RelaxationRule& r : index.RulesFor(
+             PatternKey{kInvalidTermId, has_tag, store.MustId(from)})) {
+      if (r.to.o == store.MustId(to)) return r.weight;
+    }
+    return -1.0;
+  };
+
+  // w(a -> b) = #tweets(a ∧ b) / #tweets(a) = 2/3.
+  EXPECT_NEAR(weight_of("a", "b"), 2.0 / 3.0, 1e-9);
+  // w(b -> a) = 2/3 as well (b occurs in 3 tweets, 2 shared with a).
+  EXPECT_NEAR(weight_of("b", "a"), 2.0 / 3.0, 1e-9);
+  // w(c -> a) = 1/1 = 1.0 (capped at 1.0 here).
+  EXPECT_NEAR(weight_of("c", "a"), 1.0, 1e-9);
+  // a and c share one tweet out of a's three.
+  EXPECT_NEAR(weight_of("a", "c"), 1.0 / 3.0, 1e-9);
+  // b and c never co-occur.
+  EXPECT_DOUBLE_EQ(weight_of("b", "c"), -1.0);
+}
+
+TEST(MinerTest, MinSupportFilters) {
+  TripleStore store;
+  store.Add("t1", "hasTag", "a", 1.0);
+  store.Add("t1", "hasTag", "b", 1.0);
+  store.Add("t2", "hasTag", "a", 1.0);
+  store.Add("t2", "hasTag", "c", 1.0);
+  store.Add("t3", "hasTag", "a", 1.0);
+  store.Add("t3", "hasTag", "c", 1.0);
+  store.Finalize();
+
+  MinerOptions options;
+  options.min_support = 2;
+  options.min_weight = 0.0;
+  RelaxationIndex index;
+  ASSERT_TRUE(MineObjectCooccurrence(store, store.MustId("hasTag"), options,
+                                     &index)
+                  .ok());
+  const TermId has_tag = store.MustId("hasTag");
+  // (a -> c) has support 2: kept. (a -> b) has support 1: dropped.
+  const auto rules =
+      index.RulesFor(PatternKey{kInvalidTermId, has_tag, store.MustId("a")});
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].to.o, store.MustId("c"));
+}
+
+TEST(MinerTest, WeightCapApplies) {
+  TripleStore store;
+  store.Add("t1", "hasTag", "a", 1.0);
+  store.Add("t1", "hasTag", "b", 1.0);
+  store.Add("t2", "hasTag", "a", 1.0);
+  store.Add("t2", "hasTag", "b", 1.0);
+  store.Finalize();
+
+  MinerOptions options;
+  options.min_support = 1;
+  options.weight_cap = 0.9;
+  RelaxationIndex index;
+  ASSERT_TRUE(MineObjectCooccurrence(store, store.MustId("hasTag"), options,
+                                     &index)
+                  .ok());
+  for (const RelaxationRule& r : index.RulesFor(PatternKey{
+           kInvalidTermId, store.MustId("hasTag"), store.MustId("a")})) {
+    EXPECT_LE(r.weight, 0.9);
+  }
+}
+
+TEST(MinerTest, MaxRulesPerPatternRespected) {
+  // One hub tag co-occurring with many others.
+  TripleStore store;
+  for (int i = 0; i < 30; ++i) {
+    const std::string tweet = "t" + std::to_string(i);
+    const std::string other = "tag" + std::to_string(i);
+    store.Add(tweet, "hasTag", "hub", 1.0);
+    store.Add(tweet, "hasTag", other, 1.0);
+  }
+  store.Finalize();
+
+  MinerOptions options;
+  options.min_support = 1;
+  options.min_weight = 0.0;
+  options.max_rules_per_pattern = 10;
+  RelaxationIndex index;
+  ASSERT_TRUE(MineObjectCooccurrence(store, store.MustId("hasTag"), options,
+                                     &index)
+                  .ok());
+  EXPECT_LE(index.NumRulesFor(PatternKey{kInvalidTermId,
+                                         store.MustId("hasTag"),
+                                         store.MustId("hub")}),
+            10u);
+}
+
+TEST(MinerTest, RequiresFinalizedStore) {
+  TripleStore store;
+  store.Add("t1", "hasTag", "a", 1.0);
+  RelaxationIndex index;
+  const Status s =
+      MineObjectCooccurrence(store, 0, MinerOptions{}, &index);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MinerTest, AllMinedRulesAreValid) {
+  Rng rng(321);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 400;
+  TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+  RelaxationIndex index;
+  MinerOptions options;
+  options.min_support = 1;
+  for (size_t p = 0; p < 4; ++p) {
+    const auto id = store.dict().Find("p" + std::to_string(p));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(
+        MineObjectCooccurrence(store, id.value(), options, &index).ok());
+  }
+  // Spot-check: every stored rule validates and stays within (0, cap].
+  size_t checked = 0;
+  for (const Triple& t : store.triples()) {
+    for (const RelaxationRule& r :
+         index.RulesFor(PatternKey{kInvalidTermId, t.p, t.o})) {
+      EXPECT_TRUE(ValidateRule(r).ok());
+      EXPECT_LE(r.weight, options.weight_cap);
+      ++checked;
+      if (checked > 500) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specqp

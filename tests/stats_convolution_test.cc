@@ -1,0 +1,146 @@
+#include "stats/convolution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/grid_pdf.h"
+
+namespace specqp {
+namespace {
+
+// Direct numerical convolution for cross-checking.
+double NumericConvolutionAt(const TwoBucketHistogram& a,
+                            const TwoBucketHistogram& b, double z) {
+  const int steps = 20000;
+  double sum = 0.0;
+  const double lo = 0.0;
+  const double hi = a.upper();
+  for (int i = 0; i < steps; ++i) {
+    const double t = lo + (hi - lo) * (i + 0.5) / steps;
+    sum += a.Pdf(t) * b.Pdf(z - t) * (hi - lo) / steps;
+  }
+  return sum;
+}
+
+TEST(ConvolveTwoBucketTest, MassIsOne) {
+  TwoBucketHistogram a(0.4, 0.8);
+  TwoBucketHistogram b(0.7, 0.75);
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, b);
+  EXPECT_NEAR(conv.Cdf(conv.upper()), 1.0, 1e-12);
+  EXPECT_NEAR(conv.upper(), a.upper() + b.upper(), 1e-12);
+}
+
+TEST(ConvolveTwoBucketTest, MeansAdd) {
+  TwoBucketHistogram a(0.4, 0.8);
+  TwoBucketHistogram b(0.7, 0.75);
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, b);
+  EXPECT_NEAR(conv.Mean(), a.Mean() + b.Mean(), 1e-9);
+}
+
+TEST(ConvolveTwoBucketTest, MatchesNumericConvolutionPointwise) {
+  TwoBucketHistogram a(0.3, 0.8);
+  TwoBucketHistogram b(0.6, 0.7);
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, b);
+  for (double z : {0.1, 0.45, 0.9, 1.3, 1.7, 1.95}) {
+    EXPECT_NEAR(conv.Pdf(z), NumericConvolutionAt(a, b, z), 2e-3)
+        << "z=" << z;
+  }
+}
+
+TEST(ConvolveTwoBucketTest, ScaledInputsShiftSupport) {
+  TwoBucketHistogram a(0.5, 0.8);
+  TwoBucketHistogram b = a.ScaledBy(0.5);  // support [0, 0.5]
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, b);
+  EXPECT_NEAR(conv.upper(), 1.5, 1e-12);
+  EXPECT_NEAR(conv.Mean(), a.Mean() * 1.5, 1e-9);
+}
+
+TEST(ConvolveTwoBucketTest, CommutativeUpToNumerics) {
+  TwoBucketHistogram a(0.2, 0.9);
+  TwoBucketHistogram b(0.75, 0.6);
+  PiecewiseLinearPdf ab = ConvolveTwoBucket(a, b);
+  PiecewiseLinearPdf ba = ConvolveTwoBucket(b, a);
+  for (double z : {0.2, 0.7, 1.1, 1.6}) {
+    EXPECT_NEAR(ab.Pdf(z), ba.Pdf(z), 1e-9);
+    EXPECT_NEAR(ab.Cdf(z), ba.Cdf(z), 1e-9);
+  }
+}
+
+TEST(ConvolveTwoBucketTest, AgreesWithGridConvolution) {
+  TwoBucketHistogram a(0.35, 0.8);
+  TwoBucketHistogram b(0.55, 0.8);
+  PiecewiseLinearPdf exact = ConvolveTwoBucket(a, b);
+  const double delta = 1.0 / 1024.0;
+  GridPdf grid = GridPdf::Convolve(GridPdf::FromDistribution(a, delta),
+                                   GridPdf::FromDistribution(b, delta));
+  for (double z : {0.3, 0.8, 1.2, 1.7}) {
+    EXPECT_NEAR(exact.Cdf(z), grid.Cdf(z), 5e-3) << "z=" << z;
+  }
+}
+
+// --- refit -------------------------------------------------------------------
+
+TEST(RefitTwoBucketTest, PreservesSupportAndHeadFraction) {
+  TwoBucketHistogram a(0.4, 0.8);
+  TwoBucketHistogram b(0.6, 0.8);
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, b);
+  TwoBucketHistogram refit = RefitTwoBucket(conv, 0.8);
+  EXPECT_DOUBLE_EQ(refit.upper(), conv.upper());
+  EXPECT_DOUBLE_EQ(refit.head_mass(), 0.8);
+  // The boundary splits the *score mass* 80/20.
+  const double above = conv.PartialExpectationAbove(refit.sigma_r());
+  EXPECT_NEAR(above / conv.Mean(), 0.8, 1e-6);
+}
+
+TEST(RefitTwoBucketTest, RefitOfTwoBucketKeepsMeanClose) {
+  // Refitting an already-two-bucket-like shape should approximately
+  // preserve its first moment.
+  TwoBucketHistogram a(0.5, 0.8);
+  TwoBucketHistogram b(0.5, 0.8);
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, b);
+  TwoBucketHistogram refit = RefitTwoBucket(conv, 0.8);
+  EXPECT_NEAR(refit.Mean(), conv.Mean(), 0.15 * conv.Mean());
+}
+
+TEST(RefitTwoBucketTest, RepeatedRefitStaysWellFormed) {
+  // Refitting is not idempotent in sigma_r (each refit redistributes mass
+  // within its buckets), but it must keep the model well-formed and the
+  // boundary inside the support, with the head fraction pinned.
+  TwoBucketHistogram a(0.3, 0.8);
+  TwoBucketHistogram b(0.7, 0.6);
+  TwoBucketHistogram acc = RefitTwoBucket(ConvolveTwoBucket(a, b), 0.8);
+  for (int i = 0; i < 4; ++i) {
+    acc = RefitTwoBucket(acc, 0.8);
+    EXPECT_DOUBLE_EQ(acc.head_mass(), 0.8);
+    EXPECT_GT(acc.sigma_r(), 0.0);
+    EXPECT_LT(acc.sigma_r(), acc.upper());
+    EXPECT_NEAR(acc.Cdf(acc.upper()), 1.0, 1e-12);
+  }
+}
+
+TEST(RefitTwoBucketTest, ChainedConvolutionStaysNormalised) {
+  // Three-pattern estimation path: convolve, refit, convolve again.
+  TwoBucketHistogram h(0.5, 0.8);
+  TwoBucketHistogram acc = h;
+  for (int i = 0; i < 3; ++i) {
+    PiecewiseLinearPdf conv = ConvolveTwoBucket(acc, h);
+    acc = RefitTwoBucket(conv, 0.8);
+    EXPECT_NEAR(acc.Cdf(acc.upper()), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.upper(), 1.0 + (i + 1) * 1.0);
+  }
+}
+
+TEST(RefitTwoBucketTest, DifferentHeadFractions) {
+  TwoBucketHistogram a(0.4, 0.8);
+  PiecewiseLinearPdf conv = ConvolveTwoBucket(a, a);
+  for (double frac : {0.5, 0.7, 0.9}) {
+    TwoBucketHistogram refit = RefitTwoBucket(conv, frac);
+    EXPECT_DOUBLE_EQ(refit.head_mass(), frac);
+    EXPECT_NEAR(conv.PartialExpectationAbove(refit.sigma_r()) / conv.Mean(),
+                frac, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,182 @@
+#include "stats/two_bucket_histogram.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace specqp {
+namespace {
+
+TEST(TwoBucketHistogramTest, PaperFormulaHeights) {
+  // sigma_r = 0.5, head_mass = 0.8 (the canonical 80/20 fit): the tail
+  // bucket [0, 0.5) carries probability 0.2, the head [0.5, 1] carries 0.8.
+  TwoBucketHistogram h(0.5, 0.8);
+  EXPECT_NEAR(h.Pdf(0.25), 0.2 / 0.5, 1e-12);
+  EXPECT_NEAR(h.Pdf(0.75), 0.8 / 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(h.Pdf(1.1), 0.0);
+}
+
+TEST(TwoBucketHistogramTest, PdfIntegratesToOne) {
+  for (double sigma : {0.1, 0.3, 0.5, 0.9}) {
+    for (double head : {0.0, 0.2, 0.8, 1.0}) {
+      TwoBucketHistogram h(sigma, head);
+      // Numerically integrate the pdf.
+      double mass = 0.0;
+      const int steps = 20000;
+      for (int i = 0; i < steps; ++i) {
+        const double x = (i + 0.5) / steps;
+        mass += h.Pdf(x) / steps;
+      }
+      EXPECT_NEAR(mass, 1.0, 1e-3) << "sigma=" << sigma << " head=" << head;
+    }
+  }
+}
+
+TEST(TwoBucketHistogramTest, CdfEndpointsAndBoundary) {
+  TwoBucketHistogram h(0.5, 0.8);
+  EXPECT_DOUBLE_EQ(h.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(1.0), 1.0);
+  EXPECT_NEAR(h.Cdf(0.5), 0.2, 1e-12);  // P(X < sigma_r) = 1 - head_mass
+}
+
+TEST(TwoBucketHistogramTest, CdfMonotone) {
+  TwoBucketHistogram h(0.3, 0.7);
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double c = h.Cdf(i / 100.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(TwoBucketHistogramTest, InverseCdfInvertsCdf) {
+  TwoBucketHistogram h(0.4, 0.8);
+  for (double p : {0.0, 0.05, 0.2, 0.21, 0.5, 0.8, 0.99, 1.0}) {
+    const double x = h.InverseCdf(p);
+    EXPECT_NEAR(h.Cdf(x), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(TwoBucketHistogramTest, InverseCdfClampsOutOfRange) {
+  TwoBucketHistogram h(0.4, 0.8);
+  EXPECT_DOUBLE_EQ(h.InverseCdf(-0.5), h.InverseCdf(0.0));
+  EXPECT_NEAR(h.InverseCdf(2.0), 1.0, 1e-9);
+}
+
+TEST(TwoBucketHistogramTest, MeanMatchesNumericIntegral) {
+  for (double sigma : {0.2, 0.5, 0.8}) {
+    for (double head : {0.3, 0.8}) {
+      TwoBucketHistogram h(sigma, head);
+      double mean = 0.0;
+      const int steps = 20000;
+      for (int i = 0; i < steps; ++i) {
+        const double x = (i + 0.5) / steps;
+        mean += x * h.Pdf(x) / steps;
+      }
+      EXPECT_NEAR(h.Mean(), mean, 1e-3);
+    }
+  }
+}
+
+TEST(TwoBucketHistogramTest, PartialExpectationMatchesNumericIntegral) {
+  TwoBucketHistogram h(0.4, 0.8);
+  for (double t : {0.0, 0.2, 0.4, 0.7, 1.0}) {
+    double expected = 0.0;
+    const int steps = 20000;
+    for (int i = 0; i < steps; ++i) {
+      const double x = (i + 0.5) / steps;
+      if (x >= t) expected += x * h.Pdf(x) / steps;
+    }
+    EXPECT_NEAR(h.PartialExpectationAbove(t), expected, 1e-3) << "t=" << t;
+  }
+  EXPECT_NEAR(h.PartialExpectationAbove(0.0), h.Mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.PartialExpectationAbove(1.0), 0.0);
+}
+
+TEST(TwoBucketHistogramTest, ScaledBySquashesSupport) {
+  TwoBucketHistogram h(0.5, 0.8);
+  TwoBucketHistogram s = h.ScaledBy(0.5);
+  EXPECT_DOUBLE_EQ(s.upper(), 0.5);
+  EXPECT_DOUBLE_EQ(s.sigma_r(), 0.25);
+  EXPECT_DOUBLE_EQ(s.head_mass(), 0.8);
+  // Scaling is a change of variable: mean scales linearly.
+  EXPECT_NEAR(s.Mean(), 0.5 * h.Mean(), 1e-12);
+  // Quantiles scale too.
+  EXPECT_NEAR(s.InverseCdf(0.9), 0.5 * h.InverseCdf(0.9), 1e-12);
+}
+
+TEST(TwoBucketHistogramTest, FromScoresFindsEightyPercentBoundary) {
+  // Scores: 10, 5, 2, 1, 1, 1 (total 20; head 0.8*20=16 reached at rank 2,
+  // cumulative 15 < 16 at rank 2... cumulative 10, 15, 17 -> rank 3).
+  std::vector<double> scores = {1.0, 0.5, 0.2, 0.1, 0.1, 0.1};
+  TwoBucketHistogram h = TwoBucketHistogram::FromScores(scores);
+  // Cumulative normalised: 1.0, 1.5, 1.7 of total 2.0 -> 1.7 >= 1.6 at the
+  // third score (0.2).
+  EXPECT_DOUBLE_EQ(h.sigma_r(), 0.2);
+  EXPECT_NEAR(h.head_mass(), 1.7 / 2.0, 1e-12);
+}
+
+TEST(TwoBucketHistogramTest, FromScoresSingleAnswer) {
+  std::vector<double> scores = {1.0};
+  TwoBucketHistogram h = TwoBucketHistogram::FromScores(scores);
+  // The single score holds all the mass; sigma_r clamps just below 1.
+  EXPECT_NEAR(h.sigma_r(), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.head_mass(), 1.0);
+}
+
+TEST(TwoBucketHistogramTest, FromScoresAllZero) {
+  std::vector<double> scores = {0.0, 0.0, 0.0};
+  TwoBucketHistogram h = TwoBucketHistogram::FromScores(scores);
+  EXPECT_DOUBLE_EQ(h.head_mass(), 0.0);
+  EXPECT_GE(h.Mean(), 0.0);
+}
+
+TEST(TwoBucketHistogramTest, FromScoresUniformScores) {
+  // All scores equal: the 80% boundary lands at ceil(0.8 * n) ranks in.
+  std::vector<double> scores(10, 1.0);
+  TwoBucketHistogram h = TwoBucketHistogram::FromScores(scores);
+  EXPECT_DOUBLE_EQ(h.sigma_r(), 1.0 - TwoBucketHistogram::kMinBucketWidth);
+  EXPECT_NEAR(h.head_mass(), 0.8, 1e-12);
+}
+
+TEST(TwoBucketHistogramTest, ClampsDegenerateSigma) {
+  // sigma_r out of range gets clamped rather than producing infinities.
+  TwoBucketHistogram low(0.0, 0.5);
+  EXPECT_GT(low.sigma_r(), 0.0);
+  EXPECT_TRUE(std::isfinite(low.Pdf(low.sigma_r() / 2)));
+  TwoBucketHistogram high(1.0, 0.5);
+  EXPECT_LT(high.sigma_r(), 1.0);
+  EXPECT_TRUE(std::isfinite(high.Pdf(1.0)));
+}
+
+TEST(TwoBucketHistogramTest, CustomUpperSupport) {
+  TwoBucketHistogram h(1.0, 0.8, 2.0);
+  EXPECT_DOUBLE_EQ(h.upper(), 2.0);
+  EXPECT_DOUBLE_EQ(h.Cdf(2.0), 1.0);
+  EXPECT_NEAR(h.Cdf(1.0), 0.2, 1e-12);
+  EXPECT_GT(h.Mean(), 1.0);  // most mass in [1, 2]
+}
+
+// Property sweep: InverseCdf is the (pseudo-)inverse across a grid of
+// parameters.
+class HistogramRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(HistogramRoundTripTest, CdfInverseCdfRoundTrip) {
+  const auto [sigma, head] = GetParam();
+  TwoBucketHistogram h(sigma, head);
+  for (int i = 0; i <= 20; ++i) {
+    const double p = i / 20.0;
+    EXPECT_NEAR(h.Cdf(h.InverseCdf(p)), p, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, HistogramRoundTripTest,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9),
+                       ::testing::Values(0.1, 0.5, 0.8, 0.95)));
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,100 @@
+#include "stats/order_statistics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/piecewise.h"
+#include "stats/two_bucket_histogram.h"
+#include "util/random.h"
+
+namespace specqp {
+namespace {
+
+// Uniform[0, 1] as a degenerate two-bucket histogram (equal densities).
+TwoBucketHistogram Uniform01() { return TwoBucketHistogram(0.5, 0.5); }
+
+TEST(OrderStatisticsTest, UniformClosedForm) {
+  // For Uniform(0,1), E(X_(i)) = i/(n+1) exactly; rank r maps to
+  // i = n - r + 1.
+  TwoBucketHistogram u = Uniform01();
+  const double n = 9.0;
+  EXPECT_NEAR(ExpectedScoreAtRank(u, n, 1), 9.0 / 10.0, 1e-9);
+  EXPECT_NEAR(ExpectedScoreAtRank(u, n, 5), 5.0 / 10.0, 1e-9);
+  EXPECT_NEAR(ExpectedScoreAtRank(u, n, 9), 1.0 / 10.0, 1e-9);
+}
+
+TEST(OrderStatisticsTest, RankBeyondSampleIsZero) {
+  TwoBucketHistogram u = Uniform01();
+  EXPECT_DOUBLE_EQ(ExpectedScoreAtRank(u, 3.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedScoreAtRank(u, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedScoreAtRank(u, 2.9, 3), 0.0);
+}
+
+TEST(OrderStatisticsTest, FractionalCardinalityAccepted) {
+  TwoBucketHistogram u = Uniform01();
+  const double v = ExpectedScoreAtRank(u, 10.5, 1);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(OrderStatisticsTest, MonotoneInRank) {
+  TwoBucketHistogram h(0.4, 0.8);
+  const double n = 50.0;
+  double prev = 2.0;
+  for (uint64_t rank = 1; rank <= 50; ++rank) {
+    const double v = ExpectedScoreAtRank(h, n, rank);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(OrderStatisticsTest, MonotoneInSampleSize) {
+  // More answers -> higher expected best score.
+  TwoBucketHistogram h(0.4, 0.8);
+  double prev = 0.0;
+  for (double n : {1.0, 5.0, 25.0, 125.0, 625.0}) {
+    const double v = ExpectedTopScore(h, n);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(OrderStatisticsTest, TopScoreApproachesUpper) {
+  TwoBucketHistogram h(0.4, 0.8);
+  EXPECT_GT(ExpectedTopScore(h, 1e6), 0.99);
+}
+
+TEST(OrderStatisticsTest, EmpiricalAgreementTwoBucket) {
+  // Monte-Carlo cross-check: sample n values, compare the mean observed
+  // k-th maximum against the estimator.
+  TwoBucketHistogram h(0.5, 0.8);
+  Rng rng(2024);
+  const size_t n = 200;
+  const size_t trials = 400;
+  std::vector<double> top1_sum(3, 0.0);
+  for (size_t t = 0; t < trials; ++t) {
+    std::vector<double> sample(n);
+    for (size_t i = 0; i < n; ++i) sample[i] = h.InverseCdf(rng.NextDouble());
+    std::sort(sample.begin(), sample.end(), std::greater<>());
+    top1_sum[0] += sample[0];
+    top1_sum[1] += sample[4];
+    top1_sum[2] += sample[19];
+  }
+  EXPECT_NEAR(top1_sum[0] / trials, ExpectedScoreAtRank(h, n, 1), 0.02);
+  EXPECT_NEAR(top1_sum[1] / trials, ExpectedScoreAtRank(h, n, 5), 0.02);
+  EXPECT_NEAR(top1_sum[2] / trials, ExpectedScoreAtRank(h, n, 20), 0.02);
+}
+
+TEST(OrderStatisticsTest, WorksWithPiecewiseLinear) {
+  PiecewiseLinearPdf tri({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  const double n = 99.0;
+  const double top = ExpectedScoreAtRank(tri, n, 1);
+  const double mid = ExpectedScoreAtRank(tri, n, 50);
+  EXPECT_GT(top, 1.7);  // quantile 0.99 of the triangle
+  EXPECT_NEAR(mid, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,156 @@
+#include "stats/grid_pdf.h"
+#include "stats/piecewise.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/two_bucket_histogram.h"
+
+namespace specqp {
+namespace {
+
+// Triangle density on [0, 2] peaking at 1 (the convolution of two
+// uniform[0,1] densities — a handy analytically-known case).
+PiecewiseLinearPdf Triangle() {
+  return PiecewiseLinearPdf({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+}
+
+TEST(PiecewiseLinearPdfTest, NormalisesMass) {
+  // Un-normalised heights get rescaled to total mass 1.
+  PiecewiseLinearPdf pdf({{0.0, 0.0}, {1.0, 5.0}, {2.0, 0.0}});
+  EXPECT_NEAR(pdf.Cdf(2.0), 1.0, 1e-12);
+  EXPECT_NEAR(pdf.Pdf(1.0), 1.0, 1e-12);
+}
+
+TEST(PiecewiseLinearPdfTest, PdfInterpolatesLinearly) {
+  PiecewiseLinearPdf pdf = Triangle();
+  EXPECT_NEAR(pdf.Pdf(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.Pdf(1.5), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf.Pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Pdf(2.1), 0.0);
+}
+
+TEST(PiecewiseLinearPdfTest, CdfOfTriangle) {
+  PiecewiseLinearPdf pdf = Triangle();
+  EXPECT_DOUBLE_EQ(pdf.Cdf(0.0), 0.0);
+  EXPECT_NEAR(pdf.Cdf(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.Cdf(0.5), 0.125, 1e-12);  // x^2/2 at 0.5
+  EXPECT_NEAR(pdf.Cdf(1.5), 0.875, 1e-12);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(2.0), 1.0);
+}
+
+TEST(PiecewiseLinearPdfTest, CdfMonotone) {
+  PiecewiseLinearPdf pdf({{0.0, 0.3}, {0.5, 1.4}, {0.8, 0.1}, {2.0, 0.9}});
+  double prev = -1.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double c = pdf.Cdf(i / 100.0);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(PiecewiseLinearPdfTest, InverseCdfInvertsCdf) {
+  PiecewiseLinearPdf pdf({{0.0, 0.3}, {0.5, 1.4}, {0.8, 0.1}, {2.0, 0.9}});
+  for (int i = 0; i <= 40; ++i) {
+    const double p = i / 40.0;
+    const double x = pdf.InverseCdf(p);
+    EXPECT_NEAR(pdf.Cdf(x), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(PiecewiseLinearPdfTest, MeanOfTriangle) {
+  EXPECT_NEAR(Triangle().Mean(), 1.0, 1e-12);
+}
+
+TEST(PiecewiseLinearPdfTest, MeanOfAsymmetricShape) {
+  // Uniform on [0, 1]: mean 0.5.
+  PiecewiseLinearPdf uniform({{0.0, 1.0}, {1.0, 1.0}});
+  EXPECT_NEAR(uniform.Mean(), 0.5, 1e-12);
+}
+
+TEST(PiecewiseLinearPdfTest, PartialExpectationAboveMatchesNumeric) {
+  PiecewiseLinearPdf pdf({{0.0, 0.3}, {0.5, 1.4}, {0.8, 0.1}, {2.0, 0.9}});
+  for (double t : {0.0, 0.3, 0.5, 0.65, 1.2, 2.0}) {
+    double numeric = 0.0;
+    const int steps = 40000;
+    for (int i = 0; i < steps; ++i) {
+      const double x = 2.0 * (i + 0.5) / steps;
+      if (x >= t) numeric += x * pdf.Pdf(x) * 2.0 / steps;
+    }
+    EXPECT_NEAR(pdf.PartialExpectationAbove(t), numeric, 2e-3) << "t=" << t;
+  }
+  EXPECT_NEAR(pdf.PartialExpectationAbove(0.0), pdf.Mean(), 1e-12);
+}
+
+TEST(PiecewiseLinearPdfTest, MassAbove) {
+  PiecewiseLinearPdf pdf = Triangle();
+  EXPECT_NEAR(pdf.MassAbove(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.MassAbove(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(pdf.MassAbove(2.0), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinearPdfDeathTest, RejectsBadKnots) {
+  EXPECT_DEATH(PiecewiseLinearPdf({{0.0, 1.0}}), "two knots");
+  EXPECT_DEATH(PiecewiseLinearPdf({{0.0, 1.0}, {0.0, 1.0}}),
+               "strictly increasing");
+  EXPECT_DEATH(PiecewiseLinearPdf({{0.0, 1.0}, {1.0, -2.0}}), "negative");
+}
+
+// --- GridPdf ------------------------------------------------------------------
+
+TEST(GridPdfTest, FromDistributionPreservesShape) {
+  TwoBucketHistogram h(0.5, 0.8);
+  GridPdf grid = GridPdf::FromDistribution(h, 1.0 / 1024.0);
+  EXPECT_NEAR(grid.Cdf(0.5), h.Cdf(0.5), 1e-3);
+  EXPECT_NEAR(grid.Mean(), h.Mean(), 1e-3);
+  EXPECT_NEAR(grid.InverseCdf(0.9), h.InverseCdf(0.9), 2e-3);
+}
+
+TEST(GridPdfTest, CdfMonotoneAndNormalised) {
+  TwoBucketHistogram h(0.3, 0.7);
+  GridPdf grid = GridPdf::FromDistribution(h, 1.0 / 256.0);
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double c = grid.Cdf(i / 100.0);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(grid.Cdf(grid.upper()), 1.0);
+}
+
+TEST(GridPdfTest, ConvolveMatchesTriangle) {
+  // uniform[0,1] * uniform[0,1] = triangle on [0,2].
+  PiecewiseLinearPdf uniform({{0.0, 1.0}, {1.0, 1.0}});
+  const double delta = 1.0 / 512.0;
+  GridPdf a = GridPdf::FromDistribution(uniform, delta);
+  GridPdf sum = GridPdf::Convolve(a, a);
+  PiecewiseLinearPdf triangle = Triangle();
+  EXPECT_NEAR(sum.Mean(), 1.0, 1e-3);
+  for (double x : {0.25, 0.75, 1.0, 1.5, 1.9}) {
+    EXPECT_NEAR(sum.Cdf(x), triangle.Cdf(x), 5e-3) << "x=" << x;
+  }
+}
+
+TEST(GridPdfTest, ConvolveMeansAdd) {
+  TwoBucketHistogram h1(0.4, 0.8);
+  TwoBucketHistogram h2(0.6, 0.7);
+  const double delta = 1.0 / 512.0;
+  GridPdf a = GridPdf::FromDistribution(h1, delta);
+  GridPdf b = GridPdf::FromDistribution(h2, delta);
+  GridPdf sum = GridPdf::Convolve(a, b);
+  EXPECT_NEAR(sum.Mean(), h1.Mean() + h2.Mean(), 3e-3);
+  EXPECT_NEAR(sum.upper(), 2.0, delta * 2);
+}
+
+TEST(GridPdfTest, PartialExpectationAboveConsistent) {
+  TwoBucketHistogram h(0.5, 0.8);
+  GridPdf grid = GridPdf::FromDistribution(h, 1.0 / 1024.0);
+  for (double t : {0.0, 0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(grid.PartialExpectationAbove(t),
+                h.PartialExpectationAbove(t), 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,244 @@
+#include "topk/rank_join.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "topk/top_k.h"
+
+namespace specqp {
+namespace {
+
+using specqp::testing::Drain;
+using specqp::testing::VectorIterator;
+
+// Rows over a 2-variable schema: var 0 is the join key, var 1 carries a
+// side-specific payload so merged rows are distinguishable.
+std::unique_ptr<VectorIterator> LeftInput(
+    const std::vector<std::pair<TermId, double>>& rows) {
+  std::vector<ScoredRow> v;
+  for (const auto& [key, score] : rows) {
+    ScoredRow row(2, score);
+    row.bindings[0] = key;
+    v.push_back(std::move(row));
+  }
+  return std::make_unique<VectorIterator>(std::move(v));
+}
+
+std::unique_ptr<VectorIterator> RightInput(
+    const std::vector<std::tuple<TermId, TermId, double>>& rows) {
+  std::vector<ScoredRow> v;
+  for (const auto& [key, payload, score] : rows) {
+    ScoredRow row(2, score);
+    row.bindings[0] = key;
+    row.bindings[1] = payload;
+    v.push_back(std::move(row));
+  }
+  return std::make_unique<VectorIterator>(std::move(v));
+}
+
+TEST(RankJoinTest, JoinsOnSharedVariable) {
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}, {2, 0.5}}),
+                RightInput({{1, 10, 0.8}, {3, 30, 0.7}, {2, 20, 0.6}}),
+                {0}, &stats);
+  const auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 0.9 + 0.8);
+  EXPECT_EQ(rows[0].bindings[0], 1u);
+  EXPECT_EQ(rows[0].bindings[1], 10u);
+  EXPECT_DOUBLE_EQ(rows[1].score, 0.5 + 0.6);
+  EXPECT_EQ(rows[1].bindings[1], 20u);
+}
+
+TEST(RankJoinTest, EmitsInDescendingScoreOrder) {
+  ExecStats stats;
+  RankJoin join(
+      LeftInput({{1, 0.9}, {2, 0.85}, {3, 0.2}}),
+      RightInput({{3, 33, 1.0}, {2, 22, 0.4}, {1, 11, 0.05}}), {0}, &stats);
+  const auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 3u);
+  // Scores: 1+0.05=0.95? no: (1:0.9+0.05=0.95), (2:0.85+0.4=1.25),
+  // (3:0.2+1.0=1.2) -> order 1.25, 1.2, 0.95.
+  EXPECT_DOUBLE_EQ(rows[0].score, 1.25);
+  EXPECT_DOUBLE_EQ(rows[1].score, 1.2);
+  EXPECT_DOUBLE_EQ(rows[2].score, 0.95);
+}
+
+TEST(RankJoinTest, EmptyInputs) {
+  ExecStats stats;
+  RankJoin join(LeftInput({}), RightInput({{1, 10, 0.8}}), {0}, &stats);
+  ScoredRow row;
+  EXPECT_FALSE(join.Next(&row));
+  EXPECT_FALSE(join.Next(&row));
+}
+
+TEST(RankJoinTest, NoMatchingKeys) {
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}}), RightInput({{2, 20, 0.8}}), {0},
+                &stats);
+  ScoredRow row;
+  EXPECT_FALSE(join.Next(&row));
+  EXPECT_EQ(stats.join_results, 0u);
+}
+
+TEST(RankJoinTest, OneToManyJoin) {
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}}),
+                RightInput({{1, 10, 0.8}, {1, 11, 0.5}, {1, 12, 0.1}}), {0},
+                &stats);
+  const auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 1.7);
+  EXPECT_DOUBLE_EQ(rows[2].score, 1.0);
+  EXPECT_EQ(stats.join_results, 3u);
+}
+
+TEST(RankJoinTest, CrossProductWhenNoJoinVars) {
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}, {2, 0.5}}),
+                RightInput({{0, 10, 0.8}, {0, 11, 0.3}}), {}, &stats);
+  const auto rows = Drain(&join);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 1.7);
+  double prev = 2.0;
+  for (const ScoredRow& row : rows) {
+    EXPECT_LE(row.score, prev + 1e-12);
+    prev = row.score;
+  }
+}
+
+TEST(RankJoinTest, UpperBoundNeverIncreasesAndBoundsEmissions) {
+  ExecStats stats;
+  RankJoin join(
+      LeftInput({{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.1}}),
+      RightInput(
+          {{4, 44, 0.95}, {2, 22, 0.6}, {1, 11, 0.5}, {3, 33, 0.2}}),
+      {0}, &stats);
+  double prev = join.UpperBound();
+  ScoredRow row;
+  while (join.Next(&row)) {
+    EXPECT_LE(row.score, prev + 1e-9);
+    const double bound = join.UpperBound();
+    EXPECT_LE(bound, prev + 1e-9);
+    prev = bound;
+  }
+}
+
+TEST(RankJoinTest, EarlyTerminationReadsOnlyWhatIsNeeded) {
+  // Long tails that can never contribute to the top answer must not be
+  // read once the threshold proves it.
+  std::vector<std::pair<TermId, double>> left_rows = {{1, 1.0}};
+  std::vector<std::tuple<TermId, TermId, double>> right_rows = {{1, 11, 1.0}};
+  for (TermId i = 2; i < 1000; ++i) {
+    left_rows.emplace_back(i, 0.001);
+    right_rows.emplace_back(i, i * 10, 0.001);
+  }
+  ExecStats stats;
+  RankJoin join(LeftInput(left_rows), RightInput(right_rows), {0}, &stats);
+  ScoredRow row;
+  ASSERT_TRUE(join.Next(&row));
+  EXPECT_DOUBLE_EQ(row.score, 2.0);
+  // Producing the top-1 result must not have materialised the ~1000
+  // tail join results.
+  EXPECT_LT(stats.join_results, 10u);
+}
+
+// --- property: rank join == naive join, top-k prefix -------------------------
+
+struct NaiveResult {
+  TermId key;
+  TermId payload;
+  double score;
+};
+
+class RankJoinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankJoinPropertyTest, MatchesNaiveJoin) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1231 + 17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t nl = 1 + rng.NextBounded(30);
+    const size_t nr = 1 + rng.NextBounded(30);
+    std::vector<std::pair<TermId, double>> left;
+    std::vector<std::tuple<TermId, TermId, double>> right;
+    double score = 1.0;
+    std::unordered_set<TermId> used_left;
+    for (size_t i = 0; i < nl; ++i) {
+      score *= rng.NextDouble(0.7, 1.0);
+      const TermId key = static_cast<TermId>(rng.NextBounded(12));
+      if (!used_left.insert(key).second) continue;  // distinct bindings
+      left.emplace_back(key, score);
+    }
+    score = 1.0;
+    std::unordered_set<uint64_t> used_right;
+    for (size_t i = 0; i < nr; ++i) {
+      score *= rng.NextDouble(0.7, 1.0);
+      const TermId key = static_cast<TermId>(rng.NextBounded(12));
+      const TermId payload = static_cast<TermId>(100 + rng.NextBounded(5));
+      if (!used_right.insert((static_cast<uint64_t>(key) << 32) | payload)
+               .second) {
+        continue;
+      }
+      right.emplace_back(key, payload, score);
+    }
+
+    // Naive join: all pairs, sorted by (score desc, bindings asc).
+    std::vector<ScoredRow> expected;
+    for (const auto& [lk, ls] : left) {
+      for (const auto& [rk, payload, rs] : right) {
+        if (lk != rk) continue;
+        ScoredRow row(2, ls + rs);
+        row.bindings[0] = lk;
+        row.bindings[1] = payload;
+        expected.push_back(std::move(row));
+      }
+    }
+    std::sort(expected.begin(), expected.end(), RowBefore);
+
+    ExecStats stats;
+    RankJoin join(LeftInput(left), RightInput(right), {0}, &stats);
+    const auto actual = Drain(&join);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_NEAR(actual[i].score, expected[i].score, 1e-9) << "rank " << i;
+    }
+    // As multisets of bindings the outputs agree exactly.
+    auto key_of = [](const ScoredRow& r) {
+      return std::make_tuple(r.bindings[0], r.bindings[1]);
+    };
+    std::multiset<std::tuple<TermId, TermId>> expected_keys;
+    std::multiset<std::tuple<TermId, TermId>> actual_keys;
+    for (const auto& r : expected) expected_keys.insert(key_of(r));
+    for (const auto& r : actual) actual_keys.insert(key_of(r));
+    EXPECT_EQ(actual_keys, expected_keys);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankJoinPropertyTest, ::testing::Range(0, 10));
+
+TEST(PullTopKTest, TakesKInOrder) {
+  ExecStats stats;
+  RankJoin join(
+      LeftInput({{1, 0.9}, {2, 0.8}, {3, 0.7}}),
+      RightInput({{1, 11, 0.9}, {2, 22, 0.8}, {3, 33, 0.7}}), {0}, &stats);
+  const auto rows = PullTopK(&join, 2, &stats);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 1.8);
+  EXPECT_DOUBLE_EQ(rows[1].score, 1.6);
+}
+
+TEST(PullTopKTest, FewerThanKResults) {
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}}), RightInput({{1, 11, 0.9}}), {0},
+                &stats);
+  const auto rows = PullTopK(&join, 10, &stats);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace specqp

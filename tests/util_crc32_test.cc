@@ -1,0 +1,56 @@
+#include "util/crc32.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace specqp {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+  // 32 zero bytes (RFC 3720 appendix example).
+  unsigned char zeros[32];
+  std::memset(zeros, 0, sizeof(zeros));
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Crc32c("abc", 3), Crc32c("abd", 3));
+  EXPECT_NE(Crc32c("abc", 3), Crc32c("ab", 2));
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split : {1u, 5u, 20u, 43u}) {
+    const uint32_t part1 = Crc32c(data.data(), split);
+    const uint32_t both = Crc32c(data.data() + split, data.size() - split,
+                                 part1);
+    EXPECT_EQ(both, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SeedChangesResult) {
+  EXPECT_NE(Crc32c("abc", 3, 0), Crc32c("abc", 3, 1));
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  std::string data(64, 'x');
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte : {0u, 13u, 63u}) {
+    std::string corrupted = data;
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ 1);
+    EXPECT_NE(Crc32c(corrupted.data(), corrupted.size()), clean);
+  }
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,228 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/zipf.h"
+
+namespace specqp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NextIntHitsBothEndpoints) {
+  Rng rng(17);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(0, 4);
+    lo |= (v == 0);
+    hi |= (v == 4);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(19);
+  int heads = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, NextWeightedFollowsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, NextWeightedZeroWeightNeverPicked) {
+  Rng rng(41);
+  const std::vector<double> weights = {0.0, 1.0};
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(rng.NextWeighted(weights), 1u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng forked = a.Fork();
+  // The fork and the parent should not emit identical sequences.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == forked.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// --- Zipf -------------------------------------------------------------------
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < 100; ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfDistribution z(50, 1.2);
+  for (uint64_t i = 1; i < 50; ++i) EXPECT_GE(z.Pmf(i - 1), z.Pmf(i));
+}
+
+TEST(ZipfTest, HeadDominatesForHighSkew) {
+  ZipfDistribution z(1000, 1.5);
+  EXPECT_GT(z.Pmf(0), 0.3);
+}
+
+TEST(ZipfTest, SamplesInRangeAndSkewed) {
+  Rng rng(43);
+  ZipfDistribution z(20, 1.0);
+  std::vector<int> counts(20, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = z.Sample(&rng);
+    ASSERT_LT(v, 20u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[19]);
+  // Empirical frequency of rank 0 should match the pmf.
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), z.Pmf(0), 0.02);
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(47);
+  ZipfDistribution z(1, 2.0);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(PowerLawScoresTest, DescendingAndScaled) {
+  const std::vector<double> scores = PowerLawScores(10, 1.0, 100.0);
+  ASSERT_EQ(scores.size(), 10u);
+  EXPECT_DOUBLE_EQ(scores[0], 100.0);
+  EXPECT_DOUBLE_EQ(scores[1], 50.0);
+  for (size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_LT(scores[i], scores[i - 1]);
+  }
+}
+
+TEST(PowerLawScoresTest, EightyTwentyShapeAtSkewOne) {
+  // With s=1 the head of the list concentrates a large share of the mass —
+  // the shape the paper's 80/20 modelling assumes.
+  const std::vector<double> scores = PowerLawScores(1000, 1.0, 1.0);
+  const double total = std::accumulate(scores.begin(), scores.end(), 0.0);
+  double head = 0.0;
+  for (size_t i = 0; i < 200; ++i) head += scores[i];
+  EXPECT_GT(head / total, 0.7);
+}
+
+}  // namespace
+}  // namespace specqp
