@@ -56,7 +56,20 @@ ModelResult RunModel(const XkgBundle& xkg,
   return result;
 }
 
-int Run() {
+Json ModelJson(const char* name, const ModelResult& r) {
+  Json j = Json::Object();
+  j.Set("model", name);
+  Json& by_k = j.Set("accuracy_by_k", Json::Array());
+  for (size_t k : kTopKs) {
+    Json& e = by_k.Push(Json::Object());
+    e.Set("k", k);
+    e.Set("accuracy", r.accuracy_by_k.at(k));
+  }
+  j.Set("mean_plan_ms", r.mean_plan_ms);
+  return j;
+}
+
+void Run(Json& out) {
   PrintTitle(
       "Ablation A1: two-bucket histogram (paper default) vs exact gridded "
       "distribution — prediction accuracy vs planning cost");
@@ -93,14 +106,20 @@ int Run() {
   row("two-bucket (paper)", two_bucket);
   row("exact grid", exact_grid);
 
+  Json& models = out.Set("models", Json::Array());
+  models.Push(ModelJson("two_bucket", two_bucket));
+  models.Push(ModelJson("exact_grid", exact_grid));
+
   std::printf(
       "\nShape check: the exact model should plan at least as accurately, "
       "at a visibly higher planning cost — the trade-off the paper cites "
       "for staying with two buckets.\n");
-  return 0;
 }
 
 }  // namespace
 }  // namespace specqp::bench
 
-int main() { return specqp::bench::Run(); }
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "ablation_histogram_model",
+                                  &specqp::bench::Run);
+}

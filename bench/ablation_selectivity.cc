@@ -52,7 +52,20 @@ ModeResult RunMode(const XkgBundle& xkg, SelectivityEstimator::Mode mode,
   return result;
 }
 
-int Run() {
+Json ModeJson(const char* name, const ModeResult& r) {
+  Json j = Json::Object();
+  j.Set("mode", name);
+  Json& by_k = j.Set("accuracy_by_k", Json::Array());
+  for (size_t k : kTopKs) {
+    Json& e = by_k.Push(Json::Object());
+    e.Set("k", k);
+    e.Set("accuracy", r.accuracy_by_k.at(k));
+  }
+  j.Set("mean_plan_ms", r.mean_plan_ms);
+  return j;
+}
+
+void Run(Json& out) {
   PrintTitle(
       "Ablation A2: exact join selectivity (paper) vs independence "
       "assumption — prediction accuracy vs planning cost");
@@ -91,14 +104,21 @@ int Run() {
   row("pairwise-exact chain", pairwise);
   row("independence", independence);
 
+  Json& modes = out.Set("modes", Json::Array());
+  modes.Push(ModeJson("exact", exact));
+  modes.Push(ModeJson("pairwise_exact", pairwise));
+  modes.Push(ModeJson("independence", independence));
+
   std::printf(
       "\nShape check: exact selectivities should match or beat the "
       "independence estimate on accuracy — they are what the paper's "
       "cardinality chain (m12 = m·m'·phi) assumes.\n");
-  return 0;
 }
 
 }  // namespace
 }  // namespace specqp::bench
 
-int main() { return specqp::bench::Run(); }
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "ablation_selectivity",
+                                  &specqp::bench::Run);
+}

@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cstring>
 #include <memory>
 
 #include "util/logging.h"
@@ -7,6 +8,110 @@
 #include "util/timer.h"
 
 namespace specqp::bench {
+
+namespace {
+
+void PrintUsage(const std::string& name) {
+  std::fprintf(stderr,
+               "usage: %s [--json <path>]\n"
+               "  --json <path>  write the machine-readable benchmark "
+               "artifact to <path>\n",
+               name.c_str());
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
+  std::string json_path;
+  bool json_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path\n", name.c_str());
+        PrintUsage(name);
+        return 2;
+      }
+      json_requested = true;
+      json_path = argv[++i];
+    } else if (StartsWith(arg, "--json=")) {
+      json_requested = true;
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(name);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", name.c_str(),
+                   argv[i]);
+      PrintUsage(name);
+      return 2;
+    }
+  }
+  if (json_requested && json_path.empty()) {
+    std::fprintf(stderr, "%s: --json requires a non-empty path\n",
+                 name.c_str());
+    PrintUsage(name);
+    return 2;
+  }
+  if (!json_path.empty()) {
+    // Fail fast on an unwritable path: the figure benches run for minutes,
+    // and discovering a bad path only at write time would discard the run.
+    // Probe the .tmp sibling WriteJsonFile uses, so a pre-existing
+    // artifact at json_path itself is never touched before success.
+    const std::string probe_path = json_path + ".tmp";
+    std::FILE* probe = std::fopen(probe_path.c_str(), "w");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n", name.c_str(),
+                   probe_path.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+    std::remove(probe_path.c_str());
+  }
+
+  Json doc = Json::Object();
+  doc.Set("bench", name);
+  doc.Set("schema_version", 1);
+  WallTimer timer;
+  run(doc);
+  doc.Set("total_seconds", timer.ElapsedSeconds());
+
+  if (!json_path.empty()) {
+    std::string error;
+    if (!WriteJsonFile(json_path, doc, &error)) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+Json ExecStatsToJson(const ExecStats& stats) {
+  Json j = Json::Object();
+  j.Set("answer_objects", stats.answer_objects);
+  j.Set("scan_rows", stats.scan_rows);
+  j.Set("merge_rows", stats.merge_rows);
+  j.Set("merge_duplicates", stats.merge_duplicates);
+  j.Set("join_results", stats.join_results);
+  j.Set("join_hash_probes", stats.join_hash_probes);
+  j.Set("plan_ms", stats.plan_ms);
+  j.Set("exec_ms", stats.exec_ms);
+  return j;
+}
+
+Json QualityMetricsToJson(const QualityMetrics& metrics) {
+  Json j = Json::Object();
+  j.Set("precision", metrics.precision);
+  j.Set("score_error_mean", metrics.score_error_mean);
+  j.Set("score_error_std", metrics.score_error_std);
+  j.Set("score_error_pct", metrics.score_error_pct);
+  j.Set("prediction_exact", metrics.prediction_exact);
+  j.Set("required_relaxations", metrics.required_relaxations);
+  j.Set("predicted_relaxations", metrics.predicted_relaxations);
+  j.Set("true_answer_count", metrics.true_answer_count);
+  return j;
+}
 
 namespace {
 
@@ -89,9 +194,13 @@ std::vector<EfficiencyRecord> MeasureWorkloadEfficiency(
 }
 
 void RunEfficiencyFigure(const std::string& title, Engine& engine,
-                         const std::vector<Query>& workload,
-                         GroupBy group_by) {
+                         const std::vector<Query>& workload, GroupBy group_by,
+                         Json& out) {
   PrintTitle(title);
+  out.Set("title", title);
+  out.Set("group_by", group_by == GroupBy::kNumPatterns ? "num_patterns"
+                                                        : "patterns_relaxed");
+  Json& by_k = out.Set("by_k", Json::Array());
   for (size_t k : kTopKs) {
     const std::vector<EfficiencyRecord> records =
         MeasureWorkloadEfficiency(engine, workload, k);
@@ -104,6 +213,27 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
                              : r.patterns_relaxed;
       groups[key].push_back(&r);
     }
+
+    Json& k_json = by_k.Push(Json::Object());
+    k_json.Set("k", k);
+    Json& queries_json = k_json.Set("queries", Json::Array());
+    for (size_t i = 0; i < records.size(); ++i) {
+      const EfficiencyMetrics& m = records[i].metrics;
+      Json& q = queries_json.Push(Json::Object());
+      q.Set("query_index", i);
+      q.Set("num_patterns", records[i].num_patterns);
+      q.Set("patterns_relaxed", records[i].patterns_relaxed);
+      q.Set("trinit_ms", m.trinit_ms);
+      q.Set("spec_ms", m.spec_ms);
+      q.Set("spec_plan_ms", m.spec_plan_ms);
+      q.Set("trinit_objects", m.trinit_objects);
+      q.Set("spec_objects", m.spec_objects);
+      q.Set("trinit_answers", m.trinit_answers);
+      q.Set("spec_answers", m.spec_answers);
+      q.Set("trinit_stats", ExecStatsToJson(m.trinit_stats));
+      q.Set("spec_stats", ExecStatsToJson(m.spec_stats));
+    }
+    Json& groups_json = k_json.Set("groups", Json::Array());
 
     PrintSubtitle(StrFormat("k=%zu", k));
     const std::vector<int> widths = {10, 8, 14, 14, 16, 16, 10};
@@ -125,6 +255,14 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
       }
       const double ratio =
           t_ms.Mean() > 0.0 ? s_ms.Mean() / t_ms.Mean() : 0.0;
+      Json& g = groups_json.Push(Json::Object());
+      g.Set("group_key", key);
+      g.Set("queries", t_ms.count);
+      g.Set("trinit_ms_mean", t_ms.Mean());
+      g.Set("spec_ms_mean", s_ms.Mean());
+      g.Set("trinit_objects_mean", t_obj.Mean());
+      g.Set("spec_objects_mean", s_obj.Mean());
+      g.Set("spec_over_trinit_time", ratio);
       PrintRow({StrFormat("%zu", key), StrFormat("%llu",
                     static_cast<unsigned long long>(t_ms.count)),
                 StrFormat("%.3f", t_ms.Mean()), StrFormat("%.3f", s_ms.Mean()),

@@ -12,8 +12,29 @@
 #include "datasets/twitter_generator.h"
 #include "datasets/workload.h"
 #include "datasets/xkg_generator.h"
+#include "json_writer.h"
 
 namespace specqp::bench {
+
+// --- unified benchmark driver -------------------------------------------------
+//
+// Every benchmark binary defines one entry point `void Run(Json& out)` that
+// prints its human-readable report to stdout AND records the same numbers
+// into `out`, then forwards to BenchMain from its main(). BenchMain owns
+// the shared CLI:
+//
+//   <bench> [--json <path>]
+//
+// With --json, the artifact is written as a single JSON document:
+//   {"bench": <name>, "schema_version": 1, ..., "total_seconds": <t>}
+// so `fig6`..`fig9`, the tables, and the ablations all emit comparable,
+// machine-readable BENCH_*.json files for perf tracking.
+using BenchFn = void (*)(Json& out);
+int BenchMain(int argc, char** argv, const std::string& name, BenchFn run);
+
+// Serialisation helpers shared by the benchmark binaries.
+Json ExecStatsToJson(const ExecStats& stats);
+Json QualityMetricsToJson(const QualityMetrics& metrics);
 
 // The k values evaluated throughout the paper (section 4.4).
 inline constexpr size_t kTopKs[] = {10, 15, 20};
@@ -68,9 +89,12 @@ std::vector<EfficiencyRecord> MeasureWorkloadEfficiency(
 // Prints one figure family (runtimes + memory for k in {10,15,20}),
 // grouped either by query size ("No. of triple patterns", Figures 6/8) or
 // by the number of patterns the Spec-QP plan relaxed (Figures 7/9).
+// Records per-query timings, answer counts, and operator ExecStats plus
+// the per-group aggregates into `out`.
 enum class GroupBy { kNumPatterns, kPatternsRelaxed };
 void RunEfficiencyFigure(const std::string& title, Engine& engine,
-                         const std::vector<Query>& workload, GroupBy group_by);
+                         const std::vector<Query>& workload, GroupBy group_by,
+                         Json& out);
 
 // --- table formatting ---------------------------------------------------------
 

@@ -40,7 +40,18 @@ RunStats RunWorkload(Engine& engine, const std::vector<Query>& workload,
   return stats;
 }
 
-int Run() {
+Json RunStatsJson(const char* name, const RunStats& stats) {
+  Json j = Json::Object();
+  j.Set("configuration", name);
+  j.Set("top_k_fill", stats.filled.Mean());
+  j.Set("top_score_mean", stats.top_score.Mean());
+  j.Set("runtime_ms_mean", stats.runtime_ms.Mean());
+  j.Set("answer_objects_mean", stats.objects.Mean());
+  j.Set("queries", stats.filled.count);
+  return j;
+}
+
+void Run(Json& out) {
   PrintTitle(
       "Extension E1: chain relaxations (paper section 6 future work) — "
       "simple rules only vs simple + chain rules");
@@ -105,7 +116,14 @@ int Run() {
             "mem objects"},
            widths);
   PrintRule(widths);
+  out.Set("num_triples", with_chains.store.size());
+  out.Set("num_simple_rules", with_chains.rules.total_rules());
+  out.Set("num_chain_rules", with_chains.rules.total_chain_rules());
+  out.Set("num_queries", workload.size());
+  out.Set("k", k);
+  Json& configs = out.Set("configurations", Json::Array());
   auto row = [&](const char* name, const RunStats& stats) {
+    configs.Push(RunStatsJson(name, stats));
     PrintRow({name, StrFormat("%.2f", stats.filled.Mean()),
               StrFormat("%.3f", stats.top_score.Mean()),
               StrFormat("%.3f", stats.runtime_ms.Mean()),
@@ -129,10 +147,12 @@ int Run() {
       "\nShape check: chains raise top-k fill and/or score mass (more of "
       "the relaxation space is reachable) at additional operator cost; "
       "Spec-QP keeps its advantage over TriniT in both configurations.\n");
-  return 0;
 }
 
 }  // namespace
 }  // namespace specqp::bench
 
-int main() { return specqp::bench::Run(); }
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "ext_chain_relaxations",
+                                  &specqp::bench::Run);
+}

@@ -7,13 +7,24 @@
 
 #include "bench_common.h"
 
-int main() {
-  using namespace specqp;
-  using namespace specqp::bench;
+namespace specqp::bench {
+namespace {
+
+void Run(Json& out) {
   const XkgBundle& xkg = GetXkg();
+  out.Set("dataset", "xkg");
+  out.Set("num_triples", xkg.data.store.size());
+  out.Set("num_queries", xkg.workload.size());
   Engine engine(&xkg.data.store, &xkg.data.rules);
   RunEfficiencyFigure(
       "Figure 6: XKG runtimes & memory, T vs S, by #triple patterns",
-      engine, xkg.workload, GroupBy::kNumPatterns);
-  return 0;
+      engine, xkg.workload, GroupBy::kNumPatterns, out);
+}
+
+}  // namespace
+}  // namespace specqp::bench
+
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "fig6_xkg_by_patterns",
+                                  &specqp::bench::Run);
 }

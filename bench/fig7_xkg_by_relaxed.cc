@@ -9,14 +9,25 @@
 
 #include "bench_common.h"
 
-int main() {
-  using namespace specqp;
-  using namespace specqp::bench;
+namespace specqp::bench {
+namespace {
+
+void Run(Json& out) {
   const XkgBundle& xkg = GetXkg();
+  out.Set("dataset", "xkg");
+  out.Set("num_triples", xkg.data.store.size());
+  out.Set("num_queries", xkg.workload.size());
   Engine engine(&xkg.data.store, &xkg.data.rules);
   RunEfficiencyFigure(
       "Figure 7: XKG runtimes & memory, T vs S, by #patterns relaxed by "
       "Spec-QP",
-      engine, xkg.workload, GroupBy::kPatternsRelaxed);
-  return 0;
+      engine, xkg.workload, GroupBy::kPatternsRelaxed, out);
+}
+
+}  // namespace
+}  // namespace specqp::bench
+
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "fig7_xkg_by_relaxed",
+                                  &specqp::bench::Run);
 }

@@ -7,14 +7,25 @@
 
 #include "bench_common.h"
 
-int main() {
-  using namespace specqp;
-  using namespace specqp::bench;
+namespace specqp::bench {
+namespace {
+
+void Run(Json& out) {
   const TwitterBundle& twitter = GetTwitter();
+  out.Set("dataset", "twitter");
+  out.Set("num_triples", twitter.data.store.size());
+  out.Set("num_queries", twitter.workload.size());
   Engine engine(&twitter.data.store, &twitter.data.rules);
   RunEfficiencyFigure(
       "Figure 9: Twitter runtimes & memory, T vs S, by #patterns relaxed "
       "by Spec-QP",
-      engine, twitter.workload, GroupBy::kPatternsRelaxed);
-  return 0;
+      engine, twitter.workload, GroupBy::kPatternsRelaxed, out);
+}
+
+}  // namespace
+}  // namespace specqp::bench
+
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "fig9_twitter_by_relaxed",
+                                  &specqp::bench::Run);
 }

@@ -1,0 +1,168 @@
+#include "json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace specqp::bench {
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Shortest representation of `v` that parses back to the same double.
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::string s = StrFormat("%.*g", precision, v);
+    if (std::strtod(s.c_str(), nullptr) == v) return s;
+  }
+  return StrFormat("%.17g", v);
+}
+
+void AppendIndent(int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+Json& Json::Push(Json v) {
+  SPECQP_CHECK(type_ == Type::kArray) << "Push on non-array JSON value";
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+Json& Json::Set(std::string key, Json v) {
+  SPECQP_CHECK(type_ == Type::kObject) << "Set on non-object JSON value";
+  object_.emplace_back(std::move(key), std::move(v));
+  return object_.back().second;
+}
+
+void Json::DumpTo(std::string* out, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      break;
+    case Type::kUint:
+      *out += StrFormat("%llu", static_cast<unsigned long long>(uint_));
+      break;
+    case Type::kDouble:
+      *out += FormatDouble(double_);
+      break;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(depth + 1, out);
+        array_[i].DumpTo(out, depth + 1);
+        if (i + 1 < array_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(depth, out);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        AppendIndent(depth + 1, out);
+        AppendEscaped(object_[i].first, out);
+        *out += ": ";
+        object_[i].second.DumpTo(out, depth + 1);
+        if (i + 1 < object_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(depth, out);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, const Json& doc,
+                   std::string* error) {
+  // Write-to-temp + rename so an interrupted or failed write never
+  // destroys a pre-existing artifact at `path`.
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp_path + " for writing";
+    return false;
+  }
+  const std::string text = doc.Dump();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    if (error != nullptr) *error = "short write to " + tmp_path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp_path + " to " + path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace specqp::bench

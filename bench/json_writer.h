@@ -1,0 +1,83 @@
+#ifndef SPECQP_BENCH_JSON_WRITER_H_
+#define SPECQP_BENCH_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace specqp::bench {
+
+// Minimal ordered JSON value, sufficient for the benchmark artifacts: no
+// parsing, no external dependency, object keys kept in insertion order so
+// artifacts diff cleanly across runs. Integers round-trip exactly (they
+// are serialised as integers, not doubles); non-finite doubles serialise
+// as null, per RFC 8259 which has no representation for them.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(long v) : type_(Type::kInt), int_(v) {}
+  Json(long long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kUint), uint_(v) {}
+  Json(unsigned long v) : type_(Type::kUint), uint_(v) {}
+  Json(unsigned long long v) : type_(Type::kUint), uint_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* v) : type_(Type::kString), string_(v) {}
+  Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+  Json(std::string_view v) : type_(Type::kString), string_(v) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+
+  // Array append; the value must be an array. Returns a reference to the
+  // stored element so nested structures can be built in place.
+  //
+  // CAUTION: the reference lives in an internal std::vector — the next
+  // Push/Set on the SAME container may reallocate and invalidate it.
+  // Finish building one element (or dereference anew) before appending
+  // the next; never hold a child reference across a sibling insertion.
+  Json& Push(Json v);
+
+  // Object insert (append; duplicate keys are the caller's bug and are
+  // kept as-is). The value must be an object. Same reference-invalidation
+  // caveat as Push.
+  Json& Set(std::string key, Json v);
+
+  // Serialises with two-space indentation and a trailing newline.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+// Writes `doc.Dump()` to `path` atomically enough for bench artifacts
+// (truncate + write). Returns false and fills `error` on I/O failure.
+bool WriteJsonFile(const std::string& path, const Json& doc,
+                   std::string* error);
+
+}  // namespace specqp::bench
+
+#endif  // SPECQP_BENCH_JSON_WRITER_H_

@@ -1,12 +1,15 @@
-// Operator microbenchmarks (google-benchmark): throughput of the building
-// blocks behind the tables/figures — pattern scans, incremental merges,
-// rank joins, histogram convolution + refit, and PLANGEN latency.
+// Operator microbenchmarks: throughput of the building blocks behind the
+// tables/figures — pattern scans, incremental merges, rank joins,
+// histogram convolution + refit, and PLANGEN latency. Runs on the shared
+// BenchMain driver so the timings land in the same JSON artifact format as
+// the figure/table benches.
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include <benchmark/benchmark.h>
-
+#include "bench_common.h"
 #include "core/engine.h"
 #include "rdf/posting_list.h"
 #include "rdf/triple_store.h"
@@ -19,8 +22,9 @@
 #include "topk/top_k.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
-namespace specqp {
+namespace specqp::bench {
 namespace {
 
 // Synthetic store: `num_objects` object constants under one predicate, each
@@ -72,143 +76,213 @@ MicroFixture& Fixture() {
   return *fx;
 }
 
-void BM_PostingListBuild(benchmark::State& state) {
-  MicroFixture& fx = Fixture();
-  const PatternKey key = fx.Pattern(0, 0).Key();
-  for (auto _ : state) {
-    PostingList list = BuildPostingList(fx.store, key);
-    benchmark::DoNotOptimize(list.entries.data());
-  }
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations()) *
-      static_cast<int64_t>(fx.store.CountMatches(key)));
+// Keeps the result of `expr` alive so the compiler cannot elide the work.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
 }
-BENCHMARK(BM_PostingListBuild);
 
-void BM_PatternScanDrain(benchmark::State& state) {
-  MicroFixture& fx = Fixture();
-  PostingListCache cache(&fx.store);
-  const TriplePattern pattern = fx.Pattern(1, 0);
-  auto list = cache.Get(pattern.Key());
-  for (auto _ : state) {
-    ExecStats stats;
-    PatternScan scan(&fx.store, list, pattern, 1, 1.0, &stats);
-    ScoredRow row;
-    size_t n = 0;
-    while (scan.Next(&row)) ++n;
-    benchmark::DoNotOptimize(n);
+// One microbenchmark: `body` is a single iteration; `items_per_iter` (when
+// non-zero) scales the reported throughput.
+struct MicroResult {
+  std::string name;
+  uint64_t iterations = 0;
+  double total_ms = 0.0;
+  double ns_per_iter = 0.0;
+  uint64_t items_per_iter = 0;
+  double items_per_second = 0.0;
+};
+
+MicroResult RunMicro(const std::string& name,
+                     const std::function<void()>& body,
+                     uint64_t items_per_iter = 0) {
+  body();  // warm-up (first-touch allocation, cache fills)
+
+  constexpr double kMinSeconds = 0.1;
+  constexpr uint64_t kMaxIters = 1u << 22;
+  uint64_t iterations = 0;
+  WallTimer timer;
+  // Run in growing batches so the clock is read rarely relative to work.
+  for (uint64_t batch = 1; timer.ElapsedSeconds() < kMinSeconds &&
+                           iterations < kMaxIters;
+       batch *= 2) {
+    for (uint64_t i = 0; i < batch; ++i) body();
+    iterations += batch;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(list->size()));
-}
-BENCHMARK(BM_PatternScanDrain);
 
-void BM_IncrementalMergeTopK(benchmark::State& state) {
-  const size_t num_inputs = static_cast<size_t>(state.range(0));
+  MicroResult result;
+  result.name = name;
+  result.iterations = iterations;
+  result.total_ms = timer.ElapsedMillis();
+  result.ns_per_iter =
+      result.total_ms * 1e6 / static_cast<double>(iterations);
+  result.items_per_iter = items_per_iter;
+  if (items_per_iter > 0) {
+    result.items_per_second = static_cast<double>(items_per_iter) *
+                              static_cast<double>(iterations) /
+                              (result.total_ms / 1e3);
+  }
+  return result;
+}
+
+void Run(Json& out) {
+  PrintTitle("Operator microbenchmarks");
+  std::vector<MicroResult> results;
+
   MicroFixture& fx = Fixture();
-  PostingListCache cache(&fx.store);
-  for (auto _ : state) {
-    ExecStats stats;
-    std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
-    for (size_t i = 0; i < num_inputs; ++i) {
-      const TriplePattern pattern = fx.Pattern(i % fx.objects.size(), 0);
-      inputs.push_back(std::make_unique<PatternScan>(
-          &fx.store, cache.Get(pattern.Key()), pattern, 1,
-          1.0 / static_cast<double>(i + 1), &stats));
+
+  {
+    const PatternKey key = fx.Pattern(0, 0).Key();
+    results.push_back(RunMicro(
+        "posting_list_build",
+        [&] {
+          PostingList list = BuildPostingList(fx.store, key);
+          DoNotOptimize(list.entries.data());
+        },
+        fx.store.CountMatches(key)));
+  }
+
+  {
+    PostingListCache cache(&fx.store);
+    const TriplePattern pattern = fx.Pattern(1, 0);
+    auto list = cache.Get(pattern.Key());
+    results.push_back(RunMicro(
+        "pattern_scan_drain",
+        [&] {
+          ExecStats stats;
+          PatternScan scan(&fx.store, list, pattern, 1, 1.0, &stats);
+          ScoredRow row;
+          size_t n = 0;
+          while (scan.Next(&row)) ++n;
+          DoNotOptimize(n);
+        },
+        list->size()));
+  }
+
+  for (size_t num_inputs : {2u, 5u, 10u}) {
+    PostingListCache cache(&fx.store);
+    results.push_back(RunMicro(
+        StrFormat("incremental_merge_topk/inputs:%zu", num_inputs), [&] {
+          ExecStats stats;
+          std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
+          for (size_t i = 0; i < num_inputs; ++i) {
+            const TriplePattern pattern =
+                fx.Pattern(i % fx.objects.size(), 0);
+            inputs.push_back(std::make_unique<PatternScan>(
+                &fx.store, cache.Get(pattern.Key()), pattern, 1,
+                1.0 / static_cast<double>(i + 1), &stats));
+          }
+          IncrementalMerge merge(std::move(inputs), &stats);
+          const auto rows = PullTopK(&merge, 20, &stats);
+          DoNotOptimize(rows.data());
+        }));
+  }
+
+  for (size_t k : {1u, 10u, 100u}) {
+    PostingListCache cache(&fx.store);
+    const TriplePattern left = fx.Pattern(0, 0);
+    const TriplePattern right = fx.Pattern(1, 0);
+    results.push_back(
+        RunMicro(StrFormat("rank_join_topk/k:%zu", k), [&] {
+          ExecStats stats;
+          auto l = std::make_unique<PatternScan>(
+              &fx.store, cache.Get(left.Key()), left, 1, 1.0, &stats);
+          auto r = std::make_unique<PatternScan>(
+              &fx.store, cache.Get(right.Key()), right, 1, 1.0, &stats);
+          RankJoin join(std::move(l), std::move(r), {0}, &stats);
+          const auto rows = PullTopK(&join, k, &stats);
+          DoNotOptimize(rows.data());
+        }));
+  }
+
+  for (int patterns : {2, 3, 4}) {
+    TwoBucketHistogram h(0.2, 0.8);
+    results.push_back(RunMicro(
+        StrFormat("convolve_refit_chain/patterns:%d", patterns), [&] {
+          TwoBucketHistogram acc = h;
+          for (int i = 1; i < patterns; ++i) {
+            acc = RefitTwoBucket(ConvolveTwoBucket(acc, h), 0.8);
+          }
+          DoNotOptimize(acc.sigma_r());
+        }));
+  }
+
+  for (int patterns : {2, 3, 4}) {
+    TwoBucketHistogram h(0.2, 0.8);
+    const double delta = 1.0 / 512.0;
+    results.push_back(RunMicro(
+        StrFormat("grid_convolve_chain/patterns:%d", patterns), [&] {
+          GridPdf acc = GridPdf::FromDistribution(h, delta);
+          for (int i = 1; i < patterns; ++i) {
+            acc = GridPdf::Convolve(acc, GridPdf::FromDistribution(h, delta));
+          }
+          DoNotOptimize(acc.Mean());
+        }));
+  }
+
+  for (size_t num_patterns : {2u, 3u, 4u}) {
+    Engine engine(&fx.store, &fx.rules);
+    Query query;
+    const VarId s = query.GetOrAddVariable("s");
+    for (size_t i = 0; i < num_patterns; ++i) {
+      query.AddPattern(fx.Pattern(i, s));
     }
-    IncrementalMerge merge(std::move(inputs), &stats);
-    const auto rows = PullTopK(&merge, 20, &stats);
-    benchmark::DoNotOptimize(rows.data());
+    query.AddProjection(s);
+    engine.Warm(query);
+    (void)engine.PlanOnly(query, 10);  // warm the stats/selectivity memos
+    results.push_back(RunMicro(
+        StrFormat("plangen_latency/patterns:%zu", num_patterns), [&] {
+          QueryPlan plan = engine.PlanOnly(query, 10);
+          DoNotOptimize(plan.singletons.data());
+        }));
   }
-}
-BENCHMARK(BM_IncrementalMergeTopK)->Arg(2)->Arg(5)->Arg(10);
 
-void BM_RankJoinTopK(benchmark::State& state) {
-  const size_t k = static_cast<size_t>(state.range(0));
-  MicroFixture& fx = Fixture();
-  PostingListCache cache(&fx.store);
-  const TriplePattern left = fx.Pattern(0, 0);
-  const TriplePattern right = fx.Pattern(1, 0);
-  for (auto _ : state) {
-    ExecStats stats;
-    auto l = std::make_unique<PatternScan>(&fx.store, cache.Get(left.Key()),
-                                           left, 1, 1.0, &stats);
-    auto r = std::make_unique<PatternScan>(&fx.store, cache.Get(right.Key()),
-                                           right, 1, 1.0, &stats);
-    RankJoin join(std::move(l), std::move(r), {0}, &stats);
-    const auto rows = PullTopK(&join, k, &stats);
-    benchmark::DoNotOptimize(rows.data());
+  for (const bool speculative : {false, true}) {
+    Engine engine(&fx.store, &fx.rules);
+    Query query;
+    const VarId s = query.GetOrAddVariable("s");
+    query.AddPattern(fx.Pattern(0, s));
+    query.AddPattern(fx.Pattern(1, s));
+    query.AddPattern(fx.Pattern(2, s));
+    query.AddProjection(s);
+    engine.Warm(query);
+    results.push_back(RunMicro(
+        StrFormat("end_to_end_query/%s",
+                  speculative ? "spec_qp" : "trinit"),
+        [&] {
+          const auto result = engine.Execute(
+              query, 10, speculative ? Strategy::kSpecQp : Strategy::kTrinit);
+          DoNotOptimize(result.rows.data());
+        }));
   }
-}
-BENCHMARK(BM_RankJoinTopK)->Arg(1)->Arg(10)->Arg(100);
 
-void BM_ConvolveRefitChain(benchmark::State& state) {
-  const int patterns = static_cast<int>(state.range(0));
-  TwoBucketHistogram h(0.2, 0.8);
-  for (auto _ : state) {
-    TwoBucketHistogram acc = h;
-    for (int i = 1; i < patterns; ++i) {
-      acc = RefitTwoBucket(ConvolveTwoBucket(acc, h), 0.8);
+  const std::vector<int> widths = {38, 12, 14, 16};
+  PrintRow({"benchmark", "iters", "ns/iter", "items/s"}, widths);
+  PrintRule(widths);
+  Json& benchmarks = out.Set("benchmarks", Json::Array());
+  for (const MicroResult& r : results) {
+    PrintRow({r.name,
+              StrFormat("%llu", static_cast<unsigned long long>(r.iterations)),
+              StrFormat("%.1f", r.ns_per_iter),
+              r.items_per_iter == 0 ? std::string("-")
+                                    : StrFormat("%.3g", r.items_per_second)},
+             widths);
+    Json& j = benchmarks.Push(Json::Object());
+    j.Set("name", r.name);
+    j.Set("iterations", r.iterations);
+    j.Set("total_ms", r.total_ms);
+    j.Set("ns_per_iter", r.ns_per_iter);
+    if (r.items_per_iter > 0) {
+      j.Set("items_per_iter", r.items_per_iter);
+      j.Set("items_per_second", r.items_per_second);
     }
-    benchmark::DoNotOptimize(acc.sigma_r());
   }
 }
-BENCHMARK(BM_ConvolveRefitChain)->Arg(2)->Arg(3)->Arg(4);
-
-void BM_GridConvolveChain(benchmark::State& state) {
-  const int patterns = static_cast<int>(state.range(0));
-  TwoBucketHistogram h(0.2, 0.8);
-  const double delta = 1.0 / 512.0;
-  for (auto _ : state) {
-    GridPdf acc = GridPdf::FromDistribution(h, delta);
-    for (int i = 1; i < patterns; ++i) {
-      acc = GridPdf::Convolve(acc, GridPdf::FromDistribution(h, delta));
-    }
-    benchmark::DoNotOptimize(acc.Mean());
-  }
-}
-BENCHMARK(BM_GridConvolveChain)->Arg(2)->Arg(3)->Arg(4);
-
-void BM_PlangenLatency(benchmark::State& state) {
-  const size_t num_patterns = static_cast<size_t>(state.range(0));
-  MicroFixture& fx = Fixture();
-  Engine engine(&fx.store, &fx.rules);
-  Query query;
-  const VarId s = query.GetOrAddVariable("s");
-  for (size_t i = 0; i < num_patterns; ++i) {
-    query.AddPattern(fx.Pattern(i, s));
-  }
-  query.AddProjection(s);
-  engine.Warm(query);
-  (void)engine.PlanOnly(query, 10);  // warm the stats/selectivity memos
-  for (auto _ : state) {
-    QueryPlan plan = engine.PlanOnly(query, 10);
-    benchmark::DoNotOptimize(plan.singletons.data());
-  }
-}
-BENCHMARK(BM_PlangenLatency)->Arg(2)->Arg(3)->Arg(4);
-
-void BM_EndToEndQuery(benchmark::State& state) {
-  const bool speculative = state.range(0) != 0;
-  MicroFixture& fx = Fixture();
-  Engine engine(&fx.store, &fx.rules);
-  Query query;
-  const VarId s = query.GetOrAddVariable("s");
-  query.AddPattern(fx.Pattern(0, s));
-  query.AddPattern(fx.Pattern(1, s));
-  query.AddPattern(fx.Pattern(2, s));
-  query.AddProjection(s);
-  engine.Warm(query);
-  for (auto _ : state) {
-    const auto result = engine.Execute(
-        query, 10, speculative ? Strategy::kSpecQp : Strategy::kTrinit);
-    benchmark::DoNotOptimize(result.rows.data());
-  }
-  state.SetLabel(speculative ? "Spec-QP" : "TriniT");
-}
-BENCHMARK(BM_EndToEndQuery)->Arg(0)->Arg(1);
 
 }  // namespace
-}  // namespace specqp
+}  // namespace specqp::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "micro_operators",
+                                  &specqp::bench::Run);
+}

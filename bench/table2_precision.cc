@@ -27,7 +27,34 @@ std::map<size_t, double> MeanPrecisionByK(
   return result;
 }
 
-int Run() {
+Json DatasetJson(const char* name,
+                 const std::vector<QueryEvaluation>& evals,
+                 const std::map<size_t, double>& mean_precision,
+                 const std::map<size_t, const char*>& paper) {
+  Json d = Json::Object();
+  d.Set("dataset", name);
+  Json& queries = d.Set("queries", Json::Array());
+  for (size_t i = 0; i < evals.size(); ++i) {
+    Json& q = queries.Push(Json::Object());
+    q.Set("query_index", i);
+    q.Set("num_patterns", evals[i].query->num_patterns());
+    Json& by_k = q.Set("by_k", Json::Array());
+    for (size_t k : kTopKs) {
+      Json& e = by_k.Push(QualityMetricsToJson(evals[i].by_k.at(k)));
+      e.Set("k", k);
+    }
+  }
+  Json& means = d.Set("mean_precision_by_k", Json::Array());
+  for (size_t k : kTopKs) {
+    Json& row = means.Push(Json::Object());
+    row.Set("k", k);
+    row.Set("precision", mean_precision.at(k));
+    row.Set("paper", paper.at(k));
+  }
+  return d;
+}
+
+void Run(Json& out) {
   PrintTitle("Table 2: Precision (and Recall) over each dataset");
 
   const XkgBundle& xkg = GetXkg();
@@ -49,6 +76,11 @@ int Run() {
   const std::map<size_t, const char*> paper_twitter = {
       {10, "0.72"}, {15, "0.78"}, {20, "0.80"}};
 
+  Json& datasets = out.Set("datasets", Json::Array());
+  datasets.Push(DatasetJson("xkg", xkg_evals, xkg_precision, paper_xkg));
+  datasets.Push(
+      DatasetJson("twitter", tw_evals, tw_precision, paper_twitter));
+
   const std::vector<int> widths = {6, 26, 26};
   PrintRow({"k", "XKG", "Twitter"}, widths);
   PrintRule(widths);
@@ -61,10 +93,12 @@ int Run() {
 
   std::printf(
       "\nShape check: precision should be >= ~0.7 and increase with k.\n");
-  return 0;
 }
 
 }  // namespace
 }  // namespace specqp::bench
 
-int main() { return specqp::bench::Run(); }
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "table2_precision",
+                                  &specqp::bench::Run);
+}

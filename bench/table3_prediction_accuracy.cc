@@ -88,32 +88,64 @@ void PrintDatasetTable(const char* name, const Table& table,
   PrintRow(totals, widths);
 }
 
-int Run() {
+Json TableToJson(const char* name, const Table& table) {
+  Json d = Json::Object();
+  d.Set("dataset", name);
+  Json& by_k = d.Set("by_k", Json::Array());
+  for (size_t k : kTopKs) {
+    Json& k_json = by_k.Push(Json::Object());
+    k_json.Set("k", k);
+    size_t total = 0;
+    size_t correct = 0;
+    Json& groups = k_json.Set("groups", Json::Array());
+    auto kit = table.find(k);
+    if (kit != table.end()) {
+      for (const auto& [group, cell] : kit->second) {
+        Json& g = groups.Push(Json::Object());
+        g.Set("required_relaxations", group);
+        g.Set("total", cell.total);
+        g.Set("correct", cell.correct);
+        total += cell.total;
+        correct += cell.correct;
+      }
+    }
+    k_json.Set("overall_accuracy",
+               total == 0 ? 0.0 : static_cast<double>(correct) / total);
+  }
+  return d;
+}
+
+void Run(Json& out) {
   PrintTitle(
       "Table 3: Prediction accuracy grouped by #patterns requiring "
       "relaxations (paper: >= ~70% per group; Twitter concentrated in "
       "all-patterns-relaxed)");
 
+  Json& datasets = out.Set("datasets", Json::Array());
+
   const XkgBundle& xkg = GetXkg();
   Engine xkg_engine(&xkg.data.store, &xkg.data.rules);
   ExhaustiveEvaluator xkg_oracle(&xkg.data.store, &xkg.data.rules);
-  PrintDatasetTable("XKG",
-                    BuildTable(EvaluateWorkloadQuality(xkg_engine, xkg_oracle,
-                                                       xkg.workload)),
-                    4);
+  const Table xkg_table =
+      BuildTable(EvaluateWorkloadQuality(xkg_engine, xkg_oracle,
+                                         xkg.workload));
+  PrintDatasetTable("XKG", xkg_table, 4);
+  datasets.Push(TableToJson("xkg", xkg_table));
 
   const TwitterBundle& twitter = GetTwitter();
   Engine tw_engine(&twitter.data.store, &twitter.data.rules);
   ExhaustiveEvaluator tw_oracle(&twitter.data.store, &twitter.data.rules);
-  PrintDatasetTable(
-      "Twitter",
+  const Table tw_table =
       BuildTable(EvaluateWorkloadQuality(tw_engine, tw_oracle,
-                                         twitter.workload)),
-      3);
-  return 0;
+                                         twitter.workload));
+  PrintDatasetTable("Twitter", tw_table, 3);
+  datasets.Push(TableToJson("twitter", tw_table));
 }
 
 }  // namespace
 }  // namespace specqp::bench
 
-int main() { return specqp::bench::Run(); }
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "table3_prediction_accuracy",
+                                  &specqp::bench::Run);
+}

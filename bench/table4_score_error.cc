@@ -39,7 +39,9 @@ struct ErrorStats {
   double Pct() const { return count == 0 ? 0.0 : pct_sum / count; }
 };
 
-void PrintDataset(const char* name,
+// Prints one dataset's table and returns the same per-(k, group) stats as
+// the JSON node for the artifact — computed once, feeding both outputs.
+Json PrintDataset(const char* name,
                   const std::vector<QueryEvaluation>& evals,
                   const std::vector<size_t>& pattern_groups) {
   PrintSubtitle(StrFormat("%s: mean|err| (%%of true) ± std, by #patterns",
@@ -51,7 +53,13 @@ void PrintDataset(const char* name,
   PrintRow(header, widths);
   PrintRule(widths);
 
+  Json d = Json::Object();
+  d.Set("dataset", name);
+  Json& by_k = d.Set("by_k", Json::Array());
   for (size_t k : kTopKs) {
+    Json& k_json = by_k.Push(Json::Object());
+    k_json.Set("k", k);
+    Json& groups = k_json.Set("groups", Json::Array());
     std::vector<std::string> row = {StrFormat("%zu", k)};
     for (size_t group : pattern_groups) {
       ErrorStats stats;
@@ -63,34 +71,44 @@ void PrintDataset(const char* name,
                         ? std::string("-")
                         : StrFormat("%.3f(%.0f%%)±%.3f", stats.Mean(),
                                     stats.Pct(), stats.Std()));
+      Json& g = groups.Push(Json::Object());
+      g.Set("num_patterns", group);
+      g.Set("queries", stats.count);
+      g.Set("score_error_mean", stats.Mean());
+      g.Set("score_error_std", stats.Std());
+      g.Set("score_error_pct", stats.Pct());
     }
     PrintRow(row, widths);
   }
+  return d;
 }
 
-int Run() {
+void Run(Json& out) {
   PrintTitle(
       "Table 4: Average score deviation of Spec-QP top-k vs true top-k "
       "(paper: XKG <= ~0.2/8%, Twitter <= ~0.5/16%, shrinking with k)");
 
+  Json& datasets = out.Set("datasets", Json::Array());
+
   const XkgBundle& xkg = GetXkg();
   Engine xkg_engine(&xkg.data.store, &xkg.data.rules);
   ExhaustiveEvaluator xkg_oracle(&xkg.data.store, &xkg.data.rules);
-  PrintDataset("XKG",
-               EvaluateWorkloadQuality(xkg_engine, xkg_oracle, xkg.workload),
-               {2, 3, 4});
+  const auto xkg_evals =
+      EvaluateWorkloadQuality(xkg_engine, xkg_oracle, xkg.workload);
+  datasets.Push(PrintDataset("xkg", xkg_evals, {2, 3, 4}));
 
   const TwitterBundle& twitter = GetTwitter();
   Engine tw_engine(&twitter.data.store, &twitter.data.rules);
   ExhaustiveEvaluator tw_oracle(&twitter.data.store, &twitter.data.rules);
-  PrintDataset("Twitter",
-               EvaluateWorkloadQuality(tw_engine, tw_oracle,
-                                       twitter.workload),
-               {2, 3});
-  return 0;
+  const auto tw_evals =
+      EvaluateWorkloadQuality(tw_engine, tw_oracle, twitter.workload);
+  datasets.Push(PrintDataset("twitter", tw_evals, {2, 3}));
 }
 
 }  // namespace
 }  // namespace specqp::bench
 
-int main() { return specqp::bench::Run(); }
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "table4_score_error",
+                                  &specqp::bench::Run);
+}

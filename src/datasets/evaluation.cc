@@ -78,7 +78,8 @@ EfficiencyMetrics MeasureEfficiency(Engine& engine, const Query& query,
   engine.Warm(query);
 
   auto measure = [&](Strategy strategy, double* out_ms, uint64_t* out_objects,
-                     double* out_plan_ms, size_t* out_relaxed) {
+                     double* out_plan_ms, size_t* out_relaxed,
+                     uint64_t* out_answers, ExecStats* out_stats) {
     double total_ms = 0.0;
     double total_plan = 0.0;
     uint64_t objects = 0;
@@ -90,6 +91,8 @@ EfficiencyMetrics MeasureEfficiency(Engine& engine, const Query& query,
         total_plan += result.stats.plan_ms;
         objects = result.stats.answer_objects;  // deterministic per run
         relaxed = result.plan.num_relaxed();
+        *out_answers = result.rows.size();
+        *out_stats = result.stats;
       }
     }
     *out_ms = total_ms / avg_last;
@@ -99,9 +102,10 @@ EfficiencyMetrics MeasureEfficiency(Engine& engine, const Query& query,
   };
 
   measure(Strategy::kTrinit, &metrics.trinit_ms, &metrics.trinit_objects,
-          nullptr, nullptr);
+          nullptr, nullptr, &metrics.trinit_answers, &metrics.trinit_stats);
   measure(Strategy::kSpecQp, &metrics.spec_ms, &metrics.spec_objects,
-          &metrics.spec_plan_ms, &metrics.patterns_relaxed);
+          &metrics.spec_plan_ms, &metrics.patterns_relaxed,
+          &metrics.spec_answers, &metrics.spec_stats);
   return metrics;
 }
 

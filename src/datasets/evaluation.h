@@ -49,6 +49,14 @@ struct EfficiencyMetrics {
   uint64_t trinit_objects = 0;
   uint64_t spec_objects = 0;
   size_t patterns_relaxed = 0;  // by the Spec-QP plan
+  // Answers produced and full operator counters of the last measured run,
+  // for machine-readable bench artifacts. The counters are deterministic
+  // across runs; the embedded plan_ms/exec_ms are single last-run samples
+  // and thus noisier than the averaged trinit_ms/spec_ms above.
+  uint64_t trinit_answers = 0;
+  uint64_t spec_answers = 0;
+  ExecStats trinit_stats;
+  ExecStats spec_stats;
 };
 
 EfficiencyMetrics MeasureEfficiency(Engine& engine, const Query& query,

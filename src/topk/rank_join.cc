@@ -80,7 +80,7 @@ bool RankJoin::Advance() {
     }
   }
 
-  const JoinKey key = KeyOf(row);
+  JoinKey key = KeyOf(row);  // non-const so the move below is real
   HashTable& own = pull_left ? left_table_ : right_table_;
   HashTable& other = pull_left ? right_table_ : left_table_;
 
@@ -88,8 +88,13 @@ bool RankJoin::Advance() {
   auto it = other.find(key);
   if (it != other.end()) {
     for (const ScoredRow& match : it->second) {
-      ScoredRow merged = row;
-      MergeBindingsInto(match, &merged);
+      // Key equality guarantees the join variables agree; any remaining
+      // overlap is non-join slots, where the LEFT input's binding wins
+      // deterministically (MergeBindingsInto is left-biased), independent
+      // of which side happened to be probed. With empty join_vars_ every
+      // pair matches and this degenerates to the cross product.
+      ScoredRow merged = pull_left ? row : match;
+      MergeBindingsInto(pull_left ? match : row, &merged);
       merged.score = row.score + match.score;
       ++stats_->join_results;
       ++stats_->answer_objects;

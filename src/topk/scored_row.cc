@@ -15,13 +15,14 @@ bool RowBefore(const ScoredRow& a, const ScoredRow& b) {
 void MergeBindingsInto(const ScoredRow& right, ScoredRow* left) {
   SPECQP_DCHECK(left->bindings.size() == right.bindings.size());
   for (size_t i = 0; i < right.bindings.size(); ++i) {
-    if (right.bindings[i] == kInvalidTermId) continue;
     if (left->bindings[i] == kInvalidTermId) {
       left->bindings[i] = right.bindings[i];
-    } else {
-      SPECQP_DCHECK(left->bindings[i] == right.bindings[i])
-          << "merging rows with conflicting bindings";
     }
+    // Slots bound on both sides keep `left`'s value. Join operators
+    // guarantee agreement on the join variables via key equality before
+    // merging; non-join slots may legitimately differ (e.g. a cross
+    // product with no join variables), and there the merge target —
+    // chosen deterministically by the caller — wins.
   }
 }
 

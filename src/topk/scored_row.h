@@ -41,9 +41,15 @@ struct BindingsHash {
 // bindings lexicographically ascending.
 bool RowBefore(const ScoredRow& a, const ScoredRow& b);
 
-// Merges the bindings of two rows with disjoint-or-agreeing bindings into
-// `left` (kInvalidTermId treated as "unbound"); CHECK-fails on conflicting
-// bound values — operators must only merge join-compatible rows.
+// Merges `right`'s bindings into `left` (kInvalidTermId treated as
+// "unbound"): unbound slots of `left` take `right`'s value; slots bound on
+// both sides keep `left`'s value ("left wins"). Join operators guarantee
+// agreement on actual join variables via key equality before merging, so
+// left-wins only ever applies to non-join slots — which may legitimately
+// conflict, e.g. in a cross product with no join variables. Callers must
+// pick the merge target deterministically (RankJoin always lets its left
+// input win, regardless of pull order) so answers are a function of the
+// inputs alone. Semantics are identical in Debug and Release builds.
 void MergeBindingsInto(const ScoredRow& right, ScoredRow* left);
 
 // "?s=<Shakira> ?o=<guitar> (score 1.73)" — for examples and debugging.

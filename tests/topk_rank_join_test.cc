@@ -112,6 +112,83 @@ TEST(RankJoinTest, CrossProductWhenNoJoinVars) {
   }
 }
 
+TEST(RankJoinTest, BothInputsEmpty) {
+  ExecStats stats;
+  RankJoin join(LeftInput({}), RightInput({}), {0}, &stats);
+  ScoredRow row;
+  EXPECT_FALSE(join.Next(&row));
+  EXPECT_FALSE(join.Next(&row));
+  EXPECT_EQ(stats.join_results, 0u);
+
+  ExecStats cross_stats;
+  RankJoin cross(LeftInput({}), RightInput({}), {}, &cross_stats);
+  EXPECT_FALSE(cross.Next(&row));
+  EXPECT_EQ(cross_stats.join_results, 0u);
+}
+
+TEST(RankJoinTest, NextAfterExhaustionKeepsReturningFalse) {
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}}), RightInput({{1, 10, 0.8}}), {0},
+                &stats);
+  ScoredRow row;
+  ASSERT_TRUE(join.Next(&row));
+  EXPECT_DOUBLE_EQ(row.score, 1.7);
+  for (int i = 0; i < 5; ++i) {
+    row.score = -1.0;
+    EXPECT_FALSE(join.Next(&row));
+  }
+  EXPECT_EQ(stats.join_results, 1u);
+}
+
+// --- MergeBindingsInto contract (left wins on non-join conflicts) ------------
+
+TEST(MergeBindingsTest, FillsUnboundSlotsFromRight) {
+  ScoredRow left(3, 0.5);
+  left.bindings[0] = 7;
+  ScoredRow right(3, 0.2);
+  right.bindings[1] = 8;
+  MergeBindingsInto(right, &left);
+  EXPECT_EQ(left.bindings[0], 7u);
+  EXPECT_EQ(left.bindings[1], 8u);
+  EXPECT_EQ(left.bindings[2], kInvalidTermId);
+}
+
+TEST(MergeBindingsTest, LeftWinsOnConflictingSlots) {
+  ScoredRow left(2, 0.9);
+  left.bindings[0] = 1;
+  ScoredRow right(2, 0.8);
+  right.bindings[0] = 2;
+  right.bindings[1] = 20;
+  MergeBindingsInto(right, &left);
+  EXPECT_EQ(left.bindings[0], 1u) << "probe (left) row's binding must win";
+  EXPECT_EQ(left.bindings[1], 20u);
+}
+
+TEST(RankJoinTest, CrossProductLeftInputBindingsWin) {
+  // In a cross product the two sides bind the same slots to different
+  // terms; the LEFT input's binding must win deterministically — never
+  // depending on internal pull order — while slots bound only on the
+  // right are still filled from the right.
+  ExecStats stats;
+  RankJoin join(LeftInput({{1, 0.9}}), RightInput({{2, 20, 0.8}}), {},
+                &stats);
+  const auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 1.7);
+  EXPECT_EQ(rows[0].bindings[0], 1u) << "left input's binding must win";
+  EXPECT_EQ(rows[0].bindings[1], 20u);
+
+  // Same inputs with the right side scoring higher (so the right side is
+  // pulled and probed first): the left input's binding still wins.
+  ExecStats stats2;
+  RankJoin join2(LeftInput({{1, 0.3}}), RightInput({{2, 20, 0.8}}), {},
+                 &stats2);
+  const auto rows2 = Drain(&join2);
+  ASSERT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(rows2[0].bindings[0], 1u) << "must not depend on probe order";
+  EXPECT_EQ(rows2[0].bindings[1], 20u);
+}
+
 TEST(RankJoinTest, UpperBoundNeverIncreasesAndBoundsEmissions) {
   ExecStats stats;
   RankJoin join(
