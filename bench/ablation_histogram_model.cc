@@ -25,7 +25,7 @@ ModelResult RunModel(const XkgBundle& xkg,
                      ExpectedScoreEstimator::Model model,
                      const std::vector<std::map<size_t, std::vector<size_t>>>&
                          required_by_query) {
-  EngineOptions options;
+  EngineOptions options = MakeEngineOptions();
   options.estimator_model = model;
   Engine engine(&xkg.data.store, &xkg.data.rules, options);
 

@@ -23,7 +23,7 @@ struct ModeResult {
 ModeResult RunMode(const XkgBundle& xkg, SelectivityEstimator::Mode mode,
                    const std::vector<std::map<size_t, std::vector<size_t>>>&
                        required_by_query) {
-  EngineOptions options;
+  EngineOptions options = MakeEngineOptions();
   options.selectivity_mode = mode;
   Engine engine(&xkg.data.store, &xkg.data.rules, options);
 

@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
@@ -11,19 +12,84 @@ namespace specqp::bench {
 
 namespace {
 
+struct BenchConfig {
+  int threads = 0;             // EngineOptions::num_threads semantics
+  size_t cache_budget_mb = 0;  // 0 = unbounded
+};
+BenchConfig g_bench_config;
+
 void PrintUsage(const std::string& name) {
   std::fprintf(stderr,
-               "usage: %s [--json <path>]\n"
-               "  --json <path>  write the machine-readable benchmark "
-               "artifact to <path>\n",
+               "usage: %s [--json <path>] [--threads N] "
+               "[--cache-budget-mb N]\n"
+               "  --json <path>         write the machine-readable benchmark "
+               "artifact to <path>\n"
+               "  --threads N           engine execution threads "
+               "(0 = $SPECQP_THREADS, default serial)\n"
+               "  --cache-budget-mb N   posting-list cache budget "
+               "(0 = unbounded)\n",
                name.c_str());
+}
+
+// Parses a non-negative integer flag value; returns -1 on garbage.
+long ParseNonNegative(const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return -1;
+  return value;
+}
+
+// Handles one `--flag N` / `--flag=N` occurrence for a non-negative int
+// flag. Returns false (with *error set) when `argv[*i]` is not this flag;
+// on a match, advances *i past a space-separated value and writes the
+// parsed value through `out`, or prints the error and sets *error.
+bool ParseIntFlag(const std::string& bench_name, const char* flag, int argc,
+                  char** argv, int* i, long* out, bool* error) {
+  const std::string_view arg = argv[*i];
+  const std::string eq_form = std::string(flag) + "=";
+  const char* text = nullptr;
+  if (arg == flag) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires a value\n", bench_name.c_str(),
+                   flag);
+      *error = true;
+      return true;
+    }
+    text = argv[++*i];
+  } else if (StartsWith(arg, eq_form)) {
+    text = argv[*i] + eq_form.size();
+  } else {
+    return false;
+  }
+  const long value = ParseNonNegative(text);
+  if (value < 0) {
+    std::fprintf(stderr, "%s: %s requires a non-negative int\n",
+                 bench_name.c_str(), flag);
+    *error = true;
+    return true;
+  }
+  *out = value;
+  return true;
 }
 
 }  // namespace
 
+void ApplyBenchConfig(EngineOptions* options) {
+  options->num_threads = g_bench_config.threads;
+  options->cache_budget_bytes = g_bench_config.cache_budget_mb * 1024 * 1024;
+}
+
+EngineOptions MakeEngineOptions() {
+  EngineOptions options;
+  ApplyBenchConfig(&options);
+  return options;
+}
+
 int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   std::string json_path;
   bool json_requested = false;
+  long flag_value = 0;
+  bool flag_error = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
@@ -37,6 +103,14 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
     } else if (StartsWith(arg, "--json=")) {
       json_requested = true;
       json_path = arg.substr(std::strlen("--json="));
+    } else if (ParseIntFlag(name, "--threads", argc, argv, &i, &flag_value,
+                            &flag_error)) {
+      if (flag_error) return 2;
+      g_bench_config.threads = static_cast<int>(flag_value);
+    } else if (ParseIntFlag(name, "--cache-budget-mb", argc, argv, &i,
+                            &flag_value, &flag_error)) {
+      if (flag_error) return 2;
+      g_bench_config.cache_budget_mb = static_cast<size_t>(flag_value);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(name);
       return 0;
@@ -71,7 +145,10 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
 
   Json doc = Json::Object();
   doc.Set("bench", name);
-  doc.Set("schema_version", 1);
+  doc.Set("schema_version", 2);
+  doc.Set("threads_requested", g_bench_config.threads);
+  doc.Set("threads", ResolveNumThreads(g_bench_config.threads));
+  doc.Set("cache_budget_mb", g_bench_config.cache_budget_mb);
   WallTimer timer;
   run(doc);
   doc.Set("total_seconds", timer.ElapsedSeconds());
@@ -95,8 +172,21 @@ Json ExecStatsToJson(const ExecStats& stats) {
   j.Set("merge_duplicates", stats.merge_duplicates);
   j.Set("join_results", stats.join_results);
   j.Set("join_hash_probes", stats.join_hash_probes);
+  j.Set("parallel_partitions", stats.parallel_partitions);
+  j.Set("parallel_refill_rounds", stats.parallel_refill_rounds);
   j.Set("plan_ms", stats.plan_ms);
   j.Set("exec_ms", stats.exec_ms);
+  return j;
+}
+
+Json CacheStatsToJson(const PostingListCache& cache) {
+  Json j = Json::Object();
+  j.Set("hits", cache.hits());
+  j.Set("misses", cache.misses());
+  j.Set("evictions", cache.evictions());
+  j.Set("resident_lists", cache.size());
+  j.Set("resident_bytes", cache.bytes());
+  j.Set("budget_bytes", cache.budget_bytes());
   return j;
 }
 
@@ -198,6 +288,7 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
                          Json& out) {
   PrintTitle(title);
   out.Set("title", title);
+  out.Set("engine_threads", engine.num_threads());
   out.Set("group_by", group_by == GroupBy::kNumPatterns ? "num_patterns"
                                                         : "patterns_relaxed");
   Json& by_k = out.Set("by_k", Json::Array());
@@ -271,6 +362,7 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
                widths);
     }
   }
+  out.Set("cache", CacheStatsToJson(engine.postings()));
   std::printf(
       "\nShape check (paper Figs 6-9): S <= T on runtime and memory in "
       "every group; the gap is largest at k=10 / few-patterns-relaxed and "

@@ -23,18 +23,31 @@ namespace specqp::bench {
 // into `out`, then forwards to BenchMain from its main(). BenchMain owns
 // the shared CLI:
 //
-//   <bench> [--json <path>]
+//   <bench> [--json <path>] [--threads N] [--cache-budget-mb N]
+//
+// --threads feeds EngineOptions::num_threads of every engine built through
+// MakeEngineOptions()/ApplyBenchConfig() (0 = $SPECQP_THREADS, default
+// serial); --cache-budget-mb bounds the posting-list cache. Both knobs,
+// their resolved values, and the cache hit/miss/eviction counters are
+// recorded in the artifact so the perf trajectory captures the parallel
+// configuration.
 //
 // With --json, the artifact is written as a single JSON document:
-//   {"bench": <name>, "schema_version": 1, ..., "total_seconds": <t>}
+//   {"bench": <name>, "schema_version": 2, ..., "total_seconds": <t>}
 // so `fig6`..`fig9`, the tables, and the ablations all emit comparable,
 // machine-readable BENCH_*.json files for perf tracking.
 using BenchFn = void (*)(Json& out);
 int BenchMain(int argc, char** argv, const std::string& name, BenchFn run);
 
+// Engine options pre-filled with the CLI execution knobs (--threads,
+// --cache-budget-mb) parsed by BenchMain.
+void ApplyBenchConfig(EngineOptions* options);
+EngineOptions MakeEngineOptions();
+
 // Serialisation helpers shared by the benchmark binaries.
 Json ExecStatsToJson(const ExecStats& stats);
 Json QualityMetricsToJson(const QualityMetrics& metrics);
+Json CacheStatsToJson(const PostingListCache& cache);
 
 // The k values evaluated throughout the paper (section 4.4).
 inline constexpr size_t kTopKs[] = {10, 15, 20};

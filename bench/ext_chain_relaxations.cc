@@ -106,10 +106,10 @@ void Run(Json& out) {
               with_chains.rules.total_chain_rules(), workload.size());
 
   const size_t k = 10;
-  Engine engine_none(&with_chains.store, &no_rules);
-  Engine engine_simple(&with_chains.store, &simple_only);
-  Engine engine_chains(&with_chains.store, &chains_only);
-  Engine engine_both(&with_chains.store, &with_chains.rules);
+  Engine engine_none(&with_chains.store, &no_rules, MakeEngineOptions());
+  Engine engine_simple(&with_chains.store, &simple_only, MakeEngineOptions());
+  Engine engine_chains(&with_chains.store, &chains_only, MakeEngineOptions());
+  Engine engine_both(&with_chains.store, &with_chains.rules, MakeEngineOptions());
 
   const std::vector<int> widths = {30, 12, 12, 14, 14};
   PrintRow({"configuration", "top-k fill", "top score", "runtime ms",

@@ -15,7 +15,7 @@ void Run(Json& out) {
   out.Set("dataset", "xkg");
   out.Set("num_triples", xkg.data.store.size());
   out.Set("num_queries", xkg.workload.size());
-  Engine engine(&xkg.data.store, &xkg.data.rules);
+  Engine engine(&xkg.data.store, &xkg.data.rules, MakeEngineOptions());
   RunEfficiencyFigure(
       "Figure 6: XKG runtimes & memory, T vs S, by #triple patterns",
       engine, xkg.workload, GroupBy::kNumPatterns, out);

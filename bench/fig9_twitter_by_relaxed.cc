@@ -15,7 +15,7 @@ void Run(Json& out) {
   out.Set("dataset", "twitter");
   out.Set("num_triples", twitter.data.store.size());
   out.Set("num_queries", twitter.workload.size());
-  Engine engine(&twitter.data.store, &twitter.data.rules);
+  Engine engine(&twitter.data.store, &twitter.data.rules, MakeEngineOptions());
   RunEfficiencyFigure(
       "Figure 9: Twitter runtimes & memory, T vs S, by #patterns relaxed "
       "by Spec-QP",

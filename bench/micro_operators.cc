@@ -12,16 +12,20 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "rdf/posting_list.h"
+#include "rdf/posting_partition.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
 #include "stats/convolution.h"
 #include "stats/grid_pdf.h"
+#include "topk/exec_context.h"
 #include "topk/incremental_merge.h"
+#include "topk/parallel_rank_join.h"
 #include "topk/pattern_scan.h"
 #include "topk/rank_join.h"
 #include "topk/top_k.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace specqp::bench {
@@ -91,6 +95,7 @@ struct MicroResult {
   double ns_per_iter = 0.0;
   uint64_t items_per_iter = 0;
   double items_per_second = 0.0;
+  double speedup_vs_serial = 0.0;  // parallel variants only (0 = n/a)
 };
 
 MicroResult RunMicro(const std::string& name,
@@ -150,7 +155,8 @@ void Run(Json& out) {
         "pattern_scan_drain",
         [&] {
           ExecStats stats;
-          PatternScan scan(&fx.store, list, pattern, 1, 1.0, &stats);
+          ExecContext ctx(&stats);
+          PatternScan scan(&fx.store, list, pattern, 1, 1.0, &ctx);
           ScoredRow row;
           size_t n = 0;
           while (scan.Next(&row)) ++n;
@@ -164,15 +170,16 @@ void Run(Json& out) {
     results.push_back(RunMicro(
         StrFormat("incremental_merge_topk/inputs:%zu", num_inputs), [&] {
           ExecStats stats;
+          ExecContext ctx(&stats);
           std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
           for (size_t i = 0; i < num_inputs; ++i) {
             const TriplePattern pattern =
                 fx.Pattern(i % fx.objects.size(), 0);
             inputs.push_back(std::make_unique<PatternScan>(
                 &fx.store, cache.Get(pattern.Key()), pattern, 1,
-                1.0 / static_cast<double>(i + 1), &stats));
+                1.0 / static_cast<double>(i + 1), &ctx));
           }
-          IncrementalMerge merge(std::move(inputs), &stats);
+          IncrementalMerge merge(std::move(inputs), &ctx);
           const auto rows = PullTopK(&merge, 20, &stats);
           DoNotOptimize(rows.data());
         }));
@@ -185,14 +192,80 @@ void Run(Json& out) {
     results.push_back(
         RunMicro(StrFormat("rank_join_topk/k:%zu", k), [&] {
           ExecStats stats;
+          ExecContext ctx(&stats);
           auto l = std::make_unique<PatternScan>(
-              &fx.store, cache.Get(left.Key()), left, 1, 1.0, &stats);
+              &fx.store, cache.Get(left.Key()), left, 1, 1.0, &ctx);
           auto r = std::make_unique<PatternScan>(
-              &fx.store, cache.Get(right.Key()), right, 1, 1.0, &stats);
-          RankJoin join(std::move(l), std::move(r), {0}, &stats);
+              &fx.store, cache.Get(right.Key()), right, 1, 1.0, &ctx);
+          RankJoin join(std::move(l), std::move(r), {0}, &ctx);
           const auto rows = PullTopK(&join, k, &stats);
           DoNotOptimize(rows.data());
         }));
+  }
+
+  {
+    // Partitioned parallel rank join over the LARGEST micro input: one
+    // predicate, 8 objects, ~30k-entry posting lists per side. The
+    // partition pieces are built outside the timed body (a build-time cost
+    // amortised across executions, like posting-list construction itself);
+    // the timed body builds the per-partition HRJN trees, runs them on the
+    // pool, and merges the top-k. threads:1 is the serial RankJoin
+    // baseline the speedups are measured against.
+    static auto* big = new MicroFixture(240000, 8, 1);
+    PostingListCache cache(&big->store);
+    const TriplePattern left = big->Pattern(0, 0);
+    const TriplePattern right = big->Pattern(1, 0);
+    auto left_list = cache.Get(left.Key());
+    auto right_list = cache.Get(right.Key());
+    const size_t k = 500;
+    double serial_ns = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      const uint32_t parts = static_cast<uint32_t>(threads);
+      std::unique_ptr<ThreadPool> pool;
+      std::vector<std::shared_ptr<const PostingList>> left_parts;
+      std::vector<std::shared_ptr<const PostingList>> right_parts;
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads) - 1);
+        left_parts = PartitionPostingList(big->store, *left_list, 0, parts);
+        right_parts = PartitionPostingList(big->store, *right_list, 0, parts);
+      }
+      MicroResult r = RunMicro(
+          StrFormat("parallel_rank_join_topk/threads:%d", threads), [&] {
+            ExecStats stats;
+            ExecContext ctx(&stats, pool.get());
+            std::vector<ScoredRow> rows;
+            if (threads == 1) {
+              auto l = std::make_unique<PatternScan>(&big->store, left_list,
+                                                     left, 1, 1.0, &ctx);
+              auto r2 = std::make_unique<PatternScan>(&big->store, right_list,
+                                                      right, 1, 1.0, &ctx);
+              RankJoin join(std::move(l), std::move(r2), {0}, &ctx);
+              rows = PullTopK(&join, k, &stats);
+            } else {
+              std::vector<std::unique_ptr<ScoredRowIterator>> roots;
+              for (uint32_t p = 0; p < parts; ++p) {
+                ExecContext* part_ctx = ctx.ForPartition();
+                auto l = std::make_unique<PatternScan>(
+                    &big->store, left_parts[p], left, 1, 1.0, part_ctx);
+                auto r2 = std::make_unique<PatternScan>(
+                    &big->store, right_parts[p], right, 1, 1.0, part_ctx);
+                roots.push_back(std::make_unique<RankJoin>(
+                    std::move(l), std::move(r2), std::vector<VarId>{0},
+                    part_ctx));
+              }
+              ParallelRankJoin join(std::move(roots), &ctx);
+              rows = PullTopK(&join, k, &stats);
+              ctx.MergePartitionStats();
+            }
+            DoNotOptimize(rows.data());
+          });
+      if (threads == 1) {
+        serial_ns = r.ns_per_iter;
+      } else if (serial_ns > 0.0 && r.ns_per_iter > 0.0) {
+        r.speedup_vs_serial = serial_ns / r.ns_per_iter;
+      }
+      results.push_back(std::move(r));
+    }
   }
 
   for (int patterns : {2, 3, 4}) {
@@ -221,7 +294,7 @@ void Run(Json& out) {
   }
 
   for (size_t num_patterns : {2u, 3u, 4u}) {
-    Engine engine(&fx.store, &fx.rules);
+    Engine engine(&fx.store, &fx.rules, MakeEngineOptions());
     Query query;
     const VarId s = query.GetOrAddVariable("s");
     for (size_t i = 0; i < num_patterns; ++i) {
@@ -238,7 +311,7 @@ void Run(Json& out) {
   }
 
   for (const bool speculative : {false, true}) {
-    Engine engine(&fx.store, &fx.rules);
+    Engine engine(&fx.store, &fx.rules, MakeEngineOptions());
     Query query;
     const VarId s = query.GetOrAddVariable("s");
     query.AddPattern(fx.Pattern(0, s));
@@ -254,6 +327,7 @@ void Run(Json& out) {
               query, 10, speculative ? Strategy::kSpecQp : Strategy::kTrinit);
           DoNotOptimize(result.rows.data());
         }));
+    if (speculative) out.Set("cache", CacheStatsToJson(engine.postings()));
   }
 
   const std::vector<int> widths = {38, 12, 14, 16};
@@ -275,6 +349,9 @@ void Run(Json& out) {
     if (r.items_per_iter > 0) {
       j.Set("items_per_iter", r.items_per_iter);
       j.Set("items_per_second", r.items_per_second);
+    }
+    if (r.speedup_vs_serial > 0.0) {
+      j.Set("speedup_vs_serial", r.speedup_vs_serial);
     }
   }
 }

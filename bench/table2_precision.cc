@@ -58,14 +58,14 @@ void Run(Json& out) {
   PrintTitle("Table 2: Precision (and Recall) over each dataset");
 
   const XkgBundle& xkg = GetXkg();
-  Engine xkg_engine(&xkg.data.store, &xkg.data.rules);
+  Engine xkg_engine(&xkg.data.store, &xkg.data.rules, MakeEngineOptions());
   ExhaustiveEvaluator xkg_oracle(&xkg.data.store, &xkg.data.rules);
   const auto xkg_evals =
       EvaluateWorkloadQuality(xkg_engine, xkg_oracle, xkg.workload);
   const auto xkg_precision = MeanPrecisionByK(xkg_evals);
 
   const TwitterBundle& twitter = GetTwitter();
-  Engine tw_engine(&twitter.data.store, &twitter.data.rules);
+  Engine tw_engine(&twitter.data.store, &twitter.data.rules, MakeEngineOptions());
   ExhaustiveEvaluator tw_oracle(&twitter.data.store, &twitter.data.rules);
   const auto tw_evals =
       EvaluateWorkloadQuality(tw_engine, tw_oracle, twitter.workload);

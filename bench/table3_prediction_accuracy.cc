@@ -124,7 +124,7 @@ void Run(Json& out) {
   Json& datasets = out.Set("datasets", Json::Array());
 
   const XkgBundle& xkg = GetXkg();
-  Engine xkg_engine(&xkg.data.store, &xkg.data.rules);
+  Engine xkg_engine(&xkg.data.store, &xkg.data.rules, MakeEngineOptions());
   ExhaustiveEvaluator xkg_oracle(&xkg.data.store, &xkg.data.rules);
   const Table xkg_table =
       BuildTable(EvaluateWorkloadQuality(xkg_engine, xkg_oracle,
@@ -133,7 +133,7 @@ void Run(Json& out) {
   datasets.Push(TableToJson("xkg", xkg_table));
 
   const TwitterBundle& twitter = GetTwitter();
-  Engine tw_engine(&twitter.data.store, &twitter.data.rules);
+  Engine tw_engine(&twitter.data.store, &twitter.data.rules, MakeEngineOptions());
   ExhaustiveEvaluator tw_oracle(&twitter.data.store, &twitter.data.rules);
   const Table tw_table =
       BuildTable(EvaluateWorkloadQuality(tw_engine, tw_oracle,

@@ -91,14 +91,14 @@ void Run(Json& out) {
   Json& datasets = out.Set("datasets", Json::Array());
 
   const XkgBundle& xkg = GetXkg();
-  Engine xkg_engine(&xkg.data.store, &xkg.data.rules);
+  Engine xkg_engine(&xkg.data.store, &xkg.data.rules, MakeEngineOptions());
   ExhaustiveEvaluator xkg_oracle(&xkg.data.store, &xkg.data.rules);
   const auto xkg_evals =
       EvaluateWorkloadQuality(xkg_engine, xkg_oracle, xkg.workload);
   datasets.Push(PrintDataset("xkg", xkg_evals, {2, 3, 4}));
 
   const TwitterBundle& twitter = GetTwitter();
-  Engine tw_engine(&twitter.data.store, &twitter.data.rules);
+  Engine tw_engine(&twitter.data.store, &twitter.data.rules, MakeEngineOptions());
   ExhaustiveEvaluator tw_oracle(&twitter.data.store, &twitter.data.rules);
   const auto tw_evals =
       EvaluateWorkloadQuality(tw_engine, tw_oracle, twitter.workload);

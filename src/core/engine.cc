@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "query/parser.h"
 #include "topk/top_k.h"
 #include "util/logging.h"
@@ -19,18 +22,34 @@ std::string_view StrategyName(Strategy strategy) {
   return "?";
 }
 
+int ResolveNumThreads(int requested) {
+  if (requested >= 1) return std::min(requested, 256);
+  const char* env = std::getenv("SPECQP_THREADS");
+  if (env == nullptr) return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 1) return 1;
+  return static_cast<int>(std::min(parsed, 256L));
+}
+
 Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
                const EngineOptions& options)
     : store_(store),
       rules_(rules),
       options_(options),
-      postings_(store),
+      num_threads_(ResolveNumThreads(options.num_threads)),
+      pool_(num_threads_ > 1
+                ? std::make_unique<ThreadPool>(
+                      static_cast<size_t>(num_threads_) - 1)
+                : nullptr),
+      postings_(store, options.cache_budget_bytes),
       catalog_(store, &postings_, options.head_fraction),
       selectivity_(store, options.selectivity_mode),
       estimator_(&catalog_, &selectivity_, options.estimator_model,
                  options.grid_delta),
       planner_(&estimator_, rules),
-      executor_(store, &postings_, rules) {
+      executor_(store, &postings_, rules,
+                PlanExecutor::Options{options.parallel_min_rows}) {
   SPECQP_CHECK(store_ != nullptr && rules_ != nullptr);
   SPECQP_CHECK(store_->finalized()) << "Engine requires a finalized store";
 }
@@ -55,8 +74,11 @@ Engine::QueryResult Engine::Execute(const Query& query, size_t k,
   result.stats.plan_ms = plan_timer.ElapsedMillis();
 
   WallTimer exec_timer;
-  auto root = executor_.Build(query, result.plan, &result.stats);
+  ExecContext ctx(&result.stats, pool_.get());
+  auto root = executor_.Build(query, result.plan, &ctx);
   result.rows = PullTopK(root.get(), k, &result.stats);
+  root.reset();  // partition trees die before their contexts merge
+  ctx.MergePartitionStats();
   result.stats.exec_ms = exec_timer.ElapsedMillis();
 
   // Chain relaxations execute with trailing scratch slots for their fresh

@@ -15,9 +15,11 @@
 #include "relax/relaxation_index.h"
 #include "stats/catalog.h"
 #include "stats/selectivity.h"
+#include "topk/exec_context.h"
 #include "topk/exec_stats.h"
 #include "topk/scored_row.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace specqp {
 
@@ -30,6 +32,11 @@ enum class Strategy {
 
 std::string_view StrategyName(Strategy strategy);
 
+// Resolves a requested thread count: values >= 1 are clamped to [1, 256];
+// values <= 0 defer to the SPECQP_THREADS environment variable (absent or
+// unparsable -> 1, i.e. serial).
+int ResolveNumThreads(int requested);
+
 struct EngineOptions {
   // The paper uses exact join selectivities (footnote 3).
   SelectivityEstimator::Mode selectivity_mode =
@@ -41,6 +48,16 @@ struct EngineOptions {
   double head_fraction = 0.8;
   // Grid resolution for the kExactGrid estimator.
   double grid_delta = 1.0 / 512.0;
+  // Execution concurrency (partitioned rank joins): 0 = $SPECQP_THREADS
+  // (default 1), 1 = serial, N > 1 = N-way. Answers are identical at any
+  // setting; only throughput changes.
+  int num_threads = 0;
+  // Posting-list cache budget in bytes (approximate, LRU-evicted);
+  // 0 = unbounded.
+  size_t cache_budget_bytes = 0;
+  // Minimum total posting entries across a query's patterns before the
+  // executor builds a partitioned parallel tree.
+  size_t parallel_min_rows = 1024;
 };
 
 // Facade wiring the whole stack together: posting lists, statistics,
@@ -85,11 +102,16 @@ class Engine {
   StatisticsCatalog& catalog() { return catalog_; }
   SelectivityEstimator& selectivity() { return selectivity_; }
   const EngineOptions& options() const { return options_; }
+  // Resolved execution concurrency (>= 1); the pool is shared by every
+  // Execute() on this engine.
+  int num_threads() const { return num_threads_; }
 
  private:
   const TripleStore* store_;
   const RelaxationIndex* rules_;
   EngineOptions options_;
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
 
   PostingListCache postings_;
   StatisticsCatalog catalog_;

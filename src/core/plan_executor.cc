@@ -1,10 +1,13 @@
 #include "core/plan_executor.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "topk/incremental_merge.h"
+#include "topk/parallel_rank_join.h"
 #include "topk/pattern_scan.h"
 #include "topk/project.h"
 #include "topk/rank_join.h"
@@ -39,7 +42,7 @@ std::vector<VarId> SharedBound(const std::vector<bool>& a,
 
 // Joins `units` left-deep into `acc` (greedy: prefer the earliest unit
 // sharing a variable with the accumulated bound set).
-void FoldInto(Unit* acc, std::vector<Unit>* units, ExecStats* stats) {
+void FoldInto(Unit* acc, std::vector<Unit>* units, ExecContext* ctx) {
   while (!units->empty()) {
     size_t pick = 0;
     bool connected = false;
@@ -57,7 +60,7 @@ void FoldInto(Unit* acc, std::vector<Unit>* units, ExecStats* stats) {
     std::vector<VarId> join_vars = SharedBound(acc->bound, next.bound);
     acc->op = std::make_unique<RankJoin>(std::move(acc->op),
                                          std::move(next.op),
-                                         std::move(join_vars), stats);
+                                         std::move(join_vars), ctx);
     for (size_t v = 0; v < acc->bound.size(); ++v) {
       if (next.bound[v]) acc->bound[v] = true;
     }
@@ -66,21 +69,114 @@ void FoldInto(Unit* acc, std::vector<Unit>* units, ExecStats* stats) {
 
 }  // namespace
 
+// One hash partition's view of the posting lists: patterns binding `var`
+// scan only their bucket `index` of `count`; other patterns scan the full
+// list (replicated across trees — correct because any join against them
+// keeps the v-binding of the partitioned side). Piece sets are memoised in
+// the PostingListCache, so repeated executions of a query re-use them; the
+// per-Build `memo` (shared across this Build's partition trees) keeps the
+// cache's shard lock out of the hot per-partition loop.
+struct PlanExecutor::PartitionView {
+  using PieceMemo =
+      std::map<std::tuple<TermId, TermId, TermId, int>,
+               std::vector<std::shared_ptr<const PostingList>>>;
+
+  VarId var = kInvalidVarId;
+  uint32_t index = 0;
+  uint32_t count = 1;
+  PostingListCache* postings = nullptr;
+  PieceMemo* memo = nullptr;
+
+  std::shared_ptr<const PostingList> PieceFor(const PatternKey& key,
+                                              int slot) const {
+    const auto memo_key = std::make_tuple(key.s, key.p, key.o, slot);
+    auto it = memo->find(memo_key);
+    if (it == memo->end()) {
+      it = memo->emplace(memo_key, postings->GetPartitions(key, slot, count))
+               .first;
+    }
+    return it->second[index];
+  }
+};
+
 PlanExecutor::PlanExecutor(const TripleStore* store,
                            PostingListCache* postings,
                            const RelaxationIndex* rules)
-    : store_(store), postings_(postings), rules_(rules) {
+    : PlanExecutor(store, postings, rules, Options()) {}
+
+PlanExecutor::PlanExecutor(const TripleStore* store,
+                           PostingListCache* postings,
+                           const RelaxationIndex* rules,
+                           const Options& options)
+    : store_(store), postings_(postings), rules_(rules), options_(options) {
   SPECQP_CHECK(store_ != nullptr && postings_ != nullptr && rules_ != nullptr);
+}
+
+VarId PlanExecutor::CommonJoinVariable(const Query& query) {
+  if (query.num_patterns() == 0) return kInvalidVarId;
+  for (size_t v = 0; v < query.num_vars(); ++v) {
+    bool in_all = true;
+    for (const TriplePattern& q : query.patterns()) {
+      if (!q.UsesVariable(static_cast<VarId>(v))) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) return static_cast<VarId>(v);
+  }
+  return kInvalidVarId;
 }
 
 std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
                                                        const QueryPlan& plan,
-                                                       ExecStats* stats) {
-  SPECQP_CHECK(stats != nullptr);
+                                                       ExecContext* ctx) {
+  SPECQP_CHECK(ctx != nullptr);
   SPECQP_CHECK(plan.join_group.size() + plan.singletons.size() ==
                query.num_patterns())
       << "plan does not cover the query";
 
+  // Parallel tree? Needs a pool, a join to split (>= 2 patterns), a
+  // variable shared by every pattern to partition on, and enough posting
+  // rows to be worth it. Single-pattern queries stay serial so the root
+  // keeps the posting lists' triple-index tie order.
+  uint32_t num_partitions = 0;
+  VarId partition_var = kInvalidVarId;
+  if (ctx->parallel() && query.num_patterns() >= 2) {
+    partition_var = CommonJoinVariable(query);
+    if (partition_var != kInvalidVarId) {
+      size_t total_rows = 0;
+      for (const TriplePattern& q : query.patterns()) {
+        // Uncounted: a sizing probe, not a real access — make_scan fetches
+        // (and counts) the same lists moments later.
+        total_rows += postings_->GetUncounted(q.Key())->size();
+      }
+      if (total_rows >= options_.parallel_min_rows) {
+        num_partitions = static_cast<uint32_t>(ctx->num_threads());
+      }
+    }
+  }
+  if (num_partitions < 2) return BuildTree(query, plan, ctx, nullptr);
+
+  PartitionView::PieceMemo memo;
+  std::vector<std::unique_ptr<ScoredRowIterator>> roots;
+  roots.reserve(num_partitions);
+  for (uint32_t i = 0; i < num_partitions; ++i) {
+    PartitionView view;
+    view.var = partition_var;
+    view.index = i;
+    view.count = num_partitions;
+    view.postings = postings_;
+    view.memo = &memo;
+    roots.push_back(BuildTree(query, plan, ctx->ForPartition(), &view));
+  }
+  ctx->stats()->parallel_partitions += num_partitions;
+  return std::make_unique<ParallelRankJoin>(std::move(roots), ctx,
+                                            options_.parallel_batch_rows);
+}
+
+std::unique_ptr<ScoredRowIterator> PlanExecutor::BuildTree(
+    const Query& query, const QueryPlan& plan, ExecContext* ctx,
+    const PartitionView* view) {
   // Chain relaxations bind a fresh intermediate variable each; those get
   // trailing binding slots beyond the query's own variables (cleared again
   // by a projection before the chain's rows reach the merge, so the extra
@@ -93,9 +189,13 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
   VarId next_chain_slot = static_cast<VarId>(query.num_vars());
 
   auto make_scan = [&](const TriplePattern& pattern, double weight) {
-    return std::make_unique<PatternScan>(store_,
-                                         postings_->Get(pattern.Key()),
-                                         pattern, width, weight, stats);
+    const int slot =
+        view == nullptr ? -1 : SlotOfVar(pattern, view->var);
+    std::shared_ptr<const PostingList> list =
+        slot >= 0 ? view->PieceFor(pattern.Key(), slot)
+                  : postings_->Get(pattern.Key());
+    return std::make_unique<PatternScan>(store_, std::move(list), pattern,
+                                         width, weight, ctx);
   };
 
   // Join-group units: bare scans.
@@ -118,7 +218,8 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
     }
     // Chain relaxations: rank-join the two hops on the fresh variable
     // (each hop discounted by w/2, so the chain tops out at w), then hide
-    // the intermediate so the merge deduplicates per subject.
+    // the intermediate so the merge deduplicates per subject. Hop patterns
+    // that do not bind the partition variable scan their full lists.
     for (const ChainRelaxationRule& rule :
          rules_->ChainRulesFor(q.Key())) {
       const VarId fresh = next_chain_slot++;
@@ -127,12 +228,12 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
       auto join = std::make_unique<RankJoin>(
           make_scan(chain->hop1, rule.weight / 2.0),
           make_scan(chain->hop2, rule.weight / 2.0),
-          std::vector<VarId>{fresh}, stats);
+          std::vector<VarId>{fresh}, ctx);
       inputs.push_back(std::make_unique<ProjectIterator>(
           std::move(join), std::vector<VarId>{fresh}));
     }
     singleton_units.push_back(
-        Unit{std::make_unique<IncrementalMerge>(std::move(inputs), stats),
+        Unit{std::make_unique<IncrementalMerge>(std::move(inputs), ctx),
              PatternBound(q, width)});
   }
 
@@ -142,13 +243,13 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
   if (!group_units.empty()) {
     acc = std::move(group_units.front());
     group_units.erase(group_units.begin());
-    FoldInto(&acc, &group_units, stats);
-    FoldInto(&acc, &singleton_units, stats);
+    FoldInto(&acc, &group_units, ctx);
+    FoldInto(&acc, &singleton_units, ctx);
   } else {
     SPECQP_CHECK(!singleton_units.empty());
     acc = std::move(singleton_units.front());
     singleton_units.erase(singleton_units.begin());
-    FoldInto(&acc, &singleton_units, stats);
+    FoldInto(&acc, &singleton_units, ctx);
   }
   return std::move(acc.op);
 }

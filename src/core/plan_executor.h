@@ -8,7 +8,7 @@
 #include "rdf/posting_list.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
-#include "topk/exec_stats.h"
+#include "topk/exec_context.h"
 #include "topk/operator.h"
 
 namespace specqp {
@@ -26,23 +26,60 @@ namespace specqp {
 // back to plan order when nothing connects); this keeps the paper's
 // group-then-singletons structure while avoiding gratuitous cross
 // products.
+//
+// Parallel trees: when the execution context carries a thread pool, the
+// query has at least two patterns, every pattern binds one common variable
+// v (the star centre in the paper's workloads), and the query's posting
+// lists clear a size threshold, the executor builds one complete serial
+// tree per hash partition of v's bindings (posting lists partitioned via
+// rdf/posting_partition.h; lists of patterns not binding v are shared
+// unpartitioned across trees) and merges them with a ParallelRankJoin.
+// Because v is a join variable of every fold-level join, rows from
+// different partitions can never join, so the partitioned union equals the
+// serial result — and the merger reassembles the exact serial emission
+// order (see parallel_rank_join.h). Each partition tree charges its own
+// partition ExecStats, merged after execution.
 class PlanExecutor {
  public:
+  struct Options {
+    // Minimum total posting entries across the query's original patterns
+    // before a parallel tree is built (tiny queries are not worth the
+    // partitioning pass). Zero = always parallelise when possible. Default
+    // matches EngineOptions::parallel_min_rows.
+    size_t parallel_min_rows = 1024;
+    // Rows pulled per partition per refill round of the top merger.
+    size_t parallel_batch_rows = 32;
+  };
+
   PlanExecutor(const TripleStore* store, PostingListCache* postings,
                const RelaxationIndex* rules);
+  PlanExecutor(const TripleStore* store, PostingListCache* postings,
+               const RelaxationIndex* rules, const Options& options);
 
   PlanExecutor(const PlanExecutor&) = delete;
   PlanExecutor& operator=(const PlanExecutor&) = delete;
 
-  // Builds the tree; `stats` must outlive the returned iterator.
+  // Builds the tree; `ctx` must outlive the returned iterator.
   std::unique_ptr<ScoredRowIterator> Build(const Query& query,
                                            const QueryPlan& plan,
-                                           ExecStats* stats);
+                                           ExecContext* ctx);
+
+  // A variable bound by every pattern of `query` (smallest VarId wins), or
+  // kInvalidVarId. Exposed for tests and planner diagnostics.
+  static VarId CommonJoinVariable(const Query& query);
 
  private:
+  struct PartitionView;
+
+  std::unique_ptr<ScoredRowIterator> BuildTree(const Query& query,
+                                               const QueryPlan& plan,
+                                               ExecContext* ctx,
+                                               const PartitionView* view);
+
   const TripleStore* store_;
   PostingListCache* postings_;
   const RelaxationIndex* rules_;
+  Options options_;
 };
 
 }  // namespace specqp

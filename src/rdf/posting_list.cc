@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rdf/posting_partition.h"
+
 namespace specqp {
 
 PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
@@ -26,18 +28,189 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
   return list;
 }
 
-std::shared_ptr<const PostingList> PostingListCache::Get(
-    const PatternKey& key) {
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+size_t PostingListCache::ApproxBytes(const PostingList& list) {
+  return sizeof(PostingList) + list.entries.capacity() * sizeof(PostingEntry);
+}
+
+PostingListCache::Shard& PostingListCache::ShardFor(const PatternKey& key) {
+  return shards_[PatternKeyHash{}(key) % kNumShards];
+}
+
+void PostingListCache::EvictIfOver(Shard& shard, const PatternKey& keep,
+                                   const PartitionKey* keep_parts) {
+  if (budget_bytes_ == 0) return;
+  const size_t shard_budget = budget_bytes_ / kNumShards;
+  while (shard.bytes > shard_budget) {
+    // LRU among evictable lists and partition-piece sets: never the
+    // just-requested one, and never pinned entries (use_count > 1 means a
+    // live operator tree still reads it; evicting would not free the
+    // memory anyway).
+    auto list_victim = shard.map.end();
+    for (auto it = shard.map.begin(); it != shard.map.end(); ++it) {
+      if (it->first == keep) continue;
+      if (it->second.list.use_count() > 1) continue;
+      if (list_victim == shard.map.end() ||
+          it->second.last_used < list_victim->second.last_used) {
+        list_victim = it;
+      }
+    }
+    auto parts_victim = shard.partitions.end();
+    for (auto it = shard.partitions.begin(); it != shard.partitions.end();
+         ++it) {
+      if (keep_parts != nullptr && it->first == *keep_parts) continue;
+      bool pinned = false;
+      for (const auto& piece : it->second.pieces) {
+        if (piece.use_count() > 1) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) continue;
+      if (parts_victim == shard.partitions.end() ||
+          it->second.last_used < parts_victim->second.last_used) {
+        parts_victim = it;
+      }
+    }
+
+    const bool have_list = list_victim != shard.map.end();
+    const bool have_parts = parts_victim != shard.partitions.end();
+    if (!have_list && !have_parts) return;  // everything pinned or kept
+    if (have_list &&
+        (!have_parts || list_victim->second.last_used <=
+                            parts_victim->second.last_used)) {
+      shard.bytes -= list_victim->second.bytes;
+      shard.map.erase(list_victim);
+    } else {
+      shard.bytes -= parts_victim->second.bytes;
+      shard.partitions.erase(parts_victim);
+    }
+    ++shard.evictions;
   }
-  ++misses_;
+}
+
+std::shared_ptr<const PostingList> PostingListCache::GetLocked(
+    Shard& shard, const PatternKey& key, bool count_stats) {
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    if (count_stats) ++shard.hits;
+    it->second.last_used = ++shard.clock;
+    return it->second.list;
+  }
+  if (count_stats) ++shard.misses;
+  // Built under the shard lock: a concurrent request for the same key
+  // waits and then hits; requests for other shards are unaffected.
   auto list = std::make_shared<const PostingList>(
       BuildPostingList(*store_, key));
-  cache_.emplace(key, list);
+  Entry entry;
+  entry.list = list;
+  entry.bytes = ApproxBytes(*list);
+  entry.last_used = ++shard.clock;
+  shard.bytes += entry.bytes;
+  shard.map.emplace(key, std::move(entry));
   return list;
+}
+
+std::shared_ptr<const PostingList> PostingListCache::Get(
+    const PatternKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto list = GetLocked(shard, key, /*count_stats=*/true);
+  EvictIfOver(shard, key);
+  return list;
+}
+
+std::shared_ptr<const PostingList> PostingListCache::GetUncounted(
+    const PatternKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto list = GetLocked(shard, key, /*count_stats=*/false);
+  EvictIfOver(shard, key);
+  return list;
+}
+
+std::vector<std::shared_ptr<const PostingList>>
+PostingListCache::GetPartitions(const PatternKey& key, int slot,
+                                uint32_t num_partitions) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const PartitionKey part_key{key.s, key.p, key.o, slot, num_partitions};
+  auto it = shard.partitions.find(part_key);
+  if (it != shard.partitions.end()) {
+    ++shard.hits;
+    it->second.last_used = ++shard.clock;
+    return it->second.pieces;
+  }
+  ++shard.misses;
+  auto base = GetLocked(shard, key, /*count_stats=*/false);
+  PartitionEntry entry;
+  entry.pieces = PartitionPostingList(*store_, *base, slot, num_partitions);
+  for (const auto& piece : entry.pieces) {
+    entry.bytes += ApproxBytes(*piece);
+  }
+  entry.last_used = ++shard.clock;
+  shard.bytes += entry.bytes;
+  auto pieces = entry.pieces;
+  shard.partitions.emplace(part_key, std::move(entry));
+  EvictIfOver(shard, key, &part_key);
+  return pieces;
+}
+
+void PostingListCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.partitions.clear();
+    shard.bytes = 0;
+    shard.clock = 0;
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+  }
+}
+
+uint64_t PostingListCache::hits() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.hits;
+  }
+  return total;
+}
+
+uint64_t PostingListCache::misses() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.misses;
+  }
+  return total;
+}
+
+uint64_t PostingListCache::evictions() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.evictions;
+  }
+  return total;
+}
+
+size_t PostingListCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+size_t PostingListCache::bytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
 }
 
 }  // namespace specqp

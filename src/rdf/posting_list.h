@@ -1,7 +1,12 @@
 #ifndef SPECQP_RDF_POSTING_LIST_H_
 #define SPECQP_RDF_POSTING_LIST_H_
 
+#include <array>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -38,11 +43,24 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key);
 // This models the paper's setup of a database engine that returns matches
 // "in sorted order" with warm caches (section 4.4: 5 runs, average of the
 // last 3): the first access pays the sort, later accesses are pointer
-// lookups. Single-threaded by design (one cache per engine/benchmark
-// thread).
+// lookups.
+//
+// Thread-safe: the cache is sharded by key hash, with one mutex per shard,
+// so concurrent executions (and the parallel partition builder) can share
+// one cache. A build for a missing key holds only its shard's lock.
+//
+// Eviction: when `budget_bytes` is non-zero, each shard keeps its resident
+// lists within budget_bytes / kNumShards (approximate byte accounting via
+// ApproxBytes), evicting least-recently-used lists first. Lists still
+// referenced outside the cache ("pinned" by a live operator tree) are never
+// evicted, and neither is the most recently requested list — so a single
+// oversized or in-use list can push a shard past its slice of the budget,
+// but the steady state under churn stays bounded.
 class PostingListCache {
  public:
-  explicit PostingListCache(const TripleStore* store) : store_(store) {}
+  // `budget_bytes` == 0 means unbounded (no eviction).
+  explicit PostingListCache(const TripleStore* store, size_t budget_bytes = 0)
+      : store_(store), budget_bytes_(budget_bytes) {}
 
   PostingListCache(const PostingListCache&) = delete;
   PostingListCache& operator=(const PostingListCache&) = delete;
@@ -50,19 +68,77 @@ class PostingListCache {
   // Shared ownership so operator trees can outlive cache eviction.
   std::shared_ptr<const PostingList> Get(const PatternKey& key);
 
-  void Clear() { cache_.clear(); }
+  // Like Get() but without touching the hit/miss counters — for internal
+  // probes (e.g. the executor's parallel-eligibility sizing pass) that
+  // should not skew the telemetry exported to bench artifacts.
+  std::shared_ptr<const PostingList> GetUncounted(const PatternKey& key);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  size_t size() const { return cache_.size(); }
+  // The key's posting list split into `num_partitions` hash partitions on
+  // triple slot `slot` (see rdf/posting_partition.h), memoised so repeated
+  // parallel executions of the same query do not re-partition on every
+  // Execute(). Piece sets share the key's shard (lock, LRU clock, byte
+  // budget) with the plain lists.
+  std::vector<std::shared_ptr<const PostingList>> GetPartitions(
+      const PatternKey& key, int slot, uint32_t num_partitions);
+
+  // Drops every resident list AND resets the hit/miss/eviction counters,
+  // so hit rates measured across Clear() boundaries (e.g. a benchmark's
+  // cold phase after a warm phase) start from zero.
+  void Clear();
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  size_t size() const;   // resident lists
+  size_t bytes() const;  // approximate resident bytes
+  size_t budget_bytes() const { return budget_bytes_; }
+
+  // Approximate heap footprint of one list (entries + header).
+  static size_t ApproxBytes(const PostingList& list);
 
  private:
+  static constexpr size_t kNumShards = 8;
+
+  struct Entry {
+    std::shared_ptr<const PostingList> list;
+    size_t bytes = 0;
+    uint64_t last_used = 0;  // shard LRU clock
+  };
+
+  // (key, slot, num_partitions) -> memoised partition pieces.
+  using PartitionKey = std::tuple<TermId, TermId, TermId, int, uint32_t>;
+  struct PartitionEntry {
+    std::vector<std::shared_ptr<const PostingList>> pieces;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PatternKey, Entry, PatternKeyHash> map;
+    std::map<PartitionKey, PartitionEntry> partitions;
+    uint64_t clock = 0;
+    size_t bytes = 0;  // lists + partition pieces
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const PatternKey& key);
+  // The key's list, building and inserting on miss. Caller holds shard.mu.
+  // `count_stats` is false for internal lookups (e.g. the base list behind
+  // a partition request) so one logical Get counts one hit or miss.
+  std::shared_ptr<const PostingList> GetLocked(Shard& shard,
+                                               const PatternKey& key,
+                                               bool count_stats);
+  // Evicts LRU unpinned lists/piece sets (never `keep` or `keep_parts`)
+  // until the shard fits its budget slice. Caller holds the shard lock.
+  void EvictIfOver(Shard& shard, const PatternKey& keep,
+                   const PartitionKey* keep_parts = nullptr);
+
   const TripleStore* store_;
-  std::unordered_map<PatternKey, std::shared_ptr<const PostingList>,
-                     PatternKeyHash>
-      cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  size_t budget_bytes_;
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace specqp

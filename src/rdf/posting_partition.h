@@ -1,0 +1,39 @@
+#ifndef SPECQP_RDF_POSTING_PARTITION_H_
+#define SPECQP_RDF_POSTING_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rdf/posting_list.h"
+#include "rdf/triple_store.h"
+
+namespace specqp {
+
+// Hash-partitioning of posting lists by join-key binding.
+//
+// A rank join over inputs that all bind a common variable v decomposes
+// into independent per-partition joins: rows whose v-bindings hash to
+// different buckets can never join, so running one HRJN per bucket and
+// merging the per-partition streams yields exactly the serial result.
+// These helpers produce the per-bucket posting lists that feed such
+// partitioned operator trees.
+
+// Stable bucket of term `t` among `num_partitions` buckets (splitmix64
+// finalizer — uniform even for dense consecutive TermIds). Deterministic
+// across runs, platforms, and thread counts.
+uint32_t PostingPartitionOf(TermId t, uint32_t num_partitions);
+
+// Splits `list` into `num_partitions` sub-lists by the bucket of the term
+// in triple slot `slot` (0 = subject, 1 = predicate, 2 = object) of each
+// entry's triple. Entry order — and therefore the descending-score sort —
+// is preserved within every sub-list, and `max_raw_score` (the Definition 5
+// normaliser) is copied so partitioned scores stay identical to the
+// unpartitioned ones. The union of the sub-lists is exactly `list`.
+std::vector<std::shared_ptr<const PostingList>> PartitionPostingList(
+    const TripleStore& store, const PostingList& list, int slot,
+    uint32_t num_partitions);
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_POSTING_PARTITION_H_

@@ -1,0 +1,43 @@
+#include "topk/exec_context.h"
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace specqp {
+
+struct ExecContext::Partition {
+  ExecStats stats;
+  ExecContext ctx;
+
+  Partition() : ctx(&stats, /*pool=*/nullptr) {}
+};
+
+ExecContext::ExecContext(ExecStats* stats, ThreadPool* pool)
+    : stats_(stats), pool_(pool) {
+  SPECQP_CHECK(stats_ != nullptr);
+}
+
+ExecContext::~ExecContext() = default;
+
+size_t ExecContext::num_threads() const {
+  return pool_ == nullptr ? 1 : pool_->num_workers() + 1;
+}
+
+ExecContext* ExecContext::ForPartition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.push_back(std::make_unique<Partition>());
+  return &partitions_.back()->ctx;
+}
+
+void ExecContext::MergePartitionStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& partition : partitions_) {
+    *stats_ += partition->stats;
+    // Zero rather than destroy: operators of a still-alive tree may hold
+    // pointers to the partition context, and merging twice must not
+    // double-count.
+    partition->stats.Reset();
+  }
+}
+
+}  // namespace specqp

@@ -1,0 +1,69 @@
+#ifndef SPECQP_TOPK_EXEC_CONTEXT_H_
+#define SPECQP_TOPK_EXEC_CONTEXT_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "topk/exec_stats.h"
+
+namespace specqp {
+
+class ThreadPool;
+
+// Per-query execution context threaded through the whole operator stack.
+//
+// An ExecContext bundles what one query execution needs beyond the data it
+// reads: the counter sink (ExecStats) and, when the engine runs multi-core,
+// the shared ThreadPool. Every operator constructor takes an ExecContext*
+// and records its counters via stats(); orchestration layers (PlanExecutor,
+// ParallelRankJoin) additionally consult pool()/num_threads() to decide on
+// and drive parallel execution.
+//
+// Parallel executions split a query into partition trees. Each partition
+// gets its own *child* context from ForPartition(): same query, no pool
+// (partition trees are strictly serial), and a private ExecStats so the
+// operators of different partitions never contend on counters. The root
+// context owns the children; MergePartitionStats() folds their counters
+// back into the root stats once the execution is done.
+//
+// The context must outlive every operator built against it.
+class ExecContext {
+ public:
+  // `stats` must outlive the context; `pool` may be null (serial).
+  explicit ExecContext(ExecStats* stats, ThreadPool* pool = nullptr);
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  ExecStats* stats() const { return stats_; }
+  ThreadPool* pool() const { return pool_; }
+
+  // Usable concurrency: pool workers plus the calling thread.
+  size_t num_threads() const;
+  bool parallel() const { return num_threads() > 1; }
+
+  // Child context for one partition of a parallel execution (stable
+  // address, owned by this context). Thread-safe, though partitions are
+  // normally created single-threaded at build time.
+  ExecContext* ForPartition();
+
+  // Folds every partition's counters into stats() and zeroes them (so a
+  // second call does not double-count). Call after the last row has been
+  // pulled; the partition contexts themselves stay alive for any operators
+  // still holding them.
+  void MergePartitionStats();
+
+ private:
+  struct Partition;
+
+  ExecStats* stats_;
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::deque<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_EXEC_CONTEXT_H_

@@ -15,6 +15,11 @@ namespace specqp {
 //   - +1 per join result constructed by a RankJoin.
 // IncrementalMerge forwards scan rows without constructing new objects, so
 // its traffic is visible through the scan counter.
+//
+// Under parallel execution each partition tree writes to its own ExecStats
+// (handed out by ExecContext::ForPartition), so no counter is ever shared
+// between threads; the per-partition counters are folded back into the
+// root stats with operator+= once the query has finished.
 struct ExecStats {
   uint64_t answer_objects = 0;
   uint64_t scan_rows = 0;        // rows emitted by pattern scans
@@ -22,6 +27,8 @@ struct ExecStats {
   uint64_t merge_duplicates = 0; // rows suppressed by merge dedup
   uint64_t join_results = 0;     // rows constructed by rank joins
   uint64_t join_hash_probes = 0;
+  uint64_t parallel_partitions = 0;    // partition trees built (0 = serial)
+  uint64_t parallel_refill_rounds = 0; // fork-join refills by the top merger
   double plan_ms = 0.0;
   double exec_ms = 0.0;
 
@@ -34,6 +41,8 @@ struct ExecStats {
     merge_duplicates += other.merge_duplicates;
     join_results += other.join_results;
     join_hash_probes += other.join_hash_probes;
+    parallel_partitions += other.parallel_partitions;
+    parallel_refill_rounds += other.parallel_refill_rounds;
     plan_ms += other.plan_ms;
     exec_ms += other.exec_ms;
     return *this;

@@ -5,8 +5,9 @@
 namespace specqp {
 
 IncrementalMerge::IncrementalMerge(
-    std::vector<std::unique_ptr<ScoredRowIterator>> inputs, ExecStats* stats)
-    : inputs_(std::move(inputs)), stats_(stats) {
+    std::vector<std::unique_ptr<ScoredRowIterator>> inputs, ExecContext* ctx)
+    : inputs_(std::move(inputs)),
+      stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(!inputs_.empty());
   SPECQP_CHECK(stats_ != nullptr);
   heads_.resize(inputs_.size());

@@ -5,7 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "topk/exec_stats.h"
+#include "topk/exec_context.h"
 #include "topk/operator.h"
 
 namespace specqp {
@@ -24,7 +24,7 @@ class IncrementalMerge final : public ScoredRowIterator {
   // At least one input; inputs are polled lazily (an input's first row is
   // only pulled when the merge first needs its head).
   IncrementalMerge(std::vector<std::unique_ptr<ScoredRowIterator>> inputs,
-                   ExecStats* stats);
+                   ExecContext* ctx);
 
   IncrementalMerge(const IncrementalMerge&) = delete;
   IncrementalMerge& operator=(const IncrementalMerge&) = delete;

@@ -1,0 +1,123 @@
+#include "topk/parallel_rank_join.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace specqp {
+
+ParallelRankJoin::ParallelRankJoin(
+    std::vector<std::unique_ptr<ScoredRowIterator>> partitions,
+    ExecContext* ctx, size_t batch_size)
+    : stats_(ctx == nullptr ? nullptr : ctx->stats()),
+      pool_(ctx == nullptr ? nullptr : ctx->pool()),
+      batch_size_(batch_size) {
+  SPECQP_CHECK(!partitions.empty());
+  SPECQP_CHECK(stats_ != nullptr);
+  SPECQP_CHECK(batch_size_ >= 1);
+  partitions_.reserve(partitions.size());
+  for (auto& op : partitions) {
+    SPECQP_CHECK(op != nullptr);
+    Partition partition;
+    partition.op = std::move(op);
+    partitions_.push_back(std::move(partition));
+  }
+}
+
+void ParallelRankJoin::Refill(double need_above) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(partitions_.size());
+  for (Partition& partition : partitions_) {
+    if (!partition.buffer.empty() || partition.exhausted) continue;
+    if (partition.bound + kEps < need_above) continue;
+    Partition* p = &partition;
+    tasks.push_back([this, p] {
+      // Each task touches only its own partition; RunAndWait's join
+      // publishes the writes back to the merging thread.
+      double last = kInf;
+      for (size_t n = 0; n < batch_size_; ++n) {
+        ScoredRow row;
+        if (!p->op->Next(&row)) {
+          p->exhausted = true;
+          break;
+        }
+        SPECQP_DCHECK(row.score <= last + kEps)
+            << "partition stream must be score-descending";
+        last = row.score;
+        p->buffer.push_back(std::move(row));
+      }
+      // Anything still unread is bounded by the tree's own bound and by
+      // the last row pulled (streams are non-increasing); clamp so the
+      // partition envelope never bounces up.
+      p->bound = std::min(p->bound, std::min(p->op->UpperBound(), last));
+    });
+  }
+  if (tasks.empty()) return;
+  ++stats_->parallel_refill_rounds;
+  if (pool_ != nullptr) {
+    pool_->RunAndWait(&tasks);
+  } else {
+    for (auto& task : tasks) task();
+  }
+}
+
+bool ParallelRankJoin::Next(ScoredRow* out) {
+  while (true) {
+    // Candidate: the RowBefore-least buffered head.
+    size_t best = partitions_.size();
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      if (partitions_[i].buffer.empty()) continue;
+      if (best == partitions_.size() ||
+          RowBefore(partitions_[i].buffer.front(),
+                    partitions_[best].buffer.front())) {
+        best = i;
+      }
+    }
+
+    if (best < partitions_.size()) {
+      const double candidate = partitions_[best].buffer.front().score;
+      // Safe to emit only when no un-buffered live partition could still
+      // produce a row tying or beating the candidate's score (a tie with
+      // lexicographically smaller bindings would have to come first).
+      bool safe = true;
+      for (const Partition& partition : partitions_) {
+        if (!partition.buffer.empty() || partition.exhausted) continue;
+        if (partition.bound + kEps >= candidate) {
+          safe = false;
+          break;
+        }
+      }
+      if (safe) {
+        *out = std::move(partitions_[best].buffer.front());
+        partitions_[best].buffer.pop_front();
+        return true;
+      }
+      Refill(candidate);
+      continue;
+    }
+
+    // Nothing buffered anywhere: either everything is exhausted, or some
+    // partitions have never been pulled / need another batch.
+    bool any_live = false;
+    for (const Partition& partition : partitions_) {
+      if (!partition.exhausted) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) return false;
+    Refill(-kInf);
+  }
+}
+
+double ParallelRankJoin::UpperBound() const {
+  double best = -kInf;
+  for (const Partition& partition : partitions_) {
+    best = std::max(best, partition.Envelope());
+  }
+  return best == -kInf ? kExhausted : best;
+}
+
+}  // namespace specqp

@@ -1,0 +1,88 @@
+#ifndef SPECQP_TOPK_PARALLEL_RANK_JOIN_H_
+#define SPECQP_TOPK_PARALLEL_RANK_JOIN_H_
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "topk/exec_context.h"
+#include "topk/operator.h"
+
+namespace specqp {
+
+// Bound-aware top-k merger over per-partition rank-join trees.
+//
+// The plan executor hash-partitions every posting list on a variable v
+// bound by all patterns (rdf/posting_partition.h) and builds one complete
+// serial operator tree per partition: rows whose v-bindings hash to
+// different buckets can never join, so the partition outputs are disjoint
+// slices of the serial join result. This operator merges those slices back
+// into one stream while running the partition trees on the context's
+// thread pool.
+//
+// Scheduling is fork-join, not producer-consumer: whenever the merge needs
+// rows from partitions whose bound still rivals the current candidate, it
+// pulls one batch from each such partition concurrently (ThreadPool::
+// RunAndWait, the calling thread participates) and re-evaluates. Between
+// refills all state is owned by the calling thread, so there are no locks
+// on the row path and destruction never races a worker.
+//
+// Contract (same as any ScoredRowIterator) plus determinism:
+//   - every partition stream must be emitted in RowBefore total order —
+//     which RankJoin's strict-threshold emission guarantees;
+//   - partition streams must be pairwise disjoint in (score, bindings)
+//     ties, which hash partitioning guarantees (equal bindings imply the
+//     same partition);
+//   - the merged stream is then exactly the RowBefore-sorted union,
+//     i.e. bit-identical to the serial tree's output, regardless of
+//     partition count, batch size, or thread timing.
+//   - UpperBound() == max over live partitions of (buffered head score,
+//     else the partition's last observed bound); never increases.
+class ParallelRankJoin final : public ScoredRowIterator {
+ public:
+  // `ctx` supplies the pool and the stats sink for merge bookkeeping (the
+  // partition trees were built against their own partition contexts). Must
+  // outlive the operator. `batch_size` rows are pulled per partition per
+  // refill round.
+  ParallelRankJoin(std::vector<std::unique_ptr<ScoredRowIterator>> partitions,
+                   ExecContext* ctx, size_t batch_size = 32);
+
+  ParallelRankJoin(const ParallelRankJoin&) = delete;
+  ParallelRankJoin& operator=(const ParallelRankJoin&) = delete;
+
+  bool Next(ScoredRow* out) override;
+  double UpperBound() const override;
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  static constexpr double kEps = 1e-9;
+
+  struct Partition {
+    std::unique_ptr<ScoredRowIterator> op;
+    std::deque<ScoredRow> buffer;
+    // Upper bound on rows not yet buffered; clamped non-increasing.
+    double bound = kInf;
+    bool exhausted = false;  // op has returned false
+
+    bool Live() const { return !buffer.empty() || !exhausted; }
+    // Bound on anything this partition can still emit.
+    double Envelope() const {
+      if (!buffer.empty()) return buffer.front().score;
+      return exhausted ? -kInf : bound;
+    }
+  };
+
+  // Pulls up to batch_size_ rows into every live, empty partition whose
+  // bound is not already strictly below `need_above`. Runs on the pool.
+  void Refill(double need_above);
+
+  std::vector<Partition> partitions_;
+  ExecStats* stats_;
+  ThreadPool* pool_;
+  size_t batch_size_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_TOPK_PARALLEL_RANK_JOIN_H_

@@ -7,13 +7,13 @@ namespace specqp {
 PatternScan::PatternScan(const TripleStore* store,
                          std::shared_ptr<const PostingList> list,
                          const TriplePattern& pattern, size_t width,
-                         double weight, ExecStats* stats)
+                         double weight, ExecContext* ctx)
     : store_(store),
       list_(std::move(list)),
       pattern_(pattern),
       width_(width),
       weight_(weight),
-      stats_(stats) {
+      stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(store_ != nullptr && list_ != nullptr && stats_ != nullptr);
   SPECQP_CHECK(weight_ > 0.0 && weight_ <= 1.0);
 }

@@ -6,7 +6,7 @@
 #include "rdf/posting_list.h"
 #include "rdf/triple_pattern.h"
 #include "rdf/triple_store.h"
-#include "topk/exec_stats.h"
+#include "topk/exec_context.h"
 #include "topk/operator.h"
 
 namespace specqp {
@@ -16,13 +16,18 @@ namespace specqp {
 // pattern's variables, each score multiplied by `weight` — 1.0 for an
 // original pattern, the rule weight w for a relaxation feeding an
 // incremental merge (Definition 8).
+//
+// Under parallel execution the list may be one hash partition of the
+// pattern's full posting list (see rdf/posting_partition.h); the scan is
+// oblivious to that — partition pieces keep the global normalisation and
+// sort order.
 class PatternScan final : public ScoredRowIterator {
  public:
   // `width` is the owning query's variable count. `list` must come from the
-  // pattern's key. `stats` may not be null and must outlive the scan.
+  // pattern's key. `ctx` may not be null and must outlive the scan.
   PatternScan(const TripleStore* store, std::shared_ptr<const PostingList> list,
               const TriplePattern& pattern, size_t width, double weight,
-              ExecStats* stats);
+              ExecContext* ctx);
 
   PatternScan(const PatternScan&) = delete;
   PatternScan& operator=(const PatternScan&) = delete;

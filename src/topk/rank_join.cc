@@ -8,11 +8,11 @@ namespace specqp {
 
 RankJoin::RankJoin(std::unique_ptr<ScoredRowIterator> left,
                    std::unique_ptr<ScoredRowIterator> right,
-                   std::vector<VarId> join_vars, ExecStats* stats)
+                   std::vector<VarId> join_vars, ExecContext* ctx)
     : left_(std::move(left)),
       right_(std::move(right)),
       join_vars_(std::move(join_vars)),
-      stats_(stats) {
+      stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(left_ != nullptr && right_ != nullptr && stats_ != nullptr);
 }
 
@@ -107,8 +107,14 @@ bool RankJoin::Advance() {
 
 bool RankJoin::Next(ScoredRow* out) {
   while (true) {
+    // Strict emission: only emit once no future join result can reach the
+    // buffered top's score. Any result formed after this point combines at
+    // least one unseen row and is therefore bounded by T, so every row
+    // that could tie the top is already in the queue — which pops in
+    // RowBefore order. This is what makes the output a deterministic total
+    // order instead of a discovery order (required for parallel == serial).
     const double threshold = Threshold();
-    if (!queue_.empty() && queue_.top().score >= threshold - kEps) {
+    if (!queue_.empty() && queue_.top().score > threshold + kEps) {
       *out = queue_.top();
       queue_.pop();
       return true;

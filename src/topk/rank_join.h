@@ -7,7 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "topk/exec_stats.h"
+#include "topk/exec_context.h"
 #include "topk/operator.h"
 
 namespace specqp {
@@ -23,17 +23,34 @@ namespace specqp {
 //   T = max( topL + ubR , ubL + topR )
 //
 // where topX is the highest score seen on input X (its first row) and ubX
-// the input's bound on unseen rows. A buffered result is emitted once its
-// score reaches T; when an input is exhausted, its corner term drops out.
-// Input selection follows HRJN*: pull from the input with the higher
-// remaining upper bound.
+// the input's bound on unseen rows. Input selection follows HRJN*: pull
+// from the input with the higher remaining upper bound.
+//
+// Emission is *strict*: a buffered result is emitted only once its score
+// strictly exceeds T, i.e. once no future join result can tie it. Together
+// with the RowBefore-ordered output queue this makes the emitted stream a
+// total order — (score descending, bindings ascending) — that is a pure
+// function of the input *contents*, independent of pull interleaving. The
+// parallel execution layer relies on this: per-partition RankJoin streams
+// merge back into exactly the serial emission order (see
+// parallel_rank_join.h), so thread count never changes answers. When an
+// input side is exhausted its corner term drops out, and once both are
+// exhausted the queue drains in RowBefore order.
+//
+// Cost of determinism: before emitting at score s the join must read each
+// input past its band of rows tied at the relevant corner score (the old
+// `>= T - eps` rule could emit mid-band, in discovery order). Reads and
+// buffering therefore grow with the width of the top score-tie bands —
+// degenerating to a full drain only when an entire input is one tied band
+// (uniform scores). Hash partitioning shrinks each band by the partition
+// factor, so the parallel path also bounds this cost per partition.
 class RankJoin final : public ScoredRowIterator {
  public:
   // `join_vars`: variables bound on both sides (may be empty — degenerates
   // to a cross product, still score-ordered).
   RankJoin(std::unique_ptr<ScoredRowIterator> left,
            std::unique_ptr<ScoredRowIterator> right,
-           std::vector<VarId> join_vars, ExecStats* stats);
+           std::vector<VarId> join_vars, ExecContext* ctx);
 
   RankJoin(const RankJoin&) = delete;
   RankJoin& operator=(const RankJoin&) = delete;

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace specqp {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SPECQP_CHECK(queue_.empty()) << "ThreadPool destroyed with work in flight";
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::RemoveFromQueue(Batch* batch) {
+  auto it = std::find(queue_.begin(), queue_.end(), batch);
+  if (it != queue_.end()) queue_.erase(it);
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Batch* batch = queue_.front();
+    if (batch->next >= batch->tasks->size()) {
+      // Fully claimed (stragglers may still be running); stop advertising.
+      queue_.pop_front();
+      continue;
+    }
+    const size_t index = batch->next++;
+    if (batch->next >= batch->tasks->size()) RemoveFromQueue(batch);
+    lock.unlock();
+    (*batch->tasks)[index]();
+    lock.lock();
+    if (++batch->done == batch->tasks->size()) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunAndWait(std::vector<std::function<void()>>* tasks) {
+  SPECQP_CHECK(tasks != nullptr);
+  if (tasks->empty()) return;
+  if (workers_.empty() || tasks->size() == 1) {
+    for (auto& task : *tasks) task();
+    return;
+  }
+
+  Batch batch{tasks};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(&batch);
+  }
+  work_cv_.notify_all();
+
+  // The caller claims tasks too, so the batch makes progress even when all
+  // workers are busy with other batches.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (batch.next < tasks->size()) {
+    const size_t index = batch.next++;
+    if (batch.next >= tasks->size()) RemoveFromQueue(&batch);
+    lock.unlock();
+    (*tasks)[index]();
+    lock.lock();
+    ++batch.done;
+  }
+  done_cv_.wait(lock, [&] { return batch.done == tasks->size(); });
+  // `batch` goes out of scope on return; it must not linger in the queue.
+  RemoveFromQueue(&batch);
+}
+
+}  // namespace specqp

@@ -1,0 +1,68 @@
+#ifndef SPECQP_UTIL_THREAD_POOL_H_
+#define SPECQP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specqp {
+
+// Fixed-size fork-join worker pool used by the parallel execution layer.
+//
+// The only entry point is RunAndWait(): the caller hands over a batch of
+// independent tasks and blocks until every task has finished. Tasks are
+// claimed one at a time by the workers *and by the calling thread*, so a
+// pool with W workers runs W+1 tasks concurrently and a pool with zero
+// workers degrades to running the batch inline. The mutex/condvar handoff
+// establishes a happens-before edge between each task's effects and the
+// caller's resumption, so task outputs written to disjoint slots need no
+// additional synchronisation.
+//
+// Batches from several callers may be in flight at once (the queue holds
+// any number of batches); tasks of one batch never wait on another batch,
+// which keeps RunAndWait deadlock-free as long as tasks themselves do not
+// block on pool-scheduled work.
+class ThreadPool {
+ public:
+  // Spawns `num_workers` threads (0 is valid: everything runs inline).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Runs every task in `tasks` and returns once all have completed. The
+  // vector must stay alive for the duration of the call (it is not copied).
+  void RunAndWait(std::vector<std::function<void()>>* tasks);
+
+  // std::thread::hardware_concurrency with a sane floor of 1.
+  static size_t HardwareConcurrency();
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>>* tasks;
+    size_t next = 0;  // next unclaimed task index
+    size_t done = 0;  // completed task count
+  };
+
+  void WorkerLoop();
+  // Pops `batch` from queue_ if still enqueued. Caller holds mu_.
+  void RemoveFromQueue(Batch* batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for batches
+  std::condition_variable done_cv_;  // callers wait for batch completion
+  std::deque<Batch*> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_THREAD_POOL_H_

@@ -49,7 +49,8 @@ TEST(PlanExecutorTest, NoRelaxPlanEqualsOracleWithoutRules) {
 
   const Query query = fx.TypeQuery({"singer", "vocalist"});
   ExecStats stats;
-  auto root = executor.Build(query, QueryPlan::NoRelaxationsPlan(2), &stats);
+  ExecContext ctx(&stats);
+  auto root = executor.Build(query, QueryPlan::NoRelaxationsPlan(2), &ctx);
   const auto rows = PullTopK(root.get(), 10, &stats);
   ExpectMatchesOracle(rows, oracle.Evaluate(query), 10);
 }
@@ -67,8 +68,9 @@ TEST(PlanExecutorTest, TrinitPlanEqualsOracleWithRules) {
            {"singer", "lyricist", "guitarist", "pianist"}}) {
     const Query query = fx.TypeQuery(names);
     ExecStats stats;
+    ExecContext ctx(&stats);
     auto root = executor.Build(
-        query, QueryPlan::TrinitPlan(query.num_patterns()), &stats);
+        query, QueryPlan::TrinitPlan(query.num_patterns()), &ctx);
     const auto rows = PullTopK(root.get(), 10, &stats);
     ExpectMatchesOracle(rows, oracle.Evaluate(query), 10);
   }
@@ -95,7 +97,8 @@ TEST(PlanExecutorTest, MixedPlanEqualsOracleWithFilteredRules) {
   plan.join_group = {0};
   plan.singletons = {1};
   ExecStats stats;
-  auto root = executor.Build(query, plan, &stats);
+  ExecContext ctx(&stats);
+  auto root = executor.Build(query, plan, &ctx);
   const auto rows = PullTopK(root.get(), 10, &stats);
   ExpectMatchesOracle(rows, oracle.Evaluate(query), 10);
 }
@@ -110,7 +113,8 @@ TEST(PlanExecutorTest, PaperExampleQueryTrinit) {
   PostingListCache postings(&fx.store);
   PlanExecutor executor(&fx.store, &postings, &fx.rules);
   ExecStats stats;
-  auto root = executor.Build(query, QueryPlan::TrinitPlan(4), &stats);
+  ExecContext ctx(&stats);
+  auto root = executor.Build(query, QueryPlan::TrinitPlan(4), &ctx);
   const auto rows = PullTopK(root.get(), 3, &stats);
   ASSERT_FALSE(rows.empty());
   // Oracle cross-check.
@@ -126,9 +130,10 @@ TEST(PlanExecutorTest, SingletonOnlyPlanOnSinglePattern) {
   PostingListCache postings(&fx.store);
   PlanExecutor executor(&fx.store, &postings, &fx.rules);
   ExecStats stats;
+  ExecContext ctx(&stats);
   QueryPlan plan;
   plan.singletons = {0};
-  auto root = executor.Build(query, plan, &stats);
+  auto root = executor.Build(query, plan, &ctx);
   const auto rows = PullTopK(root.get(), 10, &stats);
   EXPECT_EQ(rows.size(), 2u);  // norah, ray — no rules for jazz_singer
 }
@@ -142,13 +147,15 @@ TEST(PlanExecutorTest, FewerAnswerObjectsWithJoinGroupPlan) {
   PlanExecutor executor(&fx.store, &postings, &fx.rules);
 
   ExecStats trinit_stats;
+  ExecContext trinit_ctx(&trinit_stats);
   auto trinit_root =
-      executor.Build(query, QueryPlan::TrinitPlan(2), &trinit_stats);
+      executor.Build(query, QueryPlan::TrinitPlan(2), &trinit_ctx);
   PullTopK(trinit_root.get(), 5, &trinit_stats);
 
   ExecStats norelax_stats;
+  ExecContext norelax_ctx(&norelax_stats);
   auto norelax_root =
-      executor.Build(query, QueryPlan::NoRelaxationsPlan(2), &norelax_stats);
+      executor.Build(query, QueryPlan::NoRelaxationsPlan(2), &norelax_ctx);
   PullTopK(norelax_root.get(), 5, &norelax_stats);
 
   EXPECT_LE(norelax_stats.answer_objects, trinit_stats.answer_objects);
@@ -160,9 +167,10 @@ TEST(PlanExecutorDeathTest, PlanMustCoverQuery) {
   PostingListCache postings(&fx.store);
   PlanExecutor executor(&fx.store, &postings, &fx.rules);
   ExecStats stats;
+  ExecContext ctx(&stats);
   QueryPlan bad;
   bad.join_group = {0};
-  EXPECT_DEATH((void)executor.Build(query, bad, &stats), "cover");
+  EXPECT_DEATH((void)executor.Build(query, bad, &ctx), "cover");
 }
 
 // --- the big property: TriniT == oracle on random stores --------------------
@@ -189,8 +197,9 @@ TEST_P(ExecutorPropertyTest, TrinitMatchesOracleOnRandomData) {
         specqp::testing::MakeRandomStarQuery(&rng, store, num_patterns);
     for (size_t k : {1u, 5u, 10u}) {
       ExecStats stats;
+      ExecContext ctx(&stats);
       auto root = executor.Build(
-          query, QueryPlan::TrinitPlan(query.num_patterns()), &stats);
+          query, QueryPlan::TrinitPlan(query.num_patterns()), &ctx);
       const auto rows = PullTopK(root.get(), k, &stats);
       const auto truth = oracle.Evaluate(query);
       const size_t expect = std::min(k, truth.answers.size());
@@ -251,7 +260,8 @@ TEST_P(MixedPlanPropertyTest, ArbitraryPlanEqualsFilteredOracle) {
     ExhaustiveEvaluator oracle(&store, &filtered);
     const auto truth = oracle.Evaluate(query);
     ExecStats stats;
-    auto root = executor.Build(query, plan, &stats);
+    ExecContext ctx(&stats);
+    auto root = executor.Build(query, plan, &ctx);
     const auto rows = PullTopK(root.get(), 8, &stats);
     const size_t expect = std::min<size_t>(8, truth.answers.size());
     ASSERT_EQ(rows.size(), expect);

@@ -1,0 +1,197 @@
+// Tests for the PostingListCache eviction policy (budgeted sharded LRU)
+// and the counter-reset semantics of Clear().
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/posting_list.h"
+#include "rdf/triple_store.h"
+
+namespace specqp {
+namespace {
+
+// A store with `num_objects` distinct (p, o) pattern keys, each matching
+// exactly `triples_per_object` triples — many small posting lists, ideal
+// for exercising eviction churn.
+TripleStore MakeWideStore(size_t num_objects, size_t triples_per_object = 1) {
+  TripleStore store;
+  for (size_t o = 0; o < num_objects; ++o) {
+    for (size_t t = 0; t < triples_per_object; ++t) {
+      store.Add("s" + std::to_string(o) + "_" + std::to_string(t), "p",
+                "o" + std::to_string(o), 1.0 + static_cast<double>(t));
+    }
+  }
+  store.Finalize();
+  return store;
+}
+
+PatternKey KeyFor(const TripleStore& store, size_t object_index) {
+  return PatternKey{kInvalidTermId, store.MustId("p"),
+                    store.MustId("o" + std::to_string(object_index))};
+}
+
+TEST(PostingCacheClearTest, ClearResetsCounters) {
+  // Regression: Clear() used to drop the lists but keep hits_/misses_, so
+  // hit rates measured across warm/cold bench phases were wrong.
+  TripleStore store = MakeWideStore(4);
+  PostingListCache cache(&store);
+  cache.Get(KeyFor(store, 0));
+  cache.Get(KeyFor(store, 0));
+  cache.Get(KeyFor(store, 1));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // The post-Clear phase counts from zero: one cold miss, one warm hit.
+  cache.Get(KeyFor(store, 0));
+  cache.Get(KeyFor(store, 0));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PostingCacheEvictionTest, BudgetRespectedUnderChurn) {
+  TripleStore store = MakeWideStore(256);
+  const size_t budget = 8 * 1024;
+  PostingListCache cache(&store, budget);
+  for (int round = 0; round < 3; ++round) {
+    for (size_t o = 0; o < 256; ++o) {
+      auto list = cache.Get(KeyFor(store, o));
+      ASSERT_EQ(list->size(), 1u);
+      // `list` is dropped here, so nothing stays pinned between Gets.
+    }
+    EXPECT_LE(cache.bytes(), budget) << "round " << round;
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LT(cache.size(), 256u);
+}
+
+TEST(PostingCacheEvictionTest, UnboundedByDefault) {
+  TripleStore store = MakeWideStore(64);
+  PostingListCache cache(&store);
+  for (size_t o = 0; o < 64; ++o) cache.Get(KeyFor(store, o));
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(PostingCacheEvictionTest, PinnedListsSurviveEviction) {
+  TripleStore store = MakeWideStore(128);
+  // A budget of 1 byte forces every unpinned list out.
+  PostingListCache cache(&store, 1);
+  auto pinned = cache.Get(KeyFor(store, 0));
+  for (size_t o = 1; o < 128; ++o) cache.Get(KeyFor(store, o));
+  // The pinned list must still be resident: getting it again is a hit and
+  // returns the same object.
+  const uint64_t hits_before = cache.hits();
+  auto again = cache.Get(KeyFor(store, 0));
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  EXPECT_EQ(pinned.get(), again.get());
+  EXPECT_EQ(pinned->size(), 1u);
+}
+
+TEST(PostingCacheEvictionTest, EvictedListStaysUsableThroughSharedPtr) {
+  TripleStore store = MakeWideStore(64, 3);
+  PostingListCache cache(&store, 1);
+  auto held = cache.Get(KeyFor(store, 0));
+  // Drop the pin and churn: the entry is now evictable.
+  std::shared_ptr<const PostingList> weak_copy = held;
+  held.reset();
+  for (size_t o = 1; o < 64; ++o) cache.Get(KeyFor(store, o));
+  // Whatever the cache did, the surviving shared_ptr still reads fine.
+  ASSERT_EQ(weak_copy->size(), 3u);
+  EXPECT_DOUBLE_EQ(weak_copy->entries[0].score, 1.0);
+}
+
+TEST(PostingCacheEvictionTest, LruOrderEvictsColdestFirst) {
+  TripleStore store = MakeWideStore(32);
+  PostingListCache cache(&store, 1);
+  // Two keys in (usually) different shards; regardless of sharding, after
+  // churning every other key, re-getting an old key must be a miss if it
+  // was evicted — and the counters must reflect exactly one outcome.
+  cache.Get(KeyFor(store, 0));
+  for (size_t o = 1; o < 32; ++o) cache.Get(KeyFor(store, o));
+  const uint64_t gets_before = cache.hits() + cache.misses();
+  cache.Get(KeyFor(store, 0));
+  EXPECT_EQ(cache.hits() + cache.misses(), gets_before + 1);
+  // With a 1-byte budget nothing unpinned survives, so this was a miss.
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(PostingCachePartitionsTest, MemoisedAcrossCalls) {
+  TripleStore store = MakeWideStore(4, 8);
+  PostingListCache cache(&store);
+  const PatternKey key = KeyFor(store, 0);
+  const auto first = cache.GetPartitions(key, /*slot=*/0, 4);
+  ASSERT_EQ(first.size(), 4u);
+  const uint64_t misses_after_first = cache.misses();
+  const auto second = cache.GetPartitions(key, 0, 4);
+  EXPECT_EQ(cache.misses(), misses_after_first) << "second call must hit";
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(first[i].get(), second[i].get());
+  }
+  // A different partition count is a different memo entry.
+  const auto other = cache.GetPartitions(key, 0, 2);
+  EXPECT_EQ(other.size(), 2u);
+  EXPECT_GT(cache.misses(), misses_after_first);
+}
+
+TEST(PostingCachePartitionsTest, PiecesFormTheFullList) {
+  TripleStore store = MakeWideStore(3, 10);
+  PostingListCache cache(&store);
+  const PatternKey key = KeyFor(store, 1);
+  const auto full = cache.Get(key);
+  const auto pieces = cache.GetPartitions(key, 0, 3);
+  size_t total = 0;
+  for (const auto& piece : pieces) total += piece->size();
+  EXPECT_EQ(total, full->size());
+}
+
+TEST(PostingCachePartitionsTest, CountTowardsBudgetAndClear) {
+  TripleStore store = MakeWideStore(16, 4);
+  PostingListCache cache(&store);
+  const size_t before = cache.bytes();
+  cache.GetPartitions(KeyFor(store, 0), 0, 4);
+  EXPECT_GT(cache.bytes(), before) << "pieces must be accounted";
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  // And they are evictable: a tiny budget churns them out.
+  PostingListCache bounded(&store, 1);
+  for (size_t o = 0; o < 16; ++o) bounded.GetPartitions(KeyFor(store, o), 0, 4);
+  EXPECT_GT(bounded.evictions(), 0u);
+  EXPECT_LE(bounded.bytes(), 4096u);  // only the most recent survivors
+}
+
+TEST(PostingCacheEvictionTest, CountersMonotoneUnderChurn) {
+  TripleStore store = MakeWideStore(64);
+  PostingListCache cache(&store, 2 * 1024);
+  uint64_t prev_hits = 0;
+  uint64_t prev_misses = 0;
+  uint64_t prev_evictions = 0;
+  uint64_t gets = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (size_t o = 0; o < 64; ++o) {
+      cache.Get(KeyFor(store, o));
+      ++gets;
+      const uint64_t h = cache.hits();
+      const uint64_t m = cache.misses();
+      const uint64_t e = cache.evictions();
+      EXPECT_GE(h, prev_hits);
+      EXPECT_GE(m, prev_misses);
+      EXPECT_GE(e, prev_evictions);
+      EXPECT_EQ(h + m, gets);
+      prev_hits = h;
+      prev_misses = m;
+      prev_evictions = e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specqp

@@ -1,0 +1,113 @@
+#include "rdf/posting_partition.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace specqp {
+namespace {
+
+TEST(PostingPartitionOfTest, StableAndInRange) {
+  for (TermId t = 0; t < 1000; ++t) {
+    for (uint32_t parts : {1u, 2u, 7u, 8u}) {
+      const uint32_t bucket = PostingPartitionOf(t, parts);
+      EXPECT_LT(bucket, parts);
+      EXPECT_EQ(bucket, PostingPartitionOf(t, parts)) << "must be stable";
+    }
+  }
+}
+
+TEST(PostingPartitionOfTest, SpreadsDenseIds) {
+  // Consecutive TermIds (the common case: interned in order) must not all
+  // land in one bucket.
+  std::set<uint32_t> buckets;
+  for (TermId t = 0; t < 64; ++t) buckets.insert(PostingPartitionOf(t, 8));
+  EXPECT_EQ(buckets.size(), 8u);
+}
+
+class PartitionPostingListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(99);
+    specqp::testing::RandomStoreConfig cfg;
+    cfg.num_subjects = 40;
+    cfg.num_predicates = 2;
+    cfg.num_objects = 3;
+    cfg.num_triples = 300;
+    store_ = specqp::testing::MakeRandomStore(&rng, cfg);
+    const Triple& anchor = store_.triple(0);
+    key_ = PatternKey{kInvalidTermId, anchor.p, anchor.o};
+    list_ = BuildPostingList(store_, key_);
+    ASSERT_GT(list_.size(), 10u);
+  }
+
+  TripleStore store_;
+  PatternKey key_;
+  PostingList list_;
+};
+
+TEST_F(PartitionPostingListTest, PiecesFormDisjointUnion) {
+  const auto pieces = PartitionPostingList(store_, list_, /*slot=*/0, 4);
+  ASSERT_EQ(pieces.size(), 4u);
+  std::multiset<uint32_t> seen;
+  size_t total = 0;
+  for (const auto& piece : pieces) {
+    total += piece->size();
+    for (const PostingEntry& e : piece->entries) seen.insert(e.triple_index);
+  }
+  EXPECT_EQ(total, list_.size());
+  std::multiset<uint32_t> expected;
+  for (const PostingEntry& e : list_.entries) expected.insert(e.triple_index);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(PartitionPostingListTest, PiecesRespectBucketAssignment) {
+  const uint32_t parts = 3;
+  const auto pieces = PartitionPostingList(store_, list_, /*slot=*/0, parts);
+  for (uint32_t i = 0; i < parts; ++i) {
+    for (const PostingEntry& e : pieces[i]->entries) {
+      EXPECT_EQ(PostingPartitionOf(store_.triple(e.triple_index).s, parts), i);
+    }
+  }
+}
+
+TEST_F(PartitionPostingListTest, PiecesPreserveSortOrderAndNormaliser) {
+  const auto pieces = PartitionPostingList(store_, list_, /*slot=*/0, 5);
+  for (const auto& piece : pieces) {
+    EXPECT_DOUBLE_EQ(piece->max_raw_score, list_.max_raw_score);
+    for (size_t i = 1; i < piece->entries.size(); ++i) {
+      const PostingEntry& prev = piece->entries[i - 1];
+      const PostingEntry& cur = piece->entries[i];
+      EXPECT_TRUE(prev.score > cur.score ||
+                  (prev.score == cur.score &&
+                   prev.triple_index < cur.triple_index))
+          << "pieces must keep the (score desc, index asc) sort";
+    }
+  }
+}
+
+TEST_F(PartitionPostingListTest, SinglePartitionIsIdentity) {
+  const auto pieces = PartitionPostingList(store_, list_, /*slot=*/0, 1);
+  ASSERT_EQ(pieces.size(), 1u);
+  ASSERT_EQ(pieces[0]->size(), list_.size());
+  for (size_t i = 0; i < list_.size(); ++i) {
+    EXPECT_EQ(pieces[0]->entries[i].triple_index,
+              list_.entries[i].triple_index);
+    EXPECT_DOUBLE_EQ(pieces[0]->entries[i].score, list_.entries[i].score);
+  }
+}
+
+TEST_F(PartitionPostingListTest, EmptyListYieldsEmptyPieces) {
+  PostingList empty;
+  empty.max_raw_score = 0.0;
+  const auto pieces = PartitionPostingList(store_, empty, /*slot=*/2, 4);
+  ASSERT_EQ(pieces.size(), 4u);
+  for (const auto& piece : pieces) EXPECT_TRUE(piece->empty());
+}
+
+}  // namespace
+}  // namespace specqp

@@ -23,10 +23,11 @@ std::unique_ptr<VectorIterator> MakeInput(
 
 TEST(IncrementalMergeTest, MergesTwoStreamsInOrder) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({{1, 0.9}, {2, 0.5}, {3, 0.1}}));
   inputs.push_back(MakeInput({{4, 0.8}, {5, 0.4}}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   const auto rows = Drain(&merge);
   ASSERT_EQ(rows.size(), 5u);
   for (size_t i = 1; i < rows.size(); ++i) {
@@ -40,10 +41,11 @@ TEST(IncrementalMergeTest, DeduplicatesKeepingMaxDerivation) {
   // The same binding arrives from two lists; the higher-scored (earlier)
   // one must win (Definition 8).
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({{7, 0.9}, {8, 0.2}}));
   inputs.push_back(MakeInput({{7, 0.6}, {9, 0.5}}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   const auto rows = Drain(&merge);
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_EQ(rows[0].bindings[0], 7u);
@@ -56,9 +58,10 @@ TEST(IncrementalMergeTest, DeduplicatesKeepingMaxDerivation) {
 
 TEST(IncrementalMergeTest, SingleInputPassThrough) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({{1, 0.9}, {2, 0.5}}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   const auto rows = Drain(&merge);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_DOUBLE_EQ(rows[0].score, 0.9);
@@ -66,10 +69,11 @@ TEST(IncrementalMergeTest, SingleInputPassThrough) {
 
 TEST(IncrementalMergeTest, EmptyInputsYieldNothing) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({}));
   inputs.push_back(MakeInput({}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   ScoredRow row;
   EXPECT_FALSE(merge.Next(&row));
   EXPECT_FALSE(merge.Next(&row));  // stays exhausted
@@ -77,11 +81,12 @@ TEST(IncrementalMergeTest, EmptyInputsYieldNothing) {
 
 TEST(IncrementalMergeTest, MixedEmptyAndNonEmpty) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({}));
   inputs.push_back(MakeInput({{3, 0.7}}));
   inputs.push_back(MakeInput({}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   const auto rows = Drain(&merge);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].bindings[0], 3u);
@@ -89,10 +94,11 @@ TEST(IncrementalMergeTest, MixedEmptyAndNonEmpty) {
 
 TEST(IncrementalMergeTest, UpperBoundIsMaxOfInputBounds) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({{1, 0.9}, {2, 0.5}}));
   inputs.push_back(MakeInput({{4, 0.8}}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   EXPECT_DOUBLE_EQ(merge.UpperBound(), 0.9);
   ScoredRow row;
   ASSERT_TRUE(merge.Next(&row));  // 0.9
@@ -105,11 +111,12 @@ TEST(IncrementalMergeTest, UpperBoundIsMaxOfInputBounds) {
 
 TEST(IncrementalMergeTest, UpperBoundNeverIncreases) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
   inputs.push_back(MakeInput({{1, 0.9}, {2, 0.8}, {3, 0.3}}));
   inputs.push_back(MakeInput({{4, 0.85}, {5, 0.2}}));
   inputs.push_back(MakeInput({{6, 0.6}}));
-  IncrementalMerge merge(std::move(inputs), &stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   double prev = merge.UpperBound();
   ScoredRow row;
   while (merge.Next(&row)) {
@@ -144,7 +151,8 @@ TEST(IncrementalMergeTest, EquivalentToSortedUnionWithMaxDedup) {
       inputs.push_back(MakeInput(rows));
     }
     ExecStats stats;
-    IncrementalMerge merge(std::move(inputs), &stats);
+    ExecContext ctx(&stats);
+    IncrementalMerge merge(std::move(inputs), &ctx);
     const auto rows = Drain(&merge);
     ASSERT_EQ(rows.size(), expected.size());
     double prev = 2.0;
@@ -184,7 +192,8 @@ TEST(IncrementalMergeTest, LazyInputsNotPulledUntilNeeded) {
   inputs.push_back(std::make_unique<CountingIterator>(
       MakeInput({{4, 0.1}, {5, 0.05}}), &low_pulls));
   ExecStats stats;
-  IncrementalMerge merge(std::move(inputs), &stats);
+  ExecContext ctx(&stats);
+  IncrementalMerge merge(std::move(inputs), &ctx);
   ScoredRow row;
   ASSERT_TRUE(merge.Next(&row));
   ASSERT_TRUE(merge.Next(&row));
@@ -195,8 +204,9 @@ TEST(IncrementalMergeTest, LazyInputsNotPulledUntilNeeded) {
 
 TEST(IncrementalMergeDeathTest, NoInputsAborts) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs;
-  EXPECT_DEATH(IncrementalMerge(std::move(inputs), &stats), "empty");
+  EXPECT_DEATH(IncrementalMerge(std::move(inputs), &ctx), "empty");
 }
 
 }  // namespace

@@ -14,20 +14,21 @@ using specqp::testing::MusicFixture;
 std::unique_ptr<PatternScan> MakeScan(const MusicFixture& fx,
                                       PostingListCache* cache,
                                       const char* type_name, double weight,
-                                      ExecStats* stats) {
+                                      ExecContext* ctx) {
   Query q;
   const VarId s = q.GetOrAddVariable("s");
   const TriplePattern pattern(PatternTerm::Var(s), PatternTerm::Const(fx.type),
                               PatternTerm::Const(fx.store.MustId(type_name)));
   return std::make_unique<PatternScan>(&fx.store, cache->Get(pattern.Key()),
-                                       pattern, q.num_vars(), weight, stats);
+                                       pattern, q.num_vars(), weight, ctx);
 }
 
 TEST(PatternScanTest, EmitsDescendingNormalisedScores) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "singer", 1.0, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "singer", 1.0, &ctx);
   const auto rows = Drain(scan.get());
   ASSERT_EQ(rows.size(), 5u);  // five singers
   EXPECT_DOUBLE_EQ(rows[0].score, 1.0);  // shakira, popularity 100
@@ -43,7 +44,8 @@ TEST(PatternScanTest, BindsSubjectVariable) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "singer", 1.0, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "singer", 1.0, &ctx);
   ScoredRow row;
   ASSERT_TRUE(scan->Next(&row));
   ASSERT_EQ(row.bindings.size(), 1u);
@@ -54,7 +56,8 @@ TEST(PatternScanTest, WeightScalesScores) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "singer", 0.5, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "singer", 0.5, &ctx);
   const auto rows = Drain(scan.get());
   ASSERT_EQ(rows.size(), 5u);
   EXPECT_DOUBLE_EQ(rows[0].score, 0.5);
@@ -65,7 +68,8 @@ TEST(PatternScanTest, UpperBoundTracksNextRow) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "singer", 1.0, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "singer", 1.0, &ctx);
   EXPECT_DOUBLE_EQ(scan->UpperBound(), 1.0);
   ScoredRow row;
   ASSERT_TRUE(scan->Next(&row));
@@ -79,7 +83,8 @@ TEST(PatternScanTest, UpperBoundNeverIncreases) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "artist", 0.8, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "artist", 0.8, &ctx);
   double prev = scan->UpperBound();
   ScoredRow row;
   while (scan->Next(&row)) {
@@ -94,7 +99,8 @@ TEST(PatternScanTest, CountsAnswerObjects) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "singer", 1.0, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "singer", 1.0, &ctx);
   Drain(scan.get());
   EXPECT_EQ(stats.scan_rows, 5u);
   EXPECT_EQ(stats.answer_objects, 5u);
@@ -105,7 +111,8 @@ TEST(PatternScanTest, LazyCounting) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
-  auto scan = MakeScan(fx, &cache, "artist", 1.0, &stats);
+  ExecContext ctx(&stats);
+  auto scan = MakeScan(fx, &cache, "artist", 1.0, &ctx);
   ScoredRow row;
   ASSERT_TRUE(scan->Next(&row));
   ASSERT_TRUE(scan->Next(&row));
@@ -116,6 +123,7 @@ TEST(PatternScanTest, EmptyPattern) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
+  ExecContext ctx(&stats);
   // A pattern with no matches: subject bound to an entity that is not a
   // type.
   Query q;
@@ -124,7 +132,7 @@ TEST(PatternScanTest, EmptyPattern) {
                               PatternTerm::Const(fx.type),
                               PatternTerm::Var(s));
   auto list = cache.Get(PatternKey{fx.Id("shakira"), fx.type, kInvalidTermId});
-  PatternScan scan(&fx.store, list, pattern, 1, 1.0, &stats);
+  PatternScan scan(&fx.store, list, pattern, 1, 1.0, &ctx);
   // shakira has types: singer, vocalist, artist, musician, writer?,
   // percussionist... just count matches against the store.
   const auto rows = Drain(&scan);
@@ -138,10 +146,11 @@ TEST(PatternScanTest, RepeatedVariableFiltered) {
   store.Finalize();
   PostingListCache cache(&store);
   ExecStats stats;
+  ExecContext ctx(&stats);
   const TermId p = store.MustId("p");
   const TriplePattern pattern(PatternTerm::Var(0), PatternTerm::Const(p),
                               PatternTerm::Var(0));
-  PatternScan scan(&store, cache.Get(pattern.Key()), pattern, 1, 1.0, &stats);
+  PatternScan scan(&store, cache.Get(pattern.Key()), pattern, 1, 1.0, &ctx);
   const auto rows = Drain(&scan);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].bindings[0], store.MustId("a"));
@@ -151,14 +160,15 @@ TEST(PatternScanDeathTest, InvalidWeightAborts) {
   MusicFixture fx = MakeMusicFixture();
   PostingListCache cache(&fx.store);
   ExecStats stats;
+  ExecContext ctx(&stats);
   Query q;
   const VarId s = q.GetOrAddVariable("s");
   const TriplePattern pattern(PatternTerm::Var(s), PatternTerm::Const(fx.type),
                               PatternTerm::Const(fx.Id("singer")));
   auto list = cache.Get(pattern.Key());
-  EXPECT_DEATH(PatternScan(&fx.store, list, pattern, 1, 0.0, &stats),
+  EXPECT_DEATH(PatternScan(&fx.store, list, pattern, 1, 0.0, &ctx),
                "weight");
-  EXPECT_DEATH(PatternScan(&fx.store, list, pattern, 1, 1.5, &stats),
+  EXPECT_DEATH(PatternScan(&fx.store, list, pattern, 1, 1.5, &ctx),
                "weight");
 }
 

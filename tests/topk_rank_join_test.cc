@@ -43,9 +43,10 @@ std::unique_ptr<VectorIterator> RightInput(
 
 TEST(RankJoinTest, JoinsOnSharedVariable) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}, {2, 0.5}}),
                 RightInput({{1, 10, 0.8}, {3, 30, 0.7}, {2, 20, 0.6}}),
-                {0}, &stats);
+                {0}, &ctx);
   const auto rows = Drain(&join);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_DOUBLE_EQ(rows[0].score, 0.9 + 0.8);
@@ -57,9 +58,10 @@ TEST(RankJoinTest, JoinsOnSharedVariable) {
 
 TEST(RankJoinTest, EmitsInDescendingScoreOrder) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(
       LeftInput({{1, 0.9}, {2, 0.85}, {3, 0.2}}),
-      RightInput({{3, 33, 1.0}, {2, 22, 0.4}, {1, 11, 0.05}}), {0}, &stats);
+      RightInput({{3, 33, 1.0}, {2, 22, 0.4}, {1, 11, 0.05}}), {0}, &ctx);
   const auto rows = Drain(&join);
   ASSERT_EQ(rows.size(), 3u);
   // Scores: 1+0.05=0.95? no: (1:0.9+0.05=0.95), (2:0.85+0.4=1.25),
@@ -71,7 +73,8 @@ TEST(RankJoinTest, EmitsInDescendingScoreOrder) {
 
 TEST(RankJoinTest, EmptyInputs) {
   ExecStats stats;
-  RankJoin join(LeftInput({}), RightInput({{1, 10, 0.8}}), {0}, &stats);
+  ExecContext ctx(&stats);
+  RankJoin join(LeftInput({}), RightInput({{1, 10, 0.8}}), {0}, &ctx);
   ScoredRow row;
   EXPECT_FALSE(join.Next(&row));
   EXPECT_FALSE(join.Next(&row));
@@ -79,8 +82,9 @@ TEST(RankJoinTest, EmptyInputs) {
 
 TEST(RankJoinTest, NoMatchingKeys) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}}), RightInput({{2, 20, 0.8}}), {0},
-                &stats);
+                &ctx);
   ScoredRow row;
   EXPECT_FALSE(join.Next(&row));
   EXPECT_EQ(stats.join_results, 0u);
@@ -88,9 +92,10 @@ TEST(RankJoinTest, NoMatchingKeys) {
 
 TEST(RankJoinTest, OneToManyJoin) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}}),
                 RightInput({{1, 10, 0.8}, {1, 11, 0.5}, {1, 12, 0.1}}), {0},
-                &stats);
+                &ctx);
   const auto rows = Drain(&join);
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_DOUBLE_EQ(rows[0].score, 1.7);
@@ -100,8 +105,9 @@ TEST(RankJoinTest, OneToManyJoin) {
 
 TEST(RankJoinTest, CrossProductWhenNoJoinVars) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}, {2, 0.5}}),
-                RightInput({{0, 10, 0.8}, {0, 11, 0.3}}), {}, &stats);
+                RightInput({{0, 10, 0.8}, {0, 11, 0.3}}), {}, &ctx);
   const auto rows = Drain(&join);
   EXPECT_EQ(rows.size(), 4u);
   EXPECT_DOUBLE_EQ(rows[0].score, 1.7);
@@ -114,22 +120,25 @@ TEST(RankJoinTest, CrossProductWhenNoJoinVars) {
 
 TEST(RankJoinTest, BothInputsEmpty) {
   ExecStats stats;
-  RankJoin join(LeftInput({}), RightInput({}), {0}, &stats);
+  ExecContext ctx(&stats);
+  RankJoin join(LeftInput({}), RightInput({}), {0}, &ctx);
   ScoredRow row;
   EXPECT_FALSE(join.Next(&row));
   EXPECT_FALSE(join.Next(&row));
   EXPECT_EQ(stats.join_results, 0u);
 
   ExecStats cross_stats;
-  RankJoin cross(LeftInput({}), RightInput({}), {}, &cross_stats);
+  ExecContext cross_ctx(&cross_stats);
+  RankJoin cross(LeftInput({}), RightInput({}), {}, &cross_ctx);
   EXPECT_FALSE(cross.Next(&row));
   EXPECT_EQ(cross_stats.join_results, 0u);
 }
 
 TEST(RankJoinTest, NextAfterExhaustionKeepsReturningFalse) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}}), RightInput({{1, 10, 0.8}}), {0},
-                &stats);
+                &ctx);
   ScoredRow row;
   ASSERT_TRUE(join.Next(&row));
   EXPECT_DOUBLE_EQ(row.score, 1.7);
@@ -170,8 +179,9 @@ TEST(RankJoinTest, CrossProductLeftInputBindingsWin) {
   // depending on internal pull order — while slots bound only on the
   // right are still filled from the right.
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}}), RightInput({{2, 20, 0.8}}), {},
-                &stats);
+                &ctx);
   const auto rows = Drain(&join);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_DOUBLE_EQ(rows[0].score, 1.7);
@@ -181,8 +191,9 @@ TEST(RankJoinTest, CrossProductLeftInputBindingsWin) {
   // Same inputs with the right side scoring higher (so the right side is
   // pulled and probed first): the left input's binding still wins.
   ExecStats stats2;
+  ExecContext ctx2(&stats2);
   RankJoin join2(LeftInput({{1, 0.3}}), RightInput({{2, 20, 0.8}}), {},
-                 &stats2);
+                 &ctx2);
   const auto rows2 = Drain(&join2);
   ASSERT_EQ(rows2.size(), 1u);
   EXPECT_EQ(rows2[0].bindings[0], 1u) << "must not depend on probe order";
@@ -191,11 +202,12 @@ TEST(RankJoinTest, CrossProductLeftInputBindingsWin) {
 
 TEST(RankJoinTest, UpperBoundNeverIncreasesAndBoundsEmissions) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(
       LeftInput({{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.1}}),
       RightInput(
           {{4, 44, 0.95}, {2, 22, 0.6}, {1, 11, 0.5}, {3, 33, 0.2}}),
-      {0}, &stats);
+      {0}, &ctx);
   double prev = join.UpperBound();
   ScoredRow row;
   while (join.Next(&row)) {
@@ -216,7 +228,8 @@ TEST(RankJoinTest, EarlyTerminationReadsOnlyWhatIsNeeded) {
     right_rows.emplace_back(i, i * 10, 0.001);
   }
   ExecStats stats;
-  RankJoin join(LeftInput(left_rows), RightInput(right_rows), {0}, &stats);
+  ExecContext ctx(&stats);
+  RankJoin join(LeftInput(left_rows), RightInput(right_rows), {0}, &ctx);
   ScoredRow row;
   ASSERT_TRUE(join.Next(&row));
   EXPECT_DOUBLE_EQ(row.score, 2.0);
@@ -277,7 +290,9 @@ TEST_P(RankJoinPropertyTest, MatchesNaiveJoin) {
     std::sort(expected.begin(), expected.end(), RowBefore);
 
     ExecStats stats;
-    RankJoin join(LeftInput(left), RightInput(right), {0}, &stats);
+
+    ExecContext ctx(&stats);
+    RankJoin join(LeftInput(left), RightInput(right), {0}, &ctx);
     const auto actual = Drain(&join);
 
     ASSERT_EQ(actual.size(), expected.size());
@@ -300,9 +315,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RankJoinPropertyTest, ::testing::Range(0, 10));
 
 TEST(PullTopKTest, TakesKInOrder) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(
       LeftInput({{1, 0.9}, {2, 0.8}, {3, 0.7}}),
-      RightInput({{1, 11, 0.9}, {2, 22, 0.8}, {3, 33, 0.7}}), {0}, &stats);
+      RightInput({{1, 11, 0.9}, {2, 22, 0.8}, {3, 33, 0.7}}), {0}, &ctx);
   const auto rows = PullTopK(&join, 2, &stats);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_DOUBLE_EQ(rows[0].score, 1.8);
@@ -311,8 +327,9 @@ TEST(PullTopKTest, TakesKInOrder) {
 
 TEST(PullTopKTest, FewerThanKResults) {
   ExecStats stats;
+  ExecContext ctx(&stats);
   RankJoin join(LeftInput({{1, 0.9}}), RightInput({{1, 11, 0.9}}), {0},
-                &stats);
+                &ctx);
   const auto rows = PullTopK(&join, 10, &stats);
   EXPECT_EQ(rows.size(), 1u);
 }
