@@ -1,0 +1,263 @@
+// Store-load microbenchmark: how fast a saved knowledge graph becomes
+// queryable, v1 (parse + re-index) vs v2 (SQPSTOR2 zero-copy mmap, see
+// docs/FORMATS.md). Reports cold (first load in this process) and warm
+// (best of repeats, page cache hot) figures plus bytes_mapped, and checks
+// that the mapped and parsed engines give identical answers.
+//
+// This is the measurement behind the "O(ms) load" line in ROADMAP.md: the
+// v2 mmap open does no per-triple work, so its latency is independent of
+// store size while v1 parsing scales with it.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "rdf/mmap_store.h"
+#include "rdf/store_io.h"
+#include "relax/relaxation_index.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+namespace specqp::bench {
+namespace {
+
+constexpr size_t kNumSubjects = 30000;
+constexpr size_t kNumPredicates = 12;
+constexpr size_t kNumObjects = 4000;
+constexpr size_t kNumTriples = 400000;
+constexpr int kRepeats = 5;
+
+// Set once after generation: Finalize() deduplicates (s,p,o), so the
+// queryable store is slightly smaller than kNumTriples.
+size_t g_expected_triples = 0;
+
+TripleStore BuildStore() {
+  Rng rng(20260729);
+  ZipfDistribution object_zipf(kNumObjects, /*s=*/1.1);
+  TripleStore store;
+  Dictionary& dict = store.dict();
+  std::vector<TermId> subjects;
+  std::vector<TermId> predicates;
+  std::vector<TermId> objects;
+  for (size_t i = 0; i < kNumSubjects; ++i) {
+    subjects.push_back(dict.Intern("subject/" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < kNumPredicates; ++i) {
+    predicates.push_back(dict.Intern("predicate/" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < kNumObjects; ++i) {
+    objects.push_back(dict.Intern("object/" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < kNumTriples; ++i) {
+    const TermId s = subjects[rng.NextBounded(subjects.size())];
+    const TermId p = predicates[rng.NextBounded(predicates.size())];
+    const TermId o = objects[object_zipf.Sample(&rng)];
+    store.AddEncoded(s, p, o, 1e6 / static_cast<double>((i % 10000) + 1));
+  }
+  store.Finalize();
+  return store;
+}
+
+struct LoadTiming {
+  double cold_ms = 0.0;  // first load in this process
+  double warm_ms = 0.0;  // best of kRepeats
+};
+
+// Times `load` kRepeats times; `load` must fully construct a queryable
+// store and return its triple count (consumed so the work is not elided).
+template <typename Fn>
+LoadTiming Measure(Fn load) {
+  LoadTiming timing;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    WallTimer timer;
+    const size_t triples = load();
+    const double ms = timer.ElapsedMillis();
+    SPECQP_CHECK(triples == g_expected_triples)
+        << "load returned a wrong store";
+    if (rep == 0) {
+      timing.cold_ms = ms;
+      timing.warm_ms = ms;
+    } else {
+      timing.warm_ms = std::min(timing.warm_ms, ms);
+    }
+  }
+  return timing;
+}
+
+void Run(Json& out) {
+  PrintTitle("micro_store_load — v1 parse vs v2 mmap store open");
+
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "specqp_micro_store_load";
+  fs::create_directories(dir);
+  const std::string v1_path = (dir / "store.v1.sqp").string();
+  const std::string v2_path = (dir / "store.v2.sqp").string();
+
+  std::printf("generating %zu triples / %zu terms...\n", kNumTriples,
+              kNumSubjects + kNumPredicates + kNumObjects);
+  const TripleStore store = BuildStore();
+  g_expected_triples = store.size();
+  RelaxationIndex no_rules;
+
+  // Save both formats; embed a small warmed stats snapshot in v2.
+  WallTimer save_timer;
+  SPECQP_CHECK(SaveStoreV1(store, v1_path).ok());
+  const double save_v1_ms = save_timer.ElapsedMillis();
+  save_timer.Reset();
+  {
+    Engine warm(&store, &no_rules);
+    for (TermId p = 0; p < store.dict().size(); ++p) {
+      // Warm the per-predicate stats the planner consults first.
+      if (store.dict().Name(p).rfind("predicate/", 0) == 0) {
+        warm.catalog().GetStats(PatternKey{kInvalidTermId, p, kInvalidTermId});
+      }
+    }
+    SaveStoreOptions save;
+    save.stats = warm.catalog().Snapshot();
+    save.stats_head_fraction = warm.catalog().head_fraction();
+    SPECQP_CHECK(SaveStore(store, v2_path, save).ok());
+  }
+  const double save_v2_ms = save_timer.ElapsedMillis();
+  const auto v1_bytes = fs::file_size(v1_path);
+  const auto v2_bytes = fs::file_size(v2_path);
+
+  // --- load timings ----------------------------------------------------------
+
+  const LoadTiming v1_parse = Measure([&] {
+    auto loaded = LoadStore(v1_path);
+    SPECQP_CHECK(loaded.ok()) << loaded.status().ToString();
+    return loaded.value().size();
+  });
+  const LoadTiming v2_parse = Measure([&] {
+    auto loaded = LoadStore(v2_path);
+    SPECQP_CHECK(loaded.ok()) << loaded.status().ToString();
+    return loaded.value().size();
+  });
+  // The engine fast path: structural open + metadata checksums, bulk
+  // sections verified lazily.
+  size_t bytes_mapped = 0;
+  const LoadTiming v2_mmap = Measure([&] {
+    auto mapped = MmapStore::Open(v2_path);
+    SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
+    SPECQP_CHECK(mapped.value()->VerifyMetadataSections().ok());
+    bytes_mapped = mapped.value()->bytes_mapped();
+    return mapped.value()->store().size();
+  });
+  // Fully checksummed open (what LoadStore-grade integrity costs).
+  MmapStore::Options eager;
+  eager.verify = MmapStore::Verify::kEager;
+  const LoadTiming v2_mmap_eager = Measure([&] {
+    auto mapped = MmapStore::Open(v2_path, eager);
+    SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
+    return mapped.value()->store().size();
+  });
+
+  // --- answer equivalence ----------------------------------------------------
+
+  EngineOptions mmap_options = MakeEngineOptions();
+  mmap_options.mmap = true;
+  EngineOptions parse_options = MakeEngineOptions();
+  parse_options.mmap = false;
+  auto mapped_engine = Engine::OpenFromPath(v2_path, &no_rules, mmap_options);
+  auto parsed_engine = Engine::OpenFromPath(v2_path, &no_rules, parse_options);
+  SPECQP_CHECK(mapped_engine.ok() && parsed_engine.ok());
+  SPECQP_CHECK(mapped_engine.value().mmap_backed());
+  const std::string query_text =
+      "SELECT ?s WHERE { ?s <predicate/0> <object/0> . "
+      "?s <predicate/1> <object/1> }";
+  WallTimer first_query_timer;
+  auto mapped_rows = mapped_engine.value().engine->ExecuteText(
+      query_text, /*k=*/10, Strategy::kNoRelax);
+  const double mmap_first_query_ms = first_query_timer.ElapsedMillis();
+  auto parsed_rows = parsed_engine.value().engine->ExecuteText(
+      query_text, /*k=*/10, Strategy::kNoRelax);
+  SPECQP_CHECK(mapped_rows.ok() && parsed_rows.ok());
+  bool answers_match =
+      mapped_rows.value().rows.size() == parsed_rows.value().rows.size();
+  for (size_t i = 0; answers_match && i < mapped_rows.value().rows.size();
+       ++i) {
+    answers_match =
+        mapped_rows.value().rows[i].bindings ==
+            parsed_rows.value().rows[i].bindings &&
+        mapped_rows.value().rows[i].score == parsed_rows.value().rows[i].score;
+  }
+  SPECQP_CHECK(answers_match) << "mmap and parsed engines disagree";
+
+  // --- report ----------------------------------------------------------------
+
+  const std::vector<int> widths = {34, 12, 12};
+  PrintRow({"variant", "cold ms", "warm ms"}, widths);
+  PrintRule(widths);
+  struct RowSpec {
+    const char* name;
+    const LoadTiming* timing;
+  };
+  const RowSpec rows[] = {
+      {"v1 LoadStore (parse + index)", &v1_parse},
+      {"v2 LoadStore (parse + index)", &v2_parse},
+      {"v2 mmap open (lazy CRC)", &v2_mmap},
+      {"v2 mmap open (eager CRC)", &v2_mmap_eager},
+  };
+  for (const RowSpec& row : rows) {
+    PrintRow({row.name, StrFormat("%.3f", row.timing->cold_ms),
+              StrFormat("%.3f", row.timing->warm_ms)},
+             widths);
+  }
+  const double speedup_cold = v1_parse.cold_ms / v2_mmap.cold_ms;
+  const double speedup_warm = v1_parse.warm_ms / v2_mmap.warm_ms;
+  std::printf(
+      "\nmmap speedup vs v1: %.1fx cold, %.1fx warm; %zu bytes mapped; "
+      "first mapped query %.3f ms; answers match: %s\n",
+      speedup_cold, speedup_warm, bytes_mapped, mmap_first_query_ms,
+      answers_match ? "yes" : "no");
+
+  Json& config = out.Set("config", Json::Object());
+  config.Set("triples", g_expected_triples);
+  config.Set("terms", kNumSubjects + kNumPredicates + kNumObjects);
+  config.Set("repeats", kRepeats);
+  config.Set("file_bytes_v1", static_cast<uint64_t>(v1_bytes));
+  config.Set("file_bytes_v2", static_cast<uint64_t>(v2_bytes));
+  config.Set("save_v1_ms", save_v1_ms);
+  config.Set("save_v2_ms", save_v2_ms);
+
+  Json& loads = out.Set("loads", Json::Array());
+  const struct {
+    const char* name;
+    const LoadTiming* timing;
+    uint64_t mapped;
+  } specs[] = {
+      {"v1_parse", &v1_parse, 0},
+      {"v2_parse", &v2_parse, 0},
+      {"v2_mmap_lazy", &v2_mmap, bytes_mapped},
+      {"v2_mmap_eager", &v2_mmap_eager, bytes_mapped},
+  };
+  for (const auto& spec : specs) {
+    Json& j = loads.Push(Json::Object());
+    j.Set("name", spec.name);
+    j.Set("load_ms", spec.timing->cold_ms);
+    j.Set("load_ms_warm", spec.timing->warm_ms);
+    j.Set("bytes_mapped", spec.mapped);
+  }
+  out.Set("speedup_cold_vs_v1", speedup_cold);
+  out.Set("speedup_warm_vs_v1", speedup_warm);
+  out.Set("mmap_first_query_ms", mmap_first_query_ms);
+  out.Set("answers_match", answers_match);
+
+  std::error_code ignored;
+  fs::remove_all(dir, ignored);
+}
+
+}  // namespace
+}  // namespace specqp::bench
+
+int main(int argc, char** argv) {
+  return specqp::bench::BenchMain(argc, argv, "micro_store_load",
+                                  &specqp::bench::Run);
+}

@@ -17,10 +17,19 @@
 //   load <prefix>      load them back
 //   stats              store and cache statistics
 //   help / quit
+//
+// Load path: `save` writes the store in format v2 ("SQPSTOR2", see
+// docs/FORMATS.md) with the engine's warmed statistics snapshot embedded;
+// `load` goes through Engine::OpenFromPath, which memory-maps v2 files —
+// a zero-copy open with no per-triple parsing — and parses legacy v1
+// files. The statistics snapshot pre-seeds the new engine's catalog, so
+// plans right after `load` match the session that saved the store.
+// `stats` shows which backend (mapped or parsed) is serving.
 
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -92,7 +101,7 @@ class Shell {
     RebuildEngine();
     std::printf("demo KG ready: %zu triples, %zu relaxation rules. Type "
                 "'help' for commands.\n",
-                store_->size(), rules_->total_rules());
+                store().size(), rules_->total_rules());
   }
 
   int Loop() {
@@ -107,8 +116,20 @@ class Shell {
   }
 
  private:
-  void RebuildEngine() { engine_ = std::make_unique<Engine>(store_.get(),
-                                                            rules_.get()); }
+  // The active store/engine pair: the generated demo KG (store_/engine_)
+  // until `load` replaces it with an Engine::Opened bundle that owns the
+  // mapped or parsed file-backed store.
+  const TripleStore& store() const {
+    return opened_.has_value() ? opened_->store() : *store_;
+  }
+  Engine& engine() {
+    return opened_.has_value() ? *opened_->engine : *engine_;
+  }
+
+  void RebuildEngine() {
+    opened_.reset();
+    engine_ = std::make_unique<Engine>(store_.get(), rules_.get());
+  }
 
   bool Dispatch(const std::string& line) {
     std::istringstream in(line);
@@ -144,15 +165,19 @@ class Shell {
     } else if (cmd == "load") {
       Load(arg);
     } else if (cmd == "stats") {
-      std::printf("store: %zu triples, %zu terms; rules: %zu simple, %zu "
-                  "chain; posting cache: %zu lists (%llu hits / %llu "
-                  "misses)\n",
-                  store_->size(), store_->dict().size(),
+      std::printf("store: %zu triples, %zu terms (%s); rules: %zu simple, "
+                  "%zu chain; posting cache: %zu lists (%llu hits / %llu "
+                  "misses); stats catalog: %zu patterns\n",
+                  store().size(), store().dict().size(),
+                  opened_.has_value() && opened_->mmap_backed()
+                      ? "mmap-backed"
+                      : "in-memory",
                   rules_->total_rules(), rules_->total_chain_rules(),
-                  engine_->postings().size(),
-                  static_cast<unsigned long long>(engine_->postings().hits()),
+                  engine().postings().size(),
+                  static_cast<unsigned long long>(engine().postings().hits()),
                   static_cast<unsigned long long>(
-                      engine_->postings().misses()));
+                      engine().postings().misses()),
+                  engine().catalog().size());
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }
@@ -160,12 +185,12 @@ class Shell {
   }
 
   void Execute(const std::string& text, Strategy strategy) {
-    auto parsed = ParseQuery(text, store_->dict());
+    auto parsed = ParseQuery(text, store().dict());
     if (!parsed.ok()) {
       std::printf("%s\n", parsed.status().ToString().c_str());
       return;
     }
-    const auto result = engine_->Execute(parsed.value(), k_, strategy);
+    const auto result = engine().Execute(parsed.value(), k_, strategy);
     std::printf("[%s] plan %s — %.3f ms, %llu answer objects\n",
                 std::string(StrategyName(strategy)).c_str(),
                 result.plan.ToString().c_str(),
@@ -173,20 +198,20 @@ class Shell {
                 static_cast<unsigned long long>(result.stats.answer_objects));
     for (size_t i = 0; i < result.rows.size(); ++i) {
       std::printf("  #%-3zu %s\n", i + 1,
-                  RowToString(result.rows[i], parsed.value(), store_->dict())
+                  RowToString(result.rows[i], parsed.value(), store().dict())
                       .c_str());
     }
     if (result.rows.empty()) std::printf("  (no answers)\n");
   }
 
   void Plan(const std::string& text) {
-    auto parsed = ParseQuery(text, store_->dict());
+    auto parsed = ParseQuery(text, store().dict());
     if (!parsed.ok()) {
       std::printf("%s\n", parsed.status().ToString().c_str());
       return;
     }
     PlanDiagnostics diag;
-    const QueryPlan plan = engine_->PlanOnly(parsed.value(), k_, &diag);
+    const QueryPlan plan = engine().PlanOnly(parsed.value(), k_, &diag);
     std::printf("plan %s   (E_Q(k=%zu) = %s, est. %0.f answers)\n",
                 plan.ToString().c_str(), k_,
                 DoubleToString(diag.eq_k, 3).c_str(),
@@ -208,8 +233,8 @@ class Shell {
       o = p;
       p = "rdf:type";
     }
-    auto pid = store_->dict().Find(p);
-    auto oid = store_->dict().Find(o);
+    auto pid = store().dict().Find(p);
+    auto oid = store().dict().Find(o);
     if (!pid.ok() || !oid.ok()) {
       std::printf("unknown term(s)\n");
       return;
@@ -218,10 +243,10 @@ class Shell {
     const auto rules = rules_->RulesFor(key);
     if (rules.empty()) std::printf("  (no rules)\n");
     for (const RelaxationRule& rule : rules) {
-      std::printf("  %s\n", RuleToString(rule, store_->dict()).c_str());
+      std::printf("  %s\n", RuleToString(rule, store().dict()).c_str());
     }
     for (const ChainRelaxationRule& rule : rules_->ChainRulesFor(key)) {
-      std::printf("  %s\n", ChainRuleToString(rule, store_->dict()).c_str());
+      std::printf("  %s\n", ChainRuleToString(rule, store().dict()).c_str());
     }
   }
 
@@ -230,7 +255,12 @@ class Shell {
       std::printf("usage: save <prefix>\n");
       return;
     }
-    Status s = SaveStore(*store_, prefix + ".store");
+    // v2 store file with whatever statistics this session has warmed —
+    // the next `load` starts with the same catalog without recomputing.
+    SaveStoreOptions options;
+    options.stats = engine().catalog().Snapshot();
+    options.stats_head_fraction = engine().catalog().head_fraction();
+    Status s = SaveStore(store(), prefix + ".store", options);
     if (s.ok()) s = SaveRules(*rules_, prefix + ".rules");
     std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
   }
@@ -240,26 +270,40 @@ class Shell {
       std::printf("usage: load <prefix>\n");
       return;
     }
-    auto store = LoadStore(prefix + ".store");
-    if (!store.ok()) {
-      std::printf("%s\n", store.status().ToString().c_str());
-      return;
-    }
     auto rules = LoadRules(prefix + ".rules");
     if (!rules.ok()) {
       std::printf("%s\n", rules.status().ToString().c_str());
       return;
     }
-    *store_ = std::move(store).value();
-    *rules_ = std::move(rules).value();
-    RebuildEngine();
-    std::printf("loaded: %zu triples, %zu rules\n", store_->size(),
-                rules_->total_rules());
+    // Swap the rules in first (the engine keeps a pointer to them), then
+    // open the store: mmap fast path for v2 files, parse for v1. Shell
+    // users load arbitrary files, so pay for the full verification pass
+    // (checksums + invariants on every section) instead of trusting the
+    // bulk bytes.
+    auto swapped = std::make_unique<RelaxationIndex>(std::move(rules).value());
+    EngineOptions options;
+    options.mmap_verify_all = true;
+    auto opened = Engine::OpenFromPath(prefix + ".store", swapped.get(),
+                                       options);
+    if (!opened.ok()) {
+      std::printf("%s\n", opened.status().ToString().c_str());
+      return;
+    }
+    rules_ = std::move(swapped);
+    opened_ = std::move(opened).value();
+    engine_.reset();
+    store_.reset();
+    std::printf("loaded: %zu triples, %zu rules (%s, %zu stats patterns "
+                "preloaded)\n",
+                store().size(), rules_->total_rules(),
+                opened_->mmap_backed() ? "mmap-backed" : "parsed",
+                engine().catalog().size());
   }
 
-  std::unique_ptr<TripleStore> store_;
+  std::unique_ptr<TripleStore> store_;    // demo KG (generated)
   std::unique_ptr<RelaxationIndex> rules_;
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Engine> engine_;        // engine over the demo KG
+  std::optional<Engine::Opened> opened_;  // file-backed store + engine
   size_t k_ = 10;
 };
 

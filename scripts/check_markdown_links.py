@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fails when an intra-repo markdown link points at a missing file.
+
+Checks every [text](target) and [text](target#anchor) link in the given
+markdown files (default: README.md, ROADMAP.md, CHANGES.md, docs/*.md)
+against the working tree. External links (scheme://, mailto:) are
+ignored; anchors are checked for existence of the file only, not the
+heading. Exit code 1 lists every broken link.
+
+Usage: scripts/check_markdown_links.py [file.md ...]
+"""
+
+import glob
+import os
+import re
+import sys
+
+# [text](target) — skips images' leading '!' implicitly (the pattern
+# matches those too, which is fine: image targets must also exist).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+IGNORED_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(md_path: str) -> list[str]:
+    errors = []
+    base_dir = os.path.dirname(os.path.abspath(md_path))
+    with open(md_path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Strip fenced code blocks: CLI examples often contain bracketed
+    # usage strings like [--json <path>] that are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(IGNORED_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        resolved = os.path.normpath(os.path.join(base_dir, path))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: broken link '{target}' "
+                          f"(resolved to {os.path.relpath(resolved)})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = argv[1:]
+    if not files:
+        files = ["README.md", "ROADMAP.md", "CHANGES.md"]
+        files += sorted(glob.glob("docs/*.md"))
+    files = [f for f in files if os.path.exists(f)]
+    all_errors = []
+    for md_path in files:
+        all_errors += check_file(md_path)
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken link(s)'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "query/parser.h"
+#include "rdf/store_io.h"
 #include "topk/top_k.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -52,6 +53,37 @@ Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
                 PlanExecutor::Options{options.parallel_min_rows}) {
   SPECQP_CHECK(store_ != nullptr && rules_ != nullptr);
   SPECQP_CHECK(store_->finalized()) << "Engine requires a finalized store";
+}
+
+Result<Engine::Opened> Engine::OpenFromPath(const std::string& store_path,
+                                            const RelaxationIndex* rules,
+                                            const EngineOptions& options) {
+  SPECQP_ASSIGN_OR_RETURN(const uint32_t version,
+                          PeekStoreVersion(store_path));
+  Opened opened;
+  if (options.mmap && version == v2::kFormatVersion) {
+    MmapStore::Options open_options;
+    if (options.mmap_verify_all) {
+      open_options.verify = MmapStore::Verify::kEager;
+    }
+    SPECQP_ASSIGN_OR_RETURN(opened.mapped,
+                            MmapStore::Open(store_path, open_options));
+    // Metadata sections are dereferenced eagerly by planner/dictionary
+    // lookups; check them up front (no-op after an eager open). The
+    // O(triples) bulk sections stay lazy unless mmap_verify_all asked
+    // for the full pass.
+    const Status verified = opened.mapped->VerifyMetadataSections();
+    if (!verified.ok()) return verified;
+  } else {
+    SPECQP_ASSIGN_OR_RETURN(TripleStore parsed, LoadStore(store_path));
+    opened.parsed = std::make_unique<TripleStore>(std::move(parsed));
+  }
+  opened.engine = std::make_unique<Engine>(&opened.store(), rules, options);
+  if (opened.mapped != nullptr && opened.mapped->has_stats() &&
+      opened.mapped->stats_head_fraction() == options.head_fraction) {
+    opened.engine->catalog().Preload(opened.mapped->stats_entries());
+  }
+  return opened;
 }
 
 Engine::QueryResult Engine::Execute(const Query& query, size_t k,

@@ -2,6 +2,7 @@
 #define SPECQP_CORE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/planner.h"
 #include "core/query_plan.h"
 #include "query/query.h"
+#include "rdf/mmap_store.h"
 #include "rdf/posting_list.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
@@ -58,6 +60,18 @@ struct EngineOptions {
   // Minimum total posting entries across a query's patterns before the
   // executor builds a partitioned parallel tree.
   size_t parallel_min_rows = 1024;
+  // Engine::OpenFromPath only: memory-map v2 store files (zero-copy
+  // MmapStore view, O(ms) open) instead of parsing them into an owned
+  // store. v1 files always parse. Answers are identical either way; only
+  // open latency and memory residency change.
+  bool mmap = true;
+  // Engine::OpenFromPath only: fully verify every section of a mapped
+  // store (checksums + value ranges + ordering invariants) before
+  // serving, instead of the default — eager metadata sections, lazy
+  // O(triples) bulk sections. The default trusts the file's bulk bytes;
+  // set this for stores from untrusted sources (costs one pass over the
+  // file, still far below a v1 parse).
+  bool mmap_verify_all = false;
 };
 
 // Facade wiring the whole stack together: posting lists, statistics,
@@ -78,6 +92,36 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  // A store opened from disk together with the engine serving it: the
+  // bundle owns the storage backend (mapped file or parsed store), so it
+  // must outlive every reference into the engine. Movable; the engine's
+  // internal pointers stay valid because the store lives behind a
+  // unique_ptr either way.
+  struct Opened {
+    std::unique_ptr<MmapStore> mapped;     // v2 mmap fast path
+    std::unique_ptr<TripleStore> parsed;   // v1 / parse fallback
+    std::unique_ptr<Engine> engine;
+
+    const TripleStore& store() const {
+      return mapped != nullptr ? mapped->store() : *parsed;
+    }
+    bool mmap_backed() const { return mapped != nullptr; }
+    size_t bytes_mapped() const {
+      return mapped != nullptr ? mapped->bytes_mapped() : 0;
+    }
+  };
+
+  // Open-from-path fast path: loads `store_path` (v1 or v2; see
+  // docs/FORMATS.md) and builds an engine over it. With options.mmap, v2
+  // files are memory-mapped — the open does no per-triple parsing, its
+  // small metadata sections are CRC-verified eagerly, the bulk sections
+  // lazily — and the engine's statistics catalog is pre-seeded from the
+  // file's snapshot when its head_fraction matches the options. `rules`
+  // stays caller-owned and must outlive the returned bundle.
+  static Result<Opened> OpenFromPath(const std::string& store_path,
+                                     const RelaxationIndex* rules,
+                                     const EngineOptions& options = {});
 
   // Plans (according to `strategy`) and executes `query`, returning the
   // top-k answers plus all execution counters.

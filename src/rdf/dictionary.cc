@@ -1,11 +1,33 @@
 #include "rdf/dictionary.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace specqp {
 
+Dictionary Dictionary::FromView(std::span<const uint64_t> offsets,
+                                const char* blob, size_t blob_size,
+                                std::span<const uint32_t> sorted) {
+  SPECQP_CHECK(!offsets.empty()) << "view offsets need a terminating entry";
+  SPECQP_CHECK(sorted.size() == offsets.size() - 1);
+  Dictionary dict;
+  dict.view_ = true;
+  dict.view_offsets_ = offsets;
+  dict.view_blob_ = blob;
+  dict.view_blob_size_ = blob_size;
+  dict.view_sorted_ = sorted;
+  return dict;
+}
+
 TermId Dictionary::Intern(std::string_view term) {
+  if (view_) {
+    auto found = Find(term);
+    SPECQP_CHECK(found.ok()) << "Intern of unseen term on a view "
+                             << "dictionary (read-only): " << term;
+    return found.value();
+  }
   auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   SPECQP_CHECK(terms_.size() < kInvalidTermId) << "dictionary full";
@@ -16,20 +38,38 @@ TermId Dictionary::Intern(std::string_view term) {
 }
 
 Result<TermId> Dictionary::Find(std::string_view term) const {
-  auto it = index_.find(term);
-  if (it == index_.end()) {
-    return Status::NotFound(
-        StrFormat("term '%.*s' not in dictionary",
-                  static_cast<int>(term.size()), term.data()));
+  if (view_) {
+    auto it = std::lower_bound(
+        view_sorted_.begin(), view_sorted_.end(), term,
+        [this](uint32_t id, std::string_view t) { return Name(id) < t; });
+    if (it != view_sorted_.end() && Name(*it) == term) return TermId{*it};
+  } else {
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
   }
-  return it->second;
+  return Status::NotFound(StrFormat("term '%.*s' not in dictionary",
+                                    static_cast<int>(term.size()),
+                                    term.data()));
 }
 
 bool Dictionary::Contains(std::string_view term) const {
-  return index_.find(term) != index_.end();
+  return Find(term).ok();
 }
 
 std::string_view Dictionary::Name(TermId id) const {
+  if (view_) {
+    SPECQP_CHECK(id < view_offsets_.size() - 1)
+        << "TermId out of range: " << id;
+    const uint64_t begin = view_offsets_[id];
+    const uint64_t end = view_offsets_[id + 1];
+    // Guards Name() against a corrupted (non-monotonic or out-of-blob)
+    // offset table when the caller opened the store without CRC
+    // verification; see MmapStore::VerifySection.
+    SPECQP_CHECK(begin <= end && end <= view_blob_size_)
+        << "corrupt dictionary offsets for term " << id;
+    return std::string_view(view_blob_ + begin,
+                            static_cast<size_t>(end - begin));
+  }
   SPECQP_CHECK(id < terms_.size()) << "TermId out of range: " << id;
   return terms_[id];
 }

@@ -1,0 +1,430 @@
+#include "rdf/mmap_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+#include "rdf/posting_list.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace specqp {
+
+namespace {
+
+// Typed view of `count` records of T starting `byte_offset` into a mapped
+// section. Alignment holds by construction: the mapping is page-aligned,
+// section offsets are 8-byte aligned and gapless, and every record type
+// has alignof <= 8.
+template <typename T>
+std::span<const T> RecordSpan(const char* data, uint64_t byte_offset,
+                              uint64_t count) {
+  return std::span<const T>(reinterpret_cast<const T*>(data + byte_offset),
+                            static_cast<size_t>(count));
+}
+
+Status Corrupt(const char* what) { return Status::Corruption(what); }
+
+}  // namespace
+
+MmapStore::~MmapStore() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+  }
+}
+
+const MmapStore::Section* MmapStore::FindSection(v2::SectionId id) const {
+  for (size_t i = 0; i < section_count_; ++i) {
+    if (sections_[i].id == id) return &sections_[i];
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
+                                                   const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot open '%s': %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IoError(
+        StrFormat("cannot stat '%s': %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(v2::FileHeader)) {
+    ::close(fd);
+    return Corrupt("truncated header");
+  }
+
+  std::unique_ptr<MmapStore> store(new MmapStore());
+  void* base =
+      ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, /*offset=*/0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::IoError(StrFormat("mmap of '%s' failed: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  store->map_ = base;
+  store->map_size_ = static_cast<size_t>(file_size);
+  const char* bytes = static_cast<const char*>(base);
+
+  // --- header + section table (structural validation) ----------------------
+
+  v2::FileHeader header;
+  std::memcpy(&header, bytes, sizeof(header));
+  if (std::memcmp(header.magic, v2::kMagic, sizeof(v2::kMagic)) != 0) {
+    return Corrupt("bad magic; not a SQPSTOR2 store file");
+  }
+  if (header.version != v2::kFormatVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported version %u", header.version));
+  }
+  if (header.file_size != file_size) {
+    return Corrupt("header file size does not match the actual file");
+  }
+  if (header.section_count == 0 || header.section_count > v2::kMaxSections) {
+    return Corrupt("implausible section count");
+  }
+  const uint64_t table_end = sizeof(v2::FileHeader) +
+                             uint64_t{header.section_count} *
+                                 sizeof(v2::SectionEntry);
+  if (table_end > file_size) {
+    return Corrupt("truncated section table");
+  }
+
+  const auto table = RecordSpan<v2::SectionEntry>(
+      bytes, sizeof(v2::FileHeader), header.section_count);
+  std::set<uint32_t> seen_ids;
+  uint64_t cursor = table_end;  // sections are laid out back to back
+  for (size_t i = 0; i < table.size(); ++i) {
+    const v2::SectionEntry& entry = table[i];
+    if (entry.flags != 0 || entry.reserved != 0) {
+      return Corrupt("nonzero reserved bits in section table");
+    }
+    if (entry.id < static_cast<uint32_t>(v2::SectionId::kDictOffsets) ||
+        entry.id > static_cast<uint32_t>(v2::SectionId::kStats)) {
+      return Corrupt("unknown section id");
+    }
+    if (!seen_ids.insert(entry.id).second) {
+      return Corrupt("duplicate section id");
+    }
+    if (entry.offset % v2::kSectionAlignment != 0 ||
+        entry.length % v2::kSectionAlignment != 0) {
+      return Corrupt("misaligned section offset or length");
+    }
+    if (entry.offset != cursor || entry.length > file_size - entry.offset) {
+      return Corrupt("section offsets are not gapless ascending");
+    }
+    cursor = entry.offset + entry.length;
+    store->sections_[i] = Section{static_cast<v2::SectionId>(entry.id),
+                                  bytes + entry.offset, entry.length,
+                                  entry.crc32c};
+  }
+  if (cursor != file_size) {
+    return Corrupt("trailing bytes after the last section");
+  }
+  store->section_count_ = table.size();
+  store->triple_count_ = header.triple_count;
+  store->term_count_ = header.term_count;
+
+  // --- cross-section length consistency -------------------------------------
+
+  const uint64_t terms = header.term_count;
+  const uint64_t triples = header.triple_count;
+  const Section* dict_offsets = store->FindSection(v2::SectionId::kDictOffsets);
+  const Section* dict_blob = store->FindSection(v2::SectionId::kDictBlob);
+  const Section* dict_sorted = store->FindSection(v2::SectionId::kDictSorted);
+  const Section* triple_sec = store->FindSection(v2::SectionId::kTriples);
+  const Section* spo = store->FindSection(v2::SectionId::kSpoIndex);
+  const Section* pos = store->FindSection(v2::SectionId::kPosIndex);
+  const Section* osp = store->FindSection(v2::SectionId::kOspIndex);
+  if (dict_offsets == nullptr || dict_blob == nullptr ||
+      dict_sorted == nullptr || triple_sec == nullptr || spo == nullptr ||
+      pos == nullptr || osp == nullptr) {
+    return Corrupt("missing required section");
+  }
+  if (terms >= kInvalidTermId) return Corrupt("implausible term count");
+  if (triples > UINT32_MAX) return Corrupt("implausible triple count");
+  if (dict_offsets->length != v2::AlignUp((terms + 1) * 8)) {
+    return Corrupt("dictionary offset table length mismatch");
+  }
+  const auto offsets = RecordSpan<uint64_t>(dict_offsets->data, 0, terms + 1);
+  if (offsets[0] != 0 || offsets[terms] > dict_blob->length ||
+      v2::AlignUp(offsets[terms]) != dict_blob->length) {
+    return Corrupt("dictionary blob length mismatch");
+  }
+  if (dict_sorted->length != v2::AlignUp(terms * 4)) {
+    return Corrupt("dictionary sorted-permutation length mismatch");
+  }
+  if (triple_sec->length != triples * sizeof(Triple)) {
+    return Corrupt("triple section length mismatch");
+  }
+  for (const Section* index : {spo, pos, osp}) {
+    if (index->length != v2::AlignUp(triples * 4)) {
+      return Corrupt("permutation index length mismatch");
+    }
+  }
+
+  const Section* dir = store->FindSection(v2::SectionId::kPostingDir);
+  const Section* dir_entries =
+      store->FindSection(v2::SectionId::kPostingEntries);
+  if ((dir == nullptr) != (dir_entries == nullptr)) {
+    return Corrupt("posting directory sections must come in pairs");
+  }
+  if (dir != nullptr) {
+    if (dir->length < 8) return Corrupt("truncated posting directory");
+    uint64_t count = 0;
+    std::memcpy(&count, dir->data, 8);
+    // Bound the count before the multiply below can wrap.
+    if (count > (dir->length - 8) / sizeof(v2::PostingDirEntry) ||
+        dir->length != v2::AlignUp(8 + count * sizeof(v2::PostingDirEntry))) {
+      return Corrupt("posting directory length mismatch");
+    }
+    if (dir_entries->length % sizeof(PostingEntry) != 0) {
+      return Corrupt("posting entries length mismatch");
+    }
+    const uint64_t total_entries =
+        dir_entries->length / sizeof(PostingEntry);
+    const auto rows =
+        RecordSpan<v2::PostingDirEntry>(dir->data, /*byte_offset=*/8, count);
+    TermId prev = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const v2::PostingDirEntry& row = rows[i];
+      if (row.reserved != 0) {
+        return Corrupt("nonzero reserved bits in posting directory");
+      }
+      if (row.predicate >= terms ||
+          (i > 0 && row.predicate <= prev)) {
+        return Corrupt("posting directory predicates not ascending");
+      }
+      prev = row.predicate;
+      if (row.entry_count > total_entries ||
+          row.entry_begin > total_entries - row.entry_count) {
+        return Corrupt("posting directory entry range out of bounds");
+      }
+    }
+    store->postings_.directory = rows;
+    store->postings_.entries =
+        RecordSpan<PostingEntry>(dir_entries->data, 0, total_entries);
+    store->has_posting_directory_ = true;
+  }
+
+  const Section* stats = store->FindSection(v2::SectionId::kStats);
+  if (stats != nullptr) {
+    if (stats->length < 16) return Corrupt("truncated statistics snapshot");
+    double head_fraction = 0.0;
+    uint64_t count = 0;
+    std::memcpy(&head_fraction, stats->data, 8);
+    std::memcpy(&count, stats->data + 8, 8);
+    // Bound the count before the multiply below can wrap.
+    if (count > (stats->length - 16) / sizeof(v2::StatsEntry) ||
+        stats->length != v2::AlignUp(16 + count * sizeof(v2::StatsEntry))) {
+      return Corrupt("statistics snapshot length mismatch");
+    }
+    store->stats_head_fraction_ = head_fraction;
+    store->stats_entries_ =
+        RecordSpan<v2::StatsEntry>(stats->data, /*byte_offset=*/16, count);
+  }
+
+  // --- assemble the zero-copy views -----------------------------------------
+
+  Dictionary dict = Dictionary::FromView(
+      offsets, dict_blob->data, offsets[terms],
+      RecordSpan<uint32_t>(dict_sorted->data, 0, terms));
+  store->store_ = TripleStore::FromView(
+      std::move(dict), RecordSpan<Triple>(triple_sec->data, 0, triples),
+      RecordSpan<uint32_t>(spo->data, 0, triples),
+      RecordSpan<uint32_t>(pos->data, 0, triples),
+      RecordSpan<uint32_t>(osp->data, 0, triples),
+      store->has_posting_directory_ ? &store->postings_ : nullptr);
+
+  if (options.verify == Verify::kEager) {
+    const Status verified = store->VerifyAllSections();
+    if (!verified.ok()) return verified;
+  }
+  return store;
+}
+
+Status MmapStore::ValidateSectionValues(const Section& section) const {
+  // Besides range checks, this enforces the ORDERING invariants binary
+  // search and the rank-join bound logic rely on — a crafted file with
+  // self-consistent CRCs but an unsorted permutation would otherwise
+  // produce silently wrong answers while every Status stays Ok.
+  switch (section.id) {
+    case v2::SectionId::kDictOffsets: {
+      // Monotonicity makes every Name(id) slice well-formed; the first
+      // and last entries were already pinned structurally at Open.
+      const auto offsets = RecordSpan<uint64_t>(section.data, 0,
+                                                term_count_ + 1);
+      for (size_t i = 1; i < offsets.size(); ++i) {
+        if (offsets[i - 1] > offsets[i]) {
+          return Corrupt("dictionary offsets not monotonic");
+        }
+      }
+      return Status::Ok();
+    }
+    case v2::SectionId::kDictSorted: {
+      // Strictly ascending by term bytes: implies unique terms and a
+      // well-formed binary-search order. Uses the mapped dictionary
+      // view, whose offsets section is validated before this one on the
+      // eager/metadata paths (Name stays memory-safe regardless).
+      const auto ids = RecordSpan<uint32_t>(section.data, 0, term_count_);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] >= term_count_) {
+          return Corrupt("sorted term id out of range");
+        }
+        if (i > 0 && store_.dict().Name(ids[i - 1]) >=
+                         store_.dict().Name(ids[i])) {
+          return Corrupt("dictionary permutation not sorted/unique");
+        }
+      }
+      return Status::Ok();
+    }
+    case v2::SectionId::kTriples: {
+      const auto triples = RecordSpan<Triple>(section.data, 0, triple_count_);
+      for (size_t i = 0; i < triples.size(); ++i) {
+        const Triple& t = triples[i];
+        if (t.s >= term_count_ || t.p >= term_count_ || t.o >= term_count_) {
+          return Corrupt("triple references unknown term id");
+        }
+        if (!(t.score >= 0.0)) return Corrupt("triple has invalid score");
+        if (i > 0 && !OrderSpo()(triples[i - 1], t)) {
+          return Corrupt("triples not in strict SPO order");
+        }
+      }
+      return Status::Ok();
+    }
+    case v2::SectionId::kSpoIndex:
+    case v2::SectionId::kPosIndex:
+    case v2::SectionId::kOspIndex: {
+      // Range plus strict ordering under the section's comparator. Over
+      // unique triples, strict order also implies the indexes are
+      // distinct, i.e. a true permutation.
+      const auto perm = RecordSpan<uint32_t>(section.data, 0, triple_count_);
+      const auto triples = store_.triples();
+      auto in_order = [&](uint32_t a, uint32_t b) {
+        switch (section.id) {
+          case v2::SectionId::kPosIndex:
+            return OrderPos()(triples[a], triples[b]);
+          case v2::SectionId::kOspIndex:
+            return OrderOsp()(triples[a], triples[b]);
+          default:
+            return OrderSpo()(triples[a], triples[b]);
+        }
+      };
+      for (size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] >= triple_count_) {
+          return Corrupt("permutation index out of range");
+        }
+        if (i > 0 && !in_order(perm[i - 1], perm[i])) {
+          return Corrupt("permutation index not in index order");
+        }
+      }
+      return Status::Ok();
+    }
+    case v2::SectionId::kPostingEntries: {
+      // Per-directory-slice invariants: scores normalised into [0, 1],
+      // descending with ties broken by ascending triple index, triple
+      // indexes in range. Lives under the (bulk, lazily verified)
+      // entries section so the metadata pass stays O(terms), not
+      // O(triples). The directory rows themselves — ascending
+      // predicates, slice bounds — were validated structurally at Open.
+      for (const v2::PostingDirEntry& row : postings_.directory) {
+        const auto slice =
+            postings_.entries.subspan(row.entry_begin, row.entry_count);
+        for (size_t i = 0; i < slice.size(); ++i) {
+          const PostingEntry& e = slice[i];
+          if (e.triple_index >= triple_count_) {
+            return Corrupt("posting entry triple index out of range");
+          }
+          if (!(e.score >= 0.0 && e.score <= 1.0)) {
+            return Corrupt("posting entry score not normalised");
+          }
+          if (i > 0) {
+            const PostingEntry& prev = slice[i - 1];
+            if (prev.score < e.score ||
+                (prev.score == e.score &&
+                 prev.triple_index >= e.triple_index)) {
+              return Corrupt("posting entries not in sorted order");
+            }
+          }
+        }
+      }
+      return Status::Ok();
+    }
+    default:
+      // kDictBlob is free-form bytes; kPostingDir rows were validated
+      // structurally at Open (their entry slices are covered under
+      // kPostingEntries); kStats values are advisory planner inputs
+      // validated for shape at Open.
+      return Status::Ok();
+  }
+}
+
+Status MmapStore::VerifySectionIndex(size_t index) {
+  const Section& section = sections_[index];
+  uint8_t state = verified_[index].load(std::memory_order_acquire);
+  if (state == 0) {
+    // kDictSorted's value check compares term names, which dereference
+    // the offset table — make sure that table is sound first (memoised,
+    // O(terms); keeps Name() from CHECK-failing on a crafted file even
+    // when sections are verified out of file order).
+    if (section.id == v2::SectionId::kDictSorted) {
+      const Status offsets = VerifySection(v2::SectionId::kDictOffsets);
+      if (!offsets.ok()) {
+        verified_[index].store(2, std::memory_order_release);
+        return Status::Corruption(
+            StrFormat("section %u failed checksum or value validation",
+                      static_cast<uint32_t>(section.id)));
+      }
+    }
+    const bool ok = Crc32c(section.data, section.length) == section.crc32c &&
+                    ValidateSectionValues(section).ok();
+    state = ok ? 1 : 2;
+    // Concurrent verifiers compute the same verdict; last store wins.
+    verified_[index].store(state, std::memory_order_release);
+  }
+  if (state != 1) {
+    return Status::Corruption(
+        StrFormat("section %u failed checksum or value validation",
+                  static_cast<uint32_t>(section.id)));
+  }
+  return Status::Ok();
+}
+
+Status MmapStore::VerifySection(v2::SectionId id) {
+  for (size_t i = 0; i < section_count_; ++i) {
+    if (sections_[i].id == id) return VerifySectionIndex(i);
+  }
+  return Status::Ok();  // absent (optional) section: nothing to verify
+}
+
+Status MmapStore::VerifyAllSections() {
+  for (size_t i = 0; i < section_count_; ++i) {
+    const Status status = VerifySectionIndex(i);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status MmapStore::VerifyMetadataSections() {
+  for (const v2::SectionId id :
+       {v2::SectionId::kDictOffsets, v2::SectionId::kDictBlob,
+        v2::SectionId::kDictSorted, v2::SectionId::kPostingDir,
+        v2::SectionId::kStats}) {
+    const Status status = VerifySection(id);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace specqp

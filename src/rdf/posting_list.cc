@@ -3,13 +3,41 @@
 #include <algorithm>
 
 #include "rdf/posting_partition.h"
+#include "rdf/store_format.h"
 
 namespace specqp {
 
+const v2::PostingDirEntry* MappedPostingLists::Find(TermId predicate) const {
+  auto it = std::lower_bound(
+      directory.begin(), directory.end(), predicate,
+      [](const v2::PostingDirEntry& e, TermId p) { return e.predicate < p; });
+  if (it == directory.end() || it->predicate != predicate) return nullptr;
+  return &*it;
+}
+
+PostingList PostingList::View(std::span<const PostingEntry> mapped,
+                              double max_raw_score) {
+  PostingList list;
+  list.entries = mapped;
+  list.max_raw_score = max_raw_score;
+  return list;
+}
+
 PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
+  // Mapped-store fast path: pure predicate patterns come straight from the
+  // file's posting directory, zero-copy and pre-sorted.
+  if (const MappedPostingLists* mapped = store.mapped_postings();
+      mapped != nullptr && !key.s_bound() && key.p_bound() && !key.o_bound()) {
+    if (const v2::PostingDirEntry* dir = mapped->Find(key.p)) {
+      return PostingList::View(
+          mapped->entries.subspan(dir->entry_begin, dir->entry_count),
+          dir->max_raw_score);
+    }
+  }
+
   PostingList list;
   const auto indices = store.MatchIndices(key);
-  list.entries.reserve(indices.size());
+  list.owned.reserve(indices.size());
   double max_raw = 0.0;
   for (uint32_t idx : indices) {
     max_raw = std::max(max_raw, store.triple(idx).score);
@@ -18,18 +46,19 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
   for (uint32_t idx : indices) {
     const double raw = store.triple(idx).score;
     const double norm = max_raw > 0.0 ? raw / max_raw : 0.0;
-    list.entries.push_back(PostingEntry{idx, norm});
+    list.owned.push_back(PostingEntry{idx, norm});
   }
-  std::sort(list.entries.begin(), list.entries.end(),
+  std::sort(list.owned.begin(), list.owned.end(),
             [](const PostingEntry& a, const PostingEntry& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.triple_index < b.triple_index;
             });
+  list.Seal();
   return list;
 }
 
 size_t PostingListCache::ApproxBytes(const PostingList& list) {
-  return sizeof(PostingList) + list.entries.capacity() * sizeof(PostingEntry);
+  return sizeof(PostingList) + list.owned.capacity() * sizeof(PostingEntry);
 }
 
 PostingListCache::Shard& PostingListCache::ShardFor(const PatternKey& key) {

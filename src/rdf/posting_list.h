@@ -2,10 +2,12 @@
 #define SPECQP_RDF_POSTING_LIST_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <tuple>
 #include <unordered_map>
 #include <vector>
@@ -17,17 +19,47 @@ namespace specqp {
 
 // One match of a triple pattern, carrying the pattern-normalised score of
 // Definition 5: S(t|q) = S(t) / max_{t' in matches(q)} S(t').
+//
+// Doubles as the on-disk record of the SQPSTOR2 posting-entries section
+// (docs/FORMATS.md), hence the layout asserts below; the writer zeroes
+// the 4 padding bytes.
 struct PostingEntry {
   uint32_t triple_index = 0;  // into TripleStore::triples()
   double score = 0.0;         // normalised, in [0, 1]
 };
+static_assert(sizeof(PostingEntry) == 16 && alignof(PostingEntry) == 8 &&
+              offsetof(PostingEntry, triple_index) == 0 &&
+              offsetof(PostingEntry, score) == 8);
 
 // All matches of one pattern, sorted by descending normalised score (ties
 // broken by triple index for determinism). This is the "sorted list of
 // matches" every operator in the paper consumes via sorted access.
+//
+// Two backends behind one read interface: built lists own their entries in
+// `owned` (with `entries` aliasing it — call Seal() after filling), while
+// lists opened from a mapped SQPSTOR2 store point `entries` straight at
+// the mapped posting-entries section with no per-entry work. Readers only
+// touch `entries`. Copying is deleted because a copy's span would alias
+// the source's buffer; moves are safe (vector moves keep the heap buffer,
+// mapped memory is position-stable).
 struct PostingList {
-  std::vector<PostingEntry> entries;
+  std::vector<PostingEntry> owned;
+  std::span<const PostingEntry> entries;
   double max_raw_score = 0.0;  // the Definition 5 normaliser
+
+  PostingList() = default;
+  PostingList(PostingList&&) noexcept = default;
+  PostingList& operator=(PostingList&&) noexcept = default;
+  PostingList(const PostingList&) = delete;
+  PostingList& operator=(const PostingList&) = delete;
+
+  // Points `entries` at `owned`; call once `owned` is fully built.
+  void Seal() { entries = owned; }
+
+  // A zero-copy list over mapped memory (the caller keeps the mapping
+  // alive; MmapStore guarantees this for cache-held lists).
+  static PostingList View(std::span<const PostingEntry> mapped,
+                          double max_raw_score);
 
   size_t size() const { return entries.size(); }
   bool empty() const { return entries.empty(); }
@@ -35,7 +67,9 @@ struct PostingList {
 
 // Builds a posting list for `key` by scanning the store's match range,
 // sorting by score, and normalising. Standalone helper used by the cache
-// and by tests.
+// and by tests. When the store is a mapped v2 view and `key` is a pure
+// predicate pattern (?s <p> ?o), returns a zero-copy view over the file's
+// posting directory instead of building.
 PostingList BuildPostingList(const TripleStore& store, const PatternKey& key);
 
 // Materialised posting lists keyed by PatternKey, built on first use.

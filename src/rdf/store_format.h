@@ -1,0 +1,134 @@
+#ifndef SPECQP_RDF_STORE_FORMAT_H_
+#define SPECQP_RDF_STORE_FORMAT_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "rdf/triple.h"
+
+namespace specqp {
+
+struct PostingEntry;  // rdf/posting_list.h
+
+// On-disk layout of store format v2 ("SQPSTOR2").
+//
+// The normative byte-level specification lives in docs/FORMATS.md; this
+// header defines the record structs shared by the writer (rdf/store_io.cc)
+// and the zero-copy reader (rdf/mmap_store.cc), and the static_asserts
+// that make casting mapped bytes to these structs legal on this target.
+//
+// Layout discipline (docs/FORMATS.md §SQPSTOR2):
+//   * little-endian, asserted at build time;
+//   * every section payload starts at an 8-byte-aligned offset and its
+//     stored length is padded up to a multiple of 8 with zero bytes that
+//     ARE covered by the section CRC — the file has no unprotected gaps;
+//   * sections are laid out back to back in section-table order, so
+//     entry[i].offset == end of entry[i-1] and the last section ends at
+//     header.file_size;
+//   * all struct padding bytes are written as zero.
+namespace v2 {
+
+inline constexpr char kMagic[8] = {'S', 'Q', 'P', 'S', 'T', 'O', 'R', '2'};
+inline constexpr uint32_t kFormatVersion = 2;
+inline constexpr uint64_t kSectionAlignment = 8;
+
+// Hard cap on section_count: structural sanity, not a format limit we
+// expect to approach (v2 defines ten section kinds).
+inline constexpr uint32_t kMaxSections = 64;
+
+enum class SectionId : uint32_t {
+  kDictOffsets = 1,     // u64[term_count + 1], byte offsets into kDictBlob
+  kDictBlob = 2,        // concatenated term bytes
+  kDictSorted = 3,      // u32[term_count], term ids in lexicographic order
+  kTriples = 4,         // TripleRecord[triple_count], SPO order
+  kSpoIndex = 5,        // u32[triple_count] (identity permutation)
+  kPosIndex = 6,        // u32[triple_count]
+  kOspIndex = 7,        // u32[triple_count]
+  kPostingDir = 8,      // u64 count, then PostingDirEntry[count], by predicate
+  kPostingEntries = 9,  // PostingEntryRecord[*], referenced by kPostingDir
+  kStats = 10,          // f64 head_fraction, u64 count, StatsEntry[count]
+};
+
+// Fixed 40-byte file header at offset 0, immediately followed by the
+// section table.
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t section_count;
+  uint64_t file_size;  // must equal the actual file size
+  uint64_t triple_count;
+  uint64_t term_count;
+};
+static_assert(sizeof(FileHeader) == 40);
+
+// One section-table row. `flags` and `reserved` must be zero (validated on
+// open so no table byte escapes verification).
+struct SectionEntry {
+  uint32_t id;
+  uint32_t flags;
+  uint64_t offset;  // from file start; 8-byte aligned
+  uint64_t length;  // stored (padded) payload length in bytes
+  uint32_t crc32c;  // CRC-32C of payload[offset, offset + length)
+  uint32_t reserved;
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+// kPostingDir row: the posting list of pattern (?s <predicate> ?o), stored
+// as entries [entry_begin, entry_begin + entry_count) of kPostingEntries,
+// descending by (normalised score, -triple_index).
+struct PostingDirEntry {
+  uint32_t predicate;
+  uint32_t reserved;  // zero
+  uint64_t entry_begin;
+  uint64_t entry_count;
+  double max_raw_score;
+};
+static_assert(sizeof(PostingDirEntry) == 32);
+
+// kStats row: one memoised stats::PatternStats under the snapshot's
+// head_fraction, keyed by PatternKey (kInvalidTermId in free slots).
+struct StatsEntry {
+  uint32_t s;
+  uint32_t p;
+  uint32_t o;
+  uint32_t reserved;  // zero
+  uint64_t m;
+  double sigma_r;
+  double s_r;
+  double s_m;
+};
+static_assert(sizeof(StatsEntry) == 48);
+
+// The in-memory Triple and PostingEntry structs double as the on-disk
+// records, so mapped sections can be used through std::span with no
+// per-record decoding. The writer zeroes their padding bytes.
+static_assert(std::endian::native == std::endian::little,
+              "store format v2 is little-endian");
+static_assert(sizeof(Triple) == 24 && alignof(Triple) == 8 &&
+              offsetof(Triple, s) == 0 && offsetof(Triple, p) == 4 &&
+              offsetof(Triple, o) == 8 && offsetof(Triple, score) == 16);
+static_assert(sizeof(double) == 8, "store format assumes 8-byte doubles");
+
+inline uint64_t AlignUp(uint64_t n) {
+  return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+}  // namespace v2
+
+// Zero-copy posting directory decoded from a mapped v2 file: hands out
+// PostingList views over the mapped kPostingEntries section so opening a
+// predicate's posting list does no per-entry work. Owned by MmapStore and
+// surfaced through TripleStore::mapped_postings().
+struct MappedPostingLists {
+  std::span<const v2::PostingDirEntry> directory;  // ascending by predicate
+  std::span<const PostingEntry> entries;           // kPostingEntries payload
+
+  // The directory row for `predicate`, or nullptr when absent.
+  const v2::PostingDirEntry* Find(TermId predicate) const;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_STORE_FORMAT_H_

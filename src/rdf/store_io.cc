@@ -1,9 +1,12 @@
 #include "rdf/store_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 
+#include "rdf/mmap_store.h"
+#include "rdf/posting_list.h"
 #include "util/crc32.h"
 #include "util/string_util.h"
 
@@ -11,10 +14,8 @@ namespace specqp {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'Q', 'P', 'S', 'T', 'O', 'R', '1'};
-constexpr uint32_t kFormatVersion = 1;
-
-static_assert(sizeof(double) == 8, "store format assumes 8-byte doubles");
+constexpr char kMagicV1[8] = {'S', 'Q', 'P', 'S', 'T', 'O', 'R', '1'};
+constexpr uint32_t kFormatVersionV1 = 1;
 
 void AppendU32(std::string* buf, uint32_t v) {
   char tmp[4];
@@ -60,9 +61,204 @@ class BlobReader {
   size_t pos_ = 0;
 };
 
+// --- v2 writer --------------------------------------------------------------
+
+// One serialised section: payload padded to the section alignment with
+// zero bytes that are covered by the CRC, so the written file has no
+// unprotected gaps (docs/FORMATS.md).
+struct SectionBuf {
+  v2::SectionId id;
+  std::string payload;
+};
+
+void PadSection(std::string* payload) {
+  while (payload->size() % v2::kSectionAlignment != 0) {
+    payload->push_back('\0');
+  }
+}
+
+// Permutation of [0, n) ordering `triples` by the given comparator; equals
+// the index TripleStore::Finalize builds because finalized stores have no
+// duplicate (s,p,o) and the orders are total.
+template <typename Order>
+std::vector<uint32_t> SortedPermutation(std::span<const Triple> triples) {
+  std::vector<uint32_t> perm(triples.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return Order()(triples[a], triples[b]);
+  });
+  return perm;
+}
+
+void AppendIndexSection(std::vector<SectionBuf>* sections, v2::SectionId id,
+                        const std::vector<uint32_t>& perm) {
+  SectionBuf section{id, {}};
+  section.payload.reserve(perm.size() * 4 + v2::kSectionAlignment);
+  for (uint32_t v : perm) AppendU32(&section.payload, v);
+  sections->push_back(std::move(section));
+}
+
+Status WriteSections(const std::string& path, std::vector<SectionBuf> sections,
+                     uint64_t triple_count, uint64_t term_count) {
+  for (SectionBuf& section : sections) PadSection(&section.payload);
+
+  v2::FileHeader header{};
+  std::memcpy(header.magic, v2::kMagic, sizeof(v2::kMagic));
+  header.version = v2::kFormatVersion;
+  header.section_count = static_cast<uint32_t>(sections.size());
+  header.triple_count = triple_count;
+  header.term_count = term_count;
+
+  std::vector<v2::SectionEntry> table(sections.size());
+  uint64_t cursor =
+      sizeof(v2::FileHeader) + sections.size() * sizeof(v2::SectionEntry);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    table[i] = v2::SectionEntry{
+        static_cast<uint32_t>(sections[i].id), /*flags=*/0, cursor,
+        sections[i].payload.size(),
+        Crc32c(sections[i].payload.data(), sections[i].payload.size()),
+        /*reserved=*/0};
+    cursor += sections[i].payload.size();
+  }
+  header.file_size = cursor;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(table.size() * sizeof(table[0])));
+  for (const SectionBuf& section : sections) {
+    out.write(section.payload.data(),
+              static_cast<std::streamsize>(section.payload.size()));
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-Status SaveStore(const TripleStore& store, const std::string& path) {
+Status SaveStore(const TripleStore& store, const std::string& path,
+                 const SaveStoreOptions& options) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition("SaveStore requires a finalized store");
+  }
+  const Dictionary& dict = store.dict();
+  const std::span<const Triple> triples = store.triples();
+  std::vector<SectionBuf> sections;
+
+  // Dictionary: offset table, blob, lexicographic permutation.
+  {
+    SectionBuf offsets{v2::SectionId::kDictOffsets, {}};
+    SectionBuf blob{v2::SectionId::kDictBlob, {}};
+    uint64_t cursor = 0;
+    AppendU64(&offsets.payload, 0);
+    for (TermId id = 0; id < dict.size(); ++id) {
+      const std::string_view name = dict.Name(id);
+      cursor += name.size();
+      AppendU64(&offsets.payload, cursor);
+      blob.payload.append(name);
+    }
+    SectionBuf sorted{v2::SectionId::kDictSorted, {}};
+    std::vector<uint32_t> perm(dict.size());
+    for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(), [&dict](uint32_t a, uint32_t b) {
+      return dict.Name(a) < dict.Name(b);
+    });
+    for (uint32_t id : perm) AppendU32(&sorted.payload, id);
+    sections.push_back(std::move(offsets));
+    sections.push_back(std::move(blob));
+    sections.push_back(std::move(sorted));
+  }
+
+  // Triple array (SPO order, padding bytes zeroed) + permutation indexes.
+  {
+    SectionBuf section{v2::SectionId::kTriples, {}};
+    section.payload.reserve(triples.size() * sizeof(Triple));
+    for (const Triple& t : triples) {
+      AppendU32(&section.payload, t.s);
+      AppendU32(&section.payload, t.p);
+      AppendU32(&section.payload, t.o);
+      AppendU32(&section.payload, 0);  // struct padding, CRC-covered
+      AppendF64(&section.payload, t.score);
+    }
+    sections.push_back(std::move(section));
+
+    std::vector<uint32_t> identity(triples.size());
+    for (uint32_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    AppendIndexSection(&sections, v2::SectionId::kSpoIndex, identity);
+    AppendIndexSection(&sections, v2::SectionId::kPosIndex,
+                       SortedPermutation<OrderPos>(triples));
+    AppendIndexSection(&sections, v2::SectionId::kOspIndex,
+                       SortedPermutation<OrderOsp>(triples));
+  }
+
+  // Per-predicate posting directory: every (?s <p> ?o) list, normalised
+  // and pre-sorted, so mapped stores serve them zero-copy.
+  if (options.posting_directory) {
+    std::vector<TermId> predicates;
+    predicates.reserve(triples.size());
+    for (const Triple& t : triples) predicates.push_back(t.p);
+    std::sort(predicates.begin(), predicates.end());
+    predicates.erase(std::unique(predicates.begin(), predicates.end()),
+                     predicates.end());
+
+    SectionBuf dir{v2::SectionId::kPostingDir, {}};
+    SectionBuf entries{v2::SectionId::kPostingEntries, {}};
+    AppendU64(&dir.payload, predicates.size());
+    uint64_t entry_cursor = 0;
+    for (TermId p : predicates) {
+      const PostingList list = BuildPostingList(
+          store, PatternKey{kInvalidTermId, p, kInvalidTermId});
+      AppendU32(&dir.payload, p);
+      AppendU32(&dir.payload, 0);  // reserved
+      AppendU64(&dir.payload, entry_cursor);
+      AppendU64(&dir.payload, list.size());
+      AppendF64(&dir.payload, list.max_raw_score);
+      for (const PostingEntry& e : list.entries) {
+        AppendU32(&entries.payload, e.triple_index);
+        AppendU32(&entries.payload, 0);  // struct padding, CRC-covered
+        AppendF64(&entries.payload, e.score);
+      }
+      entry_cursor += list.size();
+    }
+    sections.push_back(std::move(dir));
+    sections.push_back(std::move(entries));
+  }
+
+  // Statistics snapshot.
+  if (!options.stats.empty()) {
+    std::vector<v2::StatsEntry> rows = options.stats;
+    std::sort(rows.begin(), rows.end(),
+              [](const v2::StatsEntry& a, const v2::StatsEntry& b) {
+                return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+              });
+    SectionBuf section{v2::SectionId::kStats, {}};
+    AppendF64(&section.payload, options.stats_head_fraction);
+    AppendU64(&section.payload, rows.size());
+    for (const v2::StatsEntry& row : rows) {
+      AppendU32(&section.payload, row.s);
+      AppendU32(&section.payload, row.p);
+      AppendU32(&section.payload, row.o);
+      AppendU32(&section.payload, 0);  // reserved
+      AppendU64(&section.payload, row.m);
+      AppendF64(&section.payload, row.sigma_r);
+      AppendF64(&section.payload, row.s_r);
+      AppendF64(&section.payload, row.s_m);
+    }
+    sections.push_back(std::move(section));
+  }
+
+  return WriteSections(path, std::move(sections), triples.size(),
+                       dict.size());
+}
+
+Status SaveStoreV1(const TripleStore& store, const std::string& path) {
   if (!store.finalized()) {
     return Status::FailedPrecondition("SaveStore requires a finalized store");
   }
@@ -90,8 +286,8 @@ Status SaveStore(const TripleStore& store, const std::string& path) {
     return Status::IoError(StrFormat("cannot open '%s' for writing",
                                      path.c_str()));
   }
-  out.write(kMagic, sizeof(kMagic));
-  uint32_t version = kFormatVersion;
+  out.write(kMagicV1, sizeof(kMagicV1));
+  uint32_t version = kFormatVersionV1;
   out.write(reinterpret_cast<const char*>(&version), 4);
 
   for (const std::string* section : {&dict_section, &triple_section}) {
@@ -106,27 +302,18 @@ Status SaveStore(const TripleStore& store, const std::string& path) {
   return Status::Ok();
 }
 
-Result<TripleStore> LoadStore(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
-  }
-  const std::streamsize file_size = in.tellg();
-  in.seekg(0);
-  std::string blob(static_cast<size_t>(file_size), '\0');
-  in.read(blob.data(), file_size);
-  if (!in) {
-    return Status::IoError(StrFormat("short read from '%s'", path.c_str()));
-  }
+namespace {
 
+Result<TripleStore> LoadStoreV1(const std::string& blob) {
   BlobReader reader(blob.data(), blob.size());
   char magic[8];
-  if (!reader.ReadBytes(magic, 8) || std::memcmp(magic, kMagic, 8) != 0) {
+  if (!reader.ReadBytes(magic, 8) ||
+      std::memcmp(magic, kMagicV1, 8) != 0) {
     return Status::Corruption("bad magic; not a Spec-QP store file");
   }
   uint32_t version = 0;
   if (!reader.ReadU32(&version)) return Status::Corruption("truncated header");
-  if (version != kFormatVersion) {
+  if (version != kFormatVersionV1) {
     return Status::Corruption(StrFormat("unsupported version %u", version));
   }
 
@@ -204,6 +391,80 @@ Result<TripleStore> LoadStore(const std::string& path) {
 
   store.Finalize();
   return store;
+}
+
+// Materialises an owned store from a (checksum-verified) mapped v2 file.
+// This is the compatibility path: the zero-copy path is MmapStore itself.
+Result<TripleStore> MaterializeV2(const MmapStore& mapped) {
+  const TripleStore& view = mapped.store();
+  const Dictionary& view_dict = view.dict();
+  TripleStore store;
+  for (TermId id = 0; id < view_dict.size(); ++id) {
+    if (store.dict().Intern(view_dict.Name(id)) != id) {
+      return Status::Corruption("duplicate term in dictionary section");
+    }
+  }
+  const size_t dict_size = store.dict().size();
+  for (const Triple& t : view.triples()) {
+    if (t.s >= dict_size || t.p >= dict_size || t.o >= dict_size) {
+      return Status::Corruption("triple references unknown term id");
+    }
+    if (!(t.score >= 0.0)) {
+      return Status::Corruption("triple has invalid score");
+    }
+    store.AddEncoded(t.s, t.p, t.o, t.score);
+  }
+  store.Finalize();
+  return store;
+}
+
+}  // namespace
+
+Result<TripleStore> LoadStore(const std::string& path) {
+  SPECQP_ASSIGN_OR_RETURN(const uint32_t version, PeekStoreVersion(path));
+  if (version == v2::kFormatVersion) {
+    // Full (eager) checksum verification before any byte is trusted.
+    MmapStore::Options options;
+    options.verify = MmapStore::Verify::kEager;
+    SPECQP_ASSIGN_OR_RETURN(std::unique_ptr<MmapStore> mapped,
+                            MmapStore::Open(path, options));
+    return MaterializeV2(*mapped);
+  }
+
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  const std::streamsize file_size = in.tellg();
+  in.seekg(0);
+  std::string blob(static_cast<size_t>(file_size), '\0');
+  in.read(blob.data(), file_size);
+  if (!in) {
+    return Status::IoError(StrFormat("short read from '%s'", path.c_str()));
+  }
+  return LoadStoreV1(blob);
+}
+
+Result<uint32_t> PeekStoreVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  char magic[8] = {};
+  uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) return Status::Corruption("truncated header");
+  const bool v1_magic = std::memcmp(magic, kMagicV1, 8) == 0;
+  const bool v2_magic = std::memcmp(magic, v2::kMagic, 8) == 0;
+  if (!v1_magic && !v2_magic) {
+    return Status::Corruption("bad magic; not a Spec-QP store file");
+  }
+  if ((v1_magic && version != kFormatVersionV1) ||
+      (v2_magic && version != v2::kFormatVersion)) {
+    return Status::Corruption(StrFormat("unsupported version %u", version));
+  }
+  return version;
 }
 
 }  // namespace specqp

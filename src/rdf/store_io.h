@@ -1,34 +1,65 @@
 #ifndef SPECQP_RDF_STORE_IO_H_
 #define SPECQP_RDF_STORE_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "rdf/store_format.h"
 #include "rdf/triple_store.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace specqp {
 
-// Binary store format "SQPSTOR1":
+// Serialised store files. The byte-level format specifications (v1
+// "SQPSTOR1" and v2 "SQPSTOR2") live in docs/FORMATS.md; the shared v2
+// record structs live in rdf/store_format.h.
 //
-//   [8]  magic "SQPSTOR1"
-//   [4]  u32 format version (currently 1)
-//   dictionary section:
-//     [4] u32 term count
-//     per term: [4] u32 byte length, [len] bytes
-//     [4] u32 CRC-32C of the section payload
-//   triple section:
-//     [8] u64 triple count
-//     per triple: [4]*3 u32 s,p,o, [8] f64 score
-//     [4] u32 CRC-32C of the section payload
+// Public API contract:
 //
-// All integers little-endian (asserted at build time for this target).
-// Load verifies magic, version, CRCs, and id ranges, and returns a
-// finalized store.
+//  * SaveStore writes format v2: a section-table layout whose sections
+//    (dictionary, triple array, permutation indexes, per-predicate posting
+//    directory, optional statistics snapshot) can be memory-mapped and
+//    used in place by MmapStore (rdf/mmap_store.h) with no per-triple
+//    parsing. Requires a finalized store; deterministic byte-for-byte for
+//    a given store + options.
+//  * SaveStoreV1 writes the legacy v1 stream; kept so migration (and the
+//    v1-vs-v2 load benchmark) can produce old files.
+//  * LoadStore reads BOTH versions into an owned, finalized TripleStore,
+//    re-verifying every section checksum. This is the migration and
+//    compatibility path — for the O(ms) zero-copy path over v2 files use
+//    MmapStore::Open instead.
+//  * PeekStoreVersion reads just the file header (1 = v1, 2 = v2) so
+//    callers (e.g. Engine::OpenFromPath) can pick mmap vs parse.
+//
+// All load paths return Status::Corruption on malformed input (bad magic,
+// truncation, checksum mismatch, misaligned or overlapping sections,
+// out-of-range ids) and never CHECK-fail on untrusted bytes.
 
-Status SaveStore(const TripleStore& store, const std::string& path);
+struct SaveStoreOptions {
+  // Embed the per-predicate posting-list directory (sections kPostingDir +
+  // kPostingEntries), giving mapped stores zero-copy posting lists for
+  // every (?s <p> ?o) pattern.
+  bool posting_directory = true;
+
+  // Optional statistics snapshot (section kStats): the memoised
+  // PatternStats rows of a StatisticsCatalog, exported via
+  // StatisticsCatalog::Snapshot(). Rows are written sorted by key;
+  // head_fraction records the 80/20 boundary they were computed under so
+  // loaders only reuse them for a matching engine configuration.
+  std::vector<v2::StatsEntry> stats;
+  double stats_head_fraction = 0.0;
+};
+
+Status SaveStore(const TripleStore& store, const std::string& path,
+                 const SaveStoreOptions& options = {});
+
+Status SaveStoreV1(const TripleStore& store, const std::string& path);
 
 Result<TripleStore> LoadStore(const std::string& path);
+
+Result<uint32_t> PeekStoreVersion(const std::string& path);
 
 }  // namespace specqp
 

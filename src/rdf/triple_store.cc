@@ -15,7 +15,7 @@ namespace {
 // the bound prefix, so equal_range over the prefix yields the match range.
 
 struct SpoPrefixLess {
-  const std::vector<Triple>& triples;
+  std::span<const Triple> triples;
   // key packs (s, p, o); prefix_len in [0,3]
   int prefix_len;
   bool operator()(uint32_t idx, const PatternKey& k) const {
@@ -35,7 +35,7 @@ struct SpoPrefixLess {
 };
 
 struct PosPrefixLess {
-  const std::vector<Triple>& triples;
+  std::span<const Triple> triples;
   int prefix_len;  // over (p, o)
   bool operator()(uint32_t idx, const PatternKey& k) const {
     const Triple& t = triples[idx];
@@ -52,7 +52,7 @@ struct PosPrefixLess {
 };
 
 struct OspPrefixLess {
-  const std::vector<Triple>& triples;
+  std::span<const Triple> triples;
   int prefix_len;  // over (o, s)
   bool operator()(uint32_t idx, const PatternKey& k) const {
     const Triple& t = triples[idx];
@@ -69,6 +69,26 @@ struct OspPrefixLess {
 };
 
 }  // namespace
+
+TripleStore TripleStore::FromView(Dictionary dict,
+                                  std::span<const Triple> triples,
+                                  std::span<const uint32_t> spo,
+                                  std::span<const uint32_t> pos,
+                                  std::span<const uint32_t> osp,
+                                  const MappedPostingLists* postings) {
+  SPECQP_CHECK(spo.size() == triples.size() && pos.size() == triples.size() &&
+               osp.size() == triples.size());
+  TripleStore store;
+  store.dict_ = std::move(dict);
+  store.view_ = true;
+  store.finalized_ = true;  // view stores are born finalized
+  store.triples_view_ = triples;
+  store.spo_view_ = spo;
+  store.pos_view_ = pos;
+  store.osp_view_ = osp;
+  store.mapped_postings_ = postings;
+  return store;
+}
 
 void TripleStore::Add(std::string_view s, std::string_view p,
                       std::string_view o, double score) {
@@ -123,36 +143,40 @@ std::span<const uint32_t> TripleStore::MatchIndices(
   const bool pb = key.p_bound();
   const bool ob = key.o_bound();
 
-  auto make_span = [](const std::vector<uint32_t>& v, auto range) {
-    return std::span<const uint32_t>(v.data() + (range.first - v.begin()),
-                                     static_cast<size_t>(range.second -
-                                                         range.first));
+  const std::span<const Triple> rows = triples();
+  auto make_span = [](std::span<const uint32_t> idx, auto range) {
+    return idx.subspan(static_cast<size_t>(range.first - idx.begin()),
+                       static_cast<size_t>(range.second - range.first));
   };
 
   if (sb) {
     // SPO handles (s), (s,p), (s,p,o); OSP handles (s,o).
     if (ob && !pb) {
-      auto r = std::equal_range(osp_.begin(), osp_.end(), key,
-                                OspPrefixLess{triples_, 2});
-      return make_span(osp_, r);
+      const auto osp = OspIndex();
+      auto r = std::equal_range(osp.begin(), osp.end(), key,
+                                OspPrefixLess{rows, 2});
+      return make_span(osp, r);
     }
     const int prefix = 1 + (pb ? 1 : 0) + ((pb && ob) ? 1 : 0);
-    auto r = std::equal_range(spo_.begin(), spo_.end(), key,
-                              SpoPrefixLess{triples_, prefix});
-    return make_span(spo_, r);
+    const auto spo = SpoIndex();
+    auto r = std::equal_range(spo.begin(), spo.end(), key,
+                              SpoPrefixLess{rows, prefix});
+    return make_span(spo, r);
   }
   if (pb) {
     const int prefix = 1 + (ob ? 1 : 0);
-    auto r = std::equal_range(pos_.begin(), pos_.end(), key,
-                              PosPrefixLess{triples_, prefix});
-    return make_span(pos_, r);
+    const auto pos = PosIndex();
+    auto r = std::equal_range(pos.begin(), pos.end(), key,
+                              PosPrefixLess{rows, prefix});
+    return make_span(pos, r);
   }
   if (ob) {
-    auto r = std::equal_range(osp_.begin(), osp_.end(), key,
-                              OspPrefixLess{triples_, 1});
-    return make_span(osp_, r);
+    const auto osp = OspIndex();
+    auto r = std::equal_range(osp.begin(), osp.end(), key,
+                              OspPrefixLess{rows, 1});
+    return make_span(osp, r);
   }
-  return std::span<const uint32_t>(spo_.data(), spo_.size());
+  return SpoIndex();
 }
 
 bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
@@ -165,7 +189,7 @@ size_t TripleStore::CountDistinct(const PatternKey& key, int slot) const {
   SPECQP_CHECK(slot >= 0 && slot <= 2);
   std::unordered_set<TermId> seen;
   for (uint32_t idx : MatchIndices(key)) {
-    const Triple& t = triples_[idx];
+    const Triple& t = triples()[idx];
     switch (slot) {
       case 0:
         seen.insert(t.s);
@@ -184,7 +208,7 @@ size_t TripleStore::CountDistinct(const PatternKey& key, int slot) const {
 double TripleStore::MaxScore(const PatternKey& key) const {
   double best = 0.0;
   for (uint32_t idx : MatchIndices(key)) {
-    best = std::max(best, triples_[idx].score);
+    best = std::max(best, triples()[idx].score);
   }
   return best;
 }

@@ -14,6 +14,8 @@
 
 namespace specqp {
 
+struct MappedPostingLists;  // rdf/store_format.h
+
 // In-memory scored triple store with three permutation indexes (SPO, POS,
 // OSP). Together they answer every bound/free combination of a triple
 // pattern with a binary-searched contiguous range:
@@ -32,6 +34,13 @@ namespace specqp {
 // Usage: Add() triples, then Finalize() once; all query methods require a
 // finalized store. Duplicate (s,p,o) rows are collapsed by Finalize keeping
 // the maximum score.
+//
+// A second, read-only backend (FromView) serves the same query interface
+// zero-copy over a memory-mapped SQPSTOR2 file: the triple array and the
+// three permutation indexes are spans into the mapping, so opening does no
+// per-triple parsing and no index build (see rdf/mmap_store.h and
+// docs/FORMATS.md). View stores are born finalized; Add/AddEncoded on
+// them CHECK-fail.
 class TripleStore {
  public:
   TripleStore() = default;
@@ -40,6 +49,18 @@ class TripleStore {
   TripleStore& operator=(const TripleStore&) = delete;
   TripleStore(TripleStore&&) = default;
   TripleStore& operator=(TripleStore&&) = default;
+
+  // View-backed construction over mapped memory. `triples` must be in SPO
+  // order, `spo`/`pos`/`osp` the matching permutations of its indices, and
+  // `postings` (optional) the file's per-predicate posting directory. The
+  // caller (MmapStore) owns the mapping and guarantees it outlives the
+  // store and that span bounds were validated against the file.
+  static TripleStore FromView(Dictionary dict,
+                              std::span<const Triple> triples,
+                              std::span<const uint32_t> spo,
+                              std::span<const uint32_t> pos,
+                              std::span<const uint32_t> osp,
+                              const MappedPostingLists* postings);
 
   // --- loading phase -------------------------------------------------------
 
@@ -58,9 +79,19 @@ class TripleStore {
 
   // --- query phase ---------------------------------------------------------
 
-  size_t size() const { return triples_.size(); }
-  const Triple& triple(uint32_t index) const { return triples_[index]; }
-  std::span<const Triple> triples() const { return triples_; }
+  size_t size() const { return triples().size(); }
+  const Triple& triple(uint32_t index) const { return triples()[index]; }
+  std::span<const Triple> triples() const {
+    return view_ ? triples_view_ : std::span<const Triple>(triples_);
+  }
+
+  // Non-null only on view stores opened from a v2 file with a posting
+  // directory: zero-copy per-predicate posting lists (consumed by
+  // BuildPostingList / the posting-list cache).
+  const MappedPostingLists* mapped_postings() const {
+    return mapped_postings_;
+  }
+  bool is_view() const { return view_; }
 
   // Indices (into triples()) of all triples matching the key, in index
   // order. The returned span aliases internal storage.
@@ -91,6 +122,15 @@ class TripleStore {
 
  private:
   void CheckFinalized() const;
+  std::span<const uint32_t> SpoIndex() const {
+    return view_ ? spo_view_ : std::span<const uint32_t>(spo_);
+  }
+  std::span<const uint32_t> PosIndex() const {
+    return view_ ? pos_view_ : std::span<const uint32_t>(pos_);
+  }
+  std::span<const uint32_t> OspIndex() const {
+    return view_ ? osp_view_ : std::span<const uint32_t>(osp_);
+  }
 
   Dictionary dict_;
   std::vector<Triple> triples_;
@@ -100,6 +140,14 @@ class TripleStore {
   std::vector<uint32_t> spo_;
   std::vector<uint32_t> pos_;
   std::vector<uint32_t> osp_;
+
+  // View backend (mapped stores): non-owning spans into the mapping.
+  bool view_ = false;
+  std::span<const Triple> triples_view_;
+  std::span<const uint32_t> spo_view_;
+  std::span<const uint32_t> pos_view_;
+  std::span<const uint32_t> osp_view_;
+  const MappedPostingLists* mapped_postings_ = nullptr;
 };
 
 }  // namespace specqp

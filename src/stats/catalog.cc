@@ -1,5 +1,8 @@
 #include "stats/catalog.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "util/logging.h"
 
 namespace specqp {
@@ -47,6 +50,35 @@ PatternStats StatisticsCatalog::Compute(const PatternKey& key) {
   stats.sigma_r = list->entries.back().score;
   stats.s_r = acc;
   return stats;
+}
+
+std::vector<v2::StatsEntry> StatisticsCatalog::Snapshot() const {
+  std::vector<v2::StatsEntry> rows;
+  rows.reserve(cache_.size());
+  for (const auto& [key, stats] : cache_) {
+    rows.push_back(v2::StatsEntry{key.s, key.p, key.o, /*reserved=*/0,
+                                  stats.m, stats.sigma_r, stats.s_r,
+                                  stats.s_m});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const v2::StatsEntry& a, const v2::StatsEntry& b) {
+              return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+            });
+  return rows;
+}
+
+size_t StatisticsCatalog::Preload(std::span<const v2::StatsEntry> entries) {
+  size_t inserted = 0;
+  for (const v2::StatsEntry& row : entries) {
+    PatternStats stats;
+    stats.m = row.m;
+    stats.sigma_r = row.sigma_r;
+    stats.s_r = row.s_r;
+    stats.s_m = row.s_m;
+    inserted +=
+        cache_.emplace(PatternKey{row.s, row.p, row.o}, stats).second ? 1 : 0;
+  }
+  return inserted;
 }
 
 }  // namespace specqp

@@ -1,9 +1,12 @@
 #ifndef SPECQP_STATS_CATALOG_H_
 #define SPECQP_STATS_CATALOG_H_
 
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "rdf/posting_list.h"
+#include "rdf/store_format.h"
 #include "rdf/triple_pattern.h"
 #include "rdf/triple_store.h"
 #include "stats/two_bucket_histogram.h"
@@ -47,6 +50,20 @@ class StatisticsCatalog {
   double head_fraction() const { return head_fraction_; }
   size_t size() const { return cache_.size(); }
   void Clear() { cache_.clear(); }
+
+  // --- store-file snapshot (docs/FORMATS.md, section kStats) ---------------
+
+  // Exports every memoised entry as on-disk snapshot rows, sorted by key
+  // so the artifact is deterministic. Feed to SaveStoreOptions::stats
+  // together with head_fraction().
+  std::vector<v2::StatsEntry> Snapshot() const;
+
+  // Seeds the memo cache from a store file's snapshot (e.g. via
+  // MmapStore::stats_entries()). The rows must have been computed under
+  // this catalog's head_fraction — callers check the snapshot's recorded
+  // fraction first (Engine::OpenFromPath does). Returns the number of
+  // entries inserted; existing entries are left untouched.
+  size_t Preload(std::span<const v2::StatsEntry> entries);
 
  private:
   PatternStats Compute(const PatternKey& key);

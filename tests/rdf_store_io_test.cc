@@ -1,12 +1,17 @@
 #include "rdf/store_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "rdf/mmap_store.h"
+#include "rdf/posting_list.h"
+#include "stats/catalog.h"
 #include "test_util.h"
+#include "util/crc32.h"
 #include "util/random.h"
 
 namespace specqp {
@@ -14,6 +19,44 @@ namespace {
 
 std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string blob(size, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(size));
+  return blob;
+}
+
+void WriteFile(const std::string& path, const std::string& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TripleStore SmallStore() {
+  TripleStore store;
+  store.Add("shakira", "rdf:type", "singer", 100.0);
+  store.Add("sting", "rdf:type", "vocalist", 80.0);
+  store.Add("shakira", "plays", "guitar", 60.0);
+  store.Finalize();
+  return store;
+}
+
+// Triple arrays and dictionaries of two stores are identical.
+void ExpectSameStore(const TripleStore& a, const TripleStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.triple(static_cast<uint32_t>(i)),
+              b.triple(static_cast<uint32_t>(i)));
+  }
+  ASSERT_EQ(a.dict().size(), b.dict().size());
+  for (TermId id = 0; id < a.dict().size(); ++id) {
+    EXPECT_EQ(a.dict().Name(id), b.dict().Name(id));
+  }
 }
 
 TEST(StoreIoTest, RoundTripSmallStore) {
@@ -178,6 +221,452 @@ TEST(StoreIoTest, LoadedStoreAnswersQueries) {
         store.triple(static_cast<uint32_t>(rng.NextBounded(store.size())));
     PatternKey key{kInvalidTermId, t.p, t.o};
     EXPECT_EQ(loaded.value().CountMatches(key), store.CountMatches(key));
+  }
+}
+
+// --- v1 compatibility + migration ------------------------------------------
+
+TEST(StoreIoTest, V1RoundTripStillWorks) {
+  const TripleStore store = SmallStore();
+  const std::string path = TempPath("v1.sqp");
+  ASSERT_TRUE(SaveStoreV1(store, path).ok());
+  auto version = PeekStoreVersion(path);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 1u);
+
+  auto loaded = LoadStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStore(store, loaded.value());
+}
+
+TEST(StoreIoTest, V1ToV2MigrationRoundTrip) {
+  Rng rng(7);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 400;
+  const TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+
+  const std::string v1_path = TempPath("migrate.v1.sqp");
+  ASSERT_TRUE(SaveStoreV1(store, v1_path).ok());
+  auto from_v1 = LoadStore(v1_path);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+
+  const std::string v2_path = TempPath("migrate.v2.sqp");
+  ASSERT_TRUE(SaveStore(from_v1.value(), v2_path).ok());
+  auto v2_version = PeekStoreVersion(v2_path);
+  ASSERT_TRUE(v2_version.ok());
+  EXPECT_EQ(v2_version.value(), 2u);
+
+  // Both the parsed and the mapped reader see the original store.
+  auto from_v2 = LoadStore(v2_path);
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+  ExpectSameStore(store, from_v2.value());
+
+  auto mapped = MmapStore::Open(v2_path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ExpectSameStore(store, mapped.value()->store());
+}
+
+TEST(StoreIoTest, MmapStoreRejectsV1Files) {
+  const std::string path = TempPath("v1_for_mmap.sqp");
+  ASSERT_TRUE(SaveStoreV1(SmallStore(), path).ok());
+  auto mapped = MmapStore::Open(path);
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+}
+
+// --- mapped (zero-copy) reads ----------------------------------------------
+
+TEST(StoreIoTest, MmapStoreServesQueries) {
+  Rng rng(21);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 500;
+  const TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+  const std::string path = TempPath("mmap_query.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+
+  auto mapped = MmapStore::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const TripleStore& view = mapped.value()->store();
+  EXPECT_TRUE(view.is_view());
+  EXPECT_TRUE(view.finalized());
+  EXPECT_EQ(mapped.value()->bytes_mapped(),
+            ReadFile(path).size());
+  ExpectSameStore(store, view);
+
+  // Dictionary lookups work without an index build.
+  for (TermId id = 0; id < store.dict().size(); ++id) {
+    auto found = view.dict().Find(store.dict().Name(id));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), id);
+  }
+  EXPECT_FALSE(view.dict().Contains("never-interned"));
+
+  // Pattern matching agrees with the owned store on a key sample.
+  for (int i = 0; i < 30; ++i) {
+    const Triple& t =
+        store.triple(static_cast<uint32_t>(rng.NextBounded(store.size())));
+    for (const PatternKey& key :
+         {PatternKey{t.s, kInvalidTermId, kInvalidTermId},
+          PatternKey{kInvalidTermId, t.p, kInvalidTermId},
+          PatternKey{kInvalidTermId, t.p, t.o},
+          PatternKey{t.s, kInvalidTermId, t.o},
+          PatternKey{t.s, t.p, t.o}}) {
+      EXPECT_EQ(view.CountMatches(key), store.CountMatches(key));
+      EXPECT_DOUBLE_EQ(view.MaxScore(key), store.MaxScore(key));
+    }
+  }
+}
+
+TEST(StoreIoTest, MmapStoreServesPostingListsZeroCopy) {
+  Rng rng(22);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 300;
+  const TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+  const std::string path = TempPath("mmap_postings.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+
+  auto mapped = MmapStore::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const TripleStore& view = mapped.value()->store();
+  ASSERT_NE(view.mapped_postings(), nullptr);
+
+  const TermId p = store.MustId("p0");
+  const PatternKey key{kInvalidTermId, p, kInvalidTermId};
+  const PostingList built = BuildPostingList(store, key);
+  const PostingList viewed = BuildPostingList(view, key);
+  EXPECT_TRUE(viewed.owned.empty()) << "expected a zero-copy view";
+  ASSERT_EQ(viewed.size(), built.size());
+  EXPECT_DOUBLE_EQ(viewed.max_raw_score, built.max_raw_score);
+  for (size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(viewed.entries[i].triple_index, built.entries[i].triple_index);
+    EXPECT_DOUBLE_EQ(viewed.entries[i].score, built.entries[i].score);
+  }
+
+  // Non-directory patterns fall back to the scan-and-sort builder.
+  const PatternKey bound{kInvalidTermId, p, store.MustId("o0")};
+  const PostingList fallback = BuildPostingList(view, bound);
+  EXPECT_EQ(fallback.owned.size(), fallback.entries.size());
+  EXPECT_EQ(fallback.size(), BuildPostingList(store, bound).size());
+}
+
+TEST(StoreIoTest, MmapStoreOnEmptyStore) {
+  TripleStore store;
+  store.Finalize();
+  const std::string path = TempPath("mmap_empty.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  auto mapped = MmapStore::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped.value()->store().size(), 0u);
+  EXPECT_TRUE(mapped.value()->VerifyAllSections().ok());
+}
+
+// --- statistics snapshot ----------------------------------------------------
+
+TEST(StoreIoTest, StatsSnapshotRoundTrip) {
+  Rng rng(23);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 200;
+  const TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+
+  PostingListCache postings(&store);
+  StatisticsCatalog catalog(&store, &postings, /*head_fraction=*/0.8);
+  for (TermId p : {store.MustId("p0"), store.MustId("p1")}) {
+    catalog.GetStats(PatternKey{kInvalidTermId, p, kInvalidTermId});
+  }
+
+  SaveStoreOptions options;
+  options.stats = catalog.Snapshot();
+  options.stats_head_fraction = catalog.head_fraction();
+  ASSERT_EQ(options.stats.size(), 2u);
+  const std::string path = TempPath("stats.sqp");
+  ASSERT_TRUE(SaveStore(store, path, options).ok());
+
+  auto mapped = MmapStore::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped.value()->has_stats());
+  EXPECT_DOUBLE_EQ(mapped.value()->stats_head_fraction(), 0.8);
+  ASSERT_EQ(mapped.value()->stats_entries().size(), 2u);
+
+  // Preloading a fresh catalog reproduces the memoised stats without
+  // touching any posting list.
+  PostingListCache fresh_postings(&store);
+  StatisticsCatalog fresh(&store, &fresh_postings, 0.8);
+  EXPECT_EQ(fresh.Preload(mapped.value()->stats_entries()), 2u);
+  EXPECT_EQ(fresh.size(), 2u);
+  for (const v2::StatsEntry& row : mapped.value()->stats_entries()) {
+    const PatternStats& stats =
+        fresh.GetStats(PatternKey{row.s, row.p, row.o});
+    EXPECT_EQ(stats.m, row.m);
+    EXPECT_DOUBLE_EQ(stats.sigma_r, row.sigma_r);
+    EXPECT_DOUBLE_EQ(stats.s_r, row.s_r);
+    EXPECT_DOUBLE_EQ(stats.s_m, row.s_m);
+  }
+  EXPECT_EQ(fresh_postings.misses(), 0u);
+}
+
+// --- v2 corruption paths ----------------------------------------------------
+
+TEST(StoreIoTest, V2RejectsTruncatedSectionTable) {
+  const std::string path = TempPath("v2_table.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  std::string blob = ReadFile(path);
+
+  // Cut inside the section table and patch the header's file size to
+  // match, so the cut itself (not the size check) is what gets rejected.
+  const size_t cut = sizeof(v2::FileHeader) + sizeof(v2::SectionEntry) / 2;
+  std::string truncated = blob.substr(0, cut);
+  const uint64_t new_size = truncated.size();
+  std::memcpy(truncated.data() + 16, &new_size, 8);  // FileHeader::file_size
+  const std::string cut_path = TempPath("v2_table_cut.sqp");
+  WriteFile(cut_path, truncated);
+
+  auto mapped = MmapStore::Open(cut_path);
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+  auto loaded = LoadStore(cut_path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, V2RejectsFileSizeMismatch) {
+  const std::string path = TempPath("v2_size.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  const std::string blob = ReadFile(path);
+  for (size_t cut : {blob.size() / 3, blob.size() / 2, blob.size() - 1}) {
+    const std::string cut_path = TempPath("v2_size_cut.sqp");
+    WriteFile(cut_path, blob.substr(0, cut));
+    auto mapped = MmapStore::Open(cut_path);
+    EXPECT_FALSE(mapped.ok()) << "cut at " << cut;
+    EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(StoreIoTest, V2RejectsBadSectionCrcLazilyAndEagerly) {
+  Rng rng(24);
+  specqp::testing::RandomStoreConfig cfg;
+  cfg.num_triples = 200;
+  const TripleStore store = specqp::testing::MakeRandomStore(&rng, cfg);
+  const std::string path = TempPath("v2_crc.sqp");
+  ASSERT_TRUE(SaveStore(store, path).ok());
+  std::string blob = ReadFile(path);
+
+  // Flip one bit in the middle of the triple section's payload.
+  const size_t target = blob.size() / 2;
+  blob[target] = static_cast<char>(blob[target] ^ 0x10);
+  const std::string bad_path = TempPath("v2_crc_bad.sqp");
+  WriteFile(bad_path, blob);
+
+  // Lazy open succeeds structurally; the memoised checksum pass fails.
+  auto lazy = MmapStore::Open(bad_path);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  EXPECT_FALSE(lazy.value()->VerifyAllSections().ok());
+  EXPECT_FALSE(lazy.value()->VerifyAllSections().ok());  // memoised verdict
+
+  // Eager open and the parsing loader reject outright.
+  MmapStore::Options eager;
+  eager.verify = MmapStore::Verify::kEager;
+  auto strict = MmapStore::Open(bad_path, eager);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+  auto loaded = LoadStore(bad_path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, V2RejectsMisalignedSectionOffset) {
+  const std::string path = TempPath("v2_align.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  std::string blob = ReadFile(path);
+
+  // SectionEntry[0].offset lives right after the 40-byte header + 8 bytes
+  // of (id, flags). Knock it off the 8-byte grid.
+  uint64_t offset = 0;
+  std::memcpy(&offset, blob.data() + sizeof(v2::FileHeader) + 8, 8);
+  offset += 4;
+  std::memcpy(blob.data() + sizeof(v2::FileHeader) + 8, &offset, 8);
+  const std::string bad_path = TempPath("v2_align_bad.sqp");
+  WriteFile(bad_path, blob);
+
+  auto mapped = MmapStore::Open(bad_path);
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+}
+
+// Byte offset of the section-table row for `id`, or npos.
+size_t FindTableEntry(const std::string& blob, v2::SectionId id) {
+  uint32_t count = 0;
+  std::memcpy(&count, blob.data() + 12, 4);  // FileHeader::section_count
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t entry = sizeof(v2::FileHeader) + i * sizeof(v2::SectionEntry);
+    uint32_t sid = 0;
+    std::memcpy(&sid, blob.data() + entry, 4);
+    if (sid == static_cast<uint32_t>(id)) return entry;
+  }
+  return std::string::npos;
+}
+
+// Recomputes the stored CRC of `id`'s payload after a test patched it,
+// so the corruption under test is the *values*, not the checksum.
+void RepairSectionCrc(std::string* blob, v2::SectionId id) {
+  const size_t entry = FindTableEntry(*blob, id);
+  ASSERT_NE(entry, std::string::npos);
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::memcpy(&offset, blob->data() + entry + 8, 8);
+  std::memcpy(&length, blob->data() + entry + 16, 8);
+  const uint32_t crc = Crc32c(blob->data() + offset, length);
+  std::memcpy(blob->data() + entry + 24, &crc, 4);
+}
+
+TEST(StoreIoTest, V2RejectsOverflowingDirectoryCount) {
+  const std::string path = TempPath("v2_count.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  std::string blob = ReadFile(path);
+
+  // A count of 2^59 makes 8 + count*32 wrap back to 8 mod 2^64; the
+  // length check must clamp the count instead of overflowing.
+  const size_t entry = FindTableEntry(blob, v2::SectionId::kPostingDir);
+  ASSERT_NE(entry, std::string::npos);
+  uint64_t offset = 0;
+  std::memcpy(&offset, blob.data() + entry + 8, 8);
+  const uint64_t huge = uint64_t{1} << 59;
+  std::memcpy(blob.data() + offset, &huge, 8);
+  const std::string bad_path = TempPath("v2_count_bad.sqp");
+  WriteFile(bad_path, blob);
+
+  auto mapped = MmapStore::Open(bad_path);
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, V2RejectsNonMonotonicDictOffsets) {
+  const std::string path = TempPath("v2_mono.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  std::string blob = ReadFile(path);
+
+  // Swap offsets[1] upward so [1] > [2] while the blob-end entry stays
+  // intact, then re-checksum: a crafted file, not a bit flip.
+  const size_t entry = FindTableEntry(blob, v2::SectionId::kDictOffsets);
+  ASSERT_NE(entry, std::string::npos);
+  uint64_t offset = 0;
+  std::memcpy(&offset, blob.data() + entry + 8, 8);
+  uint64_t off2 = 0;
+  std::memcpy(&off2, blob.data() + offset + 16, 8);  // offsets[2]
+  const uint64_t bad = off2 + 7;
+  std::memcpy(blob.data() + offset + 8, &bad, 8);  // offsets[1]
+  RepairSectionCrc(&blob, v2::SectionId::kDictOffsets);
+  const std::string bad_path = TempPath("v2_mono_bad.sqp");
+  WriteFile(bad_path, blob);
+
+  // The engine path (eager metadata verification) must reject with a
+  // Status, never CHECK-abort inside Dictionary::Name.
+  auto mapped = MmapStore::Open(bad_path);
+  ASSERT_TRUE(mapped.ok());  // structural checks alone cannot see this
+  EXPECT_FALSE(mapped.value()->VerifyMetadataSections().ok());
+  auto loaded = LoadStore(bad_path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, V2RejectsOutOfRangePermutationIndex) {
+  const std::string path = TempPath("v2_perm.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  std::string blob = ReadFile(path);
+
+  const size_t entry = FindTableEntry(blob, v2::SectionId::kSpoIndex);
+  ASSERT_NE(entry, std::string::npos);
+  uint64_t offset = 0;
+  std::memcpy(&offset, blob.data() + entry + 8, 8);
+  const uint32_t oob = 0xFFFFFFFFu;
+  std::memcpy(blob.data() + offset, &oob, 4);  // spo[0]
+  RepairSectionCrc(&blob, v2::SectionId::kSpoIndex);
+  const std::string bad_path = TempPath("v2_perm_bad.sqp");
+  WriteFile(bad_path, blob);
+
+  MmapStore::Options eager;
+  eager.verify = MmapStore::Verify::kEager;
+  auto strict = MmapStore::Open(bad_path, eager);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+  auto loaded = LoadStore(bad_path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(StoreIoTest, V2RejectsUnsortedOrderingInvariants) {
+  const std::string path = TempPath("v2_order.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  const std::string blob = ReadFile(path);
+
+  {
+    // Swap the first two ids of the lexicographic dictionary permutation
+    // and re-checksum: binary-searched Find would silently miss terms.
+    std::string bad = blob;
+    const size_t entry = FindTableEntry(bad, v2::SectionId::kDictSorted);
+    ASSERT_NE(entry, std::string::npos);
+    uint64_t offset = 0;
+    std::memcpy(&offset, bad.data() + entry + 8, 8);
+    uint32_t a = 0;
+    uint32_t b = 0;
+    std::memcpy(&a, bad.data() + offset, 4);
+    std::memcpy(&b, bad.data() + offset + 4, 4);
+    std::memcpy(bad.data() + offset, &b, 4);
+    std::memcpy(bad.data() + offset + 4, &a, 4);
+    RepairSectionCrc(&bad, v2::SectionId::kDictSorted);
+    const std::string bad_path = TempPath("v2_order_dict.sqp");
+    WriteFile(bad_path, bad);
+
+    auto lazy = MmapStore::Open(bad_path);
+    ASSERT_TRUE(lazy.ok());
+    EXPECT_FALSE(lazy.value()->VerifyMetadataSections().ok());
+    EXPECT_FALSE(LoadStore(bad_path).ok());
+  }
+  {
+    // Swap the top two posting entries of the first directory slice:
+    // scores would no longer stream descending.
+    std::string bad = blob;
+    const size_t entry = FindTableEntry(bad, v2::SectionId::kPostingEntries);
+    ASSERT_NE(entry, std::string::npos);
+    uint64_t offset = 0;
+    std::memcpy(&offset, bad.data() + entry + 8, 8);
+    char tmp[16];
+    std::memcpy(tmp, bad.data() + offset, 16);
+    std::memcpy(bad.data() + offset, bad.data() + offset + 16, 16);
+    std::memcpy(bad.data() + offset + 16, tmp, 16);
+    RepairSectionCrc(&bad, v2::SectionId::kPostingEntries);
+    const std::string bad_path = TempPath("v2_order_postings.sqp");
+    WriteFile(bad_path, bad);
+
+    MmapStore::Options eager;
+    eager.verify = MmapStore::Verify::kEager;
+    auto strict = MmapStore::Open(bad_path, eager);
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(StoreIoTest, V2RejectsReservedBitsAndUnknownSections) {
+  const std::string path = TempPath("v2_reserved.sqp");
+  ASSERT_TRUE(SaveStore(SmallStore(), path).ok());
+  const std::string blob = ReadFile(path);
+
+  {
+    // Nonzero flags word in the first table row.
+    std::string bad = blob;
+    const uint32_t flags = 1;
+    std::memcpy(bad.data() + sizeof(v2::FileHeader) + 4, &flags, 4);
+    const std::string bad_path = TempPath("v2_reserved_flags.sqp");
+    WriteFile(bad_path, bad);
+    EXPECT_FALSE(MmapStore::Open(bad_path).ok());
+  }
+  {
+    // Unknown section id in the first table row.
+    std::string bad = blob;
+    const uint32_t id = 999;
+    std::memcpy(bad.data() + sizeof(v2::FileHeader), &id, 4);
+    const std::string bad_path = TempPath("v2_reserved_id.sqp");
+    WriteFile(bad_path, bad);
+    EXPECT_FALSE(MmapStore::Open(bad_path).ok());
   }
 }
 
