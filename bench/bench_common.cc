@@ -15,20 +15,33 @@ namespace {
 struct BenchConfig {
   int threads = 0;             // EngineOptions::num_threads semantics
   size_t cache_budget_mb = 0;  // 0 = unbounded
+  bool batch = false;          // measure ExecuteBatch over whole workloads
 };
 BenchConfig g_bench_config;
 
 void PrintUsage(const std::string& name) {
   std::fprintf(stderr,
                "usage: %s [--json <path>] [--threads N] "
-               "[--cache-budget-mb N]\n"
+               "[--cache-budget-mb N] [--batch]\n"
                "  --json <path>         write the machine-readable benchmark "
                "artifact to <path>\n"
                "  --threads N           engine execution threads "
                "(0 = $SPECQP_THREADS, default serial)\n"
                "  --cache-budget-mb N   posting-list cache budget "
-               "(0 = unbounded)\n",
+               "(0 = unbounded)\n"
+               "  --batch               additionally measure batched "
+               "(ExecuteBatch) workload execution\n",
                name.c_str());
+}
+
+// The commit the artifact was produced at, for cross-run comparability:
+// $SPECQP_GIT_SHA wins (local runs), then CI's $GITHUB_SHA, else unknown.
+std::string ResolveGitSha() {
+  for (const char* var : {"SPECQP_GIT_SHA", "GITHUB_SHA"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && value[0] != '\0') return value;
+  }
+  return "unknown";
 }
 
 // Parses a non-negative integer flag value; returns -1 on garbage.
@@ -85,6 +98,8 @@ EngineOptions MakeEngineOptions() {
   return options;
 }
 
+bool BatchModeRequested() { return g_bench_config.batch; }
+
 int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   std::string json_path;
   bool json_requested = false;
@@ -111,6 +126,8 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
                             &flag_value, &flag_error)) {
       if (flag_error) return 2;
       g_bench_config.cache_budget_mb = static_cast<size_t>(flag_value);
+    } else if (arg == "--batch") {
+      g_bench_config.batch = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(name);
       return 0;
@@ -146,9 +163,11 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   Json doc = Json::Object();
   doc.Set("bench", name);
   doc.Set("schema_version", 2);
+  doc.Set("git_sha", ResolveGitSha());
   doc.Set("threads_requested", g_bench_config.threads);
   doc.Set("threads", ResolveNumThreads(g_bench_config.threads));
   doc.Set("cache_budget_mb", g_bench_config.cache_budget_mb);
+  doc.Set("batch_mode", g_bench_config.batch);
   WallTimer timer;
   run(doc);
   doc.Set("total_seconds", timer.ElapsedSeconds());
@@ -187,6 +206,24 @@ Json CacheStatsToJson(const PostingListCache& cache) {
   j.Set("resident_lists", cache.size());
   j.Set("resident_bytes", cache.bytes());
   j.Set("budget_bytes", cache.budget_bytes());
+  return j;
+}
+
+Json BatchStatsToJson(const BatchStats& stats) {
+  Json j = Json::Object();
+  j.Set("batch_size", stats.batch_size);
+  j.Set("distinct_queries", stats.distinct_queries);
+  j.Set("distinct_patterns", stats.distinct_patterns);
+  j.Set("shared_scan_hits", stats.shared_scan_hits);
+  j.Set("shared_scan_misses", stats.shared_scan_misses);
+  j.Set("lists_resolved", stats.lists_resolved);
+  j.Set("lists_derived", stats.lists_derived);
+  j.Set("base_scans", stats.base_scans);
+  j.Set("patterns_expanded", stats.patterns_expanded);
+  j.Set("stats_snapshot_patterns", stats.stats_snapshot_patterns);
+  j.Set("prepare_ms", stats.prepare_ms);
+  j.Set("plan_ms", stats.plan_ms);
+  j.Set("exec_ms", stats.exec_ms);
   return j;
 }
 
@@ -360,6 +397,50 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
                 StrFormat("%.0f", t_obj.Mean()),
                 StrFormat("%.0f", s_obj.Mean()), StrFormat("%.2f", ratio)},
                widths);
+    }
+
+    if (BatchModeRequested()) {
+      // Whole-workload batched sweep (Spec-QP): the same warm engine runs
+      // the workload once sequentially and once through ExecuteBatch, so
+      // the per-k `batch` object tracks the steady-state amortisation of
+      // shared scans and duplicate collapsing across the workload.
+      WallTimer seq_timer;
+      std::vector<Engine::QueryResult> sequential_results;
+      sequential_results.reserve(workload.size());
+      for (const Query& query : workload) {
+        sequential_results.push_back(
+            engine.Execute(query, k, Strategy::kSpecQp));
+      }
+      const double sequential_ms = seq_timer.ElapsedMillis();
+      WallTimer batch_timer;
+      BatchStats batch_stats;
+      const auto batch_results =
+          engine.ExecuteBatch(workload, k, Strategy::kSpecQp, &batch_stats);
+      const double batched_ms = batch_timer.ElapsedMillis();
+      // Bit-equality per query (bindings AND scores), not just counts —
+      // this is the determinism contract the artifact certifies.
+      bool answers_match = true;
+      for (size_t q = 0; answers_match && q < workload.size(); ++q) {
+        const auto& seq_rows = sequential_results[q].rows;
+        const auto& batch_rows = batch_results[q].rows;
+        answers_match = seq_rows.size() == batch_rows.size();
+        for (size_t r = 0; answers_match && r < seq_rows.size(); ++r) {
+          answers_match = seq_rows[r].bindings == batch_rows[r].bindings &&
+                          seq_rows[r].score == batch_rows[r].score;
+        }
+      }
+      Json& batch_json = k_json.Set("batch", BatchStatsToJson(batch_stats));
+      batch_json.Set("sequential_ms", sequential_ms);
+      batch_json.Set("batched_ms", batched_ms);
+      batch_json.Set("answers_match", answers_match);
+      std::printf(
+          "batch sweep (Spec-QP): %zu queries (%zu distinct) in %.1f ms "
+          "batched vs %.1f ms sequential, %llu shared-scan hits, answers "
+          "%s\n",
+          batch_stats.batch_size, batch_stats.distinct_queries, batched_ms,
+          sequential_ms,
+          static_cast<unsigned long long>(batch_stats.shared_scan_hits),
+          answers_match ? "match" : "MISMATCH");
     }
   }
   out.Set("cache", CacheStatsToJson(engine.postings()));

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_executor.h"
 #include "core/engine.h"
 #include "core/exhaustive.h"
 #include "datasets/evaluation.h"
@@ -23,19 +24,23 @@ namespace specqp::bench {
 // into `out`, then forwards to BenchMain from its main(). BenchMain owns
 // the shared CLI:
 //
-//   <bench> [--json <path>] [--threads N] [--cache-budget-mb N]
+//   <bench> [--json <path>] [--threads N] [--cache-budget-mb N] [--batch]
 //
 // --threads feeds EngineOptions::num_threads of every engine built through
 // MakeEngineOptions()/ApplyBenchConfig() (0 = $SPECQP_THREADS, default
-// serial); --cache-budget-mb bounds the posting-list cache. Both knobs,
-// their resolved values, and the cache hit/miss/eviction counters are
-// recorded in the artifact so the perf trajectory captures the parallel
-// configuration.
+// serial); --cache-budget-mb bounds the posting-list cache; --batch makes
+// the workload benches additionally measure Engine::ExecuteBatch over each
+// whole workload (per-k `batch` objects in the artifact). All knobs, their
+// resolved values, and the cache hit/miss/eviction counters are recorded
+// in the artifact so the perf trajectory captures the configuration.
 //
 // With --json, the artifact is written as a single JSON document:
-//   {"bench": <name>, "schema_version": 2, ..., "total_seconds": <t>}
+//   {"bench": <name>, "schema_version": 2, "git_sha": <sha>, ...,
+//    "total_seconds": <t>}
 // so `fig6`..`fig9`, the tables, and the ablations all emit comparable,
-// machine-readable BENCH_*.json files for perf tracking.
+// machine-readable BENCH_*.json files for perf tracking; `git_sha` (from
+// $SPECQP_GIT_SHA or $GITHUB_SHA, else "unknown") plus the echoed knobs
+// make two artifacts comparable by scripts/compare_bench_json.py.
 using BenchFn = void (*)(Json& out);
 int BenchMain(int argc, char** argv, const std::string& name, BenchFn run);
 
@@ -44,10 +49,15 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run);
 void ApplyBenchConfig(EngineOptions* options);
 EngineOptions MakeEngineOptions();
 
+// True when --batch was passed: workload benches also measure batched
+// execution.
+bool BatchModeRequested();
+
 // Serialisation helpers shared by the benchmark binaries.
 Json ExecStatsToJson(const ExecStats& stats);
 Json QualityMetricsToJson(const QualityMetrics& metrics);
 Json CacheStatsToJson(const PostingListCache& cache);
+Json BatchStatsToJson(const BatchStats& stats);
 
 // The k values evaluated throughout the paper (section 4.4).
 inline constexpr size_t kTopKs[] = {10, 15, 20};

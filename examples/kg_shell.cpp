@@ -9,6 +9,10 @@
 // Commands:
 //   run <query>        execute under Spec-QP and print the top-k
 //   trinit <query>     execute under the TriniT baseline
+//   batch <q1> ; <q2>  execute several ';'-separated queries as one batch
+//                      (shared scans, duplicate collapsing; see
+//                      Engine::ExecuteBatch) and print each top-k plus the
+//                      batch's amortisation ledger
 //   plan <query>       show PLANGEN's decision without executing
 //   rules <term>       list relaxations for (?s <rdf:type> <term>) or any
 //                      (?s <p> <o>) via "rules <p> <o>"
@@ -33,6 +37,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/batch_executor.h"
 #include "core/engine.h"
 #include "query/parser.h"
 #include "rdf/store_io.h"
@@ -143,9 +148,9 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::printf(
-          "commands: run <query> | trinit <query> | plan <query> | "
-          "rules <p> <o> | k <n> | save <prefix> | load <prefix> | stats | "
-          "quit\n");
+          "commands: run <query> | trinit <query> | batch <q1> ; <q2> ... | "
+          "plan <query> | rules <p> <o> | k <n> | save <prefix> | "
+          "load <prefix> | stats | quit\n");
     } else if (cmd == "k") {
       const int value = std::atoi(arg.c_str());
       if (value >= 1) {
@@ -156,6 +161,8 @@ class Shell {
       }
     } else if (cmd == "run" || cmd == "trinit") {
       Execute(arg, cmd == "run" ? Strategy::kSpecQp : Strategy::kTrinit);
+    } else if (cmd == "batch") {
+      ExecuteBatchCmd(arg);
     } else if (cmd == "plan") {
       Plan(arg);
     } else if (cmd == "rules") {
@@ -202,6 +209,64 @@ class Shell {
                       .c_str());
     }
     if (result.rows.empty()) std::printf("  (no answers)\n");
+  }
+
+  void ExecuteBatchCmd(const std::string& arg) {
+    std::vector<std::string> texts;
+    size_t start = 0;
+    while (start <= arg.size()) {
+      const size_t split = arg.find(';', start);
+      const std::string piece(StripWhitespace(
+          arg.substr(start, split == std::string::npos ? std::string::npos
+                                                       : split - start)));
+      if (!piece.empty()) texts.push_back(piece);
+      if (split == std::string::npos) break;
+      start = split + 1;
+    }
+    if (texts.empty()) {
+      std::printf("usage: batch <query> ; <query> ; ...\n");
+      return;
+    }
+    // Parse once up front: the parsed queries drive both the batch (so
+    // execution and row printing agree on one Query object) and the
+    // per-slot error reporting.
+    std::vector<Result<Query>> parsed;
+    std::vector<Query> good;
+    parsed.reserve(texts.size());
+    for (const std::string& text : texts) {
+      parsed.push_back(ParseQuery(text, store().dict()));
+      if (parsed.back().ok()) good.push_back(parsed.back().value());
+    }
+    BatchStats bs;
+    const auto results = engine().ExecuteBatch(good, k_, Strategy::kSpecQp,
+                                               &bs);
+    size_t next_good = 0;
+    for (size_t q = 0; q < texts.size(); ++q) {
+      std::printf("[batch %zu/%zu] %s\n", q + 1, texts.size(),
+                  texts[q].c_str());
+      if (!parsed[q].ok()) {
+        std::printf("  %s\n", parsed[q].status().ToString().c_str());
+        continue;
+      }
+      const auto& result = results[next_good++];
+      for (size_t i = 0; i < result.rows.size(); ++i) {
+        std::printf("  #%-3zu %s\n", i + 1,
+                    RowToString(result.rows[i], parsed[q].value(),
+                                store().dict())
+                        .c_str());
+      }
+      if (result.rows.empty()) std::printf("  (no answers)\n");
+    }
+    std::printf(
+        "batch: %zu queries, %zu executed (%zu distinct patterns); %llu "
+        "lists resolved once (%llu derived, %llu base scans), %llu shared "
+        "hits; prepare %.3f ms, plan %.3f ms, exec %.3f ms\n",
+        bs.batch_size, bs.distinct_queries, bs.distinct_patterns,
+        static_cast<unsigned long long>(bs.lists_resolved),
+        static_cast<unsigned long long>(bs.lists_derived),
+        static_cast<unsigned long long>(bs.base_scans),
+        static_cast<unsigned long long>(bs.shared_scan_hits), bs.prepare_ms,
+        bs.plan_ms, bs.exec_ms);
   }
 
   void Plan(const std::string& text) {

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts (schema v2) and fail on regressions.
+
+Usage:
+    compare_bench_json.py BASE.json HEAD.json [--max-regression 0.20]
+    compare_bench_json.py --self-test
+
+The two artifacts must be comparable: same bench, schema version, and the
+knobs docs/BENCHMARKS.md says must be held fixed (threads, cache budget,
+batch mode). Mismatched knobs exit with code 2 — that is an operator
+error, not a perf verdict.
+
+Regression rules (exit 1 on any hit):
+  * runtime metrics (``ns_per_iter``, ``load_ms``/``load_ms_warm``,
+    ``*_ms_mean``, ``batched_cold_ms``/``sequential_cold_ms``) may not
+    grow by more than ``--max-regression`` (default 20%) relative to base;
+    metrics below a noise floor are skipped,
+  * answer counts (``*_answers``, ``answer_count`` fields) must not
+    change at all and ``answers_match`` flags must not flip — answers
+    are deterministic, so any change is a correctness regression, not
+    noise.
+
+``--self-test`` builds a synthetic artifact pair, injects a 30% runtime
+regression and an answer-count drop, and asserts the comparison fails —
+the CI job runs it on every push so the gate itself is exercised.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+RUNTIME_KEYS = {"ns_per_iter", "load_ms", "load_ms_warm", "batched_cold_ms",
+                "sequential_cold_ms", "batched_ms", "sequential_ms"}
+RUNTIME_SUFFIXES = ("_ms_mean",)
+# Noise floors: metrics whose base value is below the floor are too small
+# to compare relatively (a single scheduler hiccup flips them).
+RUNTIME_FLOORS = {"ns_per_iter": 100.0}
+DEFAULT_RUNTIME_FLOOR = 0.5  # milliseconds-scale keys
+
+ANSWER_KEYS = {"answer_count", "true_answer_count"}
+ANSWER_SUFFIXES = ("_answers",)
+MATCH_KEYS = {"answers_match"}
+
+# Knobs that must be identical for two artifacts to be comparable
+# (docs/BENCHMARKS.md "knobs held fixed across runs").
+COMPARABILITY_KEYS = ("bench", "schema_version", "threads", "cache_budget_mb",
+                      "batch_mode")
+
+
+def is_runtime_key(key):
+    return key in RUNTIME_KEYS or key.endswith(RUNTIME_SUFFIXES)
+
+
+def is_answer_key(key):
+    return key in ANSWER_KEYS or key.endswith(ANSWER_SUFFIXES)
+
+
+def walk(node, path, out):
+    """Flattens numeric/bool leaves into {path: value}.
+
+    Array elements carrying a "name"/"strategy"/"title" field use it as the
+    path segment, so metrics match across runs even if ordering changes.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            walk(value, f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            segment = str(index)
+            if isinstance(value, dict):
+                for tag in ("name", "strategy", "title", "group_key", "k"):
+                    if tag in value and isinstance(value[tag], (str, int)):
+                        segment = f"{tag}={value[tag]}"
+                        break
+            walk(value, f"{path}[{segment}]", out)
+    elif isinstance(node, (int, float, bool)) and not isinstance(node, str):
+        out[path] = node
+
+
+def compare(base_doc, head_doc, max_regression):
+    """Returns (errors, notes). Non-empty errors means the gate fails."""
+    errors = []
+    notes = []
+    for key in COMPARABILITY_KEYS:
+        base_value = base_doc.get(key)
+        head_value = head_doc.get(key)
+        # A knob absent on one side is an older artifact schema, not a
+        # configuration mismatch; only present-on-both knobs must agree.
+        if base_value is None or head_value is None:
+            continue
+        if base_value != head_value:
+            return ([f"artifacts not comparable: {key} differs "
+                     f"(base={base_value!r}, head={head_value!r})"], [],
+                    True)
+
+    base = {}
+    head = {}
+    walk(base_doc, "", base)
+    walk(head_doc, "", head)
+
+    for path, base_value in sorted(base.items()):
+        if path not in head:
+            notes.append(f"missing in head: {path}")
+            continue
+        head_value = head[path]
+        key = path.rsplit(".", 1)[-1]
+        if key in MATCH_KEYS:
+            if base_value is True and head_value is not True:
+                errors.append(f"{path}: answers_match flipped to false")
+        elif is_answer_key(key):
+            # Answers are deterministic: ANY change (not just a decrease)
+            # is a correctness regression, never noise.
+            if head_value != base_value:
+                errors.append(f"{path}: answer count changed "
+                              f"{base_value} -> {head_value}")
+        elif is_runtime_key(key):
+            floor = RUNTIME_FLOORS.get(key, DEFAULT_RUNTIME_FLOOR)
+            if not isinstance(base_value, (int, float)) or base_value < floor:
+                continue
+            ratio = head_value / base_value
+            if ratio > 1.0 + max_regression:
+                errors.append(f"{path}: runtime regressed {ratio:.2f}x "
+                              f"({base_value:.3g} -> {head_value:.3g})")
+            elif ratio < 1.0 - max_regression:
+                notes.append(f"{path}: improved {1.0 / ratio:.2f}x")
+    return errors, notes, False
+
+
+def self_test():
+    base = {
+        "bench": "micro_operators",
+        "schema_version": 2,
+        "git_sha": "base000",
+        "threads": 2,
+        "cache_budget_mb": 64,
+        "batch_mode": False,
+        "benchmarks": [
+            {"name": "rank_join_topk/k:10", "ns_per_iter": 1000.0},
+            {"name": "pattern_scan_drain", "ns_per_iter": 50.0},  # < floor
+        ],
+        "by_k": [{"k": 10, "groups": [
+            {"group_key": 2, "trinit_ms_mean": 10.0, "spec_ms_mean": 5.0,
+             "trinit_answers": 40, "spec_answers": 40},
+        ]}],
+    }
+
+    # Identical artifacts pass.
+    errors, _, _ = compare(base, copy.deepcopy(base), 0.20)
+    assert not errors, f"identical artifacts must pass: {errors}"
+
+    # Within-tolerance jitter passes; the sub-floor metric never trips.
+    jitter = copy.deepcopy(base)
+    jitter["git_sha"] = "head000"
+    jitter["benchmarks"][0]["ns_per_iter"] = 1100.0
+    jitter["benchmarks"][1]["ns_per_iter"] = 500.0  # 10x but below floor
+    errors, _, _ = compare(base, jitter, 0.20)
+    assert not errors, f"10% jitter must pass: {errors}"
+
+    # Injected 30% runtime regression fails.
+    slow = copy.deepcopy(base)
+    slow["benchmarks"][0]["ns_per_iter"] = 1300.0
+    errors, _, _ = compare(base, slow, 0.20)
+    assert any("runtime regressed" in e for e in errors), \
+        f"30% regression must fail, got: {errors}"
+
+    # Any answer-count change fails even with identical runtimes —
+    # answers are deterministic, so extra (wrong) rows are as much a
+    # regression as missing ones.
+    for changed_count in (39, 45):
+        changed = copy.deepcopy(base)
+        changed["by_k"][0]["groups"][0]["spec_answers"] = changed_count
+        errors, _, _ = compare(base, changed, 0.20)
+        assert any("answer count changed" in e for e in errors), \
+            f"answer-count change to {changed_count} must fail, got: {errors}"
+
+    # Mismatched knobs are an operator error (exit 2 path).
+    other_knobs = copy.deepcopy(base)
+    other_knobs["threads"] = 8
+    errors, _, not_comparable = compare(base, other_knobs, 0.20)
+    assert not_comparable and errors, "knob mismatch must be flagged"
+
+    print("self-test OK: gate passes identical/jittered artifacts, fails on "
+          "injected runtime and answer-count regressions, rejects "
+          "mismatched knobs")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base", nargs="?", help="base BENCH_*.json")
+    parser.add_argument("head", nargs="?", help="head BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed relative runtime growth (default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on synthetic regressions")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.base or not args.head:
+        parser.error("BASE and HEAD artifacts are required (or --self-test)")
+
+    with open(args.base, encoding="utf-8") as f:
+        base_doc = json.load(f)
+    with open(args.head, encoding="utf-8") as f:
+        head_doc = json.load(f)
+
+    errors, notes, not_comparable = compare(base_doc, head_doc,
+                                            args.max_regression)
+    base_sha = base_doc.get("git_sha", "unknown")
+    head_sha = head_doc.get("git_sha", "unknown")
+    print(f"comparing {base_doc.get('bench')} artifacts: "
+          f"base {base_sha} vs head {head_sha}")
+    for note in notes:
+        print(f"  note: {note}")
+    if not_comparable:
+        print(f"ERROR: {errors[0]}", file=sys.stderr)
+        return 2
+    if errors:
+        for error in errors:
+            print(f"REGRESSION: {error}", file=sys.stderr)
+        print(f"{len(errors)} regression(s) beyond "
+              f"{args.max_regression:.0%} tolerance", file=sys.stderr)
+        return 1
+    print("no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

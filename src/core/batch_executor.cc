@@ -1,0 +1,260 @@
+#include "core/batch_executor.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "query/parser.h"
+#include "rdf/shared_scan_cache.h"
+#include "relax/expansion.h"
+#include "topk/top_k.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace specqp {
+
+namespace {
+
+// Structural identity of a query: patterns (variables by id, constants by
+// term), variable count, and projection. Variable *names* are irrelevant —
+// results are VarId-indexed binding vectors — so two queries differing
+// only in names collapse onto one execution.
+std::string EncodeQuery(const Query& query) {
+  std::string out = std::to_string(query.num_vars());
+  out += ':';
+  for (const TriplePattern& pattern : query.patterns()) {
+    for (const PatternTerm& term : {pattern.s, pattern.p, pattern.o}) {
+      if (term.is_variable()) {
+        out += 'v';
+        out += std::to_string(term.var());
+      } else {
+        out += 'c';
+        out += std::to_string(term.term());
+      }
+    }
+    out += '.';
+  }
+  out += '|';
+  for (VarId v : query.projection()) {
+    out += std::to_string(v);
+    out += ',';
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(Engine* engine) : engine_(engine) {
+  SPECQP_CHECK(engine_ != nullptr);
+}
+
+std::vector<Engine::QueryResult> BatchExecutor::Execute(
+    std::span<const Query> queries, size_t k, Strategy strategy,
+    BatchStats* batch_stats) {
+  SPECQP_CHECK(k >= 1);
+  BatchStats local_stats;
+  BatchStats& bs = batch_stats != nullptr ? *batch_stats : local_stats;
+  bs = BatchStats();
+  bs.batch_size = queries.size();
+
+  std::vector<Engine::QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  // --- phase 1: collapse structurally identical queries -------------------
+  std::unordered_map<std::string, size_t> canon;  // encoding -> distinct id
+  std::vector<size_t> rep_slot;          // distinct id -> representative slot
+  std::vector<size_t> distinct_of(queries.size());  // slot -> distinct id
+  canon.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto [it, inserted] =
+        canon.emplace(EncodeQuery(queries[i]), rep_slot.size());
+    if (inserted) rep_slot.push_back(i);
+    distinct_of[i] = it->second;
+  }
+  bs.distinct_queries = rep_slot.size();
+
+  // --- phase 2: mine expansions + shared-scan plan + stats snapshot -------
+  WallTimer prepare_timer;
+  RelaxationExpansionCache expansions(engine_->rules_);
+  SharedScanCache shared(engine_->store_, &engine_->postings_);
+
+  // The planning wave: every original pattern key, plus — per strategy —
+  // the relaxation keys planning or execution is guaranteed to read.
+  // kSpecQp planning compares against the *top-weighted* rule only, so the
+  // other relaxations wait for the plan (phase 4); kTrinit executes every
+  // relaxation of every pattern; kNoRelax reads originals only.
+  std::vector<PatternKey> wave;
+  std::unordered_set<PatternKey, PatternKeyHash> wave_seen;
+  const auto add_key = [&](const PatternKey& key) {
+    if (wave_seen.insert(key).second) wave.push_back(key);
+  };
+  std::unordered_set<PatternKey, PatternKeyHash> original_keys;
+  for (const size_t slot : rep_slot) {
+    for (const TriplePattern& pattern : queries[slot].patterns()) {
+      const PatternKey key = pattern.Key();
+      original_keys.insert(key);
+      add_key(key);
+      if (strategy == Strategy::kNoRelax) continue;
+      const PatternExpansion& expansion = expansions.For(key);
+      if (strategy == Strategy::kTrinit) {
+        for (const PatternKey& relaxed : expansion.relaxed) add_key(relaxed);
+        for (const PatternKey& hop : expansion.chain_hops) add_key(hop);
+      } else if (!expansion.relaxed.empty()) {
+        add_key(expansion.relaxed.front());  // top rule, for E_Q'(1)
+      }
+    }
+  }
+  bs.distinct_patterns = original_keys.size();
+  shared.Prepare(wave);
+
+  if (strategy == Strategy::kSpecQp) {
+    // One statistics snapshot per batch: every pattern the planner will
+    // consult is computed exactly once, against the lists the shared-scan
+    // plan just resolved (Prepare published derived lists into the engine
+    // cache, so GetStats never rebuilds them).
+    for (const PatternKey& key : wave) {
+      engine_->catalog_.GetStats(key);
+    }
+    bs.stats_snapshot_patterns = wave.size();
+  }
+  bs.prepare_ms = prepare_timer.ElapsedMillis();
+
+  // --- phase 3: plan every distinct query (serial; memos are warm) --------
+  WallTimer plan_phase_timer;
+  for (const size_t slot : rep_slot) {
+    Engine::QueryResult& result = results[slot];
+    WallTimer plan_timer;
+    switch (strategy) {
+      case Strategy::kSpecQp:
+        result.plan =
+            engine_->planner_.Plan(queries[slot], k, &result.diagnostics);
+        break;
+      case Strategy::kTrinit:
+        result.plan = QueryPlan::TrinitPlan(queries[slot].num_patterns());
+        break;
+      case Strategy::kNoRelax:
+        result.plan =
+            QueryPlan::NoRelaxationsPlan(queries[slot].num_patterns());
+        break;
+    }
+    result.stats.plan_ms = plan_timer.ElapsedMillis();
+  }
+  bs.plan_ms = plan_phase_timer.ElapsedMillis();
+
+  // --- phase 4: resolve the execution wave the plans actually need --------
+  if (strategy == Strategy::kSpecQp) {
+    WallTimer wave2_timer;
+    std::vector<PatternKey> exec_wave;
+    for (const size_t slot : rep_slot) {
+      for (const size_t i : results[slot].plan.singletons) {
+        const PatternKey key = queries[slot].pattern(i).Key();
+        const PatternExpansion& expansion = expansions.For(key);
+        for (const PatternKey& relaxed : expansion.relaxed) {
+          if (wave_seen.insert(relaxed).second) exec_wave.push_back(relaxed);
+        }
+        for (const PatternKey& hop : expansion.chain_hops) {
+          if (wave_seen.insert(hop).second) exec_wave.push_back(hop);
+        }
+      }
+    }
+    shared.Prepare(exec_wave);
+    bs.prepare_ms += wave2_timer.ElapsedMillis();
+  }
+  bs.patterns_expanded = expansions.size();
+
+  // --- phase 5: execute distinct queries concurrently ---------------------
+  WallTimer exec_phase_timer;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(rep_slot.size());
+  for (const size_t slot : rep_slot) {
+    tasks.push_back([this, &queries, &results, &shared, slot, k] {
+      const Query& query = queries[slot];
+      Engine::QueryResult& result = results[slot];
+      WallTimer exec_timer;
+      // Serial tree per query (no pool in the context): cross-query
+      // parallelism comes from running the tasks concurrently, and serial
+      // trees equal partitioned trees row-for-row anyway.
+      ExecContext ctx(&result.stats, /*pool=*/nullptr, &shared);
+      auto root = engine_->executor_.Build(query, result.plan, &ctx);
+      result.rows = PullTopK(root.get(), k, &result.stats);
+      root.reset();
+      ctx.MergePartitionStats();
+      result.stats.exec_ms = exec_timer.ElapsedMillis();
+      // Trim chain-relaxation scratch slots, as Execute() does.
+      for (ScoredRow& row : result.rows) {
+        if (row.bindings.size() > query.num_vars()) {
+          row.bindings.resize(query.num_vars());
+        }
+      }
+    });
+  }
+  if (engine_->pool_ != nullptr && tasks.size() > 1) {
+    engine_->pool_->RunAndWait(&tasks);
+  } else {
+    for (auto& task : tasks) task();
+  }
+  bs.exec_ms = exec_phase_timer.ElapsedMillis();
+
+  // --- phase 6: fan duplicate slots out from their representative ---------
+  // Duplicates carry a full copy of the shared execution's result,
+  // including its ExecStats: the work those counters describe happened
+  // once for the whole duplicate group (BatchStats::distinct_queries says
+  // how many executions actually ran).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const size_t rep = rep_slot[distinct_of[i]];
+    if (rep != i) results[i] = results[rep];
+  }
+
+  const SharedScanCache::Counters counters = shared.counters();
+  bs.shared_scan_hits = counters.hits;
+  bs.shared_scan_misses = counters.misses;
+  bs.lists_resolved = counters.resolved_lists;
+  bs.lists_derived = counters.derived_lists;
+  bs.base_scans = counters.base_scans;
+  return results;
+}
+
+std::vector<Engine::QueryResult> Engine::ExecuteBatch(
+    std::span<const Query> queries, size_t k, Strategy strategy,
+    BatchStats* batch_stats) {
+  BatchExecutor batch(this);
+  return batch.Execute(queries, k, strategy, batch_stats);
+}
+
+std::vector<Result<Engine::QueryResult>> Engine::ExecuteTextBatch(
+    std::span<const std::string> texts, size_t k, Strategy strategy,
+    BatchStats* batch_stats) {
+  std::vector<Result<QueryResult>> out;
+  out.reserve(texts.size());
+  std::vector<Query> parsed;
+  std::vector<size_t> parsed_slot;  // index into `parsed` per text, or npos
+  parsed.reserve(texts.size());
+  parsed_slot.reserve(texts.size());
+  std::vector<Status> errors(texts.size(), Status::Ok());
+  constexpr size_t kFailed = static_cast<size_t>(-1);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto query = ParseQuery(texts[i], store_->dict());
+    if (query.ok()) {
+      parsed_slot.push_back(parsed.size());
+      parsed.push_back(std::move(query).value());
+    } else {
+      parsed_slot.push_back(kFailed);
+      errors[i] = query.status();
+    }
+  }
+  std::vector<QueryResult> results =
+      ExecuteBatch(parsed, k, strategy, batch_stats);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    if (parsed_slot[i] == kFailed) {
+      out.push_back(Result<QueryResult>(errors[i]));
+    } else {
+      out.push_back(Result<QueryResult>(std::move(results[parsed_slot[i]])));
+    }
+  }
+  return out;
+}
+
+}  // namespace specqp

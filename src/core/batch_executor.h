@@ -1,0 +1,89 @@
+#ifndef SPECQP_CORE_BATCH_EXECUTOR_H_
+#define SPECQP_CORE_BATCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query.h"
+
+namespace specqp {
+
+// Counters and phase timings of one ExecuteBatch call. The shared-scan
+// counters are the batch's amortisation ledger: `lists_resolved` lists were
+// materialised once for the whole batch (of which `lists_derived` came out
+// of `base_scans` shared passes over per-predicate base lists instead of
+// per-key builds), and every further request for one of them was a
+// `shared_scan_hits` pointer lookup — work the same queries executed
+// sequentially would have re-issued against the engine cache per query.
+struct BatchStats {
+  size_t batch_size = 0;        // queries handed in (parsed ones, for text)
+  size_t distinct_queries = 0;  // executed once each; duplicates fan out
+  size_t distinct_patterns = 0;  // distinct original pattern keys
+
+  // Shared-scan ledger (see SharedScanCache::Counters).
+  uint64_t shared_scan_hits = 0;
+  uint64_t shared_scan_misses = 0;
+  uint64_t lists_resolved = 0;
+  uint64_t lists_derived = 0;
+  uint64_t base_scans = 0;
+
+  // Relaxations mined once per distinct pattern (RelaxationExpansionCache
+  // size after the batch).
+  size_t patterns_expanded = 0;
+  // Statistics warmed once for the whole batch (kSpecQp planning wave).
+  size_t stats_snapshot_patterns = 0;
+
+  double prepare_ms = 0.0;  // dedup + expansion + shared scans + stats
+  double plan_ms = 0.0;     // planning all distinct queries (serial)
+  double exec_ms = 0.0;     // wall time of the execution phase
+};
+
+// Executes a batch of parsed queries over one engine with cross-query
+// amortisation; see Engine::ExecuteBatch for the contract. Stateless
+// between calls — every batch builds its own SharedScanCache and
+// RelaxationExpansionCache, scoped (and pinned) to that batch.
+//
+// Phases:
+//   1. Dedup: structurally identical queries collapse onto one execution;
+//      duplicates receive copies of its result.
+//   2. Prepare: mine each distinct pattern's relaxation expansion once,
+//      then resolve every posting list the planner will read through the
+//      batch's SharedScanCache (object-bound siblings of one predicate are
+//      derived from a single shared scan), and warm the statistics catalog
+//      once per distinct pattern (kSpecQp).
+//   3. Plan: each distinct query is planned serially against the warmed
+//      catalog (the catalog and selectivity memos are not thread-safe);
+//      with the stats resolved in phase 2 this is pure arithmetic.
+//   4. Resolve the execution-wave lists the plans actually need (the
+//      relaxation lists of kSpecQp singletons; kTrinit resolved everything
+//      in phase 2).
+//   5. Execute: one task per distinct query on the engine's ThreadPool
+//      (cross-query parallelism); each task runs a serial operator tree
+//      against the shared-scan cache and writes to its own result slot.
+//
+// Determinism: every per-query result is bit-identical to a sequential
+// Engine::Execute at any thread count — plans are computed from the same
+// memoised statistics, shared/derived posting lists are bit-identical to
+// per-query builds, and serial trees equal partitioned trees by the PR 2
+// total-ordering invariant.
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(Engine* engine);
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  std::vector<Engine::QueryResult> Execute(std::span<const Query> queries,
+                                           size_t k, Strategy strategy,
+                                           BatchStats* batch_stats);
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_BATCH_EXECUTOR_H_

@@ -5,6 +5,7 @@
 
 #include "query/parser.h"
 #include "rdf/store_io.h"
+#include "relax/expansion.h"
 #include "topk/top_k.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -43,7 +44,7 @@ Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
                 ? std::make_unique<ThreadPool>(
                       static_cast<size_t>(num_threads_) - 1)
                 : nullptr),
-      postings_(store, options.cache_budget_bytes),
+      postings_(store, options.cache_budget_bytes, options.cache_cost_aware),
       catalog_(store, &postings_, options.head_fraction),
       selectivity_(store, options.selectivity_mode),
       estimator_(&catalog_, &selectivity_, options.estimator_model,
@@ -140,19 +141,14 @@ void Engine::Warm(const Query& query) {
     const PatternKey key = q.Key();
     postings_.Get(key);
     catalog_.GetStats(key);
-    for (const RelaxationRule& rule : rules_->RulesFor(key)) {
-      postings_.Get(rule.to);
-      catalog_.GetStats(rule.to);
+    const PatternExpansion expansion = ExpandPattern(*rules_, key);
+    for (const PatternKey& relaxed : expansion.relaxed) {
+      postings_.Get(relaxed);
+      catalog_.GetStats(relaxed);
     }
-    for (const ChainRelaxationRule& rule : rules_->ChainRulesFor(key)) {
-      const PatternKey hop1{kInvalidTermId, rule.hop1_predicate,
-                            kInvalidTermId};
-      const PatternKey hop2{kInvalidTermId, rule.hop2_predicate,
-                            rule.hop2_object};
-      postings_.Get(hop1);
-      catalog_.GetStats(hop1);
-      postings_.Get(hop2);
-      catalog_.GetStats(hop2);
+    for (const PatternKey& hop : expansion.chain_hops) {
+      postings_.Get(hop);
+      catalog_.GetStats(hop);
     }
   }
 }

@@ -2,6 +2,7 @@
 #define SPECQP_CORE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "util/thread_pool.h"
 
 namespace specqp {
+
+struct BatchStats;  // core/batch_executor.h
 
 // How a query is planned and executed.
 enum class Strategy {
@@ -57,6 +60,10 @@ struct EngineOptions {
   // Posting-list cache budget in bytes (approximate, LRU-evicted);
   // 0 = unbounded.
   size_t cache_budget_bytes = 0;
+  // Cost-aware (GreedyDual) cache victim selection: expensive-to-rebuild
+  // posting lists outlive cheaper, more recently used ones. Only matters
+  // with a non-zero cache budget. See PostingListCache.
+  bool cache_cost_aware = false;
   // Minimum total posting entries across a query's patterns before the
   // executor builds a partitioned parallel tree.
   size_t parallel_min_rows = 1024;
@@ -127,9 +134,29 @@ class Engine {
   // top-k answers plus all execution counters.
   QueryResult Execute(const Query& query, size_t k, Strategy strategy);
 
+  // Executes a whole batch of queries with cross-query amortisation:
+  // posting-list scans, statistics, and relaxation expansions are resolved
+  // once per distinct pattern for the entire batch (shared-scan plan,
+  // batch-scoped pinning), structurally identical queries execute once,
+  // and the distinct queries run as independent tasks on the engine's
+  // thread pool. results[i] is bit-identical (bindings AND scores) to
+  // Execute(queries[i], k, strategy) at any thread count; only the
+  // timings/amortisation counters differ. `batch_stats` (optional)
+  // receives the batch-level ledger. See core/batch_executor.h.
+  std::vector<QueryResult> ExecuteBatch(std::span<const Query> queries,
+                                        size_t k, Strategy strategy,
+                                        BatchStats* batch_stats = nullptr);
+
   // Parses `text` against the store's dictionary, then Execute()s it.
   Result<QueryResult> ExecuteText(std::string_view text, size_t k,
                                   Strategy strategy);
+
+  // Parses every text and ExecuteBatch()es the ones that parse; a slot
+  // that fails to parse carries its parse error and does not affect the
+  // other queries of the batch.
+  std::vector<Result<QueryResult>> ExecuteTextBatch(
+      std::span<const std::string> texts, size_t k, Strategy strategy,
+      BatchStats* batch_stats = nullptr);
 
   // Plans without executing (for planner-only studies).
   QueryPlan PlanOnly(const Query& query, size_t k,
@@ -151,6 +178,8 @@ class Engine {
   int num_threads() const { return num_threads_; }
 
  private:
+  friend class BatchExecutor;  // drives planner_/executor_/pool_ per batch
+
   const TripleStore* store_;
   const RelaxationIndex* rules_;
   EngineOptions options_;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "rdf/shared_scan_cache.h"
 #include "topk/incremental_merge.h"
 #include "topk/parallel_rank_join.h"
 #include "topk/pattern_scan.h"
@@ -191,9 +192,17 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::BuildTree(
   auto make_scan = [&](const TriplePattern& pattern, double weight) {
     const int slot =
         view == nullptr ? -1 : SlotOfVar(pattern, view->var);
-    std::shared_ptr<const PostingList> list =
-        slot >= 0 ? view->PieceFor(pattern.Key(), slot)
-                  : postings_->Get(pattern.Key());
+    // Batch executions resolve full lists through the batch's shared-scan
+    // cache (identical patterns across the batch's queries are resolved
+    // once and pinned); stand-alone executions go to the engine cache.
+    std::shared_ptr<const PostingList> list;
+    if (slot >= 0) {
+      list = view->PieceFor(pattern.Key(), slot);
+    } else if (ctx->shared_scans() != nullptr) {
+      list = ctx->shared_scans()->Get(pattern.Key());
+    } else {
+      list = postings_->Get(pattern.Key());
+    }
     return std::make_unique<PatternScan>(store_, std::move(list), pattern,
                                          width, weight, ctx);
   };

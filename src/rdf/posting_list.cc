@@ -1,6 +1,7 @@
 #include "rdf/posting_list.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "rdf/posting_partition.h"
 #include "rdf/store_format.h"
@@ -61,6 +62,12 @@ size_t PostingListCache::ApproxBytes(const PostingList& list) {
   return sizeof(PostingList) + list.owned.capacity() * sizeof(PostingEntry);
 }
 
+double PostingListCache::RebuildCost(size_t num_entries) {
+  if (num_entries == 0) return 1.0;
+  const double n = static_cast<double>(num_entries);
+  return n * (std::log2(n + 1.0) + 1.0);
+}
+
 PostingListCache::Shard& PostingListCache::ShardFor(const PatternKey& key) {
   return shards_[PatternKeyHash{}(key) % kNumShards];
 }
@@ -69,8 +76,17 @@ void PostingListCache::EvictIfOver(Shard& shard, const PatternKey& keep,
                                    const PartitionKey* keep_parts) {
   if (budget_bytes_ == 0) return;
   const size_t shard_budget = budget_bytes_ / kNumShards;
+  // Victim ordering: cost-aware compares GreedyDual priorities (rebuild
+  // cost on top of the shard's inflation floor), plain LRU compares last
+  // use; ties break towards the older entry either way so eviction stays
+  // deterministic.
+  const auto before = [this](uint64_t last_a, double prio_a, uint64_t last_b,
+                             double prio_b) {
+    if (cost_aware_ && prio_a != prio_b) return prio_a < prio_b;
+    return last_a < last_b;
+  };
   while (shard.bytes > shard_budget) {
-    // LRU among evictable lists and partition-piece sets: never the
+    // Scan evictable lists and partition-piece sets: never the
     // just-requested one, and never pinned entries (use_count > 1 means a
     // live operator tree still reads it; evicting would not free the
     // memory anyway).
@@ -79,7 +95,9 @@ void PostingListCache::EvictIfOver(Shard& shard, const PatternKey& keep,
       if (it->first == keep) continue;
       if (it->second.list.use_count() > 1) continue;
       if (list_victim == shard.map.end() ||
-          it->second.last_used < list_victim->second.last_used) {
+          before(it->second.last_used, it->second.priority,
+                 list_victim->second.last_used,
+                 list_victim->second.priority)) {
         list_victim = it;
       }
     }
@@ -96,7 +114,9 @@ void PostingListCache::EvictIfOver(Shard& shard, const PatternKey& keep,
       }
       if (pinned) continue;
       if (parts_victim == shard.partitions.end() ||
-          it->second.last_used < parts_victim->second.last_used) {
+          before(it->second.last_used, it->second.priority,
+                 parts_victim->second.last_used,
+                 parts_victim->second.priority)) {
         parts_victim = it;
       }
     }
@@ -104,12 +124,24 @@ void PostingListCache::EvictIfOver(Shard& shard, const PatternKey& keep,
     const bool have_list = list_victim != shard.map.end();
     const bool have_parts = parts_victim != shard.partitions.end();
     if (!have_list && !have_parts) return;  // everything pinned or kept
+    // Prefer the list victim unless the partition victim strictly precedes
+    // it (matching the old "<=" tie preference).
     if (have_list &&
-        (!have_parts || list_victim->second.last_used <=
-                            parts_victim->second.last_used)) {
+        (!have_parts || !before(parts_victim->second.last_used,
+                                parts_victim->second.priority,
+                                list_victim->second.last_used,
+                                list_victim->second.priority))) {
+      if (cost_aware_) {
+        shard.inflation = std::max(shard.inflation,
+                                   list_victim->second.priority);
+      }
       shard.bytes -= list_victim->second.bytes;
       shard.map.erase(list_victim);
     } else {
+      if (cost_aware_) {
+        shard.inflation = std::max(shard.inflation,
+                                   parts_victim->second.priority);
+      }
       shard.bytes -= parts_victim->second.bytes;
       shard.partitions.erase(parts_victim);
     }
@@ -123,6 +155,10 @@ std::shared_ptr<const PostingList> PostingListCache::GetLocked(
   if (it != shard.map.end()) {
     if (count_stats) ++shard.hits;
     it->second.last_used = ++shard.clock;
+    if (cost_aware_) {
+      it->second.priority =
+          shard.inflation + RebuildCost(it->second.list->size());
+    }
     return it->second.list;
   }
   if (count_stats) ++shard.misses;
@@ -134,6 +170,7 @@ std::shared_ptr<const PostingList> PostingListCache::GetLocked(
   entry.list = list;
   entry.bytes = ApproxBytes(*list);
   entry.last_used = ++shard.clock;
+  if (cost_aware_) entry.priority = shard.inflation + RebuildCost(list->size());
   shard.bytes += entry.bytes;
   shard.map.emplace(key, std::move(entry));
   return list;
@@ -157,6 +194,31 @@ std::shared_ptr<const PostingList> PostingListCache::GetUncounted(
   return list;
 }
 
+std::shared_ptr<const PostingList> PostingListCache::Peek(
+    const PatternKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second.list;
+}
+
+std::shared_ptr<const PostingList> PostingListCache::Put(
+    const PatternKey& key, std::shared_ptr<const PostingList> list) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) return it->second.list;
+  Entry entry;
+  entry.list = list;
+  entry.bytes = ApproxBytes(*list);
+  entry.last_used = ++shard.clock;
+  if (cost_aware_) entry.priority = shard.inflation + RebuildCost(list->size());
+  shard.bytes += entry.bytes;
+  shard.map.emplace(key, std::move(entry));
+  EvictIfOver(shard, key);
+  return list;
+}
+
 std::vector<std::shared_ptr<const PostingList>>
 PostingListCache::GetPartitions(const PatternKey& key, int slot,
                                 uint32_t num_partitions) {
@@ -167,16 +229,28 @@ PostingListCache::GetPartitions(const PatternKey& key, int slot,
   if (it != shard.partitions.end()) {
     ++shard.hits;
     it->second.last_used = ++shard.clock;
+    if (cost_aware_) {
+      size_t total_entries = 0;
+      for (const auto& piece : it->second.pieces) {
+        total_entries += piece->size();
+      }
+      it->second.priority = shard.inflation + RebuildCost(total_entries);
+    }
     return it->second.pieces;
   }
   ++shard.misses;
   auto base = GetLocked(shard, key, /*count_stats=*/false);
   PartitionEntry entry;
   entry.pieces = PartitionPostingList(*store_, *base, slot, num_partitions);
+  size_t total_entries = 0;
   for (const auto& piece : entry.pieces) {
     entry.bytes += ApproxBytes(*piece);
+    total_entries += piece->size();
   }
   entry.last_used = ++shard.clock;
+  if (cost_aware_) {
+    entry.priority = shard.inflation + RebuildCost(total_entries);
+  }
   shard.bytes += entry.bytes;
   auto pieces = entry.pieces;
   shard.partitions.emplace(part_key, std::move(entry));
@@ -191,6 +265,7 @@ void PostingListCache::Clear() {
     shard.partitions.clear();
     shard.bytes = 0;
     shard.clock = 0;
+    shard.inflation = 0.0;
     shard.hits = 0;
     shard.misses = 0;
     shard.evictions = 0;

@@ -90,11 +90,28 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key);
 // evicted, and neither is the most recently requested list — so a single
 // oversized or in-use list can push a shard past its slice of the budget,
 // but the steady state under churn stays bounded.
+//
+// Cost-aware eviction (`cost_aware` = true, EngineOptions::cache_cost_aware):
+// victim selection weighs how expensive a list is to rebuild, not just how
+// recently it was used. Each entry carries a GreedyDual-style priority
+//
+//   priority = shard inflation at last use + rebuild_cost(list)
+//
+// where rebuild_cost is the comparison-sort estimate n·(log2(n+1)+1) over
+// the list's entry count n — the same per-pattern match count m the
+// StatisticsCatalog snapshots. The victim is the minimum-priority unpinned
+// entry, and the shard's inflation rises to the victim's priority, so
+// cheap lists age out quickly while an expensive-to-rebuild list can
+// outlive many cheaper, more recently used ones until the inflation
+// catches up. With cost_aware = false the policy is plain LRU.
 class PostingListCache {
  public:
   // `budget_bytes` == 0 means unbounded (no eviction).
-  explicit PostingListCache(const TripleStore* store, size_t budget_bytes = 0)
-      : store_(store), budget_bytes_(budget_bytes) {}
+  explicit PostingListCache(const TripleStore* store, size_t budget_bytes = 0,
+                            bool cost_aware = false)
+      : store_(store),
+        budget_bytes_(budget_bytes),
+        cost_aware_(cost_aware) {}
 
   PostingListCache(const PostingListCache&) = delete;
   PostingListCache& operator=(const PostingListCache&) = delete;
@@ -106,6 +123,18 @@ class PostingListCache {
   // probes (e.g. the executor's parallel-eligibility sizing pass) that
   // should not skew the telemetry exported to bench artifacts.
   std::shared_ptr<const PostingList> GetUncounted(const PatternKey& key);
+
+  // The key's list if resident, nullptr otherwise — never builds and never
+  // touches the counters or the LRU clock. Used by the shared-scan layer
+  // to decide whether a base list is free to reuse.
+  std::shared_ptr<const PostingList> Peek(const PatternKey& key);
+
+  // Inserts an externally built list (e.g. one derived by a shared scan)
+  // if the key is not already resident, so later Gets hit instead of
+  // rebuilding. Returns the resident list (the existing one on conflict).
+  // Counts neither a hit nor a miss.
+  std::shared_ptr<const PostingList> Put(
+      const PatternKey& key, std::shared_ptr<const PostingList> list);
 
   // The key's posting list split into `num_partitions` hash partitions on
   // triple slot `slot` (see rdf/posting_partition.h), memoised so repeated
@@ -130,13 +159,20 @@ class PostingListCache {
   // Approximate heap footprint of one list (entries + header).
   static size_t ApproxBytes(const PostingList& list);
 
- private:
+  // Rebuild-cost estimate (comparison sort over n entries) used by the
+  // cost-aware policy; exposed for tests.
+  static double RebuildCost(size_t num_entries);
+
   static constexpr size_t kNumShards = 8;
 
+  bool cost_aware() const { return cost_aware_; }
+
+ private:
   struct Entry {
     std::shared_ptr<const PostingList> list;
     size_t bytes = 0;
-    uint64_t last_used = 0;  // shard LRU clock
+    uint64_t last_used = 0;   // shard LRU clock
+    double priority = 0.0;    // GreedyDual priority (cost-aware policy)
   };
 
   // (key, slot, num_partitions) -> memoised partition pieces.
@@ -145,6 +181,7 @@ class PostingListCache {
     std::vector<std::shared_ptr<const PostingList>> pieces;
     size_t bytes = 0;
     uint64_t last_used = 0;
+    double priority = 0.0;
   };
 
   struct Shard {
@@ -153,6 +190,7 @@ class PostingListCache {
     std::map<PartitionKey, PartitionEntry> partitions;
     uint64_t clock = 0;
     size_t bytes = 0;  // lists + partition pieces
+    double inflation = 0.0;  // floor for cost-aware priorities
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
@@ -172,6 +210,7 @@ class PostingListCache {
 
   const TripleStore* store_;
   size_t budget_bytes_;
+  bool cost_aware_;
   std::array<Shard, kNumShards> shards_;
 };
 

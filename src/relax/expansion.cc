@@ -1,0 +1,40 @@
+#include "relax/expansion.h"
+
+#include "util/logging.h"
+
+namespace specqp {
+
+PatternExpansion ExpandPattern(const RelaxationIndex& rules,
+                               const PatternKey& key) {
+  PatternExpansion expansion;
+  const auto simple = rules.RulesFor(key);
+  expansion.relaxed.reserve(simple.size());
+  for (const RelaxationRule& rule : simple) {
+    expansion.relaxed.push_back(rule.to);
+  }
+  expansion.num_rules = simple.size();
+  const auto chains = rules.ChainRulesFor(key);
+  expansion.chain_hops.reserve(chains.size() * 2);
+  for (const ChainRelaxationRule& rule : chains) {
+    expansion.chain_hops.push_back(
+        PatternKey{kInvalidTermId, rule.hop1_predicate, kInvalidTermId});
+    expansion.chain_hops.push_back(
+        PatternKey{kInvalidTermId, rule.hop2_predicate, rule.hop2_object});
+  }
+  expansion.num_chain_rules = chains.size();
+  return expansion;
+}
+
+RelaxationExpansionCache::RelaxationExpansionCache(
+    const RelaxationIndex* rules)
+    : rules_(rules) {
+  SPECQP_CHECK(rules_ != nullptr);
+}
+
+const PatternExpansion& RelaxationExpansionCache::For(const PatternKey& key) {
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  return memo_.emplace(key, ExpandPattern(*rules_, key)).first->second;
+}
+
+}  // namespace specqp

@@ -9,11 +9,15 @@ struct ExecContext::Partition {
   ExecStats stats;
   ExecContext ctx;
 
-  Partition() : ctx(&stats, /*pool=*/nullptr) {}
+  // Partition trees are strictly serial (no pool) but keep reading the
+  // batch's shared scans.
+  explicit Partition(SharedScanCache* shared_scans)
+      : ctx(&stats, /*pool=*/nullptr, shared_scans) {}
 };
 
-ExecContext::ExecContext(ExecStats* stats, ThreadPool* pool)
-    : stats_(stats), pool_(pool) {
+ExecContext::ExecContext(ExecStats* stats, ThreadPool* pool,
+                         SharedScanCache* shared_scans)
+    : stats_(stats), pool_(pool), shared_scans_(shared_scans) {
   SPECQP_CHECK(stats_ != nullptr);
 }
 
@@ -25,7 +29,7 @@ size_t ExecContext::num_threads() const {
 
 ExecContext* ExecContext::ForPartition() {
   std::lock_guard<std::mutex> lock(mu_);
-  partitions_.push_back(std::make_unique<Partition>());
+  partitions_.push_back(std::make_unique<Partition>(shared_scans_));
   return &partitions_.back()->ctx;
 }
 

@@ -9,16 +9,20 @@
 
 namespace specqp {
 
+class SharedScanCache;
 class ThreadPool;
 
 // Per-query execution context threaded through the whole operator stack.
 //
 // An ExecContext bundles what one query execution needs beyond the data it
-// reads: the counter sink (ExecStats) and, when the engine runs multi-core,
-// the shared ThreadPool. Every operator constructor takes an ExecContext*
+// reads: the counter sink (ExecStats), when the engine runs multi-core the
+// shared ThreadPool, and — for queries executing as part of a batch — the
+// batch's SharedScanCache. Every operator constructor takes an ExecContext*
 // and records its counters via stats(); orchestration layers (PlanExecutor,
 // ParallelRankJoin) additionally consult pool()/num_threads() to decide on
-// and drive parallel execution.
+// and drive parallel execution, and the plan executor resolves posting
+// lists through shared_scans() when set (so identical patterns across the
+// batch's queries are scanned once).
 //
 // Parallel executions split a query into partition trees. Each partition
 // gets its own *child* context from ForPartition(): same query, no pool
@@ -30,8 +34,10 @@ class ThreadPool;
 // The context must outlive every operator built against it.
 class ExecContext {
  public:
-  // `stats` must outlive the context; `pool` may be null (serial).
-  explicit ExecContext(ExecStats* stats, ThreadPool* pool = nullptr);
+  // `stats` must outlive the context; `pool` may be null (serial);
+  // `shared_scans` may be null (stand-alone query, no batch).
+  explicit ExecContext(ExecStats* stats, ThreadPool* pool = nullptr,
+                       SharedScanCache* shared_scans = nullptr);
   ~ExecContext();
 
   ExecContext(const ExecContext&) = delete;
@@ -39,6 +45,8 @@ class ExecContext {
 
   ExecStats* stats() const { return stats_; }
   ThreadPool* pool() const { return pool_; }
+  // The batch's shared-scan layer, or null outside batch execution.
+  SharedScanCache* shared_scans() const { return shared_scans_; }
 
   // Usable concurrency: pool workers plus the calling thread.
   size_t num_threads() const;
@@ -60,6 +68,7 @@ class ExecContext {
 
   ExecStats* stats_;
   ThreadPool* pool_;
+  SharedScanCache* shared_scans_;
   std::mutex mu_;
   std::deque<std::unique_ptr<Partition>> partitions_;
 };

@@ -22,6 +22,7 @@ ParallelRankJoin::ParallelRankJoin(
     SPECQP_CHECK(op != nullptr);
     Partition partition;
     partition.op = std::move(op);
+    partition.buffer.resize(batch_size_);  // slots reused by every refill
     partitions_.push_back(std::move(partition));
   }
 }
@@ -30,23 +31,27 @@ void ParallelRankJoin::Refill(double need_above) {
   std::vector<std::function<void()>> tasks;
   tasks.reserve(partitions_.size());
   for (Partition& partition : partitions_) {
-    if (!partition.buffer.empty() || partition.exhausted) continue;
+    if (!partition.BufferEmpty() || partition.exhausted) continue;
     if (partition.bound + kEps < need_above) continue;
     Partition* p = &partition;
     tasks.push_back([this, p] {
       // Each task touches only its own partition; RunAndWait's join
-      // publishes the writes back to the merging thread.
+      // publishes the writes back to the merging thread. Rows are pulled
+      // straight into the window's slots, whose binding vectors keep
+      // their capacity from previous rounds.
+      p->head = 0;
+      p->filled = 0;
       double last = kInf;
       for (size_t n = 0; n < batch_size_; ++n) {
-        ScoredRow row;
-        if (!p->op->Next(&row)) {
+        ScoredRow& slot = p->buffer[n];
+        if (!p->op->Next(&slot)) {
           p->exhausted = true;
           break;
         }
-        SPECQP_DCHECK(row.score <= last + kEps)
+        SPECQP_DCHECK(slot.score <= last + kEps)
             << "partition stream must be score-descending";
-        last = row.score;
-        p->buffer.push_back(std::move(row));
+        last = slot.score;
+        p->filled = n + 1;
       }
       // Anything still unread is bounded by the tree's own bound and by
       // the last row pulled (streams are non-increasing); clamp so the
@@ -68,30 +73,31 @@ bool ParallelRankJoin::Next(ScoredRow* out) {
     // Candidate: the RowBefore-least buffered head.
     size_t best = partitions_.size();
     for (size_t i = 0; i < partitions_.size(); ++i) {
-      if (partitions_[i].buffer.empty()) continue;
+      if (partitions_[i].BufferEmpty()) continue;
       if (best == partitions_.size() ||
-          RowBefore(partitions_[i].buffer.front(),
-                    partitions_[best].buffer.front())) {
+          RowBefore(partitions_[i].Front(), partitions_[best].Front())) {
         best = i;
       }
     }
 
     if (best < partitions_.size()) {
-      const double candidate = partitions_[best].buffer.front().score;
+      const double candidate = partitions_[best].Front().score;
       // Safe to emit only when no un-buffered live partition could still
       // produce a row tying or beating the candidate's score (a tie with
       // lexicographically smaller bindings would have to come first).
       bool safe = true;
       for (const Partition& partition : partitions_) {
-        if (!partition.buffer.empty() || partition.exhausted) continue;
+        if (!partition.BufferEmpty() || partition.exhausted) continue;
         if (partition.bound + kEps >= candidate) {
           safe = false;
           break;
         }
       }
       if (safe) {
-        *out = std::move(partitions_[best].buffer.front());
-        partitions_[best].buffer.pop_front();
+        // Copy, not move: the slot keeps its capacity for the next refill
+        // round (the caller reuses its row buffer symmetrically).
+        *out = partitions_[best].Front();
+        ++partitions_[best].head;
         return true;
       }
       Refill(candidate);

@@ -1,7 +1,6 @@
 #ifndef SPECQP_TOPK_PARALLEL_RANK_JOIN_H_
 #define SPECQP_TOPK_PARALLEL_RANK_JOIN_H_
 
-#include <deque>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -60,15 +59,25 @@ class ParallelRankJoin final : public ScoredRowIterator {
 
   struct Partition {
     std::unique_ptr<ScoredRowIterator> op;
-    std::deque<ScoredRow> buffer;
+    // Fixed-capacity refill window (batch_size slots, sized once): each
+    // refill overwrites the slots in place, so every slot's
+    // ScoredRow::bindings keeps its capacity across rounds and the
+    // steady-state refill allocates nothing. `head` walks the filled
+    // prefix [0, filled); rows are consumed by copy (the caller's row
+    // buffer is reused the same way).
+    std::vector<ScoredRow> buffer;
+    size_t head = 0;
+    size_t filled = 0;
     // Upper bound on rows not yet buffered; clamped non-increasing.
     double bound = kInf;
     bool exhausted = false;  // op has returned false
 
-    bool Live() const { return !buffer.empty() || !exhausted; }
+    bool BufferEmpty() const { return head >= filled; }
+    const ScoredRow& Front() const { return buffer[head]; }
+    bool Live() const { return !BufferEmpty() || !exhausted; }
     // Bound on anything this partition can still emit.
     double Envelope() const {
-      if (!buffer.empty()) return buffer.front().score;
+      if (!BufferEmpty()) return Front().score;
       return exhausted ? -kInf : bound;
     }
   };

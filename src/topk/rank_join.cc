@@ -14,6 +14,12 @@ RankJoin::RankJoin(std::unique_ptr<ScoredRowIterator> left,
       join_vars_(std::move(join_vars)),
       stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(left_ != nullptr && right_ != nullptr && stats_ != nullptr);
+  // Pre-size the output queue's backing store: the buffered band between
+  // the threshold and the emitted frontier regularly reaches dozens of
+  // rows, and growing the heap mid-join moves every buffered ScoredRow.
+  std::vector<ScoredRow> storage;
+  storage.reserve(64);
+  queue_ = decltype(queue_)(QueueOrder(), std::move(storage));
 }
 
 RankJoin::JoinKey RankJoin::KeyOf(const ScoredRow& row) const {

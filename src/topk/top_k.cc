@@ -12,6 +12,10 @@ std::vector<ScoredRow> PullTopK(ScoredRowIterator* root, size_t k,
   std::vector<ScoredRow> out;
   out.reserve(k);
   std::unordered_set<std::vector<TermId>, BindingsHash> seen;
+  // At most k distinct binding vectors are ever inserted (duplicates do
+  // not grow the set), so one up-front reservation removes every rehash —
+  // each of which would re-hash all resident full binding vectors.
+  seen.reserve(k + 1);
   ScoredRow row;
   while (out.size() < k && root->Next(&row)) {
     if (!seen.insert(row.bindings).second) continue;

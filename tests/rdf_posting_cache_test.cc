@@ -1,6 +1,7 @@
 // Tests for the PostingListCache eviction policy (budgeted sharded LRU)
 // and the counter-reset semantics of Clear().
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,101 @@ TEST(PostingCachePartitionsTest, CountTowardsBudgetAndClear) {
   for (size_t o = 0; o < 16; ++o) bounded.GetPartitions(KeyFor(store, o), 0, 4);
   EXPECT_GT(bounded.evictions(), 0u);
   EXPECT_LE(bounded.bytes(), 4096u);  // only the most recent survivors
+}
+
+TEST(PostingCachePutPeekTest, PutInsertsAndPeekNeverBuilds) {
+  TripleStore store = MakeWideStore(8, 4);
+  PostingListCache cache(&store);
+  const PatternKey key = KeyFor(store, 3);
+  EXPECT_EQ(cache.Peek(key), nullptr);
+  EXPECT_EQ(cache.misses(), 0u) << "Peek must not build or count";
+
+  auto list = std::make_shared<const PostingList>(
+      BuildPostingList(store, key));
+  EXPECT_EQ(cache.Put(key, list).get(), list.get());
+  EXPECT_EQ(cache.Peek(key).get(), list.get());
+  // A Get after Put is a hit on the published list.
+  const auto got = cache.Get(key);
+  EXPECT_EQ(got.get(), list.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+
+  // Put on a resident key keeps the existing list.
+  auto other = std::make_shared<const PostingList>(
+      BuildPostingList(store, key));
+  EXPECT_EQ(cache.Put(key, other).get(), list.get());
+}
+
+// Builds a store where object 0 has one big (expensive-to-rebuild) posting
+// list and every other object one tiny list, and returns `count` tiny-list
+// keys that land in the same cache shard as the big key (so the per-shard
+// budget arbitrates between them deterministically).
+std::vector<PatternKey> SameShardSmallKeys(const TripleStore& store,
+                                           const PatternKey& big,
+                                           size_t count) {
+  const size_t shard =
+      PatternKeyHash{}(big) % PostingListCache::kNumShards;
+  std::vector<PatternKey> keys;
+  for (size_t o = 1; keys.size() < count; ++o) {
+    const PatternKey key = KeyFor(store, o);
+    if (PatternKeyHash{}(key) % PostingListCache::kNumShards == shard) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+TEST(PostingCacheCostAwareTest, ExpensiveListOutlivesCheaperMoreRecent) {
+  // Object 0: 512 triples (expensive to rebuild); objects 1..: 1 triple.
+  TripleStore store;
+  for (int t = 0; t < 512; ++t) {
+    store.Add("s0_" + std::to_string(t), "p", "o0", 1.0 + t);
+  }
+  for (int o = 1; o < 64; ++o) {
+    store.Add("s" + std::to_string(o), "p", "o" + std::to_string(o), 1.0);
+  }
+  store.Finalize();
+  const PatternKey big = KeyFor(store, 0);
+  const std::vector<PatternKey> small = SameShardSmallKeys(store, big, 2);
+
+  // Budget the big key's shard to hold the big list plus one small list,
+  // but not both smalls on top.
+  const size_t big_bytes =
+      PostingListCache::ApproxBytes(BuildPostingList(store, big));
+  const size_t small_bytes =
+      PostingListCache::ApproxBytes(BuildPostingList(store, small[0]));
+  const size_t budget =
+      PostingListCache::kNumShards * (big_bytes + small_bytes + 8);
+
+  // Plain LRU: the big list is the coldest entry, so it is the victim —
+  // despite costing ~500x more to rebuild than the small list it makes
+  // room for.
+  {
+    PostingListCache lru(&store, budget, /*cost_aware=*/false);
+    lru.Get(big);
+    lru.Get(small[0]);
+    lru.Get(small[1]);  // over budget -> evict
+    EXPECT_EQ(lru.Peek(big), nullptr) << "LRU evicts the cold big list";
+    EXPECT_GT(lru.evictions(), 0u);
+  }
+
+  // Cost-aware: the cheap small list goes instead, and the expensive list
+  // outlives the cheaper, more recently used one.
+  {
+    PostingListCache cost(&store, budget, /*cost_aware=*/true);
+    cost.Get(big);
+    cost.Get(small[0]);
+    cost.Get(small[1]);  // over budget -> evict
+    EXPECT_NE(cost.Peek(big), nullptr)
+        << "cost-aware keeps the expensive list";
+    EXPECT_EQ(cost.Peek(small[0]), nullptr)
+        << "the cheaper, more recent list is the victim";
+    EXPECT_GT(cost.evictions(), 0u);
+    // Re-getting the survivor is a hit.
+    const uint64_t hits_before = cost.hits();
+    cost.Get(big);
+    EXPECT_EQ(cost.hits(), hits_before + 1);
+  }
 }
 
 TEST(PostingCacheEvictionTest, CountersMonotoneUnderChurn) {
