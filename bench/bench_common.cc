@@ -16,13 +16,16 @@ struct BenchConfig {
   int threads = 0;             // EngineOptions::num_threads semantics
   size_t cache_budget_mb = 0;  // 0 = unbounded
   bool batch = false;          // measure ExecuteBatch over whole workloads
+  size_t scale = 1;            // XKG/Twitter dataset scale tier (1, 10, ...)
+  size_t admit_batch = 16;     // EngineOptions::admission_max_batch
 };
 BenchConfig g_bench_config;
 
 void PrintUsage(const std::string& name) {
   std::fprintf(stderr,
                "usage: %s [--json <path>] [--threads N] "
-               "[--cache-budget-mb N] [--batch]\n"
+               "[--cache-budget-mb N] [--batch] [--scale N] "
+               "[--admit-batch N]\n"
                "  --json <path>         write the machine-readable benchmark "
                "artifact to <path>\n"
                "  --threads N           engine execution threads "
@@ -30,7 +33,11 @@ void PrintUsage(const std::string& name) {
                "  --cache-budget-mb N   posting-list cache budget "
                "(0 = unbounded)\n"
                "  --batch               additionally measure batched "
-               "(ExecuteBatch) workload execution\n",
+               "(ExecuteBatch) workload execution\n"
+               "  --scale N             dataset scale tier for the XKG/"
+               "Twitter workloads (1 = default, 10 = 10x entities/tweets)\n"
+               "  --admit-batch N       admission window size for "
+               "Submit-driven engines (EngineOptions::admission_max_batch)\n",
                name.c_str());
 }
 
@@ -90,7 +97,10 @@ bool ParseIntFlag(const std::string& bench_name, const char* flag, int argc,
 void ApplyBenchConfig(EngineOptions* options) {
   options->num_threads = g_bench_config.threads;
   options->cache_budget_bytes = g_bench_config.cache_budget_mb * 1024 * 1024;
+  options->admission_max_batch = g_bench_config.admit_batch;
 }
+
+size_t DatasetScale() { return g_bench_config.scale; }
 
 EngineOptions MakeEngineOptions() {
   EngineOptions options;
@@ -126,6 +136,24 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
                             &flag_value, &flag_error)) {
       if (flag_error) return 2;
       g_bench_config.cache_budget_mb = static_cast<size_t>(flag_value);
+    } else if (ParseIntFlag(name, "--scale", argc, argv, &i, &flag_value,
+                            &flag_error)) {
+      if (flag_error) return 2;
+      if (flag_value < 1) {
+        std::fprintf(stderr, "%s: --scale requires a value >= 1\n",
+                     name.c_str());
+        return 2;
+      }
+      g_bench_config.scale = static_cast<size_t>(flag_value);
+    } else if (ParseIntFlag(name, "--admit-batch", argc, argv, &i,
+                            &flag_value, &flag_error)) {
+      if (flag_error) return 2;
+      if (flag_value < 1) {
+        std::fprintf(stderr, "%s: --admit-batch requires a value >= 1\n",
+                     name.c_str());
+        return 2;
+      }
+      g_bench_config.admit_batch = static_cast<size_t>(flag_value);
     } else if (arg == "--batch") {
       g_bench_config.batch = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -168,6 +196,11 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   doc.Set("threads", ResolveNumThreads(g_bench_config.threads));
   doc.Set("cache_budget_mb", g_bench_config.cache_budget_mb);
   doc.Set("batch_mode", g_bench_config.batch);
+  doc.Set("scale", g_bench_config.scale);
+  // Admission knobs of every Submit-driven engine the bench builds; the
+  // delay is the EngineOptions default (no CLI override yet).
+  doc.Set("admission_max_batch", g_bench_config.admit_batch);
+  doc.Set("admission_max_delay_ms", EngineOptions().admission_max_delay_ms);
   WallTimer timer;
   run(doc);
   doc.Set("total_seconds", timer.ElapsedSeconds());
@@ -246,6 +279,7 @@ XkgBundle* BuildXkg() {
   WallTimer timer;
   auto* bundle = new XkgBundle;
   XkgConfig config;  // defaults: 40k entities, 24 domains, 18 types/domain
+  config.scale = g_bench_config.scale;  // --scale tier (recorded in knobs)
   bundle->data = GenerateXkg(config);
 
   XkgWorkloadConfig workload;
@@ -263,6 +297,7 @@ TwitterBundle* BuildTwitter() {
   WallTimer timer;
   auto* bundle = new TwitterBundle;
   TwitterConfig config;  // defaults: 120k tweets, 50 topics
+  config.scale = g_bench_config.scale;  // --scale tier (recorded in knobs)
   bundle->data = GenerateTwitter(config);
 
   TwitterWorkloadConfig workload;

@@ -25,12 +25,16 @@ namespace specqp::bench {
 // the shared CLI:
 //
 //   <bench> [--json <path>] [--threads N] [--cache-budget-mb N] [--batch]
+//           [--scale N] [--admit-batch N]
 //
 // --threads feeds EngineOptions::num_threads of every engine built through
 // MakeEngineOptions()/ApplyBenchConfig() (0 = $SPECQP_THREADS, default
 // serial); --cache-budget-mb bounds the posting-list cache; --batch makes
 // the workload benches additionally measure Engine::ExecuteBatch over each
-// whole workload (per-k `batch` objects in the artifact). All knobs, their
+// whole workload (per-k `batch` objects in the artifact); --scale grows
+// the XKG/Twitter datasets by that factor (entities/tweets; 1 and 10 are
+// the supported tiers, see GetXkg/GetTwitter); --admit-batch sets the
+// admission window size of Submit-driven engines. All knobs, their
 // resolved values, and the cache hit/miss/eviction counters are recorded
 // in the artifact so the perf trajectory captures the configuration.
 //
@@ -52,6 +56,9 @@ EngineOptions MakeEngineOptions();
 // True when --batch was passed: workload benches also measure batched
 // execution.
 bool BatchModeRequested();
+
+// The --scale tier (>= 1) applied to the XKG/Twitter dataset generators.
+size_t DatasetScale();
 
 // Serialisation helpers shared by the benchmark binaries.
 Json ExecStatsToJson(const ExecStats& stats);

@@ -9,17 +9,23 @@
 // Commands:
 //   run <query>        execute under Spec-QP and print the top-k
 //   trinit <query>     execute under the TriniT baseline
-//   batch <q1> ; <q2>  execute several ';'-separated queries as one batch
-//                      (shared scans, duplicate collapsing; see
-//                      Engine::ExecuteBatch) and print each top-k plus the
-//                      batch's amortisation ledger
+//   submit <q1> ; <q2> submit several ';'-separated queries asynchronously
+//                      (Engine::Submit): requests stream into the
+//                      admission window, close on max-size/max-delay, and
+//                      dispatch as one shared-scan batch; prints each
+//                      top-k plus the admission ledger
+//   batch <q1> ; <q2>  execute several ';'-separated queries as one
+//                      pre-assembled batch (the deprecated ExecuteBatch
+//                      path) and print the batch's amortisation ledger
 //   plan <query>       show PLANGEN's decision without executing
+//   explain <query>    same via Engine::Explain (the request-API entry
+//                      point; accepts "explain trinit <query>" etc.)
 //   rules <term>       list relaxations for (?s <rdf:type> <term>) or any
 //                      (?s <p> <o>) via "rules <p> <o>"
 //   k <n>              set k (default 10)
 //   save <prefix>      write <prefix>.store and <prefix>.rules
 //   load <prefix>      load them back
-//   stats              store and cache statistics
+//   stats              store, cache, and admission statistics
 //   help / quit
 //
 // Load path: `save` writes the store in format v2 ("SQPSTOR2", see
@@ -30,12 +36,16 @@
 // plans right after `load` match the session that saved the store.
 // `stats` shows which backend (mapped or parsed) is serving.
 
+#include <cctype>
 #include <cstdio>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/batch_executor.h"
 #include "core/engine.h"
@@ -148,8 +158,9 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::printf(
-          "commands: run <query> | trinit <query> | batch <q1> ; <q2> ... | "
-          "plan <query> | rules <p> <o> | k <n> | save <prefix> | "
+          "commands: run <query> | trinit <query> | submit <q1> ; <q2> ... "
+          "| batch <q1> ; <q2> ... | plan <query> | explain [trinit|"
+          "norelax] <query> | rules <p> <o> | k <n> | save <prefix> | "
           "load <prefix> | stats | quit\n");
     } else if (cmd == "k") {
       const int value = std::atoi(arg.c_str());
@@ -161,9 +172,11 @@ class Shell {
       }
     } else if (cmd == "run" || cmd == "trinit") {
       Execute(arg, cmd == "run" ? Strategy::kSpecQp : Strategy::kTrinit);
+    } else if (cmd == "submit") {
+      SubmitCmd(arg);
     } else if (cmd == "batch") {
       ExecuteBatchCmd(arg);
-    } else if (cmd == "plan") {
+    } else if (cmd == "plan" || cmd == "explain") {
       Plan(arg);
     } else if (cmd == "rules") {
       ShowRules(arg);
@@ -185,6 +198,17 @@ class Shell {
                   static_cast<unsigned long long>(
                       engine().postings().misses()),
                   engine().catalog().size());
+      const AdmissionController::Stats admission =
+          engine().admission().stats();
+      std::printf("admission: %llu submitted, %llu windows dispatched "
+                  "(max %zu), %llu cancelled, %llu deadline-exceeded\n",
+                  static_cast<unsigned long long>(admission.submitted),
+                  static_cast<unsigned long long>(
+                      admission.windows_dispatched),
+                  admission.max_window_size,
+                  static_cast<unsigned long long>(admission.cancelled),
+                  static_cast<unsigned long long>(
+                      admission.deadline_exceeded));
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }
@@ -197,21 +221,83 @@ class Shell {
       std::printf("%s\n", parsed.status().ToString().c_str());
       return;
     }
-    const auto result = engine().Execute(parsed.value(), k_, strategy);
+    // Immediate admission: the shell is a single synchronous caller, so
+    // there is nothing to batch with.
+    QueryRequest request =
+        QueryRequest::FromQuery(parsed.value(), k_, strategy);
+    request.admission = QueryRequest::Admission::kImmediate;
+    const QueryResponse response = engine().Submit(std::move(request)).get();
+    if (!response.ok()) {
+      std::printf("%s\n", response.status.ToString().c_str());
+      return;
+    }
     std::printf("[%s] plan %s — %.3f ms, %llu answer objects\n",
                 std::string(StrategyName(strategy)).c_str(),
-                result.plan.ToString().c_str(),
-                result.stats.plan_ms + result.stats.exec_ms,
-                static_cast<unsigned long long>(result.stats.answer_objects));
-    for (size_t i = 0; i < result.rows.size(); ++i) {
+                response.plan.ToString().c_str(),
+                response.stats.plan_ms + response.stats.exec_ms,
+                static_cast<unsigned long long>(
+                    response.stats.answer_objects));
+    for (size_t i = 0; i < response.rows.size(); ++i) {
       std::printf("  #%-3zu %s\n", i + 1,
-                  RowToString(result.rows[i], parsed.value(), store().dict())
+                  RowToString(response.rows[i], parsed.value(),
+                              store().dict())
                       .c_str());
     }
-    if (result.rows.empty()) std::printf("  (no answers)\n");
+    if (response.rows.empty()) std::printf("  (no answers)\n");
   }
 
-  void ExecuteBatchCmd(const std::string& arg) {
+  // "submit <q1> ; <q2> ; ..." — the asynchronous serving path: every
+  // query becomes one Engine::Submit, the admission layer forms windows
+  // (max-size / max-delay), and the futures are collected afterwards.
+  void SubmitCmd(const std::string& arg) {
+    const std::vector<std::string> texts = SplitQueries(arg);
+    if (texts.empty()) {
+      std::printf("usage: submit <query> ; <query> ; ...\n");
+      return;
+    }
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(texts.size());
+    for (const std::string& text : texts) {
+      QueryRequest request = QueryRequest::FromText(text, k_);
+      request.tag = text;
+      futures.push_back(engine().Submit(std::move(request)));
+    }
+    // Close any window still waiting on max-delay so the demo returns
+    // promptly.
+    engine().admission().Flush();
+    for (size_t q = 0; q < futures.size(); ++q) {
+      QueryResponse response = futures[q].get();
+      std::printf("[submit %zu/%zu] %s\n", q + 1, futures.size(),
+                  response.tag.c_str());
+      if (!response.ok()) {
+        std::printf("  %s\n", response.status.ToString().c_str());
+        continue;
+      }
+      auto parsed = ParseQuery(response.tag, store().dict());
+      for (size_t i = 0; i < response.rows.size(); ++i) {
+        std::printf("  #%-3zu %s\n", i + 1,
+                    RowToString(response.rows[i], parsed.value(),
+                                store().dict())
+                        .c_str());
+      }
+      if (response.rows.empty()) std::printf("  (no answers)\n");
+      std::printf("  window of %zu, queued %.3f ms\n", response.window_size,
+                  response.admission_ms);
+    }
+    const AdmissionController::Stats stats = engine().admission().stats();
+    std::printf(
+        "admission: %llu submitted, %llu windows (%llu on size, %llu on "
+        "delay, %llu on flush), max window %zu, %llu shared-scan hits\n",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.windows_dispatched),
+        static_cast<unsigned long long>(stats.closed_on_size),
+        static_cast<unsigned long long>(stats.closed_on_delay),
+        static_cast<unsigned long long>(stats.closed_on_flush),
+        stats.max_window_size,
+        static_cast<unsigned long long>(stats.shared_scan_hits));
+  }
+
+  static std::vector<std::string> SplitQueries(const std::string& arg) {
     std::vector<std::string> texts;
     size_t start = 0;
     while (start <= arg.size()) {
@@ -223,6 +309,11 @@ class Shell {
       if (split == std::string::npos) break;
       start = split + 1;
     }
+    return texts;
+  }
+
+  void ExecuteBatchCmd(const std::string& arg) {
+    const std::vector<std::string> texts = SplitQueries(arg);
     if (texts.empty()) {
       std::printf("usage: batch <query> ; <query> ; ...\n");
       return;
@@ -269,19 +360,43 @@ class Shell {
         bs.plan_ms, bs.exec_ms);
   }
 
-  void Plan(const std::string& text) {
-    auto parsed = ParseQuery(text, store().dict());
-    if (!parsed.ok()) {
-      std::printf("%s\n", parsed.status().ToString().c_str());
+  // "plan <query>" / "explain [trinit|norelax] <query>": Engine::Explain,
+  // the request-API plan introspection (PLANGEN diagnostics for Spec-QP,
+  // the static plan shape for the baselines).
+  void Plan(const std::string& arg) {
+    Strategy strategy = Strategy::kSpecQp;
+    std::string text = arg;
+    for (const auto& [word, s] :
+         {std::pair<const char*, Strategy>{"trinit", Strategy::kTrinit},
+          std::pair<const char*, Strategy>{"norelax", Strategy::kNoRelax}}) {
+      const size_t len = std::string(word).size();
+      if (text.rfind(word, 0) == 0 && text.size() > len &&
+          std::isspace(static_cast<unsigned char>(text[len]))) {
+        strategy = s;
+        text = std::string(StripWhitespace(text.substr(len)));
+        break;
+      }
+    }
+    const QueryResponse response =
+        engine().Explain(QueryRequest::FromText(text, k_, strategy));
+    if (!response.ok()) {
+      std::printf("%s\n", response.status.ToString().c_str());
       return;
     }
-    PlanDiagnostics diag;
-    const QueryPlan plan = engine().PlanOnly(parsed.value(), k_, &diag);
-    std::printf("plan %s   (E_Q(k=%zu) = %s, est. %0.f answers)\n",
-                plan.ToString().c_str(), k_,
-                DoubleToString(diag.eq_k, 3).c_str(),
-                diag.cardinality_estimate);
-    for (const PatternDecision& d : diag.decisions) {
+    if (strategy == Strategy::kSpecQp) {
+      // PLANGEN diagnostics only exist for the speculative strategy; the
+      // baselines get a static plan shape.
+      std::printf("[%s] plan %s   (E_Q(k=%zu) = %s, est. %0.f answers)\n",
+                  std::string(StrategyName(strategy)).c_str(),
+                  response.plan.ToString().c_str(), k_,
+                  DoubleToString(response.diagnostics.eq_k, 3).c_str(),
+                  response.diagnostics.cardinality_estimate);
+    } else {
+      std::printf("[%s] plan %s   (static plan, no PLANGEN diagnostics)\n",
+                  std::string(StrategyName(strategy)).c_str(),
+                  response.plan.ToString().c_str());
+    }
+    for (const PatternDecision& d : response.diagnostics.decisions) {
       std::printf("  q%zu: %s E_Q'(1)=%s -> %s\n", d.pattern_index,
                   d.has_relaxations ? "has relaxations," : "no relaxations,",
                   DoubleToString(d.eq_prime_top, 3).c_str(),

@@ -99,20 +99,21 @@ int main() {
   std::printf("\nquery: %s\n", text);
 
   for (Strategy strategy : {Strategy::kTrinit, Strategy::kSpecQp}) {
-    auto result = engine.ExecuteText(text, /*k=*/10, strategy);
-    SPECQP_CHECK(result.ok()) << result.status().ToString();
+    QueryResponse response =
+        engine.Submit(QueryRequest::FromText(text, /*k=*/10, strategy)).get();
+    SPECQP_CHECK(response.ok()) << response.status.ToString();
     std::printf("\n[%s] plan %s\n", std::string(StrategyName(strategy)).c_str(),
-                result->plan.ToString().c_str());
+                response.plan.ToString().c_str());
     std::printf("  %-28s %.3f ms (plan %.3f ms)\n", "runtime:",
-                result->stats.plan_ms + result->stats.exec_ms,
-                result->stats.plan_ms);
+                response.stats.plan_ms + response.stats.exec_ms,
+                response.stats.plan_ms);
     std::printf("  %-28s %llu\n", "answer objects:",
                 static_cast<unsigned long long>(
-                    result->stats.answer_objects));
+                    response.stats.answer_objects));
     auto parsed = ParseQuery(text, store.dict());
-    for (size_t i = 0; i < result->rows.size() && i < 3; ++i) {
+    for (size_t i = 0; i < response.rows.size() && i < 3; ++i) {
       std::printf("  #%zu %s\n", i + 1,
-                  RowToString(result->rows[i], parsed.value(), store.dict())
+                  RowToString(response.rows[i], parsed.value(), store.dict())
                       .c_str());
     }
   }

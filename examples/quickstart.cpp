@@ -52,29 +52,35 @@ int main() {
                              0.8})
                    .ok());
 
-  // 3. Run a query. The engine plans speculatively: patterns whose
-  //    relaxations cannot reach the top-k are executed as plain rank joins.
+  // 3. Run a query through the request API. The engine plans
+  //    speculatively: patterns whose relaxations cannot reach the top-k
+  //    are executed as plain rank joins. Submit returns a future; windowed
+  //    admission batches concurrent submissions, so a single quickstart
+  //    query just rides a window of one.
   Engine engine(&store, &rules);
   const char* text =
       "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <rdf:type> <lyricist> }";
-  auto result = engine.ExecuteText(text, /*k=*/3, Strategy::kSpecQp);
-  if (!result.ok()) {
+  QueryResponse response =
+      engine.Submit(QueryRequest::FromText(text, /*k=*/3)).get();
+  if (!response.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
-                 result.status().ToString().c_str());
+                 response.status.ToString().c_str());
     return 1;
   }
 
   std::printf("query : %s\n", text);
   std::printf("plan  : %s   (patterns left of '|' run without relaxations)\n",
-              result->plan.ToString().c_str());
-  std::printf("top-%zu:\n", result->rows.size());
+              response.plan.ToString().c_str());
+  std::printf("top-%zu:\n", response.rows.size());
   auto parsed = ParseQuery(text, store.dict());
-  for (const ScoredRow& row : result->rows) {
+  for (const ScoredRow& row : response.rows) {
     std::printf("  %s\n",
                 RowToString(row, parsed.value(), store.dict()).c_str());
   }
-  std::printf("cost  : %llu intermediate answer objects, %.3f ms\n",
-              static_cast<unsigned long long>(result->stats.answer_objects),
-              result->stats.plan_ms + result->stats.exec_ms);
+  std::printf("cost  : %llu intermediate answer objects, %.3f ms "
+              "(window of %zu, queued %.3f ms)\n",
+              static_cast<unsigned long long>(response.stats.answer_objects),
+              response.stats.plan_ms + response.stats.exec_ms,
+              response.window_size, response.admission_ms);
   return 0;
 }

@@ -51,16 +51,19 @@ int main() {
 
   Engine engine(&data.store, &data.rules);
   for (Strategy strategy : {Strategy::kTrinit, Strategy::kSpecQp}) {
-    const auto result = engine.Execute(query, /*k=*/10, strategy);
+    const QueryResponse response =
+        engine.Submit(QueryRequest::FromQuery(query, /*k=*/10, strategy))
+            .get();
+    SPECQP_CHECK(response.ok()) << response.status.ToString();
     std::printf("\n[%s] plan %s — %.3f ms, %llu answer objects\n",
                 std::string(StrategyName(strategy)).c_str(),
-                result.plan.ToString().c_str(),
-                result.stats.plan_ms + result.stats.exec_ms,
+                response.plan.ToString().c_str(),
+                response.stats.plan_ms + response.stats.exec_ms,
                 static_cast<unsigned long long>(
-                    result.stats.answer_objects));
-    for (size_t i = 0; i < result.rows.size() && i < 5; ++i) {
+                    response.stats.answer_objects));
+    for (size_t i = 0; i < response.rows.size() && i < 5; ++i) {
       std::printf("  #%zu %s\n", i + 1,
-                  RowToString(result.rows[i], query, data.store.dict())
+                  RowToString(response.rows[i], query, data.store.dict())
                       .c_str());
     }
   }

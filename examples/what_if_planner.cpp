@@ -35,27 +35,31 @@ int main() {
   std::printf("%-6s %-12s %-30s %-18s\n", "k", "E_Q(k)",
               "E_Q'(1) per pattern", "plan");
   for (size_t k : {1, 2, 5, 10, 15, 20, 50, 100}) {
-    PlanDiagnostics diag;
-    const QueryPlan plan = engine.PlanOnly(query, k, &diag);
+    // Explain is the plan-introspection entry point: plan + PLANGEN
+    // diagnostics, no execution.
+    const QueryResponse explained =
+        engine.Explain(QueryRequest::FromQuery(query, k));
     std::string relaxed_scores;
-    for (const PatternDecision& d : diag.decisions) {
+    for (const PatternDecision& d : explained.diagnostics.decisions) {
       relaxed_scores += StrFormat("%s%s", relaxed_scores.empty() ? "" : " ",
                                   DoubleToString(d.eq_prime_top, 3).c_str());
       relaxed_scores += d.relax ? "*" : " ";
     }
     std::printf("%-6zu %-12s %-30s %-18s\n", k,
-                DoubleToString(diag.eq_k, 3).c_str(), relaxed_scores.c_str(),
-                plan.ToString().c_str());
+                DoubleToString(explained.diagnostics.eq_k, 3).c_str(),
+                relaxed_scores.c_str(), explained.plan.ToString().c_str());
   }
   std::printf(
       "\n('*' marks patterns whose relaxations PLANGEN decided to process; "
       "as k grows, E_Q(k) falls and more patterns cross the threshold.)\n");
 
   // Cross-check the final plan by executing it.
-  const auto result = engine.Execute(query, 20, Strategy::kSpecQp);
+  const QueryResponse response =
+      engine.Submit(QueryRequest::FromQuery(query, 20)).get();
+  SPECQP_CHECK(response.ok()) << response.status.ToString();
   std::printf("\nexecuted k=20: %zu answers, %llu answer objects, %.3f ms\n",
-              result.rows.size(),
-              static_cast<unsigned long long>(result.stats.answer_objects),
-              result.stats.plan_ms + result.stats.exec_ms);
+              response.rows.size(),
+              static_cast<unsigned long long>(response.stats.answer_objects),
+              response.stats.plan_ms + response.stats.exec_ms);
   return 0;
 }

@@ -43,9 +43,13 @@ ANSWER_SUFFIXES = ("_answers",)
 MATCH_KEYS = {"answers_match"}
 
 # Knobs that must be identical for two artifacts to be comparable
-# (docs/BENCHMARKS.md "knobs held fixed across runs").
+# (docs/BENCHMARKS.md "knobs held fixed across runs"). `scale` is the
+# dataset scale tier; the `admission_*` knobs shape the Submit-driven batch
+# windows — runs at different tiers or window shapes are different
+# workloads, not perf signals.
 COMPARABILITY_KEYS = ("bench", "schema_version", "threads", "cache_budget_mb",
-                      "batch_mode")
+                      "batch_mode", "scale", "admission_max_batch",
+                      "admission_max_delay_ms")
 
 
 def is_runtime_key(key):
@@ -135,6 +139,9 @@ def self_test():
         "threads": 2,
         "cache_budget_mb": 64,
         "batch_mode": False,
+        "scale": 1,
+        "admission_max_batch": 16,
+        "admission_max_delay_ms": 2.0,
         "benchmarks": [
             {"name": "rank_join_topk/k:10", "ns_per_iter": 1000.0},
             {"name": "pattern_scan_drain", "ns_per_iter": 50.0},  # < floor
@@ -174,15 +181,28 @@ def self_test():
         assert any("answer count changed" in e for e in errors), \
             f"answer-count change to {changed_count} must fail, got: {errors}"
 
-    # Mismatched knobs are an operator error (exit 2 path).
-    other_knobs = copy.deepcopy(base)
-    other_knobs["threads"] = 8
-    errors, _, not_comparable = compare(base, other_knobs, 0.20)
-    assert not_comparable and errors, "knob mismatch must be flagged"
+    # Mismatched knobs are an operator error (exit 2 path) — including the
+    # scale tier and the admission-window knobs.
+    for knob, other_value in (("threads", 8), ("scale", 10),
+                              ("admission_max_batch", 1),
+                              ("admission_max_delay_ms", 0.0)):
+        other_knobs = copy.deepcopy(base)
+        other_knobs[knob] = other_value
+        errors, _, not_comparable = compare(base, other_knobs, 0.20)
+        assert not_comparable and errors, \
+            f"{knob} mismatch must be flagged, got: {errors}"
+
+    # A knob absent on one side (older artifact schema) stays comparable.
+    legacy = copy.deepcopy(base)
+    for knob in ("scale", "admission_max_batch", "admission_max_delay_ms"):
+        del legacy[knob]
+    errors, _, not_comparable = compare(legacy, base, 0.20)
+    assert not errors and not not_comparable, \
+        f"absent knobs must stay comparable: {errors}"
 
     print("self-test OK: gate passes identical/jittered artifacts, fails on "
           "injected runtime and answer-count regressions, rejects "
-          "mismatched knobs")
+          "mismatched knobs (incl. scale and admission window)")
     return 0
 
 

@@ -1,0 +1,293 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "core/batch_executor.h"
+#include "core/engine.h"
+#include "query/parser.h"
+#include "util/logging.h"
+
+namespace specqp {
+
+AdmissionController::AdmissionController(Engine* engine,
+                                         const Options& options)
+    : engine_(engine), options_(options) {
+  SPECQP_CHECK(engine_ != nullptr);
+  SPECQP_CHECK(options_.max_batch_size >= 1);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AdmissionController::~AdmissionController() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+  // The dispatcher drained every open and closed window before exiting, so
+  // no promise is ever abandoned.
+}
+
+std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
+  // Submit-time terminations complete the future immediately, without
+  // touching the window state.
+  auto reject = [this](QueryResponse response) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected_at_submit;
+      if (response.status.code() == StatusCode::kCancelled) {
+        ++stats_.cancelled;
+      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      }
+    }
+    std::promise<QueryResponse> promise;
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  };
+
+  QueryResponse shell;
+  shell.tag = request.tag;
+  shell.strategy = request.strategy;
+  shell.k = request.k;
+
+  if (request.k < 1) {
+    shell.status = Status::InvalidArgument("k must be >= 1");
+    return reject(std::move(shell));
+  }
+  Query query;
+  if (request.query.has_value()) {
+    query = std::move(*request.query);
+    request.query.reset();
+  } else {
+    // Parse on the submitting thread (fail fast; the dictionary is
+    // read-only after Finalize, so concurrent parses are safe).
+    auto parsed = ParseQuery(request.text, engine_->store().dict());
+    if (!parsed.ok()) {
+      shell.status = parsed.status();
+      return reject(std::move(shell));
+    }
+    query = std::move(parsed).value();
+  }
+  if (request.cancel.cancelled()) {
+    shell.status = Status::Cancelled("cancelled before admission");
+    return reject(std::move(shell));
+  }
+  // A dead-on-arrival deadline terminates now rather than stalling in a
+  // window that may not close for a long max_delay.
+  if (request.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *request.deadline) {
+    shell.status =
+        Status::DeadlineExceeded("deadline expired before admission");
+    return reject(std::move(shell));
+  }
+
+  Pending pending;
+  pending.query = std::move(query);
+  if (request.cancel.valid() || request.deadline.has_value()) {
+    pending.interrupt = std::make_unique<ExecInterrupt>();
+    if (request.cancel.valid()) {
+      pending.interrupt->LinkCancelFlag(request.cancel.flag());
+    }
+    if (request.deadline.has_value()) {
+      pending.interrupt->SetDeadline(*request.deadline);
+    }
+  }
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+
+  const WindowKey key{pending.request.k,
+                      static_cast<int>(pending.request.strategy)};
+  bool wake_dispatcher = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    Window& window = open_[key];
+    if (window.pending.empty()) {
+      window.age.Reset();
+      wake_dispatcher = true;  // dispatcher must learn the new delay bound
+    }
+    window.pending.push_back(std::move(pending));
+    if (window.pending.size() >= options_.max_batch_size) {
+      auto node = open_.extract(key);
+      closed_.emplace_back(key, std::move(node.mapped()));
+      ++stats_.closed_on_size;
+      wake_dispatcher = true;
+    }
+  }
+  if (wake_dispatcher) cv_.notify_all();
+  return future;
+}
+
+void AdmissionController::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, window] : open_) {
+      if (window.pending.empty()) continue;
+      closed_.emplace_back(key, std::move(window));
+      ++stats_.closed_on_flush;
+    }
+    open_.clear();
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AdmissionController::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Move delay-expired windows to the closed queue.
+    const double max_delay_ms =
+        static_cast<double>(options_.max_delay.count()) / 1000.0;
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (!it->second.pending.empty() &&
+          it->second.age.ElapsedMillis() >= max_delay_ms) {
+        closed_.emplace_back(it->first, std::move(it->second));
+        ++stats_.closed_on_delay;
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (!closed_.empty()) {
+      auto [key, window] = std::move(closed_.front());
+      closed_.erase(closed_.begin());
+      ++stats_.windows_dispatched;
+      stats_.max_window_size =
+          std::max(stats_.max_window_size, window.pending.size());
+      lock.unlock();
+      DispatchWindow(key, std::move(window));
+      lock.lock();
+      continue;
+    }
+
+    if (stop_) {
+      // Shutdown drain: close whatever is still open and loop once more.
+      bool drained = true;
+      for (auto& [key, window] : open_) {
+        if (window.pending.empty()) continue;
+        closed_.emplace_back(key, std::move(window));
+        ++stats_.closed_on_flush;
+        drained = false;
+      }
+      open_.clear();
+      if (drained) return;
+      continue;
+    }
+
+    if (open_.empty()) {
+      cv_.wait(lock, [this] {
+        return stop_ || !closed_.empty() || !open_.empty();
+      });
+    } else {
+      // Sleep until the oldest window's delay expires (or new work).
+      double oldest_ms = 0.0;
+      for (const auto& [key, window] : open_) {
+        oldest_ms = std::max(oldest_ms, window.age.ElapsedMillis());
+      }
+      const double remaining_ms = std::max(0.0, max_delay_ms - oldest_ms);
+      cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                             remaining_ms + 0.05));
+    }
+  }
+}
+
+Status AdmissionController::TerminalStatus(const Pending& pending) {
+  if (pending.interrupt != nullptr && pending.interrupt->Stopped()) {
+    return pending.interrupt->cause() == StopCause::kCancelled
+               ? Status::Cancelled("query cancelled")
+               : Status::DeadlineExceeded("query deadline exceeded");
+  }
+  if (pending.request.cancel.cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (pending.interrupt != nullptr && pending.interrupt->CheckDeadline()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+void AdmissionController::DispatchWindow(WindowKey key, Window window) {
+  const size_t k = key.first;
+  const Strategy strategy = static_cast<Strategy>(key.second);
+
+  // Requests already stopped at dispatch time (cancelled while queued,
+  // deadline expired in the window) terminate without executing; the rest
+  // run as one batch through the shared-scan machinery.
+  std::vector<size_t> live;  // indices into window.pending
+  std::vector<Query> queries;
+  std::vector<const ExecInterrupt*> interrupts;
+  live.reserve(window.pending.size());
+  queries.reserve(window.pending.size());
+  interrupts.reserve(window.pending.size());
+  for (size_t i = 0; i < window.pending.size(); ++i) {
+    Pending& pending = window.pending[i];
+    // Queueing delay ends here, before any execution happens.
+    pending.admission_ms = pending.queued.ElapsedMillis();
+    if (pending.interrupt != nullptr &&
+        (pending.interrupt->Stopped() || pending.interrupt->CheckDeadline())) {
+      continue;  // fulfilled below via TerminalStatus
+    }
+    live.push_back(i);
+    queries.push_back(std::move(pending.query));
+    interrupts.push_back(pending.interrupt.get());
+  }
+
+  std::vector<Engine::QueryResult> results;
+  BatchStats batch_stats;
+  if (!queries.empty()) {
+    BatchExecutor batch(engine_);
+    results = batch.Execute(queries, k, strategy, &batch_stats, interrupts);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.batched_queries += queries.size();
+    stats_.shared_scan_hits += batch_stats.shared_scan_hits;
+  }
+
+  size_t next_live = 0;
+  for (size_t i = 0; i < window.pending.size(); ++i) {
+    Pending& pending = window.pending[i];
+    QueryResponse response;
+    response.tag = pending.request.tag;
+    response.strategy = strategy;
+    response.k = k;
+    response.window_size = window.pending.size();
+    response.admission_ms = pending.admission_ms;
+
+    const bool executed =
+        next_live < live.size() && live[next_live] == i;
+    if (executed) {
+      Engine::QueryResult& result = results[next_live];
+      ++next_live;
+      response.status = TerminalStatus(pending);
+      if (response.status.ok()) {
+        response.plan = std::move(result.plan);
+        response.diagnostics = std::move(result.diagnostics);
+        response.rows = std::move(result.rows);
+        response.stats = result.stats;
+      }
+      // else: aborted (or terminally late) — no partial rows are returned.
+    } else {
+      response.status = TerminalStatus(pending);
+      SPECQP_DCHECK(!response.status.ok());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (response.status.code() == StatusCode::kCancelled) {
+        ++stats_.cancelled;
+      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      }
+    }
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace specqp

@@ -1,0 +1,134 @@
+#ifndef SPECQP_CORE_ADMISSION_H_
+#define SPECQP_CORE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/request.h"
+#include "topk/exec_context.h"
+#include "util/timer.h"
+
+namespace specqp {
+
+class Engine;
+
+// Streaming batch admission: turns an online stream of Engine::Submit
+// calls into the batch windows the BatchExecutor amortises.
+//
+// Submissions accumulate in per-(k, strategy) windows (those are the batch
+// dimensions BatchExecutor shares across a whole batch). A window closes —
+// and is dispatched through Engine::ExecuteBatch's machinery, so its
+// queries get the shared-scan / duplicate-collapsing / one-snapshot
+// amortisation of PR 4 — when it reaches `max_batch_size` queries or when
+// its oldest submission has waited `max_delay`, whichever happens first.
+// Flush() closes every open window immediately (shutdown, tests, end of a
+// burst).
+//
+// Threading: Submit() never blocks on query execution — it parses, runs
+// the submit-time checks (k >= 1, already-cancelled token, already-expired
+// deadline), enqueues, and returns a future. One background dispatcher thread owns window close and
+// batch execution, so all *planning* stays single-threaded no matter how
+// many threads submit concurrently (the engine's planner memos are not
+// locked); cross-query execution parallelism inside a window still comes
+// from the engine's thread pool. The destructor flushes and drains every
+// pending request before returning — no future is ever abandoned.
+//
+// Cancellation and deadlines ride along: each request with a token or
+// deadline gets an ExecInterrupt that the window's operator trees poll
+// (see ExecContext::Interrupted), so a cancelled request aborts mid-join
+// promptly. When structurally identical queries from different requests
+// collapse onto one execution, that execution is only interruptible if
+// every rider shares the same interrupt — a cancelled rider whose twin
+// still wants the answer lets the execution finish and simply gets its
+// terminal kCancelled response.
+class AdmissionController {
+ public:
+  struct Options {
+    // Window close thresholds. max_batch_size <= 1 degenerates to
+    // per-query windows (still asynchronous, no cross-query sharing).
+    size_t max_batch_size = 16;
+    std::chrono::microseconds max_delay{2000};
+  };
+
+  // Counters since construction (snapshot under the controller's lock).
+  struct Stats {
+    uint64_t submitted = 0;           // requests accepted into windows
+    uint64_t rejected_at_submit = 0;  // parse error / bad k / cancelled
+    uint64_t windows_dispatched = 0;
+    uint64_t closed_on_size = 0;
+    uint64_t closed_on_delay = 0;
+    uint64_t closed_on_flush = 0;  // Flush() or shutdown drain
+    size_t max_window_size = 0;
+    uint64_t batched_queries = 0;     // queries that reached a BatchExecutor
+    uint64_t shared_scan_hits = 0;    // summed over dispatched windows
+    uint64_t cancelled = 0;           // terminal kCancelled responses
+    uint64_t deadline_exceeded = 0;   // terminal kDeadlineExceeded responses
+  };
+
+  AdmissionController(Engine* engine, const Options& options);
+  ~AdmissionController();  // flushes and drains; joins the dispatcher
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Admits one request. Returns immediately; the future completes once the
+  // request's window has been dispatched (or the request was terminated at
+  // submit/dispatch time: parse error, k == 0, already-cancelled token,
+  // already-expired deadline).
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  // Closes every open window now and hands it to the dispatcher. Does not
+  // wait for execution; wait on the returned futures for that.
+  void Flush();
+
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    Query query;
+    QueryRequest request;  // query moved out; service terms remain
+    std::promise<QueryResponse> promise;
+    std::unique_ptr<ExecInterrupt> interrupt;  // null when not interruptible
+    WallTimer queued;          // started at submit
+    double admission_ms = 0;   // submit-to-dispatch, snapshot at dispatch
+  };
+
+  struct Window {
+    std::vector<Pending> pending;
+    WallTimer age;  // since first submission
+  };
+
+  using WindowKey = std::pair<size_t, int>;  // (k, strategy)
+
+  void DispatcherLoop();
+  // Executes one closed window and fulfills its promises. Runs on the
+  // dispatcher thread only.
+  void DispatchWindow(WindowKey key, Window window);
+  // The terminal status of one request observed `now-ish`: cancellation
+  // wins over deadline expiry, which wins over OK.
+  static Status TerminalStatus(const Pending& pending);
+
+  Engine* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<WindowKey, Window> open_;          // accumulating windows
+  std::vector<std::pair<WindowKey, Window>> closed_;  // awaiting dispatch
+  bool stop_ = false;
+  Stats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_ADMISSION_H_

@@ -54,7 +54,15 @@ BatchExecutor::BatchExecutor(Engine* engine) : engine_(engine) {
 std::vector<Engine::QueryResult> BatchExecutor::Execute(
     std::span<const Query> queries, size_t k, Strategy strategy,
     BatchStats* batch_stats) {
+  return Execute(queries, k, strategy, batch_stats,
+                 std::span<const ExecInterrupt* const>());
+}
+
+std::vector<Engine::QueryResult> BatchExecutor::Execute(
+    std::span<const Query> queries, size_t k, Strategy strategy,
+    BatchStats* batch_stats, std::span<const ExecInterrupt* const> interrupts) {
   SPECQP_CHECK(k >= 1);
+  SPECQP_CHECK(interrupts.empty() || interrupts.size() == queries.size());
   BatchStats local_stats;
   BatchStats& bs = batch_stats != nullptr ? *batch_stats : local_stats;
   bs = BatchStats();
@@ -166,18 +174,39 @@ std::vector<Engine::QueryResult> BatchExecutor::Execute(
   bs.patterns_expanded = expansions.size();
 
   // --- phase 5: execute distinct queries concurrently ---------------------
+  // A shared execution polls an interrupt only when every rider of its
+  // duplicate group handed in that same signal (all-null groups and legacy
+  // batches run uninterruptible, as before).
+  std::vector<const ExecInterrupt*> group_interrupt(rep_slot.size(), nullptr);
+  if (!interrupts.empty()) {
+    std::vector<bool> group_seen(rep_slot.size(), false);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const size_t g = distinct_of[i];
+      if (!group_seen[g]) {
+        group_seen[g] = true;
+        group_interrupt[g] = interrupts[i];
+      } else if (group_interrupt[g] != interrupts[i]) {
+        group_interrupt[g] = nullptr;  // mixed riders: run to completion
+      }
+    }
+  }
   WallTimer exec_phase_timer;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(rep_slot.size());
-  for (const size_t slot : rep_slot) {
-    tasks.push_back([this, &queries, &results, &shared, slot, k] {
+  for (size_t g = 0; g < rep_slot.size(); ++g) {
+    const size_t slot = rep_slot[g];
+    const ExecInterrupt* interrupt = group_interrupt[g];
+    tasks.push_back([this, &queries, &results, &shared, slot, k, interrupt] {
       const Query& query = queries[slot];
       Engine::QueryResult& result = results[slot];
+      if (interrupt != nullptr && interrupt->Stopped()) {
+        return;  // stopped before execution started; owner sets the status
+      }
       WallTimer exec_timer;
       // Serial tree per query (no pool in the context): cross-query
       // parallelism comes from running the tasks concurrently, and serial
       // trees equal partitioned trees row-for-row anyway.
-      ExecContext ctx(&result.stats, /*pool=*/nullptr, &shared);
+      ExecContext ctx(&result.stats, /*pool=*/nullptr, &shared, interrupt);
       auto root = engine_->executor_.Build(query, result.plan, &ctx);
       result.rows = PullTopK(root.get(), k, &result.stats);
       root.reset();

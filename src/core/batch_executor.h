@@ -80,6 +80,20 @@ class BatchExecutor {
                                            size_t k, Strategy strategy,
                                            BatchStats* batch_stats);
 
+  // Admission-window variant: `interrupts` (empty, or one slot per query;
+  // entries may be null) carries each query's cooperative stop signal.
+  // A distinct execution polls an interrupt only when every slot of its
+  // duplicate group shares that same interrupt — a group with an
+  // uninterruptible (or differently-interruptible) rider runs to
+  // completion, and the stopped riders' owners translate their own
+  // interrupt state into terminal statuses afterwards. A slot whose
+  // execution aborted returns with whatever rows were not yet produced
+  // missing; callers gate on the interrupt before using the rows.
+  std::vector<Engine::QueryResult> Execute(
+      std::span<const Query> queries, size_t k, Strategy strategy,
+      BatchStats* batch_stats,
+      std::span<const ExecInterrupt* const> interrupts);
+
  private:
   Engine* engine_;
 };

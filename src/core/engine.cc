@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "query/parser.h"
 #include "rdf/store_io.h"
@@ -12,26 +13,21 @@
 
 namespace specqp {
 
-std::string_view StrategyName(Strategy strategy) {
-  switch (strategy) {
-    case Strategy::kSpecQp:
-      return "Spec-QP";
-    case Strategy::kTrinit:
-      return "TriniT";
-    case Strategy::kNoRelax:
-      return "NoRelax";
-  }
-  return "?";
-}
-
 int ResolveNumThreads(int requested) {
   if (requested >= 1) return std::min(requested, 256);
-  const char* env = std::getenv("SPECQP_THREADS");
-  if (env == nullptr) return 1;
-  char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || parsed < 1) return 1;
-  return static_cast<int>(std::min(parsed, 256L));
+  // The environment is consulted exactly once per process (thread-safe
+  // static init): every engine constructed with num_threads <= 0 sees the
+  // same resolved value, mid-run setenv("SPECQP_THREADS") cannot skew
+  // later engines, and concurrent Submit paths never race a getenv.
+  static const int env_threads = [] {
+    const char* env = std::getenv("SPECQP_THREADS");
+    if (env == nullptr) return 1;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 1) return 1;
+    return static_cast<int>(std::min(parsed, 256L));
+  }();
+  return env_threads;
 }
 
 Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
@@ -87,52 +83,198 @@ Result<Engine::Opened> Engine::OpenFromPath(const std::string& store_path,
   return opened;
 }
 
-Engine::QueryResult Engine::Execute(const Query& query, size_t k,
-                                    Strategy strategy) {
-  SPECQP_CHECK(k >= 1);
-  QueryResult result;
+AdmissionController& Engine::admission() {
+  std::call_once(admission_once_, [this] {
+    AdmissionController::Options options;
+    options.max_batch_size = std::max<size_t>(1, options_.admission_max_batch);
+    options.max_delay = std::chrono::microseconds(static_cast<int64_t>(
+        std::max(0.0, options_.admission_max_delay_ms) * 1000.0));
+    admission_ = std::make_unique<AdmissionController>(this, options);
+  });
+  return *admission_;
+}
+
+std::future<QueryResponse> Engine::Submit(QueryRequest request) {
+  if (request.admission == QueryRequest::Admission::kImmediate) {
+    std::promise<QueryResponse> promise;
+    promise.set_value(ExecuteRequest(std::move(request)));
+    return promise.get_future();
+  }
+  return admission().Submit(std::move(request));
+}
+
+QueryResponse Engine::Explain(const QueryRequest& request) {
+  QueryResponse response;
+  response.tag = request.tag;
+  response.strategy = request.strategy;
+  response.k = request.k;
+  if (request.k < 1) {
+    response.status = Status::InvalidArgument("k must be >= 1");
+    return response;
+  }
+
+  // Resolve without mutating the caller's request.
+  Query parsed;
+  const Query* query = nullptr;
+  if (request.query.has_value()) {
+    query = &*request.query;
+  } else {
+    auto result = ParseQuery(request.text, store_->dict());
+    if (!result.ok()) {
+      response.status = result.status();
+      return response;
+    }
+    parsed = std::move(result).value();
+    query = &parsed;
+  }
 
   WallTimer plan_timer;
-  switch (strategy) {
+  switch (request.strategy) {
     case Strategy::kSpecQp:
-      result.plan = planner_.Plan(query, k, &result.diagnostics);
+      response.plan = planner_.Plan(*query, request.k, &response.diagnostics);
       break;
     case Strategy::kTrinit:
-      result.plan = QueryPlan::TrinitPlan(query.num_patterns());
+      response.plan = QueryPlan::TrinitPlan(query->num_patterns());
       break;
     case Strategy::kNoRelax:
-      result.plan = QueryPlan::NoRelaxationsPlan(query.num_patterns());
+      response.plan = QueryPlan::NoRelaxationsPlan(query->num_patterns());
       break;
   }
-  result.stats.plan_ms = plan_timer.ElapsedMillis();
+  response.stats.plan_ms = plan_timer.ElapsedMillis();
+  return response;
+}
+
+QueryResponse Engine::ExecuteRequest(QueryRequest request) {
+  QueryResponse response;
+  response.tag = request.tag;
+  response.strategy = request.strategy;
+  response.k = request.k;
+
+  if (request.k < 1) {
+    response.status = Status::InvalidArgument("k must be >= 1");
+    return response;
+  }
+  if (!request.query.has_value()) {
+    auto parsed = ParseQuery(request.text, store_->dict());
+    if (!parsed.ok()) {
+      response.status = parsed.status();
+      return response;
+    }
+    request.query = std::move(parsed).value();
+  }
+
+  ExecInterrupt interrupt;
+  bool interruptible = false;
+  if (request.cancel.valid()) {
+    interrupt.LinkCancelFlag(request.cancel.flag());
+    interruptible = true;
+  }
+  if (request.deadline.has_value()) {
+    interrupt.SetDeadline(*request.deadline);
+    interruptible = true;
+  }
+  if (interruptible && (interrupt.Stopped() || interrupt.CheckDeadline())) {
+    // Terminated before any work: already-cancelled token or expired
+    // deadline at submit time.
+    response.status = interrupt.cause() == StopCause::kCancelled
+                          ? Status::Cancelled("cancelled before execution")
+                          : Status::DeadlineExceeded(
+                                "deadline expired before execution");
+    return response;
+  }
+
+  RunQuery(*request.query, request, interruptible ? &interrupt : nullptr,
+           &response);
+  return response;
+}
+
+void Engine::RunQuery(const Query& query, const QueryRequest& request,
+                      const ExecInterrupt* interrupt,
+                      QueryResponse* response) {
+  WallTimer plan_timer;
+  switch (request.strategy) {
+    case Strategy::kSpecQp:
+      response->plan =
+          planner_.Plan(query, request.k, &response->diagnostics);
+      break;
+    case Strategy::kTrinit:
+      response->plan = QueryPlan::TrinitPlan(query.num_patterns());
+      break;
+    case Strategy::kNoRelax:
+      response->plan = QueryPlan::NoRelaxationsPlan(query.num_patterns());
+      break;
+  }
+  response->stats.plan_ms = plan_timer.ElapsedMillis();
 
   WallTimer exec_timer;
-  ExecContext ctx(&result.stats, pool_.get());
-  auto root = executor_.Build(query, result.plan, &ctx);
-  result.rows = PullTopK(root.get(), k, &result.stats);
+  ThreadPool* pool =
+      request.serial.value_or(false) ? nullptr : pool_.get();
+  ExecContext ctx(&response->stats, pool, /*shared_scans=*/nullptr,
+                  interrupt);
+  if (request.parallel_min_rows.has_value()) {
+    ctx.set_parallel_min_rows_override(*request.parallel_min_rows);
+  }
+  auto root = executor_.Build(query, response->plan, &ctx);
+  response->rows = PullTopK(root.get(), request.k, &response->stats);
   root.reset();  // partition trees die before their contexts merge
   ctx.MergePartitionStats();
-  result.stats.exec_ms = exec_timer.ElapsedMillis();
+  response->stats.exec_ms = exec_timer.ElapsedMillis();
+
+  if (interrupt != nullptr &&
+      (interrupt->Stopped() || interrupt->CheckDeadline())) {
+    // Aborted (or terminally late): no partial results are returned.
+    response->rows.clear();
+    response->status =
+        interrupt->cause() == StopCause::kCancelled
+            ? Status::Cancelled("query cancelled")
+            : Status::DeadlineExceeded("query deadline exceeded");
+    return;
+  }
 
   // Chain relaxations execute with trailing scratch slots for their fresh
   // variables (always kInvalidTermId at the root); trim rows back to the
   // query's own variables.
-  for (ScoredRow& row : result.rows) {
+  for (ScoredRow& row : response->rows) {
     if (row.bindings.size() > query.num_vars()) {
       row.bindings.resize(query.num_vars());
     }
   }
+}
+
+Engine::QueryResult Engine::ToQueryResult(QueryResponse response) {
+  QueryResult result;
+  result.plan = std::move(response.plan);
+  result.diagnostics = std::move(response.diagnostics);
+  result.rows = std::move(response.rows);
+  result.stats = response.stats;
   return result;
+}
+
+Engine::QueryResult Engine::Execute(const Query& query, size_t k,
+                                    Strategy strategy) {
+  SPECQP_CHECK(k >= 1);
+  QueryRequest request = QueryRequest::FromQuery(query, k, strategy);
+  request.admission = QueryRequest::Admission::kImmediate;
+  QueryResponse response = Submit(std::move(request)).get();
+  // No token, no deadline, query pre-parsed: the unified path cannot fail.
+  SPECQP_CHECK(response.status.ok()) << response.status.ToString();
+  return ToQueryResult(std::move(response));
 }
 
 Result<Engine::QueryResult> Engine::ExecuteText(std::string_view text,
                                                 size_t k, Strategy strategy) {
-  SPECQP_ASSIGN_OR_RETURN(Query query, ParseQuery(text, store_->dict()));
-  return Execute(query, k, strategy);
+  QueryRequest request = QueryRequest::FromText(std::string(text), k,
+                                                strategy);
+  request.admission = QueryRequest::Admission::kImmediate;
+  QueryResponse response = Submit(std::move(request)).get();
+  if (!response.status.ok()) return response.status;
+  return ToQueryResult(std::move(response));
 }
 
 QueryPlan Engine::PlanOnly(const Query& query, size_t k,
                            PlanDiagnostics* diagnostics) {
+  // Same planner call Explain makes, without the request/response envelope
+  // (this sits in planning-throughput measurement loops).
   return planner_.Plan(query, k, diagnostics);
 }
 

@@ -1,16 +1,20 @@
 #ifndef SPECQP_CORE_ENGINE_H_
 #define SPECQP_CORE_ENGINE_H_
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/estimator.h"
 #include "core/plan_executor.h"
 #include "core/planner.h"
 #include "core/query_plan.h"
+#include "core/request.h"
 #include "query/query.h"
 #include "rdf/mmap_store.h"
 #include "rdf/posting_list.h"
@@ -28,18 +32,12 @@ namespace specqp {
 
 struct BatchStats;  // core/batch_executor.h
 
-// How a query is planned and executed.
-enum class Strategy {
-  kSpecQp,   // PLANGEN speculation (the paper's contribution)
-  kTrinit,   // all patterns relaxed through incremental merges (baseline)
-  kNoRelax,  // plain rank joins, relaxations ignored (lower bound)
-};
-
-std::string_view StrategyName(Strategy strategy);
-
 // Resolves a requested thread count: values >= 1 are clamped to [1, 256];
 // values <= 0 defer to the SPECQP_THREADS environment variable (absent or
-// unparsable -> 1, i.e. serial).
+// unparsable -> 1, i.e. serial). The environment is read exactly once per
+// process and memoised — the resolved value is then stored per Engine at
+// construction — so mid-run env mutation cannot skew later engines and
+// concurrent Submit never races a getenv.
 int ResolveNumThreads(int requested);
 
 struct EngineOptions {
@@ -67,6 +65,12 @@ struct EngineOptions {
   // Minimum total posting entries across a query's patterns before the
   // executor builds a partitioned parallel tree.
   size_t parallel_min_rows = 1024;
+  // Streaming admission (Engine::Submit): an open batch window is
+  // dispatched once it holds this many requests or once its oldest request
+  // has waited this long, whichever happens first. max_batch <= 1 turns
+  // cross-request batching off (every Submit dispatches alone).
+  size_t admission_max_batch = 16;
+  double admission_max_delay_ms = 2.0;
   // Engine::OpenFromPath only: memory-map v2 store files (zero-copy
   // MmapStore view, O(ms) open) instead of parsing them into an owned
   // store. v1 files always parse. Answers are identical either way; only
@@ -85,6 +89,20 @@ struct EngineOptions {
 // selectivities, PLANGEN, and plan execution over a knowledge graph plus a
 // relaxation rule set (both owned by the caller and shared across engines
 // so baselines run against identical data and caches are comparable).
+//
+// The blessed API is request-shaped (core/request.h):
+//
+//   Submit(QueryRequest)  -> std::future<QueryResponse>   // execute
+//   Explain(QueryRequest) -> QueryResponse                // plan only
+//
+// Submit with the default windowed admission is safe to call from any
+// number of threads; requests accumulate into batch windows (close on
+// max-size or max-delay, EngineOptions::admission_*) that dispatch through
+// the batch executor, so online traffic gets the shared-scan amortisation
+// automatically. The legacy Execute/ExecuteText/ExecuteBatch/
+// ExecuteTextBatch calls are DEPRECATED thin wrappers kept for one
+// release; like every non-Submit entry point they must not run
+// concurrently with anything else on the same engine.
 class Engine {
  public:
   struct QueryResult {
@@ -130,11 +148,35 @@ class Engine {
                                      const RelaxationIndex* rules,
                                      const EngineOptions& options = {});
 
-  // Plans (according to `strategy`) and executes `query`, returning the
-  // top-k answers plus all execution counters.
+  // Submits one request for execution. With the default windowed admission
+  // the call never blocks on execution: the request is parsed, checked
+  // (parse error, k == 0, and an already-cancelled token all complete the
+  // future immediately with the terminal status), and queued into the
+  // admission window for its (k, strategy); the future completes once the
+  // window has been dispatched. Thread-safe. With
+  // QueryRequest::Admission::kImmediate the request executes on the
+  // calling thread and the returned future is already ready — the
+  // lowest-latency path, subject to the legacy single-caller contract.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  // Plans `request` without executing it: the response carries the plan,
+  // the PLANGEN diagnostics (kSpecQp), and plan_ms, with no rows. The
+  // blessed plan-introspection entry point. Runs on the calling thread;
+  // single-caller contract (it touches the planner memos).
+  QueryResponse Explain(const QueryRequest& request);
+
+  // The streaming admission layer behind Submit (created on first use);
+  // exposed for Flush() and its Stats counters.
+  AdmissionController& admission();
+
+  // DEPRECATED: thin wrapper over Submit (immediate admission). Plans and
+  // executes `query`, returning the top-k answers plus all execution
+  // counters. Prefer Submit(QueryRequest::FromQuery(...)).
   QueryResult Execute(const Query& query, size_t k, Strategy strategy);
 
-  // Executes a whole batch of queries with cross-query amortisation:
+  // DEPRECATED: use Submit — concurrent Submits batch automatically, and
+  // AdmissionController::Flush() closes a window by hand. This wrapper
+  // executes a pre-assembled batch with cross-query amortisation:
   // posting-list scans, statistics, and relaxation expansions are resolved
   // once per distinct pattern for the entire batch (shared-scan plan,
   // batch-scoped pinning), structurally identical queries execute once,
@@ -142,23 +184,27 @@ class Engine {
   // thread pool. results[i] is bit-identical (bindings AND scores) to
   // Execute(queries[i], k, strategy) at any thread count; only the
   // timings/amortisation counters differ. `batch_stats` (optional)
-  // receives the batch-level ledger. See core/batch_executor.h.
+  // receives the batch-level ledger. See core/batch_executor.h. This is
+  // the same dispatch path an admission window takes.
   std::vector<QueryResult> ExecuteBatch(std::span<const Query> queries,
                                         size_t k, Strategy strategy,
                                         BatchStats* batch_stats = nullptr);
 
-  // Parses `text` against the store's dictionary, then Execute()s it.
+  // DEPRECATED: thin wrapper over Submit (immediate admission) that parses
+  // `text` against the store's dictionary first. Prefer
+  // Submit(QueryRequest::FromText(...)).
   Result<QueryResult> ExecuteText(std::string_view text, size_t k,
                                   Strategy strategy);
 
-  // Parses every text and ExecuteBatch()es the ones that parse; a slot
-  // that fails to parse carries its parse error and does not affect the
-  // other queries of the batch.
+  // DEPRECATED: use Submit with text requests. Parses every text and
+  // ExecuteBatch()es the ones that parse; a slot that fails to parse
+  // carries its parse error and does not affect the other queries of the
+  // batch.
   std::vector<Result<QueryResult>> ExecuteTextBatch(
       std::span<const std::string> texts, size_t k, Strategy strategy,
       BatchStats* batch_stats = nullptr);
 
-  // Plans without executing (for planner-only studies).
+  // DEPRECATED: thin wrapper over Explain (kept for planner-only studies).
   QueryPlan PlanOnly(const Query& query, size_t k,
                      PlanDiagnostics* diagnostics = nullptr);
 
@@ -174,11 +220,24 @@ class Engine {
   SelectivityEstimator& selectivity() { return selectivity_; }
   const EngineOptions& options() const { return options_; }
   // Resolved execution concurrency (>= 1); the pool is shared by every
-  // Execute() on this engine.
+  // execution on this engine.
   int num_threads() const { return num_threads_; }
 
  private:
-  friend class BatchExecutor;  // drives planner_/executor_/pool_ per batch
+  friend class BatchExecutor;       // drives planner_/executor_/pool_ per batch
+  friend class AdmissionController; // dispatches windows on its own thread
+
+  // The synchronous unified execution path shared by Submit's immediate
+  // mode and the legacy wrappers: resolve (parse if needed), run the
+  // submit-time checks, plan, execute with the request's interrupt and
+  // overrides, and translate an abort into the terminal status.
+  QueryResponse ExecuteRequest(QueryRequest request);
+  // Plans and executes one resolved query into `response` (which already
+  // carries the request echo). `interrupt` may be null.
+  void RunQuery(const Query& query, const QueryRequest& request,
+                const ExecInterrupt* interrupt, QueryResponse* response);
+
+  static QueryResult ToQueryResult(QueryResponse response);
 
   const TripleStore* store_;
   const RelaxationIndex* rules_;
@@ -192,6 +251,11 @@ class Engine {
   ExpectedScoreEstimator estimator_;
   Planner planner_;
   PlanExecutor executor_;
+
+  // Declared last: destroyed first, so the admission dispatcher drains all
+  // in-flight windows before any engine internals go away.
+  std::once_flag admission_once_;
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace specqp

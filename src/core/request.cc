@@ -1,0 +1,40 @@
+#include "core/request.h"
+
+namespace specqp {
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSpecQp:
+      return "Spec-QP";
+    case Strategy::kTrinit:
+      return "TriniT";
+    case Strategy::kNoRelax:
+      return "NoRelax";
+  }
+  return "?";
+}
+
+QueryRequest QueryRequest::FromQuery(Query query, size_t k,
+                                     Strategy strategy) {
+  QueryRequest request;
+  request.query = std::move(query);
+  request.k = k;
+  request.strategy = strategy;
+  return request;
+}
+
+QueryRequest QueryRequest::FromText(std::string text, size_t k,
+                                    Strategy strategy) {
+  QueryRequest request;
+  request.text = std::move(text);
+  request.k = k;
+  request.strategy = strategy;
+  return request;
+}
+
+QueryRequest& QueryRequest::WithTimeout(std::chrono::milliseconds timeout) {
+  deadline = std::chrono::steady_clock::now() + timeout;
+  return *this;
+}
+
+}  // namespace specqp

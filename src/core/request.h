@@ -1,0 +1,148 @@
+#ifndef SPECQP_CORE_REQUEST_H_
+#define SPECQP_CORE_REQUEST_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/query_plan.h"
+#include "query/query.h"
+#include "topk/exec_stats.h"
+#include "topk/scored_row.h"
+#include "util/status.h"
+
+namespace specqp {
+
+// How a query is planned and executed. (Declared here — the request layer
+// is the public API surface — and re-exported by core/engine.h.)
+enum class Strategy {
+  kSpecQp,   // PLANGEN speculation (the paper's contribution)
+  kTrinit,   // all patterns relaxed through incremental merges (baseline)
+  kNoRelax,  // plain rank joins, relaxations ignored (lower bound)
+};
+
+std::string_view StrategyName(Strategy strategy);
+
+// Copyable handle to a shared cancellation flag. A default-constructed
+// token is *empty* (not cancellable); Create() makes a live one. All
+// copies share one flag, so the caller keeps a copy, hands another to a
+// QueryRequest, and may RequestCancel() from any thread at any time — the
+// executing operators poll the flag cooperatively and wind the query down
+// within a few rows. Cancellation is sticky and cannot be reset.
+class CancellationToken {
+ public:
+  CancellationToken() = default;  // empty: not cancellable
+
+  static CancellationToken Create() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  bool valid() const { return flag_ != nullptr; }
+
+  void RequestCancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  // The shared flag, for wiring into an ExecInterrupt (null when empty).
+  std::shared_ptr<const std::atomic<bool>> flag() const { return flag_; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+// One query-execution request: what to run (a pre-parsed Query, or text
+// parsed against the store dictionary at submit time), how (k, strategy,
+// per-request execution overrides), and under which service terms
+// (deadline, cancellation token, admission mode). This is the unified
+// input of Engine::Submit and Engine::Explain; the legacy
+// Execute/ExecuteText/ExecuteBatch/ExecuteTextBatch calls are thin
+// wrappers that build one of these.
+struct QueryRequest {
+  // What to run: `query` wins when set; otherwise `text` is parsed at
+  // submit time (a parse error becomes the response's terminal status).
+  std::optional<Query> query;
+  std::string text;
+
+  size_t k = 10;
+  Strategy strategy = Strategy::kSpecQp;
+
+  // Service terms. The deadline is checked before execution and polled
+  // cooperatively during it; an expired request terminates with
+  // kDeadlineExceeded and no rows. The token may be cancelled from any
+  // thread; a cancelled request terminates with kCancelled and no rows.
+  // Both are best-effort-prompt: a request that completes in the same
+  // instant may still report the terminal cancellation/deadline status.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  CancellationToken cancel;
+
+  // Per-request overrides of selected EngineOptions. `serial` forces a
+  // serial operator tree even on a multi-threaded engine;
+  // `parallel_min_rows` overrides the partitioned-tree threshold. Neither
+  // changes answers (bit-identical at any setting), only scheduling — and
+  // they only matter on the kImmediate path: windowed requests execute as
+  // batch tasks, which always run one serial tree per distinct query (the
+  // batch gets its parallelism across queries), so a windowed request is
+  // effectively `serial` already.
+  std::optional<bool> serial;
+  std::optional<size_t> parallel_min_rows;
+
+  // Caller label, echoed verbatim in the response (request tracing).
+  std::string tag;
+
+  // kWindow (default): the request joins the engine's admission window and
+  // is dispatched as part of a batch (shared scans, duplicate collapsing;
+  // closes on max-size or max-delay). Safe to call from any number of
+  // threads concurrently. kImmediate: execute on the submitting thread
+  // with no batching — the lowest-latency path, but like the legacy
+  // Execute() it must not run concurrently with other executions on the
+  // same engine (the planner memos are not locked).
+  enum class Admission { kWindow, kImmediate };
+  Admission admission = Admission::kWindow;
+
+  static QueryRequest FromQuery(Query query, size_t k = 10,
+                                Strategy strategy = Strategy::kSpecQp);
+  static QueryRequest FromText(std::string text, size_t k = 10,
+                               Strategy strategy = Strategy::kSpecQp);
+
+  // Sets the deadline `timeout` from now.
+  QueryRequest& WithTimeout(std::chrono::milliseconds timeout);
+};
+
+// The unified result of one request: the terminal Status plus everything
+// the legacy Result<Engine::QueryResult> split used to carry, and the
+// request echo/admission diagnostics. `rows` is only meaningful when
+// status.ok(); a cancelled or expired request reports its terminal status
+// with no rows (`partial` stays false — partial-result streaming is a
+// future extension, nothing is ever silently truncated today).
+struct QueryResponse {
+  Status status;
+
+  QueryPlan plan;
+  PlanDiagnostics diagnostics;  // filled for kSpecQp
+  std::vector<ScoredRow> rows;  // the top-k, score-descending
+  ExecStats stats;
+  bool partial = false;
+
+  // Request echo + admission diagnostics.
+  std::string tag;
+  Strategy strategy = Strategy::kSpecQp;
+  size_t k = 0;
+  size_t window_size = 0;   // requests dispatched in this window (0 = immediate)
+  double admission_ms = 0.0;  // submit-to-dispatch queueing delay
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_REQUEST_H_

@@ -21,7 +21,12 @@ QualityMetrics EvaluateQualityWithTruth(
   QualityMetrics metrics;
   metrics.true_answer_count = truth.answers.size();
 
-  const Engine::QueryResult spec = engine.Execute(query, k, Strategy::kSpecQp);
+  // Unified request path (immediate admission: the harness is a single
+  // synchronous caller measuring one engine).
+  QueryRequest request = QueryRequest::FromQuery(query, k, Strategy::kSpecQp);
+  request.admission = QueryRequest::Admission::kImmediate;
+  const QueryResponse spec = engine.Submit(std::move(request)).get();
+  SPECQP_CHECK(spec.ok()) << spec.status.ToString();
 
   // Precision (== recall): overlap of binding sets at cutoff k.
   const size_t denom = std::min(k, truth.answers.size());
@@ -85,7 +90,10 @@ EfficiencyMetrics MeasureEfficiency(Engine& engine, const Query& query,
     uint64_t objects = 0;
     size_t relaxed = 0;
     for (int r = 0; r < runs; ++r) {
-      const Engine::QueryResult result = engine.Execute(query, k, strategy);
+      QueryRequest request = QueryRequest::FromQuery(query, k, strategy);
+      request.admission = QueryRequest::Admission::kImmediate;
+      const QueryResponse result = engine.Submit(std::move(request)).get();
+      SPECQP_CHECK(result.ok()) << result.status.ToString();
       if (r >= runs - avg_last) {
         total_ms += result.stats.plan_ms + result.stats.exec_ms;
         total_plan += result.stats.plan_ms;

@@ -16,6 +16,10 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
   SPECQP_CHECK(config.tags_per_topic >= 2);
   SPECQP_CHECK(config.min_tags_per_tweet >= 1 &&
                config.min_tags_per_tweet <= config.max_tags_per_tweet);
+  SPECQP_CHECK(config.scale >= 1);
+  // Scale tier: more tweets over the same tag vocabulary (see
+  // TwitterConfig::scale).
+  const size_t num_tweets = config.num_tweets * config.scale;
 
   Rng rng(config.seed);
   TwitterDataset data;
@@ -32,8 +36,8 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
   }
 
   // Retweet counts: power law over a random permutation of tweets.
-  std::vector<uint32_t> rank_of(config.num_tweets);
-  for (size_t i = 0; i < config.num_tweets; ++i) {
+  std::vector<uint32_t> rank_of(num_tweets);
+  for (size_t i = 0; i < num_tweets; ++i) {
     rank_of[i] = static_cast<uint32_t>(i);
   }
   rng.Shuffle(&rank_of);
@@ -46,7 +50,7 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
   const ZipfDistribution topic_dist(config.num_topics, config.topic_skew);
   const ZipfDistribution tag_dist(config.tags_per_topic, config.tag_skew);
 
-  for (size_t i = 0; i < config.num_tweets; ++i) {
+  for (size_t i = 0; i < num_tweets; ++i) {
     const TermId tweet = dict.Intern(StrFormat("tweet%zu", i));
     const double score = retweets(i);
     const size_t topic = topic_dist.Sample(&rng);

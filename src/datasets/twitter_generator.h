@@ -21,6 +21,12 @@ namespace specqp {
 // need all their patterns relaxed (Table 3).
 struct TwitterConfig {
   uint64_t seed = 4217;
+  // Workload scale tier: multiplies num_tweets (1 = the laptop-sized
+  // default, 10 = the first step toward the paper's full scale). The tag
+  // vocabulary is unchanged, so co-occurrence structure stays comparable
+  // across tiers. Benches plumb --scale through here and record it in the
+  // artifact knobs.
+  size_t scale = 1;
   size_t num_tweets = 120000;
   size_t num_topics = 50;
   size_t tags_per_topic = 40;

@@ -13,6 +13,9 @@ namespace specqp {
 XkgDataset GenerateXkg(const XkgConfig& config) {
   SPECQP_CHECK(config.num_entities > 0 && config.num_domains > 0);
   SPECQP_CHECK(config.types_per_domain >= 2);
+  SPECQP_CHECK(config.scale >= 1);
+  // Scale tier: more entities over the same schema (see XkgConfig::scale).
+  const size_t num_entities = config.num_entities * config.scale;
 
   Rng rng(config.seed);
   XkgDataset data;
@@ -51,8 +54,8 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
   // --- entity popularity ("inlink counts") ----------------------------------
   // Popularity rank is a random permutation of entity ids so popular
   // entities are spread across domains.
-  std::vector<uint32_t> rank_of(config.num_entities);
-  for (size_t e = 0; e < config.num_entities; ++e) {
+  std::vector<uint32_t> rank_of(num_entities);
+  for (size_t e = 0; e < num_entities; ++e) {
     rank_of[e] = static_cast<uint32_t>(e);
   }
   rng.Shuffle(&rank_of);
@@ -69,7 +72,7 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
                                     config.value_skew);
 
   // --- entities and their triples -------------------------------------------
-  for (size_t e = 0; e < config.num_entities; ++e) {
+  for (size_t e = 0; e < num_entities; ++e) {
     const TermId entity = dict.Intern(StrFormat("entity%zu", e));
     const double score = popularity(e);
     const size_t domain = domain_dist.Sample(&rng);
@@ -78,7 +81,7 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
         config.popularity_correlation <= 0.0
             ? 1.0
             : std::pow(1.0 - static_cast<double>(rank_of[e]) /
-                                 static_cast<double>(config.num_entities),
+                                 static_cast<double>(num_entities),
                        config.popularity_correlation);
 
     // rdf:type triples: a primary type plus a geometric number of extra

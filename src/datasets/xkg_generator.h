@@ -25,6 +25,13 @@ namespace specqp {
 //     with object constants, matching the paper's example queries.
 struct XkgConfig {
   uint64_t seed = 42;
+  // Workload scale tier: multiplies num_entities (1 = the laptop-sized
+  // default, 10 = the first step toward the paper's full scale). Schema
+  // breadth (domains, types, attributes) is unchanged, so queries and
+  // relaxation structure stay comparable across tiers — posting lists just
+  // get proportionally longer. Benches plumb --scale through here and
+  // record it in the artifact knobs.
+  size_t scale = 1;
   size_t num_entities = 40000;
   size_t num_domains = 24;
   size_t types_per_domain = 18;

@@ -10,14 +10,18 @@ struct ExecContext::Partition {
   ExecContext ctx;
 
   // Partition trees are strictly serial (no pool) but keep reading the
-  // batch's shared scans.
-  explicit Partition(SharedScanCache* shared_scans)
-      : ctx(&stats, /*pool=*/nullptr, shared_scans) {}
+  // batch's shared scans and polling the query's interrupt.
+  Partition(SharedScanCache* shared_scans, const ExecInterrupt* interrupt)
+      : ctx(&stats, /*pool=*/nullptr, shared_scans, interrupt) {}
 };
 
 ExecContext::ExecContext(ExecStats* stats, ThreadPool* pool,
-                         SharedScanCache* shared_scans)
-    : stats_(stats), pool_(pool), shared_scans_(shared_scans) {
+                         SharedScanCache* shared_scans,
+                         const ExecInterrupt* interrupt)
+    : stats_(stats),
+      pool_(pool),
+      shared_scans_(shared_scans),
+      interrupt_(interrupt) {
   SPECQP_CHECK(stats_ != nullptr);
 }
 
@@ -29,7 +33,7 @@ size_t ExecContext::num_threads() const {
 
 ExecContext* ExecContext::ForPartition() {
   std::lock_guard<std::mutex> lock(mu_);
-  partitions_.push_back(std::make_unique<Partition>(shared_scans_));
+  partitions_.push_back(std::make_unique<Partition>(shared_scans_, interrupt_));
   return &partitions_.back()->ctx;
 }
 

@@ -1,6 +1,8 @@
 #ifndef SPECQP_TOPK_EXEC_CONTEXT_H_
 #define SPECQP_TOPK_EXEC_CONTEXT_H_
 
+#include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -12,13 +14,103 @@ namespace specqp {
 class SharedScanCache;
 class ThreadPool;
 
+// Why one execution stopped early (see ExecInterrupt).
+enum class StopCause : int {
+  kNone = 0,
+  kCancelled = 1,         // an external cancellation flag was raised
+  kDeadlineExceeded = 2,  // the execution's deadline passed
+};
+
+// Cooperative stop signal for one query execution.
+//
+// An ExecInterrupt combines an optional external cancellation flag (the
+// shared state of a core CancellationToken) with an optional deadline.
+// Operators poll it through ExecContext::Interrupted() inside their pull
+// loops and wind down (Next() returns false) once it latches, so a
+// cancelled or expired query stops mid-join within a handful of rows
+// instead of draining its inputs. The latch is sticky and records the
+// first cause observed; the layer that owns the execution reads cause()
+// afterwards to translate the abort into a terminal Status.
+//
+// Thread-safety: Stopped()/CheckDeadline() may be called concurrently from
+// every partition tree of a parallel execution; the external flag may be
+// raised from any thread at any time. All state is atomic; loads are
+// relaxed because the only consequence of observing the latch late is a
+// few more rows of work.
+class ExecInterrupt {
+ public:
+  ExecInterrupt() = default;
+
+  ExecInterrupt(const ExecInterrupt&) = delete;
+  ExecInterrupt& operator=(const ExecInterrupt&) = delete;
+
+  // Links the external cancellation flag (kept alive by the shared_ptr for
+  // the interrupt's lifetime). Call before execution starts.
+  void LinkCancelFlag(std::shared_ptr<const std::atomic<bool>> flag) {
+    cancel_flag_ = std::move(flag);
+  }
+
+  // Arms the deadline. Call before execution starts.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  // True once the execution should stop. Cheap (relaxed atomic loads, no
+  // clock read) — safe to call per row.
+  bool Stopped() const {
+    if (stopped_.load(std::memory_order_relaxed)) return true;
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      Latch(StopCause::kCancelled);
+      return true;
+    }
+    return false;
+  }
+
+  // Reads the clock and latches kDeadlineExceeded when the deadline has
+  // passed. Callers amortise this behind a poll counter (ExecContext).
+  bool CheckDeadline() const {
+    if (!has_deadline_) return false;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      Latch(StopCause::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+
+  // The first cause latched (kNone while running).
+  StopCause cause() const {
+    return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  // Records the first cause, then raises the sticky stop latch.
+  void Latch(StopCause cause) const {
+    int expected = static_cast<int>(StopCause::kNone);
+    cause_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                   std::memory_order_relaxed);
+    stopped_.store(true, std::memory_order_relaxed);
+  }
+
+  mutable std::atomic<bool> stopped_{false};
+  mutable std::atomic<int> cause_{static_cast<int>(StopCause::kNone)};
+  std::shared_ptr<const std::atomic<bool>> cancel_flag_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
 // Per-query execution context threaded through the whole operator stack.
 //
 // An ExecContext bundles what one query execution needs beyond the data it
 // reads: the counter sink (ExecStats), when the engine runs multi-core the
-// shared ThreadPool, and — for queries executing as part of a batch — the
-// batch's SharedScanCache. Every operator constructor takes an ExecContext*
-// and records its counters via stats(); orchestration layers (PlanExecutor,
+// shared ThreadPool, for queries executing as part of a batch the batch's
+// SharedScanCache, and — for interruptible requests — the execution's
+// ExecInterrupt. Every operator constructor takes an ExecContext* and
+// records its counters via stats(); pull loops poll Interrupted() to honor
+// cancellation and deadlines; orchestration layers (PlanExecutor,
 // ParallelRankJoin) additionally consult pool()/num_threads() to decide on
 // and drive parallel execution, and the plan executor resolves posting
 // lists through shared_scans() when set (so identical patterns across the
@@ -26,18 +118,22 @@ class ThreadPool;
 //
 // Parallel executions split a query into partition trees. Each partition
 // gets its own *child* context from ForPartition(): same query, no pool
-// (partition trees are strictly serial), and a private ExecStats so the
-// operators of different partitions never contend on counters. The root
-// context owns the children; MergePartitionStats() folds their counters
-// back into the root stats once the execution is done.
+// (partition trees are strictly serial), a private ExecStats so the
+// operators of different partitions never contend on counters, and the
+// same interrupt (with a private deadline-poll counter). The root context
+// owns the children; MergePartitionStats() folds their counters back into
+// the root stats once the execution is done.
 //
 // The context must outlive every operator built against it.
 class ExecContext {
  public:
   // `stats` must outlive the context; `pool` may be null (serial);
-  // `shared_scans` may be null (stand-alone query, no batch).
+  // `shared_scans` may be null (stand-alone query, no batch); `interrupt`
+  // may be null (not cancellable, no deadline) and must otherwise outlive
+  // the context.
   explicit ExecContext(ExecStats* stats, ThreadPool* pool = nullptr,
-                       SharedScanCache* shared_scans = nullptr);
+                       SharedScanCache* shared_scans = nullptr,
+                       const ExecInterrupt* interrupt = nullptr);
   ~ExecContext();
 
   ExecContext(const ExecContext&) = delete;
@@ -47,10 +143,38 @@ class ExecContext {
   ThreadPool* pool() const { return pool_; }
   // The batch's shared-scan layer, or null outside batch execution.
   SharedScanCache* shared_scans() const { return shared_scans_; }
+  // The execution's stop signal, or null when not interruptible.
+  const ExecInterrupt* interrupt() const { return interrupt_; }
+
+  // True once the execution should wind down (cancellation flag raised or
+  // deadline passed). Cancellation is observed immediately; the deadline
+  // clock is only read every 2^7 polls, so per-row polling stays cheap.
+  // Not thread-safe across callers — each partition context is polled only
+  // by the thread currently driving its tree (the fork-join handoff orders
+  // rounds), which is why the poll counter can be a plain integer.
+  bool Interrupted() {
+    if (interrupt_ == nullptr) return false;
+    if (interrupt_->Stopped()) return true;
+    if (interrupt_->has_deadline() && (++deadline_poll_ & 127u) == 0) {
+      return interrupt_->CheckDeadline();
+    }
+    return false;
+  }
 
   // Usable concurrency: pool workers plus the calling thread.
   size_t num_threads() const;
   bool parallel() const { return num_threads() > 1; }
+
+  // Per-request override of EngineOptions::parallel_min_rows (the
+  // partitioned-tree threshold); unset = use the engine's option.
+  void set_parallel_min_rows_override(size_t min_rows) {
+    has_parallel_min_rows_override_ = true;
+    parallel_min_rows_override_ = min_rows;
+  }
+  size_t parallel_min_rows_or(size_t fallback) const {
+    return has_parallel_min_rows_override_ ? parallel_min_rows_override_
+                                           : fallback;
+  }
 
   // Child context for one partition of a parallel execution (stable
   // address, owned by this context). Thread-safe, though partitions are
@@ -69,6 +193,10 @@ class ExecContext {
   ExecStats* stats_;
   ThreadPool* pool_;
   SharedScanCache* shared_scans_;
+  const ExecInterrupt* interrupt_;
+  uint32_t deadline_poll_ = 0;
+  bool has_parallel_min_rows_override_ = false;
+  size_t parallel_min_rows_override_ = 0;
   std::mutex mu_;
   std::deque<std::unique_ptr<Partition>> partitions_;
 };

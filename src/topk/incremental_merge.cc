@@ -7,6 +7,7 @@ namespace specqp {
 IncrementalMerge::IncrementalMerge(
     std::vector<std::unique_ptr<ScoredRowIterator>> inputs, ExecContext* ctx)
     : inputs_(std::move(inputs)),
+      ctx_(ctx),
       stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(!inputs_.empty());
   SPECQP_CHECK(stats_ != nullptr);
@@ -21,6 +22,7 @@ void IncrementalMerge::Prime(size_t i) {
 
 bool IncrementalMerge::Next(ScoredRow* out) {
   while (true) {
+    if (ctx_->Interrupted()) return false;  // cancellation / deadline
     // The effective bound of input i: the score of its buffered head if
     // primed, otherwise the input's own upper bound — which lets us defer
     // pulling from low-weight relaxation lists until their cap is actually

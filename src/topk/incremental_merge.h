@@ -45,6 +45,7 @@ class IncrementalMerge final : public ScoredRowIterator {
   std::vector<std::unique_ptr<ScoredRowIterator>> inputs_;
   std::vector<Head> heads_;
   std::unordered_set<std::vector<TermId>, BindingsHash> seen_;
+  ExecContext* ctx_;
   ExecStats* stats_;
 };
 

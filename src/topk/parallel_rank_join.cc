@@ -11,7 +11,8 @@ namespace specqp {
 ParallelRankJoin::ParallelRankJoin(
     std::vector<std::unique_ptr<ScoredRowIterator>> partitions,
     ExecContext* ctx, size_t batch_size)
-    : stats_(ctx == nullptr ? nullptr : ctx->stats()),
+    : ctx_(ctx),
+      stats_(ctx == nullptr ? nullptr : ctx->stats()),
       pool_(ctx == nullptr ? nullptr : ctx->pool()),
       batch_size_(batch_size) {
   SPECQP_CHECK(!partitions.empty());
@@ -70,6 +71,10 @@ void ParallelRankJoin::Refill(double need_above) {
 
 bool ParallelRankJoin::Next(ScoredRow* out) {
   while (true) {
+    // Cooperative cancellation/deadline at the merge level; the partition
+    // trees additionally poll their own contexts inside each refill, so a
+    // refill round in flight also winds down promptly.
+    if (ctx_->Interrupted()) return false;
     // Candidate: the RowBefore-least buffered head.
     size_t best = partitions_.size();
     for (size_t i = 0; i < partitions_.size(); ++i) {

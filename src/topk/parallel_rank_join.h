@@ -87,6 +87,7 @@ class ParallelRankJoin final : public ScoredRowIterator {
   void Refill(double need_above);
 
   std::vector<Partition> partitions_;
+  ExecContext* ctx_;
   ExecStats* stats_;
   ThreadPool* pool_;
   size_t batch_size_;

@@ -13,6 +13,7 @@ PatternScan::PatternScan(const TripleStore* store,
       pattern_(pattern),
       width_(width),
       weight_(weight),
+      ctx_(ctx),
       stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(store_ != nullptr && list_ != nullptr && stats_ != nullptr);
   SPECQP_CHECK(weight_ > 0.0 && weight_ <= 1.0);
@@ -20,6 +21,7 @@ PatternScan::PatternScan(const TripleStore* store,
 
 bool PatternScan::Next(ScoredRow* out) {
   while (cursor_ < list_->entries.size()) {
+    if (ctx_->Interrupted()) return false;  // cancellation / deadline
     const PostingEntry& entry = list_->entries[cursor_++];
     const Triple& t = store_->triple(entry.triple_index);
     if (!ConsistentMatch(pattern_, t)) continue;

@@ -44,6 +44,7 @@ class PatternScan final : public ScoredRowIterator {
   TriplePattern pattern_;
   size_t width_;
   double weight_;
+  ExecContext* ctx_;
   ExecStats* stats_;
   size_t cursor_ = 0;
 };

@@ -12,6 +12,7 @@ RankJoin::RankJoin(std::unique_ptr<ScoredRowIterator> left,
     : left_(std::move(left)),
       right_(std::move(right)),
       join_vars_(std::move(join_vars)),
+      ctx_(ctx),
       stats_(ctx == nullptr ? nullptr : ctx->stats()) {
   SPECQP_CHECK(left_ != nullptr && right_ != nullptr && stats_ != nullptr);
   // Pre-size the output queue's backing store: the buffered band between
@@ -113,6 +114,11 @@ bool RankJoin::Advance() {
 
 bool RankJoin::Next(ScoredRow* out) {
   while (true) {
+    // Cooperative cancellation/deadline: checked once per pull-or-emit
+    // iteration, so an interrupted join stops within one input row even
+    // mid-drain. Buffered rows are abandoned — the caller discards partial
+    // output on abort anyway.
+    if (ctx_->Interrupted()) return false;
     // Strict emission: only emit once no future join result can reach the
     // buffered top's score. Any result formed after this point combines at
     // least one unseen row and is therefore bounded by T, so every row

@@ -75,6 +75,7 @@ class RankJoin final : public ScoredRowIterator {
   std::unique_ptr<ScoredRowIterator> left_;
   std::unique_ptr<ScoredRowIterator> right_;
   std::vector<VarId> join_vars_;
+  ExecContext* ctx_;
   ExecStats* stats_;
 
   HashTable left_table_;

@@ -202,15 +202,26 @@ TEST(ResolveNumThreadsTest, ExplicitRequestWinsAndIsClamped) {
   EXPECT_EQ(ResolveNumThreads(100000), 256);
 }
 
-TEST(ResolveNumThreadsTest, EnvFallback) {
-  ::unsetenv("SPECQP_THREADS");
-  EXPECT_EQ(ResolveNumThreads(0), 1);
-  ::setenv("SPECQP_THREADS", "6", /*overwrite=*/1);
-  EXPECT_EQ(ResolveNumThreads(0), 6);
-  EXPECT_EQ(ResolveNumThreads(-1), 6);
+TEST(ResolveNumThreadsTest, EnvResolvedOncePerProcess) {
+  // The environment fallback is read exactly once per process and
+  // memoised: mid-run setenv cannot skew later engines, and concurrent
+  // Submit paths never race a getenv. (The resolved value reflects
+  // $SPECQP_THREADS at first resolution — e.g. 4 under the tsan test
+  // preset, 1 when unset.)
+  const int resolved = ResolveNumThreads(0);
+  EXPECT_GE(resolved, 1);
+  EXPECT_EQ(ResolveNumThreads(-1), resolved);
+
+  ::setenv("SPECQP_THREADS", "200", /*overwrite=*/1);
+  EXPECT_EQ(ResolveNumThreads(0), resolved)
+      << "mid-run env mutation must not change the resolved fallback";
   ::setenv("SPECQP_THREADS", "garbage", 1);
-  EXPECT_EQ(ResolveNumThreads(0), 1);
+  EXPECT_EQ(ResolveNumThreads(0), resolved);
   ::unsetenv("SPECQP_THREADS");
+  EXPECT_EQ(ResolveNumThreads(-1), resolved);
+
+  // Explicit requests still win over the memoised fallback.
+  EXPECT_EQ(ResolveNumThreads(3), 3);
 }
 
 }  // namespace

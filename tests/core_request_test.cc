@@ -1,0 +1,222 @@
+// Unit surface of the unified request API (core/request.h): token
+// semantics, request helpers, Submit's immediate path, Explain, the
+// per-request execution overrides, and equivalence between the legacy
+// Execute/ExecuteText wrappers and Submit.
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/request.h"
+#include "test_util.h"
+
+namespace specqp {
+namespace {
+
+using specqp::testing::MakeMusicFixture;
+using specqp::testing::MusicFixture;
+
+void ExpectSameRows(const std::vector<ScoredRow>& expected,
+                    const std::vector<ScoredRow>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].bindings, expected[i].bindings) << label << " #" << i;
+    EXPECT_EQ(actual[i].score, expected[i].score) << label << " #" << i;
+  }
+}
+
+TEST(CancellationTokenTest, EmptyTokenIsInert) {
+  CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  token.RequestCancel();  // no-op, no crash
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.flag(), nullptr);
+}
+
+TEST(CancellationTokenTest, CopiesShareOneFlag) {
+  CancellationToken token = CancellationToken::Create();
+  ASSERT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  CancellationToken copy = token;
+  copy.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(QueryRequestTest, HelpersAndTimeout) {
+  QueryRequest from_text =
+      QueryRequest::FromText("SELECT ?s WHERE { ?s <p> <o> }", 7,
+                             Strategy::kTrinit);
+  EXPECT_FALSE(from_text.query.has_value());
+  EXPECT_EQ(from_text.k, 7u);
+  EXPECT_EQ(from_text.strategy, Strategy::kTrinit);
+  EXPECT_FALSE(from_text.deadline.has_value());
+
+  from_text.WithTimeout(std::chrono::milliseconds(50));
+  ASSERT_TRUE(from_text.deadline.has_value());
+  EXPECT_GT(*from_text.deadline, std::chrono::steady_clock::now());
+
+  Query query;
+  query.AddProjection(query.GetOrAddVariable("s"));
+  const QueryRequest from_query = QueryRequest::FromQuery(query, 3);
+  ASSERT_TRUE(from_query.query.has_value());
+  EXPECT_EQ(from_query.k, 3u);
+  EXPECT_EQ(from_query.strategy, Strategy::kSpecQp);
+}
+
+TEST(SubmitTest, ImmediateMatchesLegacyExecute) {
+  MusicFixture fx = MakeMusicFixture();
+  Engine engine(&fx.store, &fx.rules);
+  const Query query = fx.TypeQuery({"singer", "lyricist"});
+  for (Strategy strategy :
+       {Strategy::kSpecQp, Strategy::kTrinit, Strategy::kNoRelax}) {
+    const Engine::QueryResult expected = engine.Execute(query, 5, strategy);
+    QueryRequest request = QueryRequest::FromQuery(query, 5, strategy);
+    request.admission = QueryRequest::Admission::kImmediate;
+    std::future<QueryResponse> future = engine.Submit(std::move(request));
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "immediate submissions return a ready future";
+    const QueryResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    EXPECT_EQ(response.k, 5u);
+    EXPECT_EQ(response.strategy, strategy);
+    EXPECT_EQ(response.window_size, 0u);
+    EXPECT_FALSE(response.partial);
+    ExpectSameRows(expected.rows, response.rows,
+                   std::string(StrategyName(strategy)));
+  }
+}
+
+TEST(SubmitTest, TextRequestsParseAndEcho) {
+  MusicFixture fx = MakeMusicFixture();
+  Engine engine(&fx.store, &fx.rules);
+  QueryRequest request = QueryRequest::FromText(
+      "SELECT ?s WHERE { ?s <rdf:type> <singer> . "
+      "?s <rdf:type> <lyricist> }",
+      5);
+  request.tag = "request-42";
+  request.admission = QueryRequest::Admission::kImmediate;
+  const QueryResponse response = engine.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(response.tag, "request-42");
+  EXPECT_FALSE(response.rows.empty());
+
+  const auto expected = engine.ExecuteText(
+      "SELECT ?s WHERE { ?s <rdf:type> <singer> . "
+      "?s <rdf:type> <lyricist> }",
+      5, Strategy::kSpecQp);
+  ASSERT_TRUE(expected.ok());
+  ExpectSameRows(expected.value().rows, response.rows, "text request");
+}
+
+TEST(SubmitTest, ParseErrorAndBadKTerminateImmediately) {
+  MusicFixture fx = MakeMusicFixture();
+  Engine engine(&fx.store, &fx.rules);
+  for (const QueryRequest::Admission admission :
+       {QueryRequest::Admission::kImmediate,
+        QueryRequest::Admission::kWindow}) {
+    QueryRequest bad_text = QueryRequest::FromText("not a query", 5);
+    bad_text.admission = admission;
+    const QueryResponse parse_error = engine.Submit(std::move(bad_text)).get();
+    EXPECT_FALSE(parse_error.ok());
+    EXPECT_EQ(parse_error.status.code(), StatusCode::kInvalidArgument);
+
+    QueryRequest bad_k =
+        QueryRequest::FromQuery(fx.TypeQuery({"singer"}), /*k=*/0);
+    bad_k.admission = admission;
+    const QueryResponse k_error = engine.Submit(std::move(bad_k)).get();
+    EXPECT_FALSE(k_error.ok());
+    EXPECT_EQ(k_error.status.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SubmitTest, SerialAndParallelMinRowsOverridesKeepAnswers) {
+  MusicFixture fx = MakeMusicFixture();
+  EngineOptions options;
+  options.num_threads = 4;
+  options.parallel_min_rows = 1u << 30;  // engine-wide: never partition
+  Engine engine(&fx.store, &fx.rules, options);
+  const Query query = fx.TypeQuery({"singer", "lyricist", "guitarist"});
+  const Engine::QueryResult expected = engine.Execute(query, 5,
+                                                      Strategy::kSpecQp);
+  EXPECT_EQ(expected.stats.parallel_partitions, 0u);
+
+  // Override drops the threshold to 0: the tree partitions, answers stay
+  // bit-identical.
+  QueryRequest partitioned = QueryRequest::FromQuery(query, 5);
+  partitioned.admission = QueryRequest::Admission::kImmediate;
+  partitioned.parallel_min_rows = 0;
+  const QueryResponse partitioned_response =
+      engine.Submit(std::move(partitioned)).get();
+  ASSERT_TRUE(partitioned_response.ok());
+  EXPECT_GT(partitioned_response.stats.parallel_partitions, 0u);
+  ExpectSameRows(expected.rows, partitioned_response.rows,
+                 "parallel_min_rows=0");
+
+  // serial forces the single tree even with the low threshold.
+  QueryRequest serial = QueryRequest::FromQuery(query, 5);
+  serial.admission = QueryRequest::Admission::kImmediate;
+  serial.parallel_min_rows = 0;
+  serial.serial = true;
+  const QueryResponse serial_response = engine.Submit(std::move(serial)).get();
+  ASSERT_TRUE(serial_response.ok());
+  EXPECT_EQ(serial_response.stats.parallel_partitions, 0u);
+  ExpectSameRows(expected.rows, serial_response.rows, "serial override");
+}
+
+TEST(ExplainTest, MatchesPlanOnlyAndStaticPlans) {
+  MusicFixture fx = MakeMusicFixture();
+  Engine engine(&fx.store, &fx.rules);
+  const Query query = fx.TypeQuery({"singer", "lyricist"});
+
+  PlanDiagnostics diag;
+  const QueryPlan expected = engine.PlanOnly(query, 10, &diag);
+  const QueryResponse spec = engine.Explain(QueryRequest::FromQuery(query, 10));
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec.rows.empty());
+  EXPECT_EQ(spec.plan.join_group, expected.join_group);
+  EXPECT_EQ(spec.plan.singletons, expected.singletons);
+  EXPECT_EQ(spec.diagnostics.decisions.size(), diag.decisions.size());
+  EXPECT_EQ(spec.diagnostics.eq_k, diag.eq_k);
+
+  const QueryResponse trinit = engine.Explain(
+      QueryRequest::FromQuery(query, 10, Strategy::kTrinit));
+  ASSERT_TRUE(trinit.ok());
+  EXPECT_EQ(trinit.plan.singletons.size(), query.num_patterns());
+
+  const QueryResponse norelax = engine.Explain(
+      QueryRequest::FromQuery(query, 10, Strategy::kNoRelax));
+  ASSERT_TRUE(norelax.ok());
+  EXPECT_EQ(norelax.plan.join_group.size(), query.num_patterns());
+
+  // Text resolution and error propagation.
+  const QueryResponse text_explain = engine.Explain(QueryRequest::FromText(
+      "SELECT ?s WHERE { ?s <rdf:type> <singer> . "
+      "?s <rdf:type> <lyricist> }",
+      10));
+  ASSERT_TRUE(text_explain.ok());
+  EXPECT_EQ(text_explain.plan.join_group, expected.join_group);
+  EXPECT_EQ(text_explain.plan.singletons, expected.singletons);
+
+  const QueryResponse bad = engine.Explain(QueryRequest::FromText("nope", 10));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RequestStatusTest, NewCodesRoundTrip) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace specqp
