@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kCorruption = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
