@@ -15,7 +15,7 @@ namespace {
 struct BenchConfig {
   int threads = 0;             // EngineOptions::num_threads semantics
   size_t cache_budget_mb = 0;  // 0 = unbounded
-  bool batch = false;          // measure ExecuteBatch over whole workloads
+  bool batch = false;          // measure batched runs over whole workloads
   size_t scale = 1;            // XKG/Twitter dataset scale tier (1, 10, ...)
   size_t admit_batch = 16;     // EngineOptions::admission_max_batch
 };
@@ -33,7 +33,7 @@ void PrintUsage(const std::string& name) {
                "  --cache-budget-mb N   posting-list cache budget "
                "(0 = unbounded)\n"
                "  --batch               additionally measure batched "
-               "(ExecuteBatch) workload execution\n"
+               "(BatchExecutor) workload execution\n"
                "  --scale N             dataset scale tier for the XKG/"
                "Twitter workloads (1 = default, 10 = 10x entities/tweets)\n"
                "  --admit-batch N       admission window size for "
@@ -109,6 +109,46 @@ EngineOptions MakeEngineOptions() {
 }
 
 bool BatchModeRequested() { return g_bench_config.batch; }
+
+namespace {
+
+Engine::QueryResult UnpackResponse(QueryResponse response) {
+  Engine::QueryResult result;
+  result.plan = std::move(response.plan);
+  result.diagnostics = std::move(response.diagnostics);
+  result.rows = std::move(response.rows);
+  result.stats = response.stats;
+  return result;
+}
+
+}  // namespace
+
+Engine::QueryResult RunQuery(Engine& engine, const Query& query, size_t k,
+                             Strategy strategy) {
+  QueryRequest request = QueryRequest::FromQuery(query, k, strategy);
+  request.admission = QueryRequest::Admission::kImmediate;
+  QueryResponse response = engine.Submit(std::move(request)).get();
+  SPECQP_CHECK(response.status.ok()) << response.status.ToString();
+  return UnpackResponse(std::move(response));
+}
+
+Result<Engine::QueryResult> RunTextQuery(Engine& engine,
+                                         const std::string& text, size_t k,
+                                         Strategy strategy) {
+  QueryRequest request = QueryRequest::FromText(text, k, strategy);
+  request.admission = QueryRequest::Admission::kImmediate;
+  QueryResponse response = engine.Submit(std::move(request)).get();
+  if (!response.status.ok()) return response.status;
+  return UnpackResponse(std::move(response));
+}
+
+std::vector<Engine::QueryResult> RunBatch(Engine& engine,
+                                          std::span<const Query> queries,
+                                          size_t k, Strategy strategy,
+                                          BatchStats* batch_stats) {
+  BatchExecutor batch(&engine);
+  return batch.Execute(queries, k, strategy, batch_stats);
+}
 
 int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   std::string json_path;
@@ -226,6 +266,8 @@ Json ExecStatsToJson(const ExecStats& stats) {
   j.Set("join_hash_probes", stats.join_hash_probes);
   j.Set("parallel_partitions", stats.parallel_partitions);
   j.Set("parallel_refill_rounds", stats.parallel_refill_rounds);
+  j.Set("blocks_decoded", stats.blocks_decoded);
+  j.Set("blocks_skipped", stats.blocks_skipped);
   j.Set("plan_ms", stats.plan_ms);
   j.Set("exec_ms", stats.exec_ms);
   return j;
@@ -436,7 +478,8 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
 
     if (BatchModeRequested()) {
       // Whole-workload batched sweep (Spec-QP): the same warm engine runs
-      // the workload once sequentially and once through ExecuteBatch, so
+      // the workload once sequentially and once through the batch
+      // executor, so
       // the per-k `batch` object tracks the steady-state amortisation of
       // shared scans and duplicate collapsing across the workload.
       WallTimer seq_timer;
@@ -444,13 +487,13 @@ void RunEfficiencyFigure(const std::string& title, Engine& engine,
       sequential_results.reserve(workload.size());
       for (const Query& query : workload) {
         sequential_results.push_back(
-            engine.Execute(query, k, Strategy::kSpecQp));
+            RunQuery(engine, query, k, Strategy::kSpecQp));
       }
       const double sequential_ms = seq_timer.ElapsedMillis();
       WallTimer batch_timer;
       BatchStats batch_stats;
       const auto batch_results =
-          engine.ExecuteBatch(workload, k, Strategy::kSpecQp, &batch_stats);
+          RunBatch(engine, workload, k, Strategy::kSpecQp, &batch_stats);
       const double batched_ms = batch_timer.ElapsedMillis();
       // Bit-equality per query (bindings AND scores), not just counts —
       // this is the determinism contract the artifact certifies.

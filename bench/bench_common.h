@@ -30,7 +30,7 @@ namespace specqp::bench {
 // --threads feeds EngineOptions::num_threads of every engine built through
 // MakeEngineOptions()/ApplyBenchConfig() (0 = $SPECQP_THREADS, default
 // serial); --cache-budget-mb bounds the posting-list cache; --batch makes
-// the workload benches additionally measure Engine::ExecuteBatch over each
+// the workload benches additionally measure BatchExecutor runs over each
 // whole workload (per-k `batch` objects in the artifact); --scale grows
 // the XKG/Twitter datasets by that factor (entities/tweets; 1 and 10 are
 // the supported tiers, see GetXkg/GetTwitter); --admit-batch sets the
@@ -52,6 +52,20 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run);
 // --cache-budget-mb) parsed by BenchMain.
 void ApplyBenchConfig(EngineOptions* options);
 EngineOptions MakeEngineOptions();
+
+// Unified-API execution helpers: one immediate Submit per query (terminal
+// status CHECKed — nothing on the pre-parsed path can fail), a
+// BatchExecutor per pre-assembled batch. Text parse errors surface as the
+// Result's status.
+Engine::QueryResult RunQuery(Engine& engine, const Query& query, size_t k,
+                             Strategy strategy);
+Result<Engine::QueryResult> RunTextQuery(Engine& engine,
+                                         const std::string& text, size_t k,
+                                         Strategy strategy);
+std::vector<Engine::QueryResult> RunBatch(Engine& engine,
+                                          std::span<const Query> queries,
+                                          size_t k, Strategy strategy,
+                                          BatchStats* batch_stats = nullptr);
 
 // True when --batch was passed: workload benches also measure batched
 // execution.

@@ -1,9 +1,10 @@
 // Batched vs sequential execution of a 50-query template workload:
 // repeated patterns, varying constants, and duplicate queries — the
-// serving-traffic shape ExecuteBatch amortises. The store is saved as a v2
-// file and served memory-mapped, so per-predicate base lists are zero-copy
-// and the batch's shared scans derive every object-bound posting list from
-// one pass instead of one probe-and-sort per key.
+// serving-traffic shape BatchExecutor amortises. The store is saved as a
+// v3 file and served memory-mapped, so per-predicate base lists are
+// zero-copy block views and the batch's shared scans derive every
+// object-bound posting list from one pass instead of one probe-and-sort
+// per key.
 //
 // Reported per strategy: cold wall time (fresh engine, empty caches) and
 // warm wall time (same engine again) for both modes, the speedup, the
@@ -173,26 +174,26 @@ void Run(Json& out) {
     sequential_results.reserve(workload.size());
     for (const Query& query : workload) {
       sequential_results.push_back(
-          sequential_engine.engine->Execute(query, kTopK, strategy));
+          RunQuery(*sequential_engine.engine, query, kTopK, strategy));
     }
     const double sequential_cold_ms = seq_timer.ElapsedMillis();
 
     Engine::Opened batch_engine = OpenEngine(fx);
     WallTimer batch_timer;
     BatchStats batch_stats;
-    const auto batched_results = batch_engine.engine->ExecuteBatch(
-        workload, kTopK, strategy, &batch_stats);
+    const auto batched_results = RunBatch(*batch_engine.engine, workload,
+                                          kTopK, strategy, &batch_stats);
     const double batched_cold_ms = batch_timer.ElapsedMillis();
 
     // Warm repeats on the same engines (caches and memos populated).
     WallTimer seq_warm_timer;
     for (const Query& query : workload) {
-      sequential_engine.engine->Execute(query, kTopK, strategy);
+      RunQuery(*sequential_engine.engine, query, kTopK, strategy);
     }
     const double sequential_warm_ms = seq_warm_timer.ElapsedMillis();
     WallTimer batch_warm_timer;
     BatchStats warm_stats;
-    batch_engine.engine->ExecuteBatch(workload, kTopK, strategy, &warm_stats);
+    RunBatch(*batch_engine.engine, workload, kTopK, strategy, &warm_stats);
     const double batched_warm_ms = batch_warm_timer.ElapsedMillis();
 
     const bool match = RowsIdentical(sequential_results, batched_results);

@@ -80,6 +80,26 @@ MicroFixture& Fixture() {
   return *fx;
 }
 
+// The LARGEST micro input (240k triples): one predicate, 8 objects,
+// ~30k-entry posting lists per side. Shared by the parallel rank join and
+// the block-skipping comparison.
+MicroFixture& BigFixture() {
+  static auto* fx = new MicroFixture(240000, 8, 1);
+  return *fx;
+}
+
+// Re-encodes a flat posting list into the block-compressed backend, as a
+// v3-backed store would serve it.
+std::shared_ptr<const PostingList> BlockedCopy(const TripleStore& store,
+                                               const PostingList& flat) {
+  std::span<const PostingEntry> entries = flat.entries;
+  EncodedPostingBlocks encoded =
+      EncodePostingBlocks(entries.data(), entries.size());
+  return std::make_shared<const PostingList>(PostingList::FromBlocks(
+      std::move(encoded.headers), std::move(encoded.payload), entries.size(),
+      flat.max_raw_score, static_cast<uint32_t>(store.size())));
+}
+
 // Keeps the result of `expr` alive so the compiler cannot elide the work.
 template <typename T>
 inline void DoNotOptimize(T const& value) {
@@ -211,10 +231,10 @@ void Run(Json& out) {
     // the timed body builds the per-partition HRJN trees, runs them on the
     // pool, and merges the top-k. threads:1 is the serial RankJoin
     // baseline the speedups are measured against.
-    static auto* big = new MicroFixture(240000, 8, 1);
-    PostingListCache cache(&big->store);
-    const TriplePattern left = big->Pattern(0, 0);
-    const TriplePattern right = big->Pattern(1, 0);
+    MicroFixture& big = BigFixture();
+    PostingListCache cache(&big.store);
+    const TriplePattern left = big.Pattern(0, 0);
+    const TriplePattern right = big.Pattern(1, 0);
     auto left_list = cache.Get(left.Key());
     auto right_list = cache.Get(right.Key());
     const size_t k = 500;
@@ -226,8 +246,8 @@ void Run(Json& out) {
       std::vector<std::shared_ptr<const PostingList>> right_parts;
       if (threads > 1) {
         pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads) - 1);
-        left_parts = PartitionPostingList(big->store, *left_list, 0, parts);
-        right_parts = PartitionPostingList(big->store, *right_list, 0, parts);
+        left_parts = PartitionPostingList(big.store, *left_list, 0, parts);
+        right_parts = PartitionPostingList(big.store, *right_list, 0, parts);
       }
       MicroResult r = RunMicro(
           StrFormat("parallel_rank_join_topk/threads:%d", threads), [&] {
@@ -235,9 +255,9 @@ void Run(Json& out) {
             ExecContext ctx(&stats, pool.get());
             std::vector<ScoredRow> rows;
             if (threads == 1) {
-              auto l = std::make_unique<PatternScan>(&big->store, left_list,
+              auto l = std::make_unique<PatternScan>(&big.store, left_list,
                                                      left, 1, 1.0, &ctx);
-              auto r2 = std::make_unique<PatternScan>(&big->store, right_list,
+              auto r2 = std::make_unique<PatternScan>(&big.store, right_list,
                                                       right, 1, 1.0, &ctx);
               RankJoin join(std::move(l), std::move(r2), {0}, &ctx);
               rows = PullTopK(&join, k, &stats);
@@ -246,9 +266,9 @@ void Run(Json& out) {
               for (uint32_t p = 0; p < parts; ++p) {
                 ExecContext* part_ctx = ctx.ForPartition();
                 auto l = std::make_unique<PatternScan>(
-                    &big->store, left_parts[p], left, 1, 1.0, part_ctx);
+                    &big.store, left_parts[p], left, 1, 1.0, part_ctx);
                 auto r2 = std::make_unique<PatternScan>(
-                    &big->store, right_parts[p], right, 1, 1.0, part_ctx);
+                    &big.store, right_parts[p], right, 1, 1.0, part_ctx);
                 roots.push_back(std::make_unique<RankJoin>(
                     std::move(l), std::move(r2), std::vector<VarId>{0},
                     part_ctx));
@@ -266,6 +286,69 @@ void Run(Json& out) {
       }
       results.push_back(std::move(r));
     }
+  }
+
+  {
+    // Block skipping on the same 240k-triple input: a self-join over the
+    // ~30k-entry obj0 list at k=10. The list's score curve has ~30 tied
+    // top-score entries per side, so the HRJN corner bound is beaten after
+    // a few dozen pulls and the join never looks at the tail. A flat list
+    // pays for all ~30k entries up front regardless; the block-compressed
+    // backend decodes only the leading block per scan and the remaining
+    // ~470 blocks are charged as provably-dead skips at teardown. Both
+    // backends return identical rows (the store-format probe asserts this
+    // bit-exactly); `block_skipping` in the artifact records the counters
+    // from one instrumented run so compare_bench_json.py can fail a change
+    // that silently regresses skipping to zero.
+    MicroFixture& big = BigFixture();
+    PostingListCache cache(&big.store);
+    const TriplePattern pattern = big.Pattern(0, 0);
+    auto flat_list = cache.Get(pattern.Key());
+    auto blocked_list = BlockedCopy(big.store, *flat_list);
+    const size_t k = 10;
+    for (const bool use_blocked : {false, true}) {
+      const auto& list = use_blocked ? blocked_list : flat_list;
+      results.push_back(RunMicro(
+          StrFormat("rank_join_topk_240k/backend:%s",
+                    use_blocked ? "blocked" : "flat"),
+          [&] {
+            ExecStats stats;
+            ExecContext ctx(&stats);
+            auto l = std::make_unique<PatternScan>(&big.store, list, pattern,
+                                                   1, 1.0, &ctx);
+            auto r = std::make_unique<PatternScan>(&big.store, list, pattern,
+                                                   1, 1.0, &ctx);
+            RankJoin join(std::move(l), std::move(r), {0}, &ctx);
+            const auto rows = PullTopK(&join, k, &stats);
+            DoNotOptimize(rows.data());
+          }));
+    }
+    ExecStats stats;
+    {
+      ExecContext ctx(&stats);
+      auto l = std::make_unique<PatternScan>(&big.store, blocked_list,
+                                             pattern, 1, 1.0, &ctx);
+      auto r = std::make_unique<PatternScan>(&big.store, blocked_list,
+                                             pattern, 1, 1.0, &ctx);
+      RankJoin join(std::move(l), std::move(r), {0}, &ctx);
+      const auto rows = PullTopK(&join, k, &stats);
+      DoNotOptimize(rows.data());
+    }  // tree teardown charges the untouched tail blocks as skipped
+    const size_t blocks_per_list =
+        (blocked_list->size() + kPostingBlockEntries - 1) /
+        kPostingBlockEntries;
+    std::printf(
+        "block skipping (240k self-join, k=%zu): decoded %llu of %zu "
+        "blocks across both scans, skipped %llu\n",
+        k, static_cast<unsigned long long>(stats.blocks_decoded),
+        2 * blocks_per_list,
+        static_cast<unsigned long long>(stats.blocks_skipped));
+    Json& skip = out.Set("block_skipping", Json::Object());
+    skip.Set("list_entries", blocked_list->size());
+    skip.Set("blocks_per_list", blocks_per_list);
+    skip.Set("k", k);
+    skip.Set("blocks_decoded", stats.blocks_decoded);
+    skip.Set("blocks_skipped", stats.blocks_skipped);
   }
 
   for (int patterns : {2, 3, 4}) {
@@ -323,8 +406,9 @@ void Run(Json& out) {
         StrFormat("end_to_end_query/%s",
                   speculative ? "spec_qp" : "trinit"),
         [&] {
-          const auto result = engine.Execute(
-              query, 10, speculative ? Strategy::kSpecQp : Strategy::kTrinit);
+          const auto result = RunQuery(
+              engine, query, 10,
+              speculative ? Strategy::kSpecQp : Strategy::kTrinit);
           DoNotOptimize(result.rows.data());
         }));
     if (speculative) out.Set("cache", CacheStatsToJson(engine.postings()));

@@ -1,12 +1,19 @@
 // Store-load microbenchmark: how fast a saved knowledge graph becomes
-// queryable, v1 (parse + re-index) vs v2 (SQPSTOR2 zero-copy mmap, see
-// docs/FORMATS.md). Reports cold (first load in this process) and warm
-// (best of repeats, page cache hot) figures plus bytes_mapped, and checks
-// that the mapped and parsed engines give identical answers.
+// queryable, v1 (parse + re-index) vs v2 (SQPSTOR2 zero-copy mmap) vs v3
+// (SQPSTOR3 block-compressed postings, see docs/FORMATS.md). Reports cold
+// (first load in this process) and warm (best of repeats, page cache hot)
+// figures plus bytes_mapped per format — the v3 footprint reduction
+// (delta-encoded posting blocks, no materialised SPO permutation) is the
+// headline metric — and checks that all engines give identical answers.
 //
 // This is the measurement behind the "O(ms) load" line in ROADMAP.md: the
-// v2 mmap open does no per-triple work, so its latency is independent of
-// store size while v1 parsing scales with it.
+// mmap opens do no per-triple parsing, so their latency is (near)
+// independent of store size while v1 parsing scales with it. The v3 open
+// additionally synthesises the identity SPO view, a single O(triples)
+// fill that trades a few ms for the smaller mapping.
+//
+// --scale multiplies the generated store (subjects/objects/triples); the
+// v3-vs-v2 bytes_mapped reduction is tracked at scale 10 in CI.
 
 #include <cstdio>
 #include <filesystem>
@@ -34,27 +41,27 @@ constexpr size_t kNumTriples = 400000;
 constexpr int kRepeats = 5;
 
 // Set once after generation: Finalize() deduplicates (s,p,o), so the
-// queryable store is slightly smaller than kNumTriples.
+// queryable store is slightly smaller than scale * kNumTriples.
 size_t g_expected_triples = 0;
 
-TripleStore BuildStore() {
+TripleStore BuildStore(size_t scale) {
   Rng rng(20260729);
-  ZipfDistribution object_zipf(kNumObjects, /*s=*/1.1);
+  ZipfDistribution object_zipf(kNumObjects * scale, /*s=*/1.1);
   TripleStore store;
   Dictionary& dict = store.dict();
   std::vector<TermId> subjects;
   std::vector<TermId> predicates;
   std::vector<TermId> objects;
-  for (size_t i = 0; i < kNumSubjects; ++i) {
+  for (size_t i = 0; i < kNumSubjects * scale; ++i) {
     subjects.push_back(dict.Intern("subject/" + std::to_string(i)));
   }
   for (size_t i = 0; i < kNumPredicates; ++i) {
     predicates.push_back(dict.Intern("predicate/" + std::to_string(i)));
   }
-  for (size_t i = 0; i < kNumObjects; ++i) {
+  for (size_t i = 0; i < kNumObjects * scale; ++i) {
     objects.push_back(dict.Intern("object/" + std::to_string(i)));
   }
-  for (size_t i = 0; i < kNumTriples; ++i) {
+  for (size_t i = 0; i < kNumTriples * scale; ++i) {
     const TermId s = subjects[rng.NextBounded(subjects.size())];
     const TermId p = predicates[rng.NextBounded(predicates.size())];
     const TermId o = objects[object_zipf.Sample(&rng)];
@@ -91,7 +98,7 @@ LoadTiming Measure(Fn load) {
 }
 
 void Run(Json& out) {
-  PrintTitle("micro_store_load — v1 parse vs v2 mmap store open");
+  PrintTitle("micro_store_load — v1 parse vs v2/v3 mmap store open");
 
   namespace fs = std::filesystem;
   const fs::path dir =
@@ -99,18 +106,22 @@ void Run(Json& out) {
   fs::create_directories(dir);
   const std::string v1_path = (dir / "store.v1.sqp").string();
   const std::string v2_path = (dir / "store.v2.sqp").string();
+  const std::string v3_path = (dir / "store.v3.sqp").string();
 
-  std::printf("generating %zu triples / %zu terms...\n", kNumTriples,
-              kNumSubjects + kNumPredicates + kNumObjects);
-  const TripleStore store = BuildStore();
+  const size_t scale = DatasetScale();
+  std::printf("generating %zu triples / %zu terms (scale %zu)...\n",
+              kNumTriples * scale,
+              (kNumSubjects + kNumObjects) * scale + kNumPredicates, scale);
+  const TripleStore store = BuildStore(scale);
   g_expected_triples = store.size();
   RelaxationIndex no_rules;
 
-  // Save both formats; embed a small warmed stats snapshot in v2.
+  // Save all three formats; embed a small warmed stats snapshot in v2/v3.
   WallTimer save_timer;
   SPECQP_CHECK(SaveStoreV1(store, v1_path).ok());
   const double save_v1_ms = save_timer.ElapsedMillis();
   save_timer.Reset();
+  double save_v2_ms = 0.0;
   {
     Engine warm(&store, &no_rules);
     for (TermId p = 0; p < store.dict().size(); ++p) {
@@ -122,11 +133,17 @@ void Run(Json& out) {
     SaveStoreOptions save;
     save.stats = warm.catalog().Snapshot();
     save.stats_head_fraction = warm.catalog().head_fraction();
+    save.format_version = 2;
     SPECQP_CHECK(SaveStore(store, v2_path, save).ok());
+    save_v2_ms = save_timer.ElapsedMillis();
+    save_timer.Reset();
+    save.format_version = 3;
+    SPECQP_CHECK(SaveStore(store, v3_path, save).ok());
   }
-  const double save_v2_ms = save_timer.ElapsedMillis();
+  const double save_v3_ms = save_timer.ElapsedMillis();
   const auto v1_bytes = fs::file_size(v1_path);
   const auto v2_bytes = fs::file_size(v2_path);
+  const auto v3_bytes = fs::file_size(v3_path);
 
   // --- load timings ----------------------------------------------------------
 
@@ -142,19 +159,33 @@ void Run(Json& out) {
   });
   // The engine fast path: structural open + metadata checksums, bulk
   // sections verified lazily.
-  size_t bytes_mapped = 0;
+  size_t bytes_mapped_v2 = 0;
   const LoadTiming v2_mmap = Measure([&] {
     auto mapped = MmapStore::Open(v2_path);
     SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
     SPECQP_CHECK(mapped.value()->VerifyMetadataSections().ok());
-    bytes_mapped = mapped.value()->bytes_mapped();
+    bytes_mapped_v2 = mapped.value()->bytes_mapped();
     return mapped.value()->store().size();
   });
-  // Fully checksummed open (what LoadStore-grade integrity costs).
+  size_t bytes_mapped_v3 = 0;
+  const LoadTiming v3_mmap = Measure([&] {
+    auto mapped = MmapStore::Open(v3_path);
+    SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
+    SPECQP_CHECK(mapped.value()->VerifyMetadataSections().ok());
+    bytes_mapped_v3 = mapped.value()->bytes_mapped();
+    return mapped.value()->store().size();
+  });
+  // Fully checksummed opens (what LoadStore-grade integrity costs; for v3
+  // this decode-validates every posting block).
   MmapStore::Options eager;
   eager.verify = MmapStore::Verify::kEager;
   const LoadTiming v2_mmap_eager = Measure([&] {
     auto mapped = MmapStore::Open(v2_path, eager);
+    SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
+    return mapped.value()->store().size();
+  });
+  const LoadTiming v3_mmap_eager = Measure([&] {
+    auto mapped = MmapStore::Open(v3_path, eager);
     SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
     return mapped.value()->store().size();
   });
@@ -166,28 +197,41 @@ void Run(Json& out) {
   EngineOptions parse_options = MakeEngineOptions();
   parse_options.mmap = false;
   auto mapped_engine = Engine::OpenFromPath(v2_path, &no_rules, mmap_options);
+  auto mapped_v3_engine =
+      Engine::OpenFromPath(v3_path, &no_rules, mmap_options);
   auto parsed_engine = Engine::OpenFromPath(v2_path, &no_rules, parse_options);
-  SPECQP_CHECK(mapped_engine.ok() && parsed_engine.ok());
+  SPECQP_CHECK(mapped_engine.ok() && mapped_v3_engine.ok() &&
+               parsed_engine.ok());
   SPECQP_CHECK(mapped_engine.value().mmap_backed());
+  SPECQP_CHECK(mapped_v3_engine.value().mmap_backed());
   const std::string query_text =
       "SELECT ?s WHERE { ?s <predicate/0> <object/0> . "
       "?s <predicate/1> <object/1> }";
   WallTimer first_query_timer;
-  auto mapped_rows = mapped_engine.value().engine->ExecuteText(
-      query_text, /*k=*/10, Strategy::kNoRelax);
+  auto mapped_rows = RunTextQuery(*mapped_engine.value().engine, query_text,
+                                  /*k=*/10, Strategy::kNoRelax);
   const double mmap_first_query_ms = first_query_timer.ElapsedMillis();
-  auto parsed_rows = parsed_engine.value().engine->ExecuteText(
-      query_text, /*k=*/10, Strategy::kNoRelax);
-  SPECQP_CHECK(mapped_rows.ok() && parsed_rows.ok());
-  bool answers_match =
-      mapped_rows.value().rows.size() == parsed_rows.value().rows.size();
-  for (size_t i = 0; answers_match && i < mapped_rows.value().rows.size();
-       ++i) {
-    answers_match =
-        mapped_rows.value().rows[i].bindings ==
-            parsed_rows.value().rows[i].bindings &&
-        mapped_rows.value().rows[i].score == parsed_rows.value().rows[i].score;
-  }
+  first_query_timer.Reset();
+  auto mapped_v3_rows = RunTextQuery(*mapped_v3_engine.value().engine,
+                                     query_text, /*k=*/10, Strategy::kNoRelax);
+  const double mmap_v3_first_query_ms = first_query_timer.ElapsedMillis();
+  auto parsed_rows = RunTextQuery(*parsed_engine.value().engine, query_text,
+                                  /*k=*/10, Strategy::kNoRelax);
+  SPECQP_CHECK(mapped_rows.ok() && mapped_v3_rows.ok() && parsed_rows.ok());
+  auto rows_match = [](const Engine::QueryResult& a,
+                       const Engine::QueryResult& b) {
+    if (a.rows.size() != b.rows.size()) return false;
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      if (a.rows[i].bindings != b.rows[i].bindings ||
+          a.rows[i].score != b.rows[i].score) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool answers_match =
+      rows_match(mapped_rows.value(), parsed_rows.value()) &&
+      rows_match(mapped_v3_rows.value(), parsed_rows.value());
   SPECQP_CHECK(answers_match) << "mmap and parsed engines disagree";
 
   // --- report ----------------------------------------------------------------
@@ -203,7 +247,9 @@ void Run(Json& out) {
       {"v1 LoadStore (parse + index)", &v1_parse},
       {"v2 LoadStore (parse + index)", &v2_parse},
       {"v2 mmap open (lazy CRC)", &v2_mmap},
+      {"v3 mmap open (lazy CRC)", &v3_mmap},
       {"v2 mmap open (eager CRC)", &v2_mmap_eager},
+      {"v3 mmap open (eager CRC)", &v3_mmap_eager},
   };
   for (const RowSpec& row : rows) {
     PrintRow({row.name, StrFormat("%.3f", row.timing->cold_ms),
@@ -212,20 +258,30 @@ void Run(Json& out) {
   }
   const double speedup_cold = v1_parse.cold_ms / v2_mmap.cold_ms;
   const double speedup_warm = v1_parse.warm_ms / v2_mmap.warm_ms;
+  const double v3_reduction =
+      bytes_mapped_v2 == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(bytes_mapped_v3) /
+                      static_cast<double>(bytes_mapped_v2);
   std::printf(
-      "\nmmap speedup vs v1: %.1fx cold, %.1fx warm; %zu bytes mapped; "
-      "first mapped query %.3f ms; answers match: %s\n",
-      speedup_cold, speedup_warm, bytes_mapped, mmap_first_query_ms,
+      "\nmmap speedup vs v1: %.1fx cold, %.1fx warm; bytes mapped "
+      "v2=%zu v3=%zu (v3 %.1f%% smaller); first mapped query "
+      "v2 %.3f ms, v3 %.3f ms; answers match: %s\n",
+      speedup_cold, speedup_warm, bytes_mapped_v2, bytes_mapped_v3,
+      100.0 * v3_reduction, mmap_first_query_ms, mmap_v3_first_query_ms,
       answers_match ? "yes" : "no");
 
   Json& config = out.Set("config", Json::Object());
   config.Set("triples", g_expected_triples);
-  config.Set("terms", kNumSubjects + kNumPredicates + kNumObjects);
+  config.Set("terms",
+             (kNumSubjects + kNumObjects) * scale + kNumPredicates);
   config.Set("repeats", kRepeats);
   config.Set("file_bytes_v1", static_cast<uint64_t>(v1_bytes));
   config.Set("file_bytes_v2", static_cast<uint64_t>(v2_bytes));
+  config.Set("file_bytes_v3", static_cast<uint64_t>(v3_bytes));
   config.Set("save_v1_ms", save_v1_ms);
   config.Set("save_v2_ms", save_v2_ms);
+  config.Set("save_v3_ms", save_v3_ms);
 
   Json& loads = out.Set("loads", Json::Array());
   const struct {
@@ -235,8 +291,10 @@ void Run(Json& out) {
   } specs[] = {
       {"v1_parse", &v1_parse, 0},
       {"v2_parse", &v2_parse, 0},
-      {"v2_mmap_lazy", &v2_mmap, bytes_mapped},
-      {"v2_mmap_eager", &v2_mmap_eager, bytes_mapped},
+      {"v2_mmap_lazy", &v2_mmap, bytes_mapped_v2},
+      {"v3_mmap_lazy", &v3_mmap, bytes_mapped_v3},
+      {"v2_mmap_eager", &v2_mmap_eager, bytes_mapped_v2},
+      {"v3_mmap_eager", &v3_mmap_eager, bytes_mapped_v3},
   };
   for (const auto& spec : specs) {
     Json& j = loads.Push(Json::Object());
@@ -247,7 +305,9 @@ void Run(Json& out) {
   }
   out.Set("speedup_cold_vs_v1", speedup_cold);
   out.Set("speedup_warm_vs_v1", speedup_warm);
+  out.Set("bytes_mapped_reduction_v3_vs_v2", v3_reduction);
   out.Set("mmap_first_query_ms", mmap_first_query_ms);
+  out.Set("mmap_v3_first_query_ms", mmap_v3_first_query_ms);
   out.Set("answers_match", answers_match);
 
   std::error_code ignored;

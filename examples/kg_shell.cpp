@@ -15,8 +15,8 @@
 //                      dispatch as one shared-scan batch; prints each
 //                      top-k plus the admission ledger
 //   batch <q1> ; <q2>  execute several ';'-separated queries as one
-//                      pre-assembled batch (the deprecated ExecuteBatch
-//                      path) and print the batch's amortisation ledger
+//                      pre-assembled batch (BatchExecutor) and print the
+//                      batch's amortisation ledger
 //   plan <query>       show PLANGEN's decision without executing
 //   explain <query>    same via Engine::Explain (the request-API entry
 //                      point; accepts "explain trinit <query>" etc.)
@@ -329,8 +329,8 @@ class Shell {
       if (parsed.back().ok()) good.push_back(parsed.back().value());
     }
     BatchStats bs;
-    const auto results = engine().ExecuteBatch(good, k_, Strategy::kSpecQp,
-                                               &bs);
+    BatchExecutor batch(&engine());
+    const auto results = batch.Execute(good, k_, Strategy::kSpecQp, &bs);
     size_t next_good = 0;
     for (size_t q = 0; q < texts.size(); ++q) {
       std::printf("[batch %zu/%zu] %s\n", q + 1, texts.size(),

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Render archived BENCH_*.json artifacts into a static HTML dashboard.
+
+CI's perf-gate job archives one artifact per merge to main (see
+docs/BENCHMARKS.md, "The perf-regression gate"). Download any stretch of
+that trajectory, point this script at the files, and it emits a single
+self-contained HTML page — inline SVG, no JavaScript, no external assets
+— with one section per bench:
+
+  * a run table (artifact file, git_sha, knobs, total seconds),
+  * a sparkline per runtime metric (ns_per_iter, *_ms_mean, load_ms*,
+    batch sweep times) across the artifact sequence, annotated with the
+    first/last values and the relative change,
+  * the block decode/skip counters, highlighted red if the latest run
+    skipped zero blocks where an earlier one skipped some (the same
+    collapse scripts/compare_bench_json.py fails a PR for).
+
+Artifacts are ordered by file name; name the files so lexical order is
+chronological (the CI artifact names embed the commit, so prefixing a
+date or an incrementing run number when downloading is enough).
+
+Usage:
+    bench_dashboard.py [--out dashboard.html] [ARTIFACT.json ...]
+
+With no artifacts listed, every BENCH_*.json under the current
+directory (recursively) is used. Stdlib only — runs anywhere CI or a
+laptop has Python 3.
+"""
+
+import argparse
+import glob
+import html
+import json
+import sys
+
+# Flattened-key suffixes/names treated as runtime metrics worth a
+# sparkline (mirrors scripts/compare_bench_json.py's RUNTIME_KEYS).
+RUNTIME_KEYS = {"ns_per_iter", "load_ms", "load_ms_warm", "batched_cold_ms",
+                "sequential_cold_ms", "batched_ms", "sequential_ms"}
+RUNTIME_SUFFIXES = ("_ms_mean",)
+COUNTER_KEYS = {"blocks_decoded", "blocks_skipped"}
+
+KNOB_KEYS = ("git_sha", "threads", "cache_budget_mb", "scale", "batch_mode")
+
+SPARK_W, SPARK_H = 220, 36
+
+
+def walk(node, path, out):
+    """Flattens numeric leaves into {path: value}, tagging array elements
+    by their name/strategy/title/k field so paths are stable across runs
+    (same convention as compare_bench_json.py)."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            walk(value, f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            segment = str(index)
+            if isinstance(value, dict):
+                for tag in ("name", "strategy", "title", "group_key", "k"):
+                    if tag in value and isinstance(value[tag], (str, int)):
+                        segment = f"{tag}={value[tag]}"
+                        break
+            walk(value, f"{path}[{segment}]", out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[path] = node
+
+
+def is_runtime_path(path):
+    key = path.rsplit(".", 1)[-1]
+    return key in RUNTIME_KEYS or key.endswith(RUNTIME_SUFFIXES)
+
+
+def is_counter_path(path):
+    return path.rsplit(".", 1)[-1] in COUNTER_KEYS
+
+
+def sparkline(values):
+    """An inline SVG polyline over `values` (None = missing run)."""
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    if not points:
+        return ""
+    lo = min(v for _, v in points)
+    hi = max(v for _, v in points)
+    span = (hi - lo) or 1.0
+    n = max(len(values) - 1, 1)
+    coords = " ".join(
+        f"{2 + i * (SPARK_W - 4) / n:.1f},"
+        f"{SPARK_H - 4 - (v - lo) * (SPARK_H - 8) / span:.1f}"
+        for i, v in points)
+    last_x, last_y = coords.rsplit(" ", 1)[-1].split(",")
+    return (f'<svg width="{SPARK_W}" height="{SPARK_H}" '
+            f'viewBox="0 0 {SPARK_W} {SPARK_H}">'
+            f'<polyline fill="none" stroke="#3465a4" stroke-width="1.5" '
+            f'points="{coords}"/>'
+            f'<circle cx="{last_x}" cy="{last_y}" r="2.5" fill="#3465a4"/>'
+            f'</svg>')
+
+
+def fmt(value):
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def change_cell(values):
+    """first → last relative change, red when slower, green when faster."""
+    points = [v for v in values if v is not None]
+    if len(points) < 2 or points[0] == 0:
+        return "<td></td>"
+    ratio = points[-1] / points[0]
+    color = "#a40000" if ratio > 1.05 else ("#4e9a06" if ratio < 0.95
+                                            else "#555")
+    return f'<td style="color:{color}">{(ratio - 1) * 100:+.1f}%</td>'
+
+
+def render_bench(name, runs):
+    """One bench's section: run table + metric sparklines + counters."""
+    out = [f"<h2>{html.escape(name)}</h2>"]
+
+    out.append("<table><tr><th>artifact</th>"
+               + "".join(f"<th>{k}</th>" for k in KNOB_KEYS)
+               + "<th>total_s</th></tr>")
+    for path, doc, _ in runs:
+        cells = "".join(
+            f"<td>{html.escape(fmt(doc.get(k)))}</td>" for k in KNOB_KEYS)
+        out.append(f"<tr><td>{html.escape(path)}</td>{cells}"
+                   f"<td>{fmt(doc.get('total_seconds'))}</td></tr>")
+    out.append("</table>")
+
+    paths = sorted({p for _, _, flat in runs for p in flat})
+    runtime_paths = [p for p in paths if is_runtime_path(p)]
+    counter_paths = [p for p in paths if is_counter_path(p)]
+
+    if runtime_paths:
+        out.append("<table><tr><th>metric</th><th>trajectory</th>"
+                   "<th>first</th><th>last</th><th>Δ</th></tr>")
+        for p in runtime_paths:
+            values = [flat.get(p) for _, _, flat in runs]
+            present = [v for v in values if v is not None]
+            out.append(f"<tr><td><code>{html.escape(p)}</code></td>"
+                       f"<td>{sparkline(values)}</td>"
+                       f"<td>{fmt(present[0])}</td>"
+                       f"<td>{fmt(present[-1])}</td>"
+                       f"{change_cell(values)}</tr>")
+        out.append("</table>")
+
+    if counter_paths:
+        out.append("<h3>Block decode/skip counters</h3>")
+        out.append("<table><tr><th>counter</th><th>trajectory</th>"
+                   "<th>latest</th></tr>")
+        for p in counter_paths:
+            values = [flat.get(p) for _, _, flat in runs]
+            present = [v for v in values if v is not None]
+            latest = present[-1]
+            collapsed = (p.endswith("blocks_skipped") and latest == 0
+                         and any(v for v in present))
+            style = ' style="color:#a40000;font-weight:bold"' if collapsed \
+                else ""
+            note = " (skipping collapsed to zero!)" if collapsed else ""
+            out.append(f"<tr><td><code>{html.escape(p)}</code></td>"
+                       f"<td>{sparkline(values)}</td>"
+                       f"<td{style}>{fmt(latest)}{note}</td></tr>")
+        out.append("</table>")
+    return "\n".join(out)
+
+
+def render(groups):
+    sections = "\n".join(render_bench(name, runs)
+                         for name, runs in sorted(groups.items()))
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>Spec-QP bench trajectory</title>
+<style>
+body {{ font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #222; }}
+table {{ border-collapse: collapse; margin: 0.8em 0 1.6em; }}
+th, td {{ border: 1px solid #ccc; padding: 3px 9px; text-align: left; }}
+th {{ background: #f4f4f4; }}
+code {{ font-size: 12px; }}
+</style></head><body>
+<h1>Spec-QP bench trajectory</h1>
+<p>Rendered from archived <code>BENCH_*.json</code> artifacts by
+<code>scripts/bench_dashboard.py</code>; runs are ordered by file name.
+See <code>docs/BENCHMARKS.md</code> for the artifact schema.</p>
+{sections}
+</body></html>
+"""
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="*",
+                        help="BENCH_*.json files (default: **/BENCH_*.json)")
+    parser.add_argument("--out", default="dashboard.html",
+                        help="output HTML path (default: dashboard.html)")
+    args = parser.parse_args()
+
+    files = args.artifacts or sorted(glob.glob("**/BENCH_*.json",
+                                               recursive=True))
+    if not files:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+
+    groups = {}
+    for path in sorted(files):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"skipping {path}: {err}", file=sys.stderr)
+            continue
+        flat = {}
+        walk(doc, "", flat)
+        groups.setdefault(doc.get("bench", "unknown"), []).append(
+            (path, doc, flat))
+    if not groups:
+        print("no readable artifacts", file=sys.stderr)
+        return 1
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(render(groups))
+    runs = sum(len(r) for r in groups.values())
+    print(f"wrote {args.out}: {len(groups)} bench(es), {runs} run(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,12 @@ Regression rules (exit 1 on any hit):
   * answer counts (``*_answers``, ``answer_count`` fields) must not
     change at all and ``answers_match`` flags must not flip — answers
     are deterministic, so any change is a correctness regression, not
-    noise.
+    noise,
+  * ``blocks_skipped`` counters must not regress to zero where the base
+    skipped at least one block — skipping is deterministic for a fixed
+    workload, so a collapse to zero means a change severed the max-score/
+    skip path (e.g. an operator stopped consulting block headers), even
+    if runtimes still look fine.
 
 ``--self-test`` builds a synthetic artifact pair, injects a 30% runtime
 regression and an answer-count drop, and asserts the comparison fails —
@@ -41,6 +46,12 @@ DEFAULT_RUNTIME_FLOOR = 0.5  # milliseconds-scale keys
 ANSWER_KEYS = {"answer_count", "true_answer_count"}
 ANSWER_SUFFIXES = ("_answers",)
 MATCH_KEYS = {"answers_match"}
+
+# Counters that must stay non-zero wherever the base artifact had them
+# non-zero: block skipping is deterministic for a fixed workload and
+# configuration, so a base that skipped blocks and a head that skips none
+# means the skip path itself broke, not that the data shifted.
+NONZERO_KEYS = {"blocks_skipped"}
 
 # Knobs that must be identical for two artifacts to be comparable
 # (docs/BENCHMARKS.md "knobs held fixed across runs"). `scale` is the
@@ -118,6 +129,10 @@ def compare(base_doc, head_doc, max_regression):
             if head_value != base_value:
                 errors.append(f"{path}: answer count changed "
                               f"{base_value} -> {head_value}")
+        elif key in NONZERO_KEYS:
+            if base_value > 0 and head_value == 0:
+                errors.append(f"{path}: block skipping regressed to zero "
+                              f"(base skipped {base_value})")
         elif is_runtime_key(key):
             floor = RUNTIME_FLOORS.get(key, DEFAULT_RUNTIME_FLOOR)
             if not isinstance(base_value, (int, float)) or base_value < floor:
@@ -150,6 +165,7 @@ def self_test():
             {"group_key": 2, "trinit_ms_mean": 10.0, "spec_ms_mean": 5.0,
              "trinit_answers": 40, "spec_answers": 40},
         ]}],
+        "block_skipping": {"blocks_decoded": 2, "blocks_skipped": 948},
     }
 
     # Identical artifacts pass.
@@ -181,6 +197,20 @@ def self_test():
         assert any("answer count changed" in e for e in errors), \
             f"answer-count change to {changed_count} must fail, got: {errors}"
 
+    # blocks_skipped collapsing to zero fails even with identical runtimes
+    # (a severed skip path costs decode work, not necessarily wall time on
+    # a warm memo); a mere decrease stays a pass — skip counts shift
+    # legitimately with plan changes.
+    no_skip = copy.deepcopy(base)
+    no_skip["block_skipping"]["blocks_skipped"] = 0
+    errors, _, _ = compare(base, no_skip, 0.20)
+    assert any("block skipping regressed to zero" in e for e in errors), \
+        f"skip collapse must fail, got: {errors}"
+    fewer_skips = copy.deepcopy(base)
+    fewer_skips["block_skipping"]["blocks_skipped"] = 500
+    errors, _, _ = compare(base, fewer_skips, 0.20)
+    assert not errors, f"reduced-but-nonzero skips must pass: {errors}"
+
     # Mismatched knobs are an operator error (exit 2 path) — including the
     # scale tier and the admission-window knobs.
     for knob, other_value in (("threads", 8), ("scale", 10),
@@ -201,8 +231,8 @@ def self_test():
         f"absent knobs must stay comparable: {errors}"
 
     print("self-test OK: gate passes identical/jittered artifacts, fails on "
-          "injected runtime and answer-count regressions, rejects "
-          "mismatched knobs (incl. scale and admission window)")
+          "injected runtime, answer-count, and skip-collapse regressions, "
+          "rejects mismatched knobs (incl. scale and admission window)")
     return 0
 
 

@@ -25,7 +25,7 @@ class Engine;
 //
 // Submissions accumulate in per-(k, strategy) windows (those are the batch
 // dimensions BatchExecutor shares across a whole batch). A window closes —
-// and is dispatched through Engine::ExecuteBatch's machinery, so its
+// and is dispatched through the BatchExecutor, so its
 // queries get the shared-scan / duplicate-collapsing / one-snapshot
 // amortisation of PR 4 — when it reaches `max_batch_size` queries or when
 // its oldest submission has waited `max_delay`, whichever happens first.

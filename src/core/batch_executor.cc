@@ -6,7 +6,6 @@
 #include <unordered_set>
 #include <utility>
 
-#include "query/parser.h"
 #include "rdf/shared_scan_cache.h"
 #include "relax/expansion.h"
 #include "topk/top_k.h"
@@ -244,46 +243,6 @@ std::vector<Engine::QueryResult> BatchExecutor::Execute(
   bs.lists_derived = counters.derived_lists;
   bs.base_scans = counters.base_scans;
   return results;
-}
-
-std::vector<Engine::QueryResult> Engine::ExecuteBatch(
-    std::span<const Query> queries, size_t k, Strategy strategy,
-    BatchStats* batch_stats) {
-  BatchExecutor batch(this);
-  return batch.Execute(queries, k, strategy, batch_stats);
-}
-
-std::vector<Result<Engine::QueryResult>> Engine::ExecuteTextBatch(
-    std::span<const std::string> texts, size_t k, Strategy strategy,
-    BatchStats* batch_stats) {
-  std::vector<Result<QueryResult>> out;
-  out.reserve(texts.size());
-  std::vector<Query> parsed;
-  std::vector<size_t> parsed_slot;  // index into `parsed` per text, or npos
-  parsed.reserve(texts.size());
-  parsed_slot.reserve(texts.size());
-  std::vector<Status> errors(texts.size(), Status::Ok());
-  constexpr size_t kFailed = static_cast<size_t>(-1);
-  for (size_t i = 0; i < texts.size(); ++i) {
-    auto query = ParseQuery(texts[i], store_->dict());
-    if (query.ok()) {
-      parsed_slot.push_back(parsed.size());
-      parsed.push_back(std::move(query).value());
-    } else {
-      parsed_slot.push_back(kFailed);
-      errors[i] = query.status();
-    }
-  }
-  std::vector<QueryResult> results =
-      ExecuteBatch(parsed, k, strategy, batch_stats);
-  for (size_t i = 0; i < texts.size(); ++i) {
-    if (parsed_slot[i] == kFailed) {
-      out.push_back(Result<QueryResult>(errors[i]));
-    } else {
-      out.push_back(Result<QueryResult>(std::move(results[parsed_slot[i]])));
-    }
-  }
-  return out;
 }
 
 }  // namespace specqp

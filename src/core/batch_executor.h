@@ -11,7 +11,7 @@
 
 namespace specqp {
 
-// Counters and phase timings of one ExecuteBatch call. The shared-scan
+// Counters and phase timings of one batch execution. The shared-scan
 // counters are the batch's amortisation ledger: `lists_resolved` lists were
 // materialised once for the whole batch (of which `lists_derived` came out
 // of `base_scans` shared passes over per-predicate base lists instead of
@@ -42,8 +42,13 @@ struct BatchStats {
 };
 
 // Executes a batch of parsed queries over one engine with cross-query
-// amortisation; see Engine::ExecuteBatch for the contract. Stateless
-// between calls — every batch builds its own SharedScanCache and
+// amortisation: posting-list scans, statistics, and relaxation expansions
+// are resolved once per distinct pattern for the entire batch (shared-scan
+// plan, batch-scoped pinning), structurally identical queries execute
+// once, and the distinct queries run as independent tasks on the engine's
+// thread pool. This is the dispatch path every admission window takes;
+// callers with a pre-assembled batch use it directly. Stateless between
+// calls — every batch builds its own SharedScanCache and
 // RelaxationExpansionCache, scoped (and pinned) to that batch.
 //
 // Phases:
@@ -65,7 +70,7 @@ struct BatchStats {
 //      against the shared-scan cache and writes to its own result slot.
 //
 // Determinism: every per-query result is bit-identical to a sequential
-// Engine::Execute at any thread count — plans are computed from the same
+// immediate Submit at any thread count — plans are computed from the same
 // memoised statistics, shared/derived posting lists are bit-identical to
 // per-query builds, and serial trees equal partitioned trees by the PR 2
 // total-ordering invariant.

@@ -58,7 +58,8 @@ Result<Engine::Opened> Engine::OpenFromPath(const std::string& store_path,
   SPECQP_ASSIGN_OR_RETURN(const uint32_t version,
                           PeekStoreVersion(store_path));
   Opened opened;
-  if (options.mmap && version == v2::kFormatVersion) {
+  if (options.mmap &&
+      (version == v2::kFormatVersion || version == v3::kFormatVersion)) {
     MmapStore::Options open_options;
     if (options.mmap_verify_all) {
       open_options.verify = MmapStore::Verify::kEager;
@@ -239,36 +240,6 @@ void Engine::RunQuery(const Query& query, const QueryRequest& request,
       row.bindings.resize(query.num_vars());
     }
   }
-}
-
-Engine::QueryResult Engine::ToQueryResult(QueryResponse response) {
-  QueryResult result;
-  result.plan = std::move(response.plan);
-  result.diagnostics = std::move(response.diagnostics);
-  result.rows = std::move(response.rows);
-  result.stats = response.stats;
-  return result;
-}
-
-Engine::QueryResult Engine::Execute(const Query& query, size_t k,
-                                    Strategy strategy) {
-  SPECQP_CHECK(k >= 1);
-  QueryRequest request = QueryRequest::FromQuery(query, k, strategy);
-  request.admission = QueryRequest::Admission::kImmediate;
-  QueryResponse response = Submit(std::move(request)).get();
-  // No token, no deadline, query pre-parsed: the unified path cannot fail.
-  SPECQP_CHECK(response.status.ok()) << response.status.ToString();
-  return ToQueryResult(std::move(response));
-}
-
-Result<Engine::QueryResult> Engine::ExecuteText(std::string_view text,
-                                                size_t k, Strategy strategy) {
-  QueryRequest request = QueryRequest::FromText(std::string(text), k,
-                                                strategy);
-  request.admission = QueryRequest::Admission::kImmediate;
-  QueryResponse response = Submit(std::move(request)).get();
-  if (!response.status.ok()) return response.status;
-  return ToQueryResult(std::move(response));
 }
 
 QueryPlan Engine::PlanOnly(const Query& query, size_t k,

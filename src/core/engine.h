@@ -71,7 +71,7 @@ struct EngineOptions {
   // cross-request batching off (every Submit dispatches alone).
   size_t admission_max_batch = 16;
   double admission_max_delay_ms = 2.0;
-  // Engine::OpenFromPath only: memory-map v2 store files (zero-copy
+  // Engine::OpenFromPath only: memory-map v2/v3 store files (zero-copy
   // MmapStore view, O(ms) open) instead of parsing them into an owned
   // store. v1 files always parse. Answers are identical either way; only
   // open latency and memory residency change.
@@ -99,12 +99,14 @@ struct EngineOptions {
 // number of threads; requests accumulate into batch windows (close on
 // max-size or max-delay, EngineOptions::admission_*) that dispatch through
 // the batch executor, so online traffic gets the shared-scan amortisation
-// automatically. The legacy Execute/ExecuteText/ExecuteBatch/
-// ExecuteTextBatch calls are DEPRECATED thin wrappers kept for one
-// release; like every non-Submit entry point they must not run
-// concurrently with anything else on the same engine.
+// automatically. Pre-assembled batches go through BatchExecutor directly
+// (core/batch_executor.h). The legacy Execute/ExecuteText/ExecuteBatch/
+// ExecuteTextBatch wrappers have been removed; non-Submit entry points
+// must not run concurrently with anything else on the same engine.
 class Engine {
  public:
+  // Per-query result record of the batch layer (BatchExecutor, admission
+  // windows). Single-query callers use Submit and read the QueryResponse.
   struct QueryResult {
     QueryPlan plan;
     PlanDiagnostics diagnostics;  // filled for kSpecQp
@@ -124,7 +126,7 @@ class Engine {
   // internal pointers stay valid because the store lives behind a
   // unique_ptr either way.
   struct Opened {
-    std::unique_ptr<MmapStore> mapped;     // v2 mmap fast path
+    std::unique_ptr<MmapStore> mapped;     // v2 / v3 mmap fast path
     std::unique_ptr<TripleStore> parsed;   // v1 / parse fallback
     std::unique_ptr<Engine> engine;
 
@@ -137,13 +139,15 @@ class Engine {
     }
   };
 
-  // Open-from-path fast path: loads `store_path` (v1 or v2; see
+  // Open-from-path fast path: loads `store_path` (v1, v2, or v3; see
   // docs/FORMATS.md) and builds an engine over it. With options.mmap, v2
-  // files are memory-mapped — the open does no per-triple parsing, its
-  // small metadata sections are CRC-verified eagerly, the bulk sections
-  // lazily — and the engine's statistics catalog is pre-seeded from the
-  // file's snapshot when its head_fraction matches the options. `rules`
-  // stays caller-owned and must outlive the returned bundle.
+  // and v3 files are memory-mapped — the open does no per-triple parsing,
+  // its small metadata sections are CRC-verified eagerly, the bulk
+  // sections lazily; a v3 file additionally serves its per-predicate
+  // posting lists as zero-copy block directories — and the engine's
+  // statistics catalog is pre-seeded from the file's snapshot when its
+  // head_fraction matches the options. `rules` stays caller-owned and must
+  // outlive the returned bundle.
   static Result<Opened> OpenFromPath(const std::string& store_path,
                                      const RelaxationIndex* rules,
                                      const EngineOptions& options = {});
@@ -168,41 +172,6 @@ class Engine {
   // The streaming admission layer behind Submit (created on first use);
   // exposed for Flush() and its Stats counters.
   AdmissionController& admission();
-
-  // DEPRECATED: thin wrapper over Submit (immediate admission). Plans and
-  // executes `query`, returning the top-k answers plus all execution
-  // counters. Prefer Submit(QueryRequest::FromQuery(...)).
-  QueryResult Execute(const Query& query, size_t k, Strategy strategy);
-
-  // DEPRECATED: use Submit — concurrent Submits batch automatically, and
-  // AdmissionController::Flush() closes a window by hand. This wrapper
-  // executes a pre-assembled batch with cross-query amortisation:
-  // posting-list scans, statistics, and relaxation expansions are resolved
-  // once per distinct pattern for the entire batch (shared-scan plan,
-  // batch-scoped pinning), structurally identical queries execute once,
-  // and the distinct queries run as independent tasks on the engine's
-  // thread pool. results[i] is bit-identical (bindings AND scores) to
-  // Execute(queries[i], k, strategy) at any thread count; only the
-  // timings/amortisation counters differ. `batch_stats` (optional)
-  // receives the batch-level ledger. See core/batch_executor.h. This is
-  // the same dispatch path an admission window takes.
-  std::vector<QueryResult> ExecuteBatch(std::span<const Query> queries,
-                                        size_t k, Strategy strategy,
-                                        BatchStats* batch_stats = nullptr);
-
-  // DEPRECATED: thin wrapper over Submit (immediate admission) that parses
-  // `text` against the store's dictionary first. Prefer
-  // Submit(QueryRequest::FromText(...)).
-  Result<QueryResult> ExecuteText(std::string_view text, size_t k,
-                                  Strategy strategy);
-
-  // DEPRECATED: use Submit with text requests. Parses every text and
-  // ExecuteBatch()es the ones that parse; a slot that fails to parse
-  // carries its parse error and does not affect the other queries of the
-  // batch.
-  std::vector<Result<QueryResult>> ExecuteTextBatch(
-      std::span<const std::string> texts, size_t k, Strategy strategy,
-      BatchStats* batch_stats = nullptr);
 
   // DEPRECATED: thin wrapper over Explain (kept for planner-only studies).
   QueryPlan PlanOnly(const Query& query, size_t k,
@@ -236,8 +205,6 @@ class Engine {
   // carries the request echo). `interrupt` may be null.
   void RunQuery(const Query& query, const QueryRequest& request,
                 const ExecInterrupt* interrupt, QueryResponse* response);
-
-  static QueryResult ToQueryResult(QueryResponse response);
 
   const TripleStore* store_;
   const RelaxationIndex* rules_;

@@ -62,7 +62,8 @@ ExhaustiveEvaluator::EvalResult ExhaustiveEvaluator::Evaluate(
     auto absorb = [&](const TriplePattern& concrete, double weight,
                       bool is_original) {
       const PostingList list = BuildPostingList(*store_, concrete.Key());
-      for (const PostingEntry& entry : list.entries) {
+      for (BlockIterator iter(&list); !iter.AtEnd(); iter.Advance()) {
+        const PostingEntry& entry = iter.Entry();
         const Triple& t = store_->triple(entry.triple_index);
         if (!ConsistentMatch(concrete, t)) continue;
         const double score = weight * entry.score;
@@ -94,7 +95,8 @@ ExhaustiveEvaluator::EvalResult ExhaustiveEvaluator::Evaluate(
         const double hop1_max = store_->MaxScore(hop1_key);
         if (hop1_max <= 0.0) continue;
         const PostingList hop2 = BuildPostingList(*store_, hop2_key);
-        for (const PostingEntry& entry : hop2.entries) {
+        for (BlockIterator iter(&hop2); !iter.AtEnd(); iter.Advance()) {
+          const PostingEntry& entry = iter.Entry();
           const TermId z = store_->triple(entry.triple_index).s;
           const PatternKey hop1_z{kInvalidTermId, rule.hop1_predicate, z};
           for (uint32_t idx : store_->MatchIndices(hop1_z)) {

@@ -64,9 +64,9 @@ class CancellationToken {
 // parsed against the store dictionary at submit time), how (k, strategy,
 // per-request execution overrides), and under which service terms
 // (deadline, cancellation token, admission mode). This is the unified
-// input of Engine::Submit and Engine::Explain; the legacy
-// Execute/ExecuteText/ExecuteBatch/ExecuteTextBatch calls are thin
-// wrappers that build one of these.
+// input of Engine::Submit and Engine::Explain — the only per-query entry
+// points; pre-assembled batches of parsed queries go through
+// BatchExecutor.
 struct QueryRequest {
   // What to run: `query` wins when set; otherwise `text` is parsed at
   // submit time (a parse error becomes the response's terminal status).
@@ -103,9 +103,9 @@ struct QueryRequest {
   // is dispatched as part of a batch (shared scans, duplicate collapsing;
   // closes on max-size or max-delay). Safe to call from any number of
   // threads concurrently. kImmediate: execute on the submitting thread
-  // with no batching — the lowest-latency path, but like the legacy
-  // Execute() it must not run concurrently with other executions on the
-  // same engine (the planner memos are not locked).
+  // with no batching — the lowest-latency path, but it must not run
+  // concurrently with other executions on the same engine (the planner
+  // memos are not locked).
   enum class Admission { kWindow, kImmediate };
   Admission admission = Admission::kWindow;
 

@@ -81,13 +81,19 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
 
   v2::FileHeader header;
   std::memcpy(&header, bytes, sizeof(header));
-  if (std::memcmp(header.magic, v2::kMagic, sizeof(v2::kMagic)) != 0) {
-    return Corrupt("bad magic; not a SQPSTOR2 store file");
+  const bool v2_magic =
+      std::memcmp(header.magic, v2::kMagic, sizeof(v2::kMagic)) == 0;
+  const bool v3_magic =
+      std::memcmp(header.magic, v3::kMagic, sizeof(v3::kMagic)) == 0;
+  if (!v2_magic && !v3_magic) {
+    return Corrupt("bad magic; not a SQPSTOR2/SQPSTOR3 store file");
   }
-  if (header.version != v2::kFormatVersion) {
+  if ((v2_magic && header.version != v2::kFormatVersion) ||
+      (v3_magic && header.version != v3::kFormatVersion)) {
     return Status::Corruption(
         StrFormat("unsupported version %u", header.version));
   }
+  store->version_ = header.version;
   if (header.file_size != file_size) {
     return Corrupt("header file size does not match the actual file");
   }
@@ -110,9 +116,19 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
     if (entry.flags != 0 || entry.reserved != 0) {
       return Corrupt("nonzero reserved bits in section table");
     }
+    // Sections 11/12 exist only in v3, and v3 retired the flat
+    // kPostingEntries section — mixing generations is a sign of a
+    // stitched-together file.
+    const uint32_t max_id = static_cast<uint32_t>(
+        header.version == v3::kFormatVersion ? v2::SectionId::kPostingBlocks
+                                             : v2::SectionId::kStats);
     if (entry.id < static_cast<uint32_t>(v2::SectionId::kDictOffsets) ||
-        entry.id > static_cast<uint32_t>(v2::SectionId::kStats)) {
+        entry.id > max_id) {
       return Corrupt("unknown section id");
+    }
+    if (header.version == v3::kFormatVersion &&
+        entry.id == static_cast<uint32_t>(v2::SectionId::kPostingEntries)) {
+      return Corrupt("flat posting entries section in a v3 file");
     }
     if (!seen_ids.insert(entry.id).second) {
       return Corrupt("duplicate section id");
@@ -148,9 +164,18 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
   const Section* pos = store->FindSection(v2::SectionId::kPosIndex);
   const Section* osp = store->FindSection(v2::SectionId::kOspIndex);
   if (dict_offsets == nullptr || dict_blob == nullptr ||
-      dict_sorted == nullptr || triple_sec == nullptr || spo == nullptr ||
-      pos == nullptr || osp == nullptr) {
+      dict_sorted == nullptr || triple_sec == nullptr || pos == nullptr ||
+      osp == nullptr) {
     return Corrupt("missing required section");
+  }
+  // v2 maps its SPO permutation; v3 omits the section entirely (the SPO
+  // order of an SPO-sorted triple array is the identity, synthesised
+  // below) and a v3 file carrying one is malformed.
+  if (header.version == v2::kFormatVersion && spo == nullptr) {
+    return Corrupt("missing required section");
+  }
+  if (header.version == v3::kFormatVersion && spo != nullptr) {
+    return Corrupt("v3 file carries a redundant SPO index section");
   }
   if (terms >= kInvalidTermId) return Corrupt("implausible term count");
   if (triples > UINT32_MAX) return Corrupt("implausible triple count");
@@ -169,53 +194,156 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
     return Corrupt("triple section length mismatch");
   }
   for (const Section* index : {spo, pos, osp}) {
-    if (index->length != v2::AlignUp(triples * 4)) {
+    if (index != nullptr && index->length != v2::AlignUp(triples * 4)) {
       return Corrupt("permutation index length mismatch");
     }
   }
 
-  const Section* dir = store->FindSection(v2::SectionId::kPostingDir);
-  const Section* dir_entries =
-      store->FindSection(v2::SectionId::kPostingEntries);
-  if ((dir == nullptr) != (dir_entries == nullptr)) {
-    return Corrupt("posting directory sections must come in pairs");
-  }
-  if (dir != nullptr) {
-    if (dir->length < 8) return Corrupt("truncated posting directory");
-    uint64_t count = 0;
-    std::memcpy(&count, dir->data, 8);
-    // Bound the count before the multiply below can wrap.
-    if (count > (dir->length - 8) / sizeof(v2::PostingDirEntry) ||
-        dir->length != v2::AlignUp(8 + count * sizeof(v2::PostingDirEntry))) {
-      return Corrupt("posting directory length mismatch");
+  if (header.version == v2::kFormatVersion) {
+    const Section* dir = store->FindSection(v2::SectionId::kPostingDir);
+    const Section* dir_entries =
+        store->FindSection(v2::SectionId::kPostingEntries);
+    if ((dir == nullptr) != (dir_entries == nullptr)) {
+      return Corrupt("posting directory sections must come in pairs");
     }
-    if (dir_entries->length % sizeof(PostingEntry) != 0) {
-      return Corrupt("posting entries length mismatch");
+    if (dir != nullptr) {
+      if (dir->length < 8) return Corrupt("truncated posting directory");
+      uint64_t count = 0;
+      std::memcpy(&count, dir->data, 8);
+      // Bound the count before the multiply below can wrap.
+      if (count > (dir->length - 8) / sizeof(v2::PostingDirEntry) ||
+          dir->length !=
+              v2::AlignUp(8 + count * sizeof(v2::PostingDirEntry))) {
+        return Corrupt("posting directory length mismatch");
+      }
+      if (dir_entries->length % sizeof(PostingEntry) != 0) {
+        return Corrupt("posting entries length mismatch");
+      }
+      const uint64_t total_entries =
+          dir_entries->length / sizeof(PostingEntry);
+      const auto rows =
+          RecordSpan<v2::PostingDirEntry>(dir->data, /*byte_offset=*/8, count);
+      TermId prev = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const v2::PostingDirEntry& row = rows[i];
+        if (row.reserved != 0) {
+          return Corrupt("nonzero reserved bits in posting directory");
+        }
+        if (row.predicate >= terms ||
+            (i > 0 && row.predicate <= prev)) {
+          return Corrupt("posting directory predicates not ascending");
+        }
+        prev = row.predicate;
+        if (row.entry_count > total_entries ||
+            row.entry_begin > total_entries - row.entry_count) {
+          return Corrupt("posting directory entry range out of bounds");
+        }
+      }
+      store->postings_.directory = rows;
+      store->postings_.entries =
+          RecordSpan<PostingEntry>(dir_entries->data, 0, total_entries);
+      store->has_posting_directory_ = true;
     }
-    const uint64_t total_entries =
-        dir_entries->length / sizeof(PostingEntry);
-    const auto rows =
-        RecordSpan<v2::PostingDirEntry>(dir->data, /*byte_offset=*/8, count);
-    TermId prev = 0;
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const v2::PostingDirEntry& row = rows[i];
-      if (row.reserved != 0) {
-        return Corrupt("nonzero reserved bits in posting directory");
-      }
-      if (row.predicate >= terms ||
-          (i > 0 && row.predicate <= prev)) {
-        return Corrupt("posting directory predicates not ascending");
-      }
-      prev = row.predicate;
-      if (row.entry_count > total_entries ||
-          row.entry_begin > total_entries - row.entry_count) {
-        return Corrupt("posting directory entry range out of bounds");
-      }
+  } else {
+    // v3: the posting directory addresses block headers which address
+    // byte ranges of the payload section. The O(blocks) geometry is
+    // pinned here — gapless ascending byte ranges, full non-terminal
+    // blocks, ceilings in range and non-increasing per list — so every
+    // later header-guided skip is memory-safe; the O(entries) decode
+    // validation lives under the lazily verified kPostingBlocks section.
+    const Section* dir = store->FindSection(v2::SectionId::kPostingDir);
+    const Section* index = store->FindSection(v2::SectionId::kPostingBlockIndex);
+    const Section* blocks = store->FindSection(v2::SectionId::kPostingBlocks);
+    const int present = (dir != nullptr) + (index != nullptr) +
+                        (blocks != nullptr);
+    if (present != 0 && present != 3) {
+      return Corrupt("block posting sections must come as a trio");
     }
-    store->postings_.directory = rows;
-    store->postings_.entries =
-        RecordSpan<PostingEntry>(dir_entries->data, 0, total_entries);
-    store->has_posting_directory_ = true;
+    if (dir != nullptr) {
+      if (dir->length < 8) return Corrupt("truncated posting directory");
+      uint64_t count = 0;
+      std::memcpy(&count, dir->data, 8);
+      if (count > (dir->length - 8) / sizeof(v3::BlockPostingDirEntry) ||
+          dir->length !=
+              v2::AlignUp(8 + count * sizeof(v3::BlockPostingDirEntry))) {
+        return Corrupt("posting directory length mismatch");
+      }
+      if (index->length % sizeof(PostingBlockHeader) != 0) {
+        return Corrupt("posting block index length mismatch");
+      }
+      const uint64_t total_blocks =
+          index->length / sizeof(PostingBlockHeader);
+      const auto rows = RecordSpan<v3::BlockPostingDirEntry>(
+          dir->data, /*byte_offset=*/8, count);
+      const auto headers =
+          RecordSpan<PostingBlockHeader>(index->data, 0, total_blocks);
+
+      TermId prev = 0;
+      uint64_t block_cursor = 0;
+      uint64_t byte_cursor = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const v3::BlockPostingDirEntry& row = rows[i];
+        if (row.reserved != 0) {
+          return Corrupt("nonzero reserved bits in posting directory");
+        }
+        if (row.predicate >= terms || (i > 0 && row.predicate <= prev)) {
+          return Corrupt("posting directory predicates not ascending");
+        }
+        prev = row.predicate;
+        if (row.block_begin != block_cursor ||
+            row.block_count > total_blocks - block_cursor) {
+          return Corrupt("posting directory block ranges not gapless");
+        }
+        block_cursor += row.block_count;
+        if ((row.entry_count == 0) != (row.block_count == 0)) {
+          return Corrupt("posting directory entry/block count mismatch");
+        }
+        uint64_t entries_in_row = 0;
+        for (uint64_t b = 0; b < row.block_count; ++b) {
+          const PostingBlockHeader& h = headers[row.block_begin + b];
+          if (h.reserved != 0) {
+            return Corrupt("nonzero reserved bits in posting block header");
+          }
+          if (h.entry_count == 0 || h.entry_count > kPostingBlockEntries) {
+            return Corrupt("posting block entry count out of range");
+          }
+          if (b + 1 < row.block_count &&
+              h.entry_count != kPostingBlockEntries) {
+            return Corrupt("non-terminal posting block not full");
+          }
+          if (h.byte_offset != byte_cursor ||
+              h.byte_length > blocks->length - byte_cursor) {
+            return Corrupt("posting block byte ranges not gapless");
+          }
+          byte_cursor += h.byte_length;
+          if (!(h.max_score >= 0.0 && h.max_score <= 1.0)) {
+            return Corrupt("posting block ceiling not normalised");
+          }
+          if (b > 0 &&
+              headers[row.block_begin + b - 1].max_score < h.max_score) {
+            return Corrupt("posting block ceilings not non-increasing");
+          }
+          if (h.min_id > h.max_id || h.max_id >= triples) {
+            return Corrupt("posting block id range out of bounds");
+          }
+          entries_in_row += h.entry_count;
+        }
+        if (entries_in_row != row.entry_count) {
+          return Corrupt("posting directory entry count mismatch");
+        }
+      }
+      if (block_cursor != total_blocks) {
+        return Corrupt("unreferenced posting blocks");
+      }
+      if (v2::AlignUp(byte_cursor) != blocks->length) {
+        return Corrupt("posting block payload length mismatch");
+      }
+      store->block_postings_.directory = rows;
+      store->block_postings_.headers = headers;
+      store->block_postings_.payload = RecordSpan<uint8_t>(
+          blocks->data, 0, byte_cursor);
+      store->has_block_directory_ = true;
+    }
   }
 
   const Section* stats = store->FindSection(v2::SectionId::kStats);
@@ -240,12 +368,23 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
   Dictionary dict = Dictionary::FromView(
       offsets, dict_blob->data, offsets[terms],
       RecordSpan<uint32_t>(dict_sorted->data, 0, terms));
+  std::span<const uint32_t> spo_span;
+  if (spo != nullptr) {
+    spo_span = RecordSpan<uint32_t>(spo->data, 0, triples);
+  } else {
+    store->synthesised_spo_.resize(triples);
+    for (uint64_t i = 0; i < triples; ++i) {
+      store->synthesised_spo_[i] = static_cast<uint32_t>(i);
+    }
+    spo_span = store->synthesised_spo_;
+  }
   store->store_ = TripleStore::FromView(
       std::move(dict), RecordSpan<Triple>(triple_sec->data, 0, triples),
-      RecordSpan<uint32_t>(spo->data, 0, triples),
+      spo_span,
       RecordSpan<uint32_t>(pos->data, 0, triples),
       RecordSpan<uint32_t>(osp->data, 0, triples),
-      store->has_posting_directory_ ? &store->postings_ : nullptr);
+      store->has_posting_directory_ ? &store->postings_ : nullptr,
+      store->has_block_directory_ ? &store->block_postings_ : nullptr);
 
   if (options.verify == Verify::kEager) {
     const Status verified = store->VerifyAllSections();
@@ -361,11 +500,44 @@ Status MmapStore::ValidateSectionValues(const Section& section) const {
       }
       return Status::Ok();
     }
+    case v2::SectionId::kPostingBlocks: {
+      // Full decode of every block: exact varint byte consumption, ids in
+      // range, scores normalised and non-increasing, header agreement
+      // (first score bit-equal to max_score, exact min/max id range) —
+      // see DecodePostingBlock. Plus continuity ACROSS block boundaries,
+      // which single-block decoding cannot see: each list must descend by
+      // (score, -triple_index) from the last entry of one block to the
+      // first of the next. This is the check that rejects a file whose
+      // ceilings are self-consistent but whose contents disagree — the
+      // skip logic would otherwise silently drop live entries.
+      DecodedPostingBlock decoded;
+      for (const v3::BlockPostingDirEntry& row : block_postings_.directory) {
+        PostingEntry prev_last{};
+        for (uint64_t b = 0; b < row.block_count; ++b) {
+          const PostingBlockHeader& h =
+              block_postings_.headers[row.block_begin + b];
+          const Status status = DecodePostingBlock(
+              h, block_postings_.payload,
+              static_cast<uint32_t>(triple_count_), &decoded);
+          if (!status.ok()) return status;
+          const PostingEntry& first = decoded.entries.front();
+          if (b > 0 && (prev_last.score < first.score ||
+                        (prev_last.score == first.score &&
+                         prev_last.triple_index >= first.triple_index))) {
+            return Corrupt("posting blocks not sorted across boundaries");
+          }
+          prev_last = decoded.entries.back();
+        }
+      }
+      return Status::Ok();
+    }
     default:
       // kDictBlob is free-form bytes; kPostingDir rows were validated
-      // structurally at Open (their entry slices are covered under
-      // kPostingEntries); kStats values are advisory planner inputs
-      // validated for shape at Open.
+      // structurally at Open (their entry/block slices are covered under
+      // kPostingEntries / kPostingBlocks); kPostingBlockIndex geometry
+      // was pinned at Open and its content agreement is covered by the
+      // kPostingBlocks decode pass; kStats values are advisory planner
+      // inputs validated for shape at Open.
       return Status::Ok();
   }
 }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "rdf/store_format.h"
 #include "rdf/triple_store.h"
@@ -14,16 +15,21 @@
 
 namespace specqp {
 
-// Zero-copy reader for store format v2 ("SQPSTOR2", docs/FORMATS.md).
+// Zero-copy reader for store formats v2 ("SQPSTOR2") and v3 ("SQPSTOR3")
+// (docs/FORMATS.md).
 //
 // Open() memory-maps the file read-only, validates the header and section
 // table structurally (magic, version, exact file size, section ids,
 // 8-byte alignment, gapless back-to-back layout, cross-section length
-// consistency), and builds a read-only TripleStore view whose triple
-// array, permutation indexes, dictionary, and per-predicate posting lists
-// are spans straight into the mapping — no per-triple parsing, no index
-// build, no string copies. Open cost is O(sections + predicates),
-// independent of the number of triples.
+// consistency; for v3 also the block-header geometry — gapless byte
+// ranges, full non-terminal blocks, per-list ceilings non-increasing),
+// and builds a read-only TripleStore view whose triple array, permutation
+// indexes, dictionary, and per-predicate posting lists are spans straight
+// into the mapping — no per-triple parsing, no index build, no string
+// copies. Open cost is O(sections + predicates) for v2 and O(sections +
+// blocks) for v3, independent of the number of triples. v3 posting lists
+// stay encoded in the mapping; BlockIterator decodes them block-by-block
+// on first touch.
 //
 // Section payload CRC-32C checks are *lazy* by default: Open trusts the
 // structural validation and defers checksums until VerifySection /
@@ -59,6 +65,9 @@ class MmapStore {
 
   // The zero-copy store view (finalized, read-only).
   const TripleStore& store() const { return store_; }
+
+  // The file's format version (2 or 3).
+  uint32_t version() const { return version_; }
 
   // Total bytes of the mapping (the file size).
   size_t bytes_mapped() const { return map_size_; }
@@ -109,14 +118,22 @@ class MmapStore {
   size_t map_size_ = 0;
   uint64_t triple_count_ = 0;
   uint64_t term_count_ = 0;
+  uint32_t version_ = 0;
 
   std::array<Section, v2::kMaxSections> sections_{};
   size_t section_count_ = 0;
   // 0 = unverified, 1 = CRC ok, 2 = CRC mismatch.
   std::array<std::atomic<uint8_t>, v2::kMaxSections> verified_{};
 
+  // v3 files omit the kSpoIndex section (it is always the identity
+  // permutation over the SPO-sorted triple array); the view synthesises
+  // it here at open. Empty for v2 files, which map theirs.
+  std::vector<uint32_t> synthesised_spo_;
+
   MappedPostingLists postings_{};
   bool has_posting_directory_ = false;
+  MappedBlockPostings block_postings_{};
+  bool has_block_directory_ = false;
   TripleStore store_;
 
   double stats_head_fraction_ = 0.0;

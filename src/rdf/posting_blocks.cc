@@ -1,0 +1,236 @@
+#include "rdf/posting_blocks.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace specqp {
+namespace {
+
+// LEB128 varints. All shift arithmetic stays in uint64_t so the encode and
+// decode of any byte pattern is defined behaviour (the UBSan job runs these
+// suites).
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+// Reads one varint from [*pos, end). Fails on truncation and on encodings
+// longer than 10 bytes (the longest canonical uint64 varint) — a malformed
+// continuation run must not walk off into unrelated bytes.
+Status ReadVarint(const uint8_t* data, size_t size, size_t* pos,
+                  uint64_t* value) {
+  uint64_t result = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    if (*pos >= size) {
+      return Status::Corruption("posting block: truncated varint");
+    }
+    const uint64_t byte = data[(*pos)++];
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      return Status::Corruption("posting block: varint overflows uint64");
+    }
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::Ok();
+    }
+  }
+  return Status::Corruption("posting block: varint longer than 10 bytes");
+}
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);  // arithmetic shift: sign smear
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+EncodedPostingBlocks EncodePostingBlocks(const PostingEntry* entries,
+                                         size_t count) {
+  EncodedPostingBlocks out;
+  out.headers.reserve((count + kPostingBlockEntries - 1) / kPostingBlockEntries);
+  for (size_t begin = 0; begin < count; begin += kPostingBlockEntries) {
+    const size_t n = std::min(kPostingBlockEntries, count - begin);
+    PostingBlockHeader header{};
+    header.byte_offset = out.payload.size();
+    header.entry_count = static_cast<uint16_t>(n);
+    header.max_score = entries[begin].score;
+    uint32_t min_id = entries[begin].triple_index;
+    uint32_t max_id = min_id;
+    uint32_t prev_id = 0;
+    uint64_t prev_bits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const PostingEntry& e = entries[begin + i];
+      const uint64_t bits = std::bit_cast<uint64_t>(e.score);
+      if (i == 0) {
+        AppendVarint(ZigzagEncode(static_cast<int64_t>(e.triple_index)),
+                     &out.payload);
+        AppendVarint(bits, &out.payload);
+      } else {
+        AppendVarint(ZigzagEncode(static_cast<int64_t>(e.triple_index) -
+                                  static_cast<int64_t>(prev_id)),
+                     &out.payload);
+        SPECQP_DCHECK(bits <= prev_bits)
+            << "posting entries not sorted by descending score";
+        AppendVarint(prev_bits - bits, &out.payload);
+      }
+      min_id = std::min(min_id, e.triple_index);
+      max_id = std::max(max_id, e.triple_index);
+      prev_id = e.triple_index;
+      prev_bits = bits;
+    }
+    header.byte_length =
+        static_cast<uint32_t>(out.payload.size() - header.byte_offset);
+    header.min_id = min_id;
+    header.max_id = max_id;
+    out.headers.push_back(header);
+  }
+  return out;
+}
+
+Status DecodePostingBlock(const PostingBlockHeader& header,
+                          std::span<const uint8_t> payload, uint32_t id_limit,
+                          DecodedPostingBlock* out) {
+  if (header.reserved != 0) {
+    return Status::Corruption("posting block header: reserved bits set");
+  }
+  if (header.entry_count == 0 || header.entry_count > kPostingBlockEntries) {
+    return Status::Corruption(
+        StrFormat("posting block header: entry_count %u outside [1, %zu]",
+                  header.entry_count, kPostingBlockEntries));
+  }
+  if (header.byte_offset > payload.size() ||
+      header.byte_length > payload.size() - header.byte_offset) {
+    return Status::Corruption(
+        "posting block header: byte range outside payload section");
+  }
+  const uint8_t* data = payload.data() + header.byte_offset;
+  const size_t size = header.byte_length;
+  size_t pos = 0;
+
+  out->entries.clear();
+  out->entries.reserve(header.entry_count);
+  uint32_t prev_id = 0;
+  uint64_t prev_bits = 0;
+  uint32_t min_id = 0;
+  uint32_t max_id = 0;
+  for (size_t i = 0; i < header.entry_count; ++i) {
+    uint64_t id_delta = 0;
+    uint64_t score_delta = 0;
+    SPECQP_RETURN_IF_ERROR(ReadVarint(data, size, &pos, &id_delta));
+    SPECQP_RETURN_IF_ERROR(ReadVarint(data, size, &pos, &score_delta));
+
+    uint64_t bits;
+    if (i == 0) {
+      const int64_t id = ZigzagDecode(id_delta);
+      if (id < 0 || static_cast<uint64_t>(id) >= id_limit) {
+        return Status::Corruption("posting block: first id out of range");
+      }
+      prev_id = static_cast<uint32_t>(id);
+      min_id = max_id = prev_id;
+      bits = score_delta;
+      if (std::bit_cast<double>(bits) != header.max_score) {
+        return Status::Corruption(
+            "posting block: first score disagrees with header max_score");
+      }
+    } else {
+      const int64_t id =
+          static_cast<int64_t>(prev_id) + ZigzagDecode(id_delta);
+      if (id < 0 || static_cast<uint64_t>(id) >= id_limit) {
+        return Status::Corruption("posting block: id delta out of range");
+      }
+      if (score_delta > prev_bits) {
+        return Status::Corruption(
+            "posting block: score delta underflows (ascending score)");
+      }
+      bits = prev_bits - score_delta;
+      if (score_delta == 0 && static_cast<uint32_t>(id) <= prev_id) {
+        return Status::Corruption(
+            "posting block: tied scores with non-ascending ids");
+      }
+      prev_id = static_cast<uint32_t>(id);
+      min_id = std::min(min_id, prev_id);
+      max_id = std::max(max_id, prev_id);
+    }
+    const double score = std::bit_cast<double>(bits);
+    // The sign-bit check also rejects NaNs with the sign bit set; positive
+    // NaNs fail the <= 1.0 comparison. Scores are normalised into [0, 1].
+    if ((bits >> 63) != 0 || !(score <= 1.0)) {
+      return Status::Corruption("posting block: score outside [0, 1]");
+    }
+    prev_bits = bits;
+    out->entries.push_back(PostingEntry{prev_id, score});
+  }
+  if (pos != size) {
+    return Status::Corruption(StrFormat(
+        "posting block: %zu trailing payload bytes", size - pos));
+  }
+  if (min_id != header.min_id || max_id != header.max_id) {
+    return Status::Corruption(
+        "posting block: id range disagrees with header min_id/max_id");
+  }
+  return Status::Ok();
+}
+
+PostingBlockSource::PostingBlockSource(
+    std::span<const PostingBlockHeader> headers,
+    std::span<const uint8_t> payload, uint64_t entry_count, uint32_t id_limit)
+    : headers_(headers),
+      payload_(payload),
+      entry_count_(entry_count),
+      id_limit_(id_limit),
+      slots_(headers.size()) {}
+
+PostingBlockSource::PostingBlockSource(std::vector<PostingBlockHeader> headers,
+                                       std::vector<uint8_t> payload,
+                                       uint64_t entry_count, uint32_t id_limit)
+    : owned_headers_(std::move(headers)),
+      owned_payload_(std::move(payload)),
+      headers_(owned_headers_),
+      payload_(owned_payload_),
+      entry_count_(entry_count),
+      id_limit_(id_limit),
+      owned_bytes_(owned_headers_.capacity() * sizeof(PostingBlockHeader) +
+                   owned_payload_.capacity()),
+      slots_(headers_.size()) {}
+
+std::shared_ptr<const DecodedPostingBlock> PostingBlockSource::Decode(
+    size_t block) const {
+  SPECQP_CHECK(block < headers_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_[block] != nullptr) return slots_[block];
+  auto decoded = std::make_shared<DecodedPostingBlock>();
+  const Status status =
+      DecodePostingBlock(headers_[block], payload_, id_limit_, decoded.get());
+  SPECQP_CHECK(status.ok()) << "posting block " << block
+                            << " failed to decode: " << status.ToString();
+  decoded_bytes_.fetch_add(decoded->entries.capacity() * sizeof(PostingEntry),
+                           std::memory_order_relaxed);
+  slots_[block] = std::move(decoded);
+  return slots_[block];
+}
+
+size_t PostingBlockSource::ReleaseDecodedBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t released = 0;
+  for (auto& slot : slots_) {
+    if (slot != nullptr) {
+      released += slot->entries.capacity() * sizeof(PostingEntry);
+      slot.reset();
+    }
+  }
+  decoded_bytes_.fetch_sub(released, std::memory_order_relaxed);
+  return released;
+}
+
+}  // namespace specqp

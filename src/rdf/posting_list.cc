@@ -5,6 +5,7 @@
 
 #include "rdf/posting_partition.h"
 #include "rdf/store_format.h"
+#include "util/logging.h"
 
 namespace specqp {
 
@@ -12,6 +13,16 @@ const v2::PostingDirEntry* MappedPostingLists::Find(TermId predicate) const {
   auto it = std::lower_bound(
       directory.begin(), directory.end(), predicate,
       [](const v2::PostingDirEntry& e, TermId p) { return e.predicate < p; });
+  if (it == directory.end() || it->predicate != predicate) return nullptr;
+  return &*it;
+}
+
+const v3::BlockPostingDirEntry* MappedBlockPostings::Find(
+    TermId predicate) const {
+  auto it = std::lower_bound(directory.begin(), directory.end(), predicate,
+                             [](const v3::BlockPostingDirEntry& e, TermId p) {
+                               return e.predicate < p;
+                             });
   if (it == directory.end() || it->predicate != predicate) return nullptr;
   return &*it;
 }
@@ -24,6 +35,170 @@ PostingList PostingList::View(std::span<const PostingEntry> mapped,
   return list;
 }
 
+PostingList PostingList::BlockView(std::span<const PostingBlockHeader> headers,
+                                   std::span<const uint8_t> payload,
+                                   uint64_t entry_count, double max_raw_score,
+                                   uint32_t id_limit) {
+  PostingList list;
+  list.blocks = std::make_unique<PostingBlockSource>(headers, payload,
+                                                     entry_count, id_limit);
+  list.max_raw_score = max_raw_score;
+  return list;
+}
+
+PostingList PostingList::FromBlocks(std::vector<PostingBlockHeader> headers,
+                                    std::vector<uint8_t> payload,
+                                    uint64_t entry_count, double max_raw_score,
+                                    uint32_t id_limit) {
+  PostingList list;
+  list.blocks = std::make_unique<PostingBlockSource>(
+      std::move(headers), std::move(payload), entry_count, id_limit);
+  list.max_raw_score = max_raw_score;
+  return list;
+}
+
+BlockIterator::BlockIterator(const PostingList* list, uint64_t* decoded_counter,
+                             uint64_t* skipped_counter)
+    : decoded_counter_(decoded_counter), skipped_counter_(skipped_counter) {
+  SPECQP_CHECK(list != nullptr);
+  if (list->blocked()) {
+    source_ = list->blocks.get();
+    size_ = static_cast<size_t>(source_->entry_count());
+  } else {
+    flat_ = list->entries;
+    size_ = flat_.size();
+  }
+}
+
+BlockIterator::~BlockIterator() {
+  // Blocks the iterator never needed — the tail PullTopK left untouched
+  // once it had its k answers — are charged as skipped here. SkipAll()
+  // advances accounted_until_, so an explicitly discarded iterator does
+  // not double-charge.
+  if (source_ != nullptr && skipped_counter_ != nullptr) {
+    *skipped_counter_ += source_->num_blocks() - accounted_until_;
+  }
+}
+
+void BlockIterator::Materialize(size_t b) {
+  if (cur_block_ == b && cur_ != nullptr) return;
+  cur_ = source_->Decode(b);
+  cur_block_ = b;
+  if (b >= accounted_until_) {
+    if (skipped_counter_ != nullptr) {
+      *skipped_counter_ += b - accounted_until_;
+    }
+    accounted_until_ = b + 1;
+  }
+  if (decoded_counter_ != nullptr) ++*decoded_counter_;
+}
+
+double BlockIterator::PeekScore() const {
+  SPECQP_DCHECK(!AtEnd());
+  if (source_ == nullptr) return flat_[pos_].score;
+  const size_t b = pos_ / kPostingBlockEntries;
+  if (cur_block_ == b && cur_ != nullptr) {
+    return cur_->entries[pos_ % kPostingBlockEntries].score;
+  }
+  // Advance() keeps mid-block positions materialised, so an undecoded
+  // position sits on a boundary, where the header's ceiling IS the
+  // current entry's score (bit-equal by format validation).
+  SPECQP_DCHECK(pos_ % kPostingBlockEntries == 0);
+  return source_->header(b).max_score;
+}
+
+const PostingEntry& BlockIterator::Entry() {
+  SPECQP_DCHECK(!AtEnd());
+  if (source_ == nullptr) return flat_[pos_];
+  Materialize(pos_ / kPostingBlockEntries);
+  return cur_->entries[pos_ % kPostingBlockEntries];
+}
+
+void BlockIterator::Advance() {
+  SPECQP_DCHECK(!AtEnd());
+  ++pos_;
+  if (source_ == nullptr || AtEnd()) return;
+  // Invariant: a mid-block position has its block materialised, so
+  // PeekScore() stays exact and const. Landing on a boundary defers the
+  // decode — the next skip may discard the block whole.
+  if (pos_ % kPostingBlockEntries != 0) {
+    Materialize(pos_ / kPostingBlockEntries);
+  }
+}
+
+void BlockIterator::SkipToScoreBelow(double bound) {
+  if (source_ == nullptr) {
+    // Entries are sorted descending, so "score >= bound" is a prefix.
+    auto it = std::partition_point(
+        flat_.begin() + pos_, flat_.end(),
+        [bound](const PostingEntry& e) { return e.score >= bound; });
+    pos_ = static_cast<size_t>(it - flat_.begin());
+    return;
+  }
+  while (!AtEnd()) {
+    const size_t b = pos_ / kPostingBlockEntries;
+    const size_t off = pos_ % kPostingBlockEntries;
+    if (off == 0 && !(cur_block_ == b && cur_ != nullptr)) {
+      if (source_->header(b).max_score < bound) return;  // already below
+      // Discard block b undecoded iff the NEXT block's ceiling proves
+      // every entry of b scores >= bound: scores never ascend, so b's
+      // last entry >= header(b + 1).max_score.
+      if (b + 1 < source_->num_blocks() &&
+          source_->header(b + 1).max_score >= bound) {
+        pos_ = (b + 1) * kPostingBlockEntries;
+        continue;
+      }
+    }
+    // The boundary sits inside this block (or we start mid-block): decode
+    // and walk to it.
+    Materialize(b);
+    const size_t block_end = std::min(size_, (b + 1) * kPostingBlockEntries);
+    while (pos_ < block_end &&
+           cur_->entries[pos_ % kPostingBlockEntries].score >= bound) {
+      ++pos_;
+    }
+    if (pos_ < block_end) return;
+  }
+}
+
+bool BlockIterator::SkipToId(uint32_t target) {
+  if (source_ == nullptr) {
+    while (pos_ < size_ && flat_[pos_].triple_index != target) ++pos_;
+    return pos_ < size_;
+  }
+  while (!AtEnd()) {
+    const size_t b = pos_ / kPostingBlockEntries;
+    const size_t off = pos_ % kPostingBlockEntries;
+    if (off == 0 && !(cur_block_ == b && cur_ != nullptr)) {
+      const PostingBlockHeader& h = source_->header(b);
+      if (target < h.min_id || target > h.max_id) {
+        pos_ = std::min(size_, (b + 1) * kPostingBlockEntries);
+        continue;
+      }
+    }
+    Materialize(b);
+    const size_t block_end = std::min(size_, (b + 1) * kPostingBlockEntries);
+    while (pos_ < block_end) {
+      if (cur_->entries[pos_ % kPostingBlockEntries].triple_index == target) {
+        return true;
+      }
+      ++pos_;
+    }
+  }
+  return false;
+}
+
+void BlockIterator::SkipAll() {
+  if (source_ != nullptr) {
+    if (skipped_counter_ != nullptr) {
+      *skipped_counter_ += source_->num_blocks() - accounted_until_;
+    }
+    accounted_until_ = source_->num_blocks();
+  }
+  pos_ = size_;
+  cur_.reset();
+}
+
 PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
   // Mapped-store fast path: pure predicate patterns come straight from the
   // file's posting directory, zero-copy and pre-sorted.
@@ -33,6 +208,17 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
       return PostingList::View(
           mapped->entries.subspan(dir->entry_begin, dir->entry_count),
           dir->max_raw_score);
+    }
+  }
+  // v3 fast path: same zero-copy idea, but the directory addresses block
+  // headers — nothing is decoded until an iterator asks.
+  if (const MappedBlockPostings* blocked = store.mapped_block_postings();
+      blocked != nullptr && !key.s_bound() && key.p_bound() && !key.o_bound()) {
+    if (const v3::BlockPostingDirEntry* dir = blocked->Find(key.p)) {
+      return PostingList::BlockView(
+          blocked->headers.subspan(dir->block_begin, dir->block_count),
+          blocked->payload, dir->entry_count, dir->max_raw_score,
+          static_cast<uint32_t>(store.size()));
     }
   }
 
@@ -54,12 +240,36 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
               if (a.score != b.score) return a.score > b.score;
               return a.triple_index < b.triple_index;
             });
+  // On a block-backed (v3) store, scan-built bound lists are re-encoded
+  // into blocks as well: the cache then holds the compact payload and
+  // decodes on demand, and header-guided skipping (plus the
+  // blocks_decoded/blocks_skipped accounting) covers every list the store
+  // serves, not just the pure-predicate directory views. The codec is
+  // lossless, so iterators observe entries bit-identical to the flat
+  // build.
+  if (store.mapped_block_postings() != nullptr && !list.owned.empty()) {
+    EncodedPostingBlocks encoded =
+        EncodePostingBlocks(list.owned.data(), list.owned.size());
+    const size_t count = list.owned.size();
+    return PostingList::FromBlocks(std::move(encoded.headers),
+                                   std::move(encoded.payload), count, max_raw,
+                                   static_cast<uint32_t>(store.size()));
+  }
   list.Seal();
   return list;
 }
 
 size_t PostingListCache::ApproxBytes(const PostingList& list) {
-  return sizeof(PostingList) + list.owned.capacity() * sizeof(PostingEntry);
+  size_t bytes =
+      sizeof(PostingList) + list.owned.capacity() * sizeof(PostingEntry);
+  if (list.blocks != nullptr) {
+    // A blocked list's footprint is dominated by whatever its iterators
+    // have decoded so far (mapped headers/payload are not heap bytes);
+    // owned_bytes covers the in-memory FromBlocks variant.
+    bytes += sizeof(PostingBlockSource) + list.blocks->owned_bytes() +
+             list.blocks->decoded_bytes();
+  }
+  return bytes;
 }
 
 double PostingListCache::RebuildCost(size_t num_entries) {
@@ -72,10 +282,50 @@ PostingListCache::Shard& PostingListCache::ShardFor(const PatternKey& key) {
   return shards_[PatternKeyHash{}(key) % kNumShards];
 }
 
+void PostingListCache::SyncBlockBytes(Shard& shard) {
+  for (auto& [key, entry] : shard.map) {
+    if (!entry.list->blocked()) continue;
+    const size_t now = ApproxBytes(*entry.list);
+    if (now == entry.bytes) continue;
+    shard.bytes += now;
+    shard.bytes -= entry.bytes;
+    entry.bytes = now;
+  }
+}
+
 void PostingListCache::EvictIfOver(Shard& shard, const PatternKey& keep,
                                    const PartitionKey* keep_parts) {
   if (budget_bytes_ == 0) return;
+  // Decoded-block memos grow outside the shard lock while operators
+  // iterate, so the accounting is refreshed before any budget decision.
+  SyncBlockBytes(shard);
   const size_t shard_budget = budget_bytes_ / kNumShards;
+
+  // Block-granular pass first: releasing a decoded-block memo frees real
+  // bytes without evicting the (cheap) header view, and is safe even for
+  // pinned or just-requested lists — live iterators hold their current
+  // block via shared_ptr, later touches simply decode again. LRU order so
+  // hot lists keep their working set longest.
+  if (shard.bytes > shard_budget) {
+    std::vector<Entry*> blocked;
+    for (auto& [key, entry] : shard.map) {
+      if (entry.list->blocked() && entry.list->blocks->decoded_bytes() > 0) {
+        blocked.push_back(&entry);
+      }
+    }
+    std::sort(blocked.begin(), blocked.end(), [](const Entry* a,
+                                                 const Entry* b) {
+      return a->last_used < b->last_used;
+    });
+    for (Entry* entry : blocked) {
+      if (shard.bytes <= shard_budget) break;
+      const size_t released = entry->list->blocks->ReleaseDecodedBlocks();
+      if (released == 0) continue;
+      shard.bytes -= std::min(shard.bytes, released);
+      entry->bytes -= std::min(entry->bytes, released);
+      ++shard.evictions;
+    }
+  }
   // Victim ordering: cost-aware compares GreedyDual priorities (rebuild
   // cost on top of the shard's inflation floor), plain LRU compares last
   // use; ties break towards the older entry either way so eviction stays

@@ -12,39 +12,35 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rdf/posting_blocks.h"
+#include "rdf/posting_entry.h"
 #include "rdf/triple_pattern.h"
 #include "rdf/triple_store.h"
 
 namespace specqp {
 
-// One match of a triple pattern, carrying the pattern-normalised score of
-// Definition 5: S(t|q) = S(t) / max_{t' in matches(q)} S(t').
-//
-// Doubles as the on-disk record of the SQPSTOR2 posting-entries section
-// (docs/FORMATS.md), hence the layout asserts below; the writer zeroes
-// the 4 padding bytes.
-struct PostingEntry {
-  uint32_t triple_index = 0;  // into TripleStore::triples()
-  double score = 0.0;         // normalised, in [0, 1]
-};
-static_assert(sizeof(PostingEntry) == 16 && alignof(PostingEntry) == 8 &&
-              offsetof(PostingEntry, triple_index) == 0 &&
-              offsetof(PostingEntry, score) == 8);
-
 // All matches of one pattern, sorted by descending normalised score (ties
 // broken by triple index for determinism). This is the "sorted list of
 // matches" every operator in the paper consumes via sorted access.
 //
-// Two backends behind one read interface: built lists own their entries in
-// `owned` (with `entries` aliasing it — call Seal() after filling), while
-// lists opened from a mapped SQPSTOR2 store point `entries` straight at
-// the mapped posting-entries section with no per-entry work. Readers only
-// touch `entries`. Copying is deleted because a copy's span would alias
-// the source's buffer; moves are safe (vector moves keep the heap buffer,
-// mapped memory is position-stable).
+// Three backends behind one read interface:
+//   * built lists own their entries in `owned` (with `entries` aliasing
+//     it — call Seal() after filling);
+//   * lists opened from a mapped SQPSTOR2 (v2) store point `entries`
+//     straight at the mapped posting-entries section;
+//   * lists opened from a mapped SQPSTOR3 (v3) store carry a
+//     PostingBlockSource in `blocks` and have an EMPTY `entries` span —
+//     their entries exist only block-by-block, decoded on demand.
+//
+// BlockIterator (below) is the canonical access path and reads all three
+// uniformly; code that touches `entries` directly must first check
+// !blocked() (flat-only consumers assert this). Copying is deleted because
+// a copy's span would alias the source's buffer; moves are safe (vector
+// moves keep the heap buffer, mapped memory is position-stable).
 struct PostingList {
   std::vector<PostingEntry> owned;
   std::span<const PostingEntry> entries;
+  std::unique_ptr<PostingBlockSource> blocks;  // block backend, or null
   double max_raw_score = 0.0;  // the Definition 5 normaliser
 
   PostingList() = default;
@@ -61,15 +57,122 @@ struct PostingList {
   static PostingList View(std::span<const PostingEntry> mapped,
                           double max_raw_score);
 
-  size_t size() const { return entries.size(); }
-  bool empty() const { return entries.empty(); }
+  // A zero-copy block-compressed list over a mapped v3 store's header and
+  // payload sections (the caller keeps the mapping alive). `id_limit`
+  // bounds decoded triple indexes (pass the store's triple count).
+  static PostingList BlockView(std::span<const PostingBlockHeader> headers,
+                               std::span<const uint8_t> payload,
+                               uint64_t entry_count, double max_raw_score,
+                               uint32_t id_limit);
+
+  // An owning block-compressed list (in-memory stores, tests).
+  static PostingList FromBlocks(std::vector<PostingBlockHeader> headers,
+                                std::vector<uint8_t> payload,
+                                uint64_t entry_count, double max_raw_score,
+                                uint32_t id_limit);
+
+  bool blocked() const { return blocks != nullptr; }
+  size_t size() const {
+    return blocks != nullptr ? static_cast<size_t>(blocks->entry_count())
+                             : entries.size();
+  }
+  bool empty() const { return size() == 0; }
+};
+
+// Cursor over a PostingList that understands both backends: flat spans are
+// walked directly, block-compressed lists are decoded one block at a time
+// into the source's reusable per-block buffers. This is the canonical
+// access path for everything that consumes posting lists — PatternScan,
+// the store writer, partitioning, shared-scan derivation, the stats
+// catalog.
+//
+// Skipping uses the block headers and never changes which entries the
+// caller observes, only how many bytes get decoded on the way:
+//   * PeekScore() at an undecoded block boundary answers from the header's
+//     max_score, which the format guarantees is bit-equal to the block's
+//     first entry score — so bound computations (PatternScan::UpperBound)
+//     are bit-identical with and without decoding;
+//   * SkipToScoreBelow(bound) discards whole blocks whose every entry
+//     provably scores >= bound (the NEXT block's ceiling >= bound implies
+//     it, since scores only descend);
+//   * SkipToId(target) discards blocks whose [min_id, max_id] range
+//     excludes the target.
+//
+// `decoded_counter` / `skipped_counter` (both optional) receive this
+// iterator's per-block accounting: +1 decoded per block this iterator
+// materialises (memo hits included — the counters describe the access
+// pattern, not cache state, so they are deterministic), and +1 skipped per
+// block it provably never needed, charged when the iterator is destroyed
+// or skips past them. Flat lists touch neither counter. The iterator does
+// not own the list; the caller keeps `list` (and its mapping) alive.
+class BlockIterator {
+ public:
+  explicit BlockIterator(const PostingList* list,
+                         uint64_t* decoded_counter = nullptr,
+                         uint64_t* skipped_counter = nullptr);
+  ~BlockIterator();
+
+  BlockIterator(const BlockIterator&) = delete;
+  BlockIterator& operator=(const BlockIterator&) = delete;
+
+  size_t size() const { return size_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  // The current entry's score without forcing a decode: exact when the
+  // position's block is materialised (or the list is flat), the block
+  // header's max_score — bit-equal to the same value — when positioned at
+  // an undecoded block boundary. Precondition: !AtEnd().
+  double PeekScore() const;
+
+  // The current entry, materialising its block. Precondition: !AtEnd().
+  // The reference is valid until the iterator moves to another block.
+  const PostingEntry& Entry();
+
+  // Steps to the next entry. Decoding stays deferred when the step lands
+  // exactly on a block boundary (the skip primitives may then discard that
+  // block untouched).
+  void Advance();
+
+  // Advances past every entry with score >= bound: afterwards AtEnd() or
+  // PeekScore() < bound. Whole blocks are discarded undecoded when the
+  // following block's ceiling proves them uniformly >= bound.
+  void SkipToScoreBelow(double bound);
+
+  // Advances to the first entry at or after the current position with
+  // triple_index == target, returning true; exhausts the iterator and
+  // returns false when no such entry remains. Blocks whose id range
+  // excludes `target` are discarded undecoded.
+  bool SkipToId(uint32_t target);
+
+  // Exhausts the iterator, charging all unvisited blocks as skipped now
+  // (operators discard provably dead inputs through this, so the charge
+  // lands in ExecStats before the merge, not at tree teardown).
+  void SkipAll();
+
+ private:
+  // Decodes block `b` (memoised in the source) and runs the accounting:
+  // blocks passed over since the last materialisation are charged as
+  // skipped, `b` itself as decoded.
+  void Materialize(size_t b);
+
+  std::span<const PostingEntry> flat_;
+  const PostingBlockSource* source_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+  std::shared_ptr<const DecodedPostingBlock> cur_;
+  size_t cur_block_ = SIZE_MAX;
+  size_t accounted_until_ = 0;  // first block not yet charged either way
+  uint64_t* decoded_counter_ = nullptr;
+  uint64_t* skipped_counter_ = nullptr;
 };
 
 // Builds a posting list for `key` by scanning the store's match range,
 // sorting by score, and normalising. Standalone helper used by the cache
-// and by tests. When the store is a mapped v2 view and `key` is a pure
-// predicate pattern (?s <p> ?o), returns a zero-copy view over the file's
-// posting directory instead of building.
+// and by tests. When the store is a mapped view and `key` is a pure
+// predicate pattern (?s <p> ?o), returns a zero-copy list over the file's
+// posting directory instead of building: a flat span for v2 stores, a
+// block-compressed BlockView for v3 stores.
 PostingList BuildPostingList(const TripleStore& store, const PatternKey& key);
 
 // Materialised posting lists keyed by PatternKey, built on first use.
@@ -90,6 +193,15 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key);
 // evicted, and neither is the most recently requested list — so a single
 // oversized or in-use list can push a shard past its slice of the budget,
 // but the steady state under churn stays bounded.
+//
+// Block-compressed lists are accounted at block granularity: a blocked
+// list's footprint grows as iterators decode blocks into its
+// PostingBlockSource memo, and an over-budget shard first RELEASES decoded
+// blocks (cheapest-to-restore bytes, LRU entry order) before falling back
+// to whole-entry eviction. Releasing is safe even for pinned or
+// just-requested lists — live iterators hold their current block through
+// a shared_ptr, and a released block simply decodes again on next touch —
+// so cold queries keep only the blocks their bound actually required.
 //
 // Cost-aware eviction (`cost_aware` = true, EngineOptions::cache_cost_aware):
 // victim selection weighs how expensive a list is to rebuild, not just how
@@ -203,8 +315,15 @@ class PostingListCache {
   std::shared_ptr<const PostingList> GetLocked(Shard& shard,
                                                const PatternKey& key,
                                                bool count_stats);
-  // Evicts LRU unpinned lists/piece sets (never `keep` or `keep_parts`)
-  // until the shard fits its budget slice. Caller holds the shard lock.
+  // Brings the shard's byte accounting for blocked lists up to date
+  // (decoded-block memos grow outside the lock while operators iterate).
+  // Caller holds the shard lock.
+  void SyncBlockBytes(Shard& shard);
+  // Evicts until the shard fits its budget slice: first releases decoded
+  // blocks from blocked lists (LRU order, pinned and `keep` included —
+  // release never invalidates readers), then evicts LRU unpinned
+  // lists/piece sets (never `keep` or `keep_parts`). Caller holds the
+  // shard lock.
   void EvictIfOver(Shard& shard, const PatternKey& keep,
                    const PartitionKey* keep_parts = nullptr);
 

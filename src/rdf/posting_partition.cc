@@ -24,7 +24,12 @@ std::vector<std::shared_ptr<const PostingList>> PartitionPostingList(
   for (PostingList& piece : pieces) {
     piece.max_raw_score = list.max_raw_score;
   }
-  for (const PostingEntry& entry : list.entries) {
+  // Canonical access path: a block-compressed base list decodes one block
+  // at a time while its entries are dealt to the pieces, so partitioning
+  // never needs the whole list flat. Pieces stay flat regardless of the
+  // base's backend — partition order equals list order either way.
+  for (BlockIterator it(&list); !it.AtEnd(); it.Advance()) {
+    const PostingEntry& entry = it.Entry();
     const Triple& t = store.triple(entry.triple_index);
     const TermId term = slot == 0 ? t.s : (slot == 1 ? t.p : t.o);
     pieces[PostingPartitionOf(term, num_partitions)].owned.push_back(entry);

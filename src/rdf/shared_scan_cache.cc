@@ -54,7 +54,8 @@ PostingList SharedScanCache::DeriveObjectList(const TripleStore& store,
                                               const PostingList& base,
                                               TermId object) {
   PostingList list;
-  for (const PostingEntry& e : base.entries) {
+  for (BlockIterator it(&base); !it.AtEnd(); it.Advance()) {
+    const PostingEntry& e = it.Entry();
     const Triple& t = store.triple(e.triple_index);
     if (t.o != object) continue;
     list.owned.push_back(PostingEntry{e.triple_index, t.score});  // raw
@@ -83,7 +84,8 @@ void SharedScanCache::DeriveGroup(TermId p,
   std::vector<PostingList> buckets(objects.size());
   bucket_of.reserve(objects.size());
   for (size_t i = 0; i < objects.size(); ++i) bucket_of.emplace(objects[i], i);
-  for (const PostingEntry& e : base->entries) {
+  for (BlockIterator iter(&*base); !iter.AtEnd(); iter.Advance()) {
+    const PostingEntry& e = iter.Entry();
     const Triple& t = store_->triple(e.triple_index);
     const auto it = bucket_of.find(t.o);
     if (it == bucket_of.end()) continue;
@@ -148,8 +150,11 @@ void SharedScanCache::Prepare(std::span<const PatternKey> keys) {
       }
       const size_t base_count = store_->CountMatches(base_key);
       const MappedPostingLists* mapped = store_->mapped_postings();
-      const bool base_free = (mapped != nullptr && mapped->Find(p) != nullptr) ||
-                             base_->Peek(base_key) != nullptr;
+      const MappedBlockPostings* blocked = store_->mapped_block_postings();
+      const bool base_free =
+          (mapped != nullptr && mapped->Find(p) != nullptr) ||
+          (blocked != nullptr && blocked->Find(p) != nullptr) ||
+          base_->Peek(base_key) != nullptr;
       double derive_cost = static_cast<double>(base_count);
       for (TermId o : objects) {
         derive_cost += static_cast<double>(

@@ -49,6 +49,9 @@ enum class SectionId : uint32_t {
   kPostingDir = 8,      // u64 count, then PostingDirEntry[count], by predicate
   kPostingEntries = 9,  // PostingEntryRecord[*], referenced by kPostingDir
   kStats = 10,          // f64 head_fraction, u64 count, StatsEntry[count]
+  // v3-only sections (rejected by a v2 reader, which predates them):
+  kPostingBlockIndex = 11,  // PostingBlockHeader[*], referenced by v3 dir
+  kPostingBlocks = 12,      // delta-encoded block payload bytes
 };
 
 // Fixed 40-byte file header at offset 0, immediately followed by the
@@ -117,6 +120,43 @@ inline uint64_t AlignUp(uint64_t n) {
 
 }  // namespace v2
 
+// On-disk layout of store format v3 ("SQPSTOR3").
+//
+// v3 keeps v2's envelope byte for byte — FileHeader, SectionEntry, the
+// alignment/gapless/CRC discipline, and every section other than the
+// posting lists — and replaces the flat kPostingEntries section with
+// block-compressed postings (rdf/posting_blocks.h):
+//
+//   * kPostingDir holds BlockPostingDirEntry rows (one per predicate)
+//     addressing a contiguous run of block headers;
+//   * kPostingBlockIndex is a flat PostingBlockHeader array for all
+//     predicates, in directory order;
+//   * kPostingBlocks is the concatenated delta-encoded block payload
+//     (padded to 8 bytes like every section).
+//
+// kPostingEntries (9) must not appear in a v3 file, and sections 11/12
+// must not appear in a v2 file.
+namespace v3 {
+
+inline constexpr char kMagic[8] = {'S', 'Q', 'P', 'S', 'T', 'O', 'R', '3'};
+inline constexpr uint32_t kFormatVersion = 3;
+
+// v3 kPostingDir row: the posting list of (?s <predicate> ?o), stored as
+// blocks [block_begin, block_begin + block_count) of kPostingBlockIndex,
+// holding entry_count entries in total, descending by
+// (normalised score, -triple_index) across block boundaries.
+struct BlockPostingDirEntry {
+  uint32_t predicate;
+  uint32_t reserved;  // zero
+  uint64_t block_begin;
+  uint64_t block_count;
+  uint64_t entry_count;
+  double max_raw_score;
+};
+static_assert(sizeof(BlockPostingDirEntry) == 40);
+
+}  // namespace v3
+
 // Zero-copy posting directory decoded from a mapped v2 file: hands out
 // PostingList views over the mapped kPostingEntries section so opening a
 // predicate's posting list does no per-entry work. Owned by MmapStore and
@@ -127,6 +167,21 @@ struct MappedPostingLists {
 
   // The directory row for `predicate`, or nullptr when absent.
   const v2::PostingDirEntry* Find(TermId predicate) const;
+};
+
+struct PostingBlockHeader;  // rdf/posting_blocks.h
+
+// Block posting directory of a mapped v3 file: per-predicate block runs
+// over the shared header array and payload bytes. Owned by MmapStore and
+// surfaced through TripleStore::mapped_block_postings(); BuildPostingList
+// wraps a row in a PostingBlockSource without touching the payload.
+struct MappedBlockPostings {
+  std::span<const v3::BlockPostingDirEntry> directory;  // ascending predicate
+  std::span<const PostingBlockHeader> headers;  // kPostingBlockIndex payload
+  std::span<const uint8_t> payload;             // kPostingBlocks payload
+
+  // The directory row for `predicate`, or nullptr when absent.
+  const v3::BlockPostingDirEntry* Find(TermId predicate) const;
 };
 
 }  // namespace specqp

@@ -17,6 +17,12 @@ namespace {
 constexpr char kMagicV1[8] = {'S', 'Q', 'P', 'S', 'T', 'O', 'R', '1'};
 constexpr uint32_t kFormatVersionV1 = 1;
 
+void AppendU16(std::string* buf, uint16_t v) {
+  char tmp[2];
+  std::memcpy(tmp, &v, 2);
+  buf->append(tmp, 2);
+}
+
 void AppendU32(std::string* buf, uint32_t v) {
   char tmp[4];
   std::memcpy(tmp, &v, 4);
@@ -99,12 +105,15 @@ void AppendIndexSection(std::vector<SectionBuf>* sections, v2::SectionId id,
 }
 
 Status WriteSections(const std::string& path, std::vector<SectionBuf> sections,
-                     uint64_t triple_count, uint64_t term_count) {
+                     uint64_t triple_count, uint64_t term_count,
+                     uint32_t format_version) {
   for (SectionBuf& section : sections) PadSection(&section.payload);
 
   v2::FileHeader header{};
-  std::memcpy(header.magic, v2::kMagic, sizeof(v2::kMagic));
-  header.version = v2::kFormatVersion;
+  std::memcpy(header.magic,
+              format_version == v3::kFormatVersion ? v3::kMagic : v2::kMagic,
+              sizeof(v2::kMagic));
+  header.version = format_version;
   header.section_count = static_cast<uint32_t>(sections.size());
   header.triple_count = triple_count;
   header.term_count = term_count;
@@ -141,12 +150,30 @@ Status WriteSections(const std::string& path, std::vector<SectionBuf> sections,
   return Status::Ok();
 }
 
+// Walks a posting list through the canonical BlockIterator path so the
+// writer handles flat, mapped-flat, and block-compressed lists uniformly
+// (re-saving a store opened from a mapped v3 file included).
+std::vector<PostingEntry> MaterializeEntries(const PostingList& list) {
+  std::vector<PostingEntry> out;
+  out.reserve(list.size());
+  for (BlockIterator it(&list); !it.AtEnd(); it.Advance()) {
+    out.push_back(it.Entry());
+  }
+  return out;
+}
+
 }  // namespace
 
 Status SaveStore(const TripleStore& store, const std::string& path,
                  const SaveStoreOptions& options) {
   if (!store.finalized()) {
     return Status::FailedPrecondition("SaveStore requires a finalized store");
+  }
+  if (options.format_version != v2::kFormatVersion &&
+      options.format_version != v3::kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("SaveStore cannot write format version %u",
+                  options.format_version));
   }
   const Dictionary& dict = store.dict();
   const std::span<const Triple> triples = store.triples();
@@ -189,9 +216,14 @@ Status SaveStore(const TripleStore& store, const std::string& path,
     }
     sections.push_back(std::move(section));
 
-    std::vector<uint32_t> identity(triples.size());
-    for (uint32_t i = 0; i < identity.size(); ++i) identity[i] = i;
-    AppendIndexSection(&sections, v2::SectionId::kSpoIndex, identity);
+    // The SPO permutation of an SPO-sorted triple array is the identity;
+    // v3 stops spending file bytes on it (readers synthesise the view),
+    // while v2 keeps its frozen layout.
+    if (options.format_version != v3::kFormatVersion) {
+      std::vector<uint32_t> identity(triples.size());
+      for (uint32_t i = 0; i < identity.size(); ++i) identity[i] = i;
+      AppendIndexSection(&sections, v2::SectionId::kSpoIndex, identity);
+    }
     AppendIndexSection(&sections, v2::SectionId::kPosIndex,
                        SortedPermutation<OrderPos>(triples));
     AppendIndexSection(&sections, v2::SectionId::kOspIndex,
@@ -199,7 +231,9 @@ Status SaveStore(const TripleStore& store, const std::string& path,
   }
 
   // Per-predicate posting directory: every (?s <p> ?o) list, normalised
-  // and pre-sorted, so mapped stores serve them zero-copy.
+  // and pre-sorted, so mapped stores serve them zero-copy. v2 stores the
+  // entries flat; v3 stores them block-compressed with a shared header
+  // array (rdf/posting_blocks.h).
   if (options.posting_directory) {
     std::vector<TermId> predicates;
     predicates.reserve(triples.size());
@@ -208,27 +242,67 @@ Status SaveStore(const TripleStore& store, const std::string& path,
     predicates.erase(std::unique(predicates.begin(), predicates.end()),
                      predicates.end());
 
-    SectionBuf dir{v2::SectionId::kPostingDir, {}};
-    SectionBuf entries{v2::SectionId::kPostingEntries, {}};
-    AppendU64(&dir.payload, predicates.size());
-    uint64_t entry_cursor = 0;
-    for (TermId p : predicates) {
-      const PostingList list = BuildPostingList(
-          store, PatternKey{kInvalidTermId, p, kInvalidTermId});
-      AppendU32(&dir.payload, p);
-      AppendU32(&dir.payload, 0);  // reserved
-      AppendU64(&dir.payload, entry_cursor);
-      AppendU64(&dir.payload, list.size());
-      AppendF64(&dir.payload, list.max_raw_score);
-      for (const PostingEntry& e : list.entries) {
-        AppendU32(&entries.payload, e.triple_index);
-        AppendU32(&entries.payload, 0);  // struct padding, CRC-covered
-        AppendF64(&entries.payload, e.score);
+    if (options.format_version == v3::kFormatVersion) {
+      SectionBuf dir{v2::SectionId::kPostingDir, {}};
+      SectionBuf index{v2::SectionId::kPostingBlockIndex, {}};
+      SectionBuf blocks{v2::SectionId::kPostingBlocks, {}};
+      AppendU64(&dir.payload, predicates.size());
+      uint64_t block_cursor = 0;
+      for (TermId p : predicates) {
+        const PostingList list = BuildPostingList(
+            store, PatternKey{kInvalidTermId, p, kInvalidTermId});
+        const std::vector<PostingEntry> flat = MaterializeEntries(list);
+        const EncodedPostingBlocks encoded =
+            EncodePostingBlocks(flat.data(), flat.size());
+        AppendU32(&dir.payload, p);
+        AppendU32(&dir.payload, 0);  // reserved
+        AppendU64(&dir.payload, block_cursor);
+        AppendU64(&dir.payload, encoded.headers.size());
+        AppendU64(&dir.payload, flat.size());
+        AppendF64(&dir.payload, list.max_raw_score);
+        // The encoder's offsets are list-local; rebase onto this file's
+        // shared payload section.
+        const uint64_t payload_base = blocks.payload.size();
+        for (const PostingBlockHeader& h : encoded.headers) {
+          AppendU64(&index.payload, h.byte_offset + payload_base);
+          AppendU32(&index.payload, h.byte_length);
+          AppendU16(&index.payload, h.entry_count);
+          AppendU16(&index.payload, 0);  // reserved
+          AppendF64(&index.payload, h.max_score);
+          AppendU32(&index.payload, h.min_id);
+          AppendU32(&index.payload, h.max_id);
+        }
+        blocks.payload.append(
+            reinterpret_cast<const char*>(encoded.payload.data()),
+            encoded.payload.size());
+        block_cursor += encoded.headers.size();
       }
-      entry_cursor += list.size();
+      sections.push_back(std::move(dir));
+      sections.push_back(std::move(index));
+      sections.push_back(std::move(blocks));
+    } else {
+      SectionBuf dir{v2::SectionId::kPostingDir, {}};
+      SectionBuf entries{v2::SectionId::kPostingEntries, {}};
+      AppendU64(&dir.payload, predicates.size());
+      uint64_t entry_cursor = 0;
+      for (TermId p : predicates) {
+        const PostingList list = BuildPostingList(
+            store, PatternKey{kInvalidTermId, p, kInvalidTermId});
+        AppendU32(&dir.payload, p);
+        AppendU32(&dir.payload, 0);  // reserved
+        AppendU64(&dir.payload, entry_cursor);
+        AppendU64(&dir.payload, list.size());
+        AppendF64(&dir.payload, list.max_raw_score);
+        for (const PostingEntry& e : MaterializeEntries(list)) {
+          AppendU32(&entries.payload, e.triple_index);
+          AppendU32(&entries.payload, 0);  // struct padding, CRC-covered
+          AppendF64(&entries.payload, e.score);
+        }
+        entry_cursor += list.size();
+      }
+      sections.push_back(std::move(dir));
+      sections.push_back(std::move(entries));
     }
-    sections.push_back(std::move(dir));
-    sections.push_back(std::move(entries));
   }
 
   // Statistics snapshot.
@@ -254,8 +328,8 @@ Status SaveStore(const TripleStore& store, const std::string& path,
     sections.push_back(std::move(section));
   }
 
-  return WriteSections(path, std::move(sections), triples.size(),
-                       dict.size());
+  return WriteSections(path, std::move(sections), triples.size(), dict.size(),
+                       options.format_version);
 }
 
 Status SaveStoreV1(const TripleStore& store, const std::string& path) {
@@ -393,9 +467,10 @@ Result<TripleStore> LoadStoreV1(const std::string& blob) {
   return store;
 }
 
-// Materialises an owned store from a (checksum-verified) mapped v2 file.
-// This is the compatibility path: the zero-copy path is MmapStore itself.
-Result<TripleStore> MaterializeV2(const MmapStore& mapped) {
+// Materialises an owned store from a (checksum-verified) mapped v2/v3
+// file. This is the compatibility path: the zero-copy path is MmapStore
+// itself.
+Result<TripleStore> MaterializeMapped(const MmapStore& mapped) {
   const TripleStore& view = mapped.store();
   const Dictionary& view_dict = view.dict();
   TripleStore store;
@@ -422,13 +497,14 @@ Result<TripleStore> MaterializeV2(const MmapStore& mapped) {
 
 Result<TripleStore> LoadStore(const std::string& path) {
   SPECQP_ASSIGN_OR_RETURN(const uint32_t version, PeekStoreVersion(path));
-  if (version == v2::kFormatVersion) {
-    // Full (eager) checksum verification before any byte is trusted.
+  if (version == v2::kFormatVersion || version == v3::kFormatVersion) {
+    // Full (eager) checksum verification before any byte is trusted —
+    // for v3 this includes decode-validating every posting block.
     MmapStore::Options options;
     options.verify = MmapStore::Verify::kEager;
     SPECQP_ASSIGN_OR_RETURN(std::unique_ptr<MmapStore> mapped,
                             MmapStore::Open(path, options));
-    return MaterializeV2(*mapped);
+    return MaterializeMapped(*mapped);
   }
 
   std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -457,11 +533,13 @@ Result<uint32_t> PeekStoreVersion(const std::string& path) {
   if (!in) return Status::Corruption("truncated header");
   const bool v1_magic = std::memcmp(magic, kMagicV1, 8) == 0;
   const bool v2_magic = std::memcmp(magic, v2::kMagic, 8) == 0;
-  if (!v1_magic && !v2_magic) {
+  const bool v3_magic = std::memcmp(magic, v3::kMagic, 8) == 0;
+  if (!v1_magic && !v2_magic && !v3_magic) {
     return Status::Corruption("bad magic; not a Spec-QP store file");
   }
   if ((v1_magic && version != kFormatVersionV1) ||
-      (v2_magic && version != v2::kFormatVersion)) {
+      (v2_magic && version != v2::kFormatVersion) ||
+      (v3_magic && version != v3::kFormatVersion)) {
     return Status::Corruption(StrFormat("unsupported version %u", version));
   }
   return version;

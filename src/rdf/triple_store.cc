@@ -75,9 +75,12 @@ TripleStore TripleStore::FromView(Dictionary dict,
                                   std::span<const uint32_t> spo,
                                   std::span<const uint32_t> pos,
                                   std::span<const uint32_t> osp,
-                                  const MappedPostingLists* postings) {
+                                  const MappedPostingLists* postings,
+                                  const MappedBlockPostings* block_postings) {
   SPECQP_CHECK(spo.size() == triples.size() && pos.size() == triples.size() &&
                osp.size() == triples.size());
+  SPECQP_CHECK(postings == nullptr || block_postings == nullptr)
+      << "a store has either a flat or a block posting directory";
   TripleStore store;
   store.dict_ = std::move(dict);
   store.view_ = true;
@@ -87,6 +90,7 @@ TripleStore TripleStore::FromView(Dictionary dict,
   store.pos_view_ = pos;
   store.osp_view_ = osp;
   store.mapped_postings_ = postings;
+  store.mapped_block_postings_ = block_postings;
   return store;
 }
 

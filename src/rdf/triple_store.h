@@ -14,7 +14,8 @@
 
 namespace specqp {
 
-struct MappedPostingLists;  // rdf/store_format.h
+struct MappedPostingLists;   // rdf/store_format.h
+struct MappedBlockPostings;  // rdf/store_format.h
 
 // In-memory scored triple store with three permutation indexes (SPO, POS,
 // OSP). Together they answer every bound/free combination of a triple
@@ -52,15 +53,18 @@ class TripleStore {
 
   // View-backed construction over mapped memory. `triples` must be in SPO
   // order, `spo`/`pos`/`osp` the matching permutations of its indices, and
-  // `postings` (optional) the file's per-predicate posting directory. The
-  // caller (MmapStore) owns the mapping and guarantees it outlives the
-  // store and that span bounds were validated against the file.
+  // at most one of `postings` (v2 flat directory) / `block_postings` (v3
+  // block directory) non-null. The caller (MmapStore) owns the mapping and
+  // guarantees it outlives the store and that span bounds were validated
+  // against the file.
   static TripleStore FromView(Dictionary dict,
                               std::span<const Triple> triples,
                               std::span<const uint32_t> spo,
                               std::span<const uint32_t> pos,
                               std::span<const uint32_t> osp,
-                              const MappedPostingLists* postings);
+                              const MappedPostingLists* postings,
+                              const MappedBlockPostings* block_postings =
+                                  nullptr);
 
   // --- loading phase -------------------------------------------------------
 
@@ -90,6 +94,11 @@ class TripleStore {
   // BuildPostingList / the posting-list cache).
   const MappedPostingLists* mapped_postings() const {
     return mapped_postings_;
+  }
+  // v3 counterpart: zero-copy block-compressed posting lists. At most one
+  // of the two directories is non-null.
+  const MappedBlockPostings* mapped_block_postings() const {
+    return mapped_block_postings_;
   }
   bool is_view() const { return view_; }
 
@@ -148,6 +157,7 @@ class TripleStore {
   std::span<const uint32_t> pos_view_;
   std::span<const uint32_t> osp_view_;
   const MappedPostingLists* mapped_postings_ = nullptr;
+  const MappedBlockPostings* mapped_block_postings_ = nullptr;
 };
 
 }  // namespace specqp

@@ -33,21 +33,25 @@ PatternStats StatisticsCatalog::Compute(const PatternKey& key) {
   if (list->empty()) return stats;
 
   double total = 0.0;
-  for (const PostingEntry& e : list->entries) total += e.score;
+  for (BlockIterator it(&*list); !it.AtEnd(); it.Advance()) {
+    total += it.Entry().score;
+  }
   stats.s_m = total;
   if (total <= 0.0) return stats;
 
   double acc = 0.0;
-  for (const PostingEntry& e : list->entries) {
-    acc += e.score;
+  double last_score = 0.0;
+  for (BlockIterator it(&*list); !it.AtEnd(); it.Advance()) {
+    last_score = it.Entry().score;
+    acc += last_score;
     if (acc >= head_fraction_ * total) {
-      stats.sigma_r = e.score;
+      stats.sigma_r = last_score;
       stats.s_r = acc;
       return stats;
     }
   }
   // Fell through only via floating-point slack; use the full list.
-  stats.sigma_r = list->entries.back().score;
+  stats.sigma_r = last_score;
   stats.s_r = acc;
   return stats;
 }

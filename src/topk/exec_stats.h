@@ -29,6 +29,8 @@ struct ExecStats {
   uint64_t join_hash_probes = 0;
   uint64_t parallel_partitions = 0;    // partition trees built (0 = serial)
   uint64_t parallel_refill_rounds = 0; // fork-join refills by the top merger
+  uint64_t blocks_decoded = 0;  // posting blocks materialised by scans
+  uint64_t blocks_skipped = 0;  // posting blocks bypassed via headers
   double plan_ms = 0.0;
   double exec_ms = 0.0;
 
@@ -43,6 +45,8 @@ struct ExecStats {
     join_hash_probes += other.join_hash_probes;
     parallel_partitions += other.parallel_partitions;
     parallel_refill_rounds += other.parallel_refill_rounds;
+    blocks_decoded += other.blocks_decoded;
+    blocks_skipped += other.blocks_skipped;
     plan_ms += other.plan_ms;
     exec_ms += other.exec_ms;
     return *this;

@@ -64,6 +64,15 @@ bool IncrementalMerge::Next(ScoredRow* out) {
   }
 }
 
+void IncrementalMerge::Discard() {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    inputs_[i]->Discard();
+    // Mark every head exhausted so Next() reports false without pulling.
+    heads_[i].primed = true;
+    heads_[i].valid = false;
+  }
+}
+
 double IncrementalMerge::UpperBound() const {
   double best = kExhausted;
   for (size_t i = 0; i < inputs_.size(); ++i) {

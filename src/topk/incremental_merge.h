@@ -31,6 +31,7 @@ class IncrementalMerge final : public ScoredRowIterator {
 
   bool Next(ScoredRow* out) override;
   double UpperBound() const override;
+  void Discard() override;
 
  private:
   struct Head {

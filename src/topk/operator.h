@@ -24,6 +24,14 @@ class ScoredRowIterator {
   virtual bool Next(ScoredRow* out) = 0;
   virtual double UpperBound() const = 0;
 
+  // Hint that no further row will be pulled from this iterator. Operators
+  // backed by block-compressed posting lists use it to account the
+  // remaining blocks as skipped without decoding them; composite operators
+  // propagate it to their children. Next() after Discard() must still be
+  // safe, and must return false. Purely an accounting/efficiency hint — it
+  // never changes which rows earlier calls produced.
+  virtual void Discard() {}
+
   // Sentinel bound strictly below any real score (scores are >= 0).
   static constexpr double kExhausted = -1.0;
 };

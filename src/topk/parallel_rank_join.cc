@@ -123,6 +123,17 @@ bool ParallelRankJoin::Next(ScoredRow* out) {
   }
 }
 
+void ParallelRankJoin::Discard() {
+  // Runs on the merging thread with no refill in flight, so touching the
+  // partition trees (and, transitively, their per-partition stats) is safe.
+  for (Partition& partition : partitions_) {
+    partition.op->Discard();
+    partition.head = 0;
+    partition.filled = 0;
+    partition.exhausted = true;
+  }
+}
+
 double ParallelRankJoin::UpperBound() const {
   double best = -kInf;
   for (const Partition& partition : partitions_) {

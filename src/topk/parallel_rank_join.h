@@ -52,6 +52,7 @@ class ParallelRankJoin final : public ScoredRowIterator {
 
   bool Next(ScoredRow* out) override;
   double UpperBound() const override;
+  void Discard() override;
 
  private:
   static constexpr double kInf = std::numeric_limits<double>::infinity();

@@ -14,15 +14,18 @@ PatternScan::PatternScan(const TripleStore* store,
       width_(width),
       weight_(weight),
       ctx_(ctx),
-      stats_(ctx == nullptr ? nullptr : ctx->stats()) {
+      stats_(ctx == nullptr ? nullptr : ctx->stats()),
+      iter_(list_.get(), stats_ == nullptr ? nullptr : &stats_->blocks_decoded,
+            stats_ == nullptr ? nullptr : &stats_->blocks_skipped) {
   SPECQP_CHECK(store_ != nullptr && list_ != nullptr && stats_ != nullptr);
   SPECQP_CHECK(weight_ > 0.0 && weight_ <= 1.0);
 }
 
 bool PatternScan::Next(ScoredRow* out) {
-  while (cursor_ < list_->entries.size()) {
+  while (!iter_.AtEnd()) {
     if (ctx_->Interrupted()) return false;  // cancellation / deadline
-    const PostingEntry& entry = list_->entries[cursor_++];
+    const PostingEntry& entry = iter_.Entry();
+    iter_.Advance();
     const Triple& t = store_->triple(entry.triple_index);
     if (!ConsistentMatch(pattern_, t)) continue;
 
@@ -40,8 +43,10 @@ bool PatternScan::Next(ScoredRow* out) {
 }
 
 double PatternScan::UpperBound() const {
-  if (cursor_ >= list_->entries.size()) return kExhausted;
-  return weight_ * list_->entries[cursor_].score;
+  if (iter_.AtEnd()) return kExhausted;
+  return weight_ * iter_.PeekScore();
 }
+
+void PatternScan::Discard() { iter_.SkipAll(); }
 
 }  // namespace specqp

@@ -34,6 +34,7 @@ class PatternScan final : public ScoredRowIterator {
 
   bool Next(ScoredRow* out) override;
   double UpperBound() const override;
+  void Discard() override;
 
   const TriplePattern& pattern() const { return pattern_; }
   double weight() const { return weight_; }
@@ -46,7 +47,12 @@ class PatternScan final : public ScoredRowIterator {
   double weight_;
   ExecContext* ctx_;
   ExecStats* stats_;
-  size_t cursor_ = 0;
+  // Canonical access path over flat or block-compressed lists. At an
+  // undecoded block boundary PeekScore() answers from the block header
+  // (bit-equal to the first entry's score), so UpperBound() never forces a
+  // decode; blocks the scan never materialises are charged to
+  // stats_->blocks_skipped when the iterator is torn down.
+  BlockIterator iter_;
 };
 
 }  // namespace specqp

@@ -24,6 +24,7 @@ class ProjectIterator final : public ScoredRowIterator {
 
   bool Next(ScoredRow* out) override;
   double UpperBound() const override { return input_->UpperBound(); }
+  void Discard() override { input_->Discard(); }
 
  private:
   std::unique_ptr<ScoredRowIterator> input_;

@@ -72,6 +72,21 @@ bool RankJoin::Advance() {
   ScoredRow row;
   if (!input->Next(&row)) {
     (pull_left ? left_done_ : right_done_) = true;
+    // Dead-side pruning: a side that exhausted without producing a single
+    // row (its hash table is empty) can never supply a join partner, so no
+    // row the other input still holds can contribute a result. Discarding
+    // the other side lets block-backed scans account their remaining blocks
+    // as skipped instead of decoding them. Both the trigger (an input's
+    // contents) and the effect (suppressing rows that would join against an
+    // empty table) are pull-order independent, so emitted answers are
+    // unchanged.
+    if (pull_left && !right_done_ && left_table_.empty()) {
+      right_->Discard();
+      right_done_ = true;
+    } else if (!pull_left && !left_done_ && right_table_.empty()) {
+      left_->Discard();
+      left_done_ = true;
+    }
     return true;  // state changed; caller re-evaluates
   }
 
@@ -147,6 +162,19 @@ double RankJoin::UpperBound() const {
       queue_.empty() ? -kInf : queue_.top().score;
   const double bound = std::max(threshold, buffered);
   return (bound == -kInf) ? kExhausted : bound;
+}
+
+void RankJoin::Discard() {
+  if (!left_done_) {
+    left_->Discard();
+    left_done_ = true;
+  }
+  if (!right_done_) {
+    right_->Discard();
+    right_done_ = true;
+  }
+  // Buffered-but-unemitted results are abandoned so Next() returns false.
+  queue_ = decltype(queue_)(QueueOrder());
 }
 
 }  // namespace specqp

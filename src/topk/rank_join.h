@@ -57,6 +57,7 @@ class RankJoin final : public ScoredRowIterator {
 
   bool Next(ScoredRow* out) override;
   double UpperBound() const override;
+  void Discard() override;
 
  private:
   using JoinKey = std::vector<TermId>;

@@ -115,7 +115,7 @@ TEST(AdmissionTest, SingleQueryWindowClosesOnMaxDelayBitIdentical) {
   Engine engine(&fx.store, &fx.rules);  // default window: 16 / 2 ms
   const Query query = fx.TypeQuery({"singer", "lyricist"});
   const Engine::QueryResult expected =
-      reference.Execute(query, 5, Strategy::kSpecQp);
+      testing::Execute(reference, query, 5, Strategy::kSpecQp);
 
   // One submission, no flush: only the max-delay close can dispatch it.
   const QueryResponse response =
@@ -154,7 +154,7 @@ TEST(AdmissionTest, WindowClosesOnMaxSizeWithoutWaitingForDelay) {
     const QueryResponse response = futures[i].get();
     ASSERT_TRUE(response.ok()) << response.status.ToString();
     EXPECT_EQ(response.window_size, 4u);
-    ExpectSameRows(reference.Execute(queries[i], 5, Strategy::kSpecQp).rows,
+    ExpectSameRows(testing::Execute(reference, queries[i], 5, Strategy::kSpecQp).rows,
                    response.rows, "size-closed window slot " +
                                       std::to_string(i));
   }
@@ -188,11 +188,11 @@ TEST(AdmissionTest, FlushClosesPartialWindowsAndSplitsByKAndStrategy) {
   EXPECT_EQ(r1.window_size, 1u);
   EXPECT_EQ(r2.window_size, 1u);
   EXPECT_EQ(r3.window_size, 1u);
-  ExpectSameRows(reference.Execute(query, 5, Strategy::kSpecQp).rows, r1.rows,
+  ExpectSameRows(testing::Execute(reference, query, 5, Strategy::kSpecQp).rows, r1.rows,
                  "k=5 spec");
-  ExpectSameRows(reference.Execute(query, 7, Strategy::kSpecQp).rows, r2.rows,
+  ExpectSameRows(testing::Execute(reference, query, 7, Strategy::kSpecQp).rows, r2.rows,
                  "k=7 spec");
-  ExpectSameRows(reference.Execute(query, 5, Strategy::kTrinit).rows, r3.rows,
+  ExpectSameRows(testing::Execute(reference, query, 5, Strategy::kTrinit).rows, r3.rows,
                  "k=5 trinit");
   const AdmissionController::Stats stats = engine.admission().stats();
   EXPECT_EQ(stats.windows_dispatched, 3u);
@@ -210,7 +210,7 @@ TEST(AdmissionTest, ConcurrentSubmitFromEightThreads) {
   };
   std::vector<Engine::QueryResult> expected;
   for (const Query& query : pool) {
-    expected.push_back(reference.Execute(query, 5, Strategy::kSpecQp));
+    expected.push_back(testing::Execute(reference, query, 5, Strategy::kSpecQp));
   }
 
   Engine engine(&fx.store, &fx.rules);
@@ -335,7 +335,7 @@ TEST(AdmissionTest, DuplicateQueriesWithMixedCancellation) {
   // the full, correct answer (mixed riders run uninterruptible).
   const QueryResponse ok_response = plain.get();
   ASSERT_TRUE(ok_response.ok()) << ok_response.status.ToString();
-  ExpectSameRows(reference.Execute(query, 5, Strategy::kSpecQp).rows,
+  ExpectSameRows(testing::Execute(reference, query, 5, Strategy::kSpecQp).rows,
                  ok_response.rows, "uncancelled twin");
   const QueryResponse cancelled_response = doomed.get();
   EXPECT_FALSE(cancelled_response.ok());
@@ -394,7 +394,7 @@ TEST(AdmissionTest, AllWorkloadQueriesBitIdenticalAcrossWindowSizes) {
       std::vector<Engine::QueryResult> expected;
       expected.reserve(bundle.workload->size());
       for (const Query& query : *bundle.workload) {
-        expected.push_back(reference.Execute(query, 10, strategy));
+        expected.push_back(testing::Execute(reference, query, 10, strategy));
       }
       for (const size_t max_batch : {size_t{1}, size_t{5}, size_t{16}}) {
         EngineOptions options;

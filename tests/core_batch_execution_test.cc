@@ -1,7 +1,7 @@
 // End-to-end determinism and accounting of batched execution: for every
-// strategy and thread count, Engine::ExecuteBatch must return per-query
-// results bit-identical (bindings AND scores) to sequential Execute()
-// calls, duplicates must collapse onto one execution, a parse failure must
+// strategy and thread count, BatchExecutor must return per-query results
+// bit-identical (bindings AND scores) to sequential one-query runs,
+// duplicates must collapse onto one execution, a parse failure must
 // not affect the rest of a text batch, and the batch ledger must show
 // shared scans resolved once.
 
@@ -68,12 +68,12 @@ TEST(BatchExecutionTest, BitIdenticalToSequentialAcrossThreadsAndStrategies) {
       Engine reference(&fx.store, &fx.rules, ThreadedOptions(1));
       std::vector<Engine::QueryResult> expected;
       for (const Query& query : batch) {
-        expected.push_back(reference.Execute(query, k, strategy));
+        expected.push_back(testing::Execute(reference, query, k, strategy));
       }
       for (int threads : kThreadCounts) {
         Engine engine(&fx.store, &fx.rules, ThreadedOptions(threads));
         BatchStats bs;
-        const auto actual = engine.ExecuteBatch(batch, k, strategy, &bs);
+        const auto actual = testing::ExecuteBatch(engine, batch, k, strategy, &bs);
         ASSERT_EQ(actual.size(), batch.size());
         EXPECT_EQ(bs.batch_size, batch.size());
         EXPECT_EQ(bs.distinct_queries, batch.size());
@@ -108,11 +108,11 @@ TEST(BatchExecutionTest, RandomStoresBitIdenticalToSequential) {
       Engine reference(&store, &rules, ThreadedOptions(1));
       std::vector<Engine::QueryResult> expected;
       for (const Query& query : batch) {
-        expected.push_back(reference.Execute(query, 10, strategy));
+        expected.push_back(testing::Execute(reference, query, 10, strategy));
       }
       for (int threads : {2, 8}) {
         Engine engine(&store, &rules, ThreadedOptions(threads));
-        const auto actual = engine.ExecuteBatch(batch, 10, strategy);
+        const auto actual = testing::ExecuteBatch(engine, batch, 10, strategy);
         for (size_t i = 0; i < batch.size(); ++i) {
           ExpectIdenticalRows(expected[i], actual[i],
                               std::string(StrategyName(strategy)) + "/seed=" +
@@ -134,7 +134,7 @@ TEST(BatchExecutionTest, DuplicateQueriesExecuteOnceAndFanOut) {
   Engine engine(&fx.store, &fx.rules, ThreadedOptions(2));
   BatchStats bs;
   const auto results =
-      engine.ExecuteBatch(batch, 5, Strategy::kSpecQp, &bs);
+      testing::ExecuteBatch(engine, batch, 5, Strategy::kSpecQp, &bs);
   ASSERT_EQ(results.size(), 5u);
   EXPECT_EQ(bs.batch_size, 5u);
   EXPECT_EQ(bs.distinct_queries, 2u);
@@ -147,9 +147,9 @@ TEST(BatchExecutionTest, DuplicateQueriesExecuteOnceAndFanOut) {
 
   // And each matches a stand-alone execution.
   Engine reference(&fx.store, &fx.rules, ThreadedOptions(1));
-  ExpectIdenticalRows(reference.Execute(a, 5, Strategy::kSpecQp), results[0],
+  ExpectIdenticalRows(testing::Execute(reference, a, 5, Strategy::kSpecQp), results[0],
                       "a vs sequential");
-  ExpectIdenticalRows(reference.Execute(b, 5, Strategy::kSpecQp), results[1],
+  ExpectIdenticalRows(testing::Execute(reference, b, 5, Strategy::kSpecQp), results[1],
                       "b vs sequential");
 }
 
@@ -163,7 +163,7 @@ TEST(BatchExecutionTest, SharedScansCountedOnceAcrossTheBatch) {
   };
   Engine engine(&fx.store, &fx.rules, ThreadedOptions(1));
   BatchStats bs;
-  engine.ExecuteBatch(batch, 5, Strategy::kTrinit, &bs);
+  testing::ExecuteBatch(engine, batch, 5, Strategy::kTrinit, &bs);
 
   // 3 distinct original patterns; with TriniT every relaxation list is in
   // the prepare wave: singer->3 targets, lyricist->1, guitarist->2, all
@@ -183,7 +183,7 @@ TEST(BatchExecutionTest, SharedScansCountedOnceAcrossTheBatch) {
   // once and served the rest from the shared map.
   Engine sequential(&fx.store, &fx.rules, ThreadedOptions(1));
   for (const Query& query : batch) {
-    sequential.Execute(query, 5, Strategy::kTrinit);
+    testing::Execute(sequential, query, 5, Strategy::kTrinit);
   }
   EXPECT_GT(sequential.postings().hits() + sequential.postings().misses(),
             engine.postings().hits() + engine.postings().misses())
@@ -200,7 +200,7 @@ TEST(BatchExecutionTest, TextBatchParseFailureLeavesOthersUnaffected) {
   Engine engine(&fx.store, &fx.rules, ThreadedOptions(2));
   BatchStats bs;
   const auto results =
-      engine.ExecuteTextBatch(texts, 5, Strategy::kSpecQp, &bs);
+      testing::ExecuteTextBatch(engine, texts, 5, Strategy::kSpecQp, &bs);
   ASSERT_EQ(results.size(), 3u);
   EXPECT_TRUE(results[0].ok());
   EXPECT_FALSE(results[1].ok());
@@ -210,11 +210,11 @@ TEST(BatchExecutionTest, TextBatchParseFailureLeavesOthersUnaffected) {
   // The good slots match stand-alone text execution.
   Engine reference(&fx.store, &fx.rules, ThreadedOptions(1));
   const auto expected0 =
-      reference.ExecuteText(texts[0], 5, Strategy::kSpecQp);
+      testing::ExecuteText(reference, texts[0], 5, Strategy::kSpecQp);
   ASSERT_TRUE(expected0.ok());
   ExpectIdenticalRows(expected0.value(), results[0].value(), "text slot 0");
   const auto expected2 =
-      reference.ExecuteText(texts[2], 5, Strategy::kSpecQp);
+      testing::ExecuteText(reference, texts[2], 5, Strategy::kSpecQp);
   ASSERT_TRUE(expected2.ok());
   ExpectIdenticalRows(expected2.value(), results[2].value(), "text slot 2");
 }
@@ -224,15 +224,15 @@ TEST(BatchExecutionTest, EmptyAndSingletonBatches) {
   Engine engine(&fx.store, &fx.rules, ThreadedOptions(2));
   BatchStats bs;
   EXPECT_TRUE(
-      engine.ExecuteBatch(std::span<const Query>(), 5, Strategy::kSpecQp, &bs)
+      testing::ExecuteBatch(engine, std::span<const Query>(), 5, Strategy::kSpecQp, &bs)
           .empty());
   EXPECT_EQ(bs.batch_size, 0u);
 
   const std::vector<Query> one = {fx.TypeQuery({"singer"})};
-  const auto results = engine.ExecuteBatch(one, 5, Strategy::kSpecQp, &bs);
+  const auto results = testing::ExecuteBatch(engine, one, 5, Strategy::kSpecQp, &bs);
   ASSERT_EQ(results.size(), 1u);
   Engine reference(&fx.store, &fx.rules, ThreadedOptions(1));
-  ExpectIdenticalRows(reference.Execute(one[0], 5, Strategy::kSpecQp),
+  ExpectIdenticalRows(testing::Execute(reference, one[0], 5, Strategy::kSpecQp),
                       results[0], "singleton batch");
 }
 
@@ -279,12 +279,12 @@ TEST(BatchExecutionTest, MixedXkgTwitterWorkloadQueriesBitIdentical) {
       Engine reference(bundle.store, bundle.rules, ThreadedOptions(1));
       std::vector<Engine::QueryResult> expected;
       for (const Query& query : *bundle.workload) {
-        expected.push_back(reference.Execute(query, 10, strategy));
+        expected.push_back(testing::Execute(reference, query, 10, strategy));
       }
       for (int threads : kThreadCounts) {
         Engine engine(bundle.store, bundle.rules, ThreadedOptions(threads));
         const auto actual =
-            engine.ExecuteBatch(*bundle.workload, 10, strategy);
+            testing::ExecuteBatch(engine, *bundle.workload, 10, strategy);
         for (size_t i = 0; i < bundle.workload->size(); ++i) {
           ExpectIdenticalRows(expected[i], actual[i],
                               std::string(bundle.name) + "/" +
@@ -336,9 +336,9 @@ TEST(BatchExecutionTest, ChainRelaxationsInBatch) {
 
   for (Strategy strategy : kStrategies) {
     Engine reference(&store, &rules, ThreadedOptions(1));
-    const auto expected = reference.Execute(query, 10, strategy);
+    const auto expected = testing::Execute(reference, query, 10, strategy);
     Engine engine(&store, &rules, ThreadedOptions(4));
-    const auto results = engine.ExecuteBatch(batch, 10, strategy);
+    const auto results = testing::ExecuteBatch(engine, batch, 10, strategy);
     for (size_t i = 0; i < batch.size(); ++i) {
       ExpectIdenticalRows(expected, results[i],
                           std::string(StrategyName(strategy)) + "/chain/" +

@@ -186,7 +186,7 @@ TEST(ChainExecutionTest, SinglePatternChainScores) {
   ChainFixture fx = MakeChainFixture();
   Engine engine(&fx.store, &fx.rules);
   const Query query = fx.PlaysQuery("guitar");
-  const auto result = engine.Execute(query, 10, Strategy::kTrinit);
+  const auto result = testing::Execute(engine, query, 10, Strategy::kTrinit);
   ASSERT_EQ(result.rows.size(), 4u);
   EXPECT_EQ(result.rows[0].bindings[0], fx.store.MustId("ana"));
   EXPECT_NEAR(result.rows[0].score, 1.0, 1e-9);
@@ -208,7 +208,7 @@ TEST(ChainExecutionTest, MatchesExhaustiveOracle) {
   ExhaustiveEvaluator oracle(&fx.store, &fx.rules);
   const Query query = fx.PlaysQuery("guitar");
   const auto truth = oracle.Evaluate(query);
-  const auto result = engine.Execute(query, 10, Strategy::kTrinit);
+  const auto result = testing::Execute(engine, query, 10, Strategy::kTrinit);
   ASSERT_EQ(result.rows.size(), truth.answers.size());
   for (size_t i = 0; i < truth.answers.size(); ++i) {
     EXPECT_NEAR(result.rows[i].score, truth.answers[i].score, 1e-9);
@@ -227,7 +227,7 @@ TEST(ChainExecutionTest, ChainDerivationLosesToBetterSimpleRule) {
   ASSERT_TRUE(fx.rules.AddRule(simple).ok());
 
   Engine engine(&fx.store, &fx.rules);
-  const auto result = engine.Execute(fx.PlaysQuery("guitar"), 10,
+  const auto result = testing::Execute(engine, fx.PlaysQuery("guitar"), 10,
                                      Strategy::kTrinit);
   // ben now scores max(0.76 chain, 0.95 * (90/90 = 1.0) = 0.95).
   ASSERT_GE(result.rows.size(), 2u);
@@ -271,7 +271,7 @@ TEST(ChainExecutionTest, TwoPatternQueryWithChain) {
   query.AddProjection(s);
 
   Engine engine(&store, &fx2.rules);
-  const auto result = engine.Execute(query, 5, Strategy::kTrinit);
+  const auto result = testing::Execute(engine, query, 5, Strategy::kTrinit);
   // ana: guitar original (1.0) + piano via chain 0.3*(organ-hop1 1.0 +
   // hop2 1.0) = 0.6 -> total 1.6.
   ASSERT_EQ(result.rows.size(), 1u);
@@ -300,7 +300,7 @@ TEST(ChainPlannerTest, SparsePatternWithOnlyChainRuleGetsRelaxed) {
 TEST(ChainPlannerTest, SpecQpExecutesChainPlan) {
   ChainFixture fx = MakeChainFixture();
   Engine engine(&fx.store, &fx.rules);
-  const auto result = engine.Execute(fx.PlaysQuery("guitar"), 3,
+  const auto result = testing::Execute(engine, fx.PlaysQuery("guitar"), 3,
                                      Strategy::kSpecQp);
   ASSERT_EQ(result.rows.size(), 3u);
   EXPECT_NEAR(result.rows[0].score, 1.0, 1e-9);

@@ -17,7 +17,8 @@ using specqp::testing::MusicFixture;
 TEST(EngineTest, ExecuteTextEndToEnd) {
   MusicFixture fx = MakeMusicFixture();
   Engine engine(&fx.store, &fx.rules);
-  const auto result = engine.ExecuteText(
+  const auto result = testing::ExecuteText(
+      engine,
       "SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <rdf:type> <vocalist> }",
       3, Strategy::kTrinit);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -31,7 +32,7 @@ TEST(EngineTest, ExecuteTextParseErrorPropagates) {
   MusicFixture fx = MakeMusicFixture();
   Engine engine(&fx.store, &fx.rules);
   const auto result =
-      engine.ExecuteText("SELECT ?s WHERE { ?s <rdf:type> <dragon> }", 3,
+      testing::ExecuteText(engine, "SELECT ?s WHERE { ?s <rdf:type> <dragon> }", 3,
                          Strategy::kTrinit);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
@@ -41,9 +42,9 @@ TEST(EngineTest, StrategiesShareCaches) {
   MusicFixture fx = MakeMusicFixture();
   Engine engine(&fx.store, &fx.rules);
   const Query query = fx.TypeQuery({"singer", "lyricist"});
-  (void)engine.Execute(query, 5, Strategy::kTrinit);
+  (void)testing::Execute(engine, query, 5, Strategy::kTrinit);
   const size_t after_first = engine.postings().size();
-  (void)engine.Execute(query, 5, Strategy::kSpecQp);
+  (void)testing::Execute(engine, query, 5, Strategy::kSpecQp);
   // Spec-QP needed no posting lists beyond what TriniT already built.
   EXPECT_EQ(engine.postings().size(), after_first);
 }
@@ -54,7 +55,7 @@ TEST(EngineTest, WarmPreloadsPostingsAndStats) {
   const Query query = fx.TypeQuery({"singer", "lyricist"});
   engine.Warm(query);
   const uint64_t misses_after_warm = engine.postings().misses();
-  (void)engine.Execute(query, 5, Strategy::kTrinit);
+  (void)testing::Execute(engine, query, 5, Strategy::kTrinit);
   EXPECT_EQ(engine.postings().misses(), misses_after_warm);
 }
 
@@ -63,7 +64,7 @@ TEST(EngineTest, SpecQpRowsAreSortedAndBounded) {
   Engine engine(&fx.store, &fx.rules);
   const Query query =
       fx.TypeQuery({"singer", "lyricist", "guitarist", "pianist"});
-  const auto result = engine.Execute(query, 10, Strategy::kSpecQp);
+  const auto result = testing::Execute(engine, query, 10, Strategy::kSpecQp);
   EXPECT_LE(result.rows.size(), 10u);
   double prev = 1e9;
   for (const ScoredRow& row : result.rows) {
@@ -80,8 +81,8 @@ TEST(EngineTest, SpecQpNeverUsesMoreObjectsThanTrinit) {
            {"singer", "lyricist", "guitarist"},
            {"singer", "lyricist", "guitarist", "pianist"}}) {
     const Query query = fx.TypeQuery(names);
-    const auto trinit = engine.Execute(query, 10, Strategy::kTrinit);
-    const auto spec = engine.Execute(query, 10, Strategy::kSpecQp);
+    const auto trinit = testing::Execute(engine, query, 10, Strategy::kTrinit);
+    const auto spec = testing::Execute(engine, query, 10, Strategy::kSpecQp);
     EXPECT_LE(spec.stats.answer_objects, trinit.stats.answer_objects);
   }
 }
@@ -92,7 +93,7 @@ TEST(EngineTest, PlanOnlyMatchesExecutePlan) {
   const Query query = fx.TypeQuery({"singer", "pianist"});
   PlanDiagnostics diag;
   const QueryPlan planned = engine.PlanOnly(query, 10, &diag);
-  const auto executed = engine.Execute(query, 10, Strategy::kSpecQp);
+  const auto executed = testing::Execute(engine, query, 10, Strategy::kSpecQp);
   EXPECT_EQ(planned.singletons, executed.plan.singletons);
   EXPECT_EQ(planned.join_group, executed.plan.join_group);
 }
@@ -132,7 +133,7 @@ TEST_P(EnginePropertyTest, TrinitEqualsOracleAndSpecQpEqualsItsPlan) {
     const size_t k = 1 + rng.NextBounded(10);
 
     // (1) TriniT returns the true top-k.
-    const auto trinit = engine.Execute(query, k, Strategy::kTrinit);
+    const auto trinit = testing::Execute(engine, query, k, Strategy::kTrinit);
     const auto truth = oracle.Evaluate(query);
     const size_t expect = std::min(k, truth.answers.size());
     ASSERT_EQ(trinit.rows.size(), expect);
@@ -142,7 +143,7 @@ TEST_P(EnginePropertyTest, TrinitEqualsOracleAndSpecQpEqualsItsPlan) {
 
     // (2) Spec-QP is exact with respect to its own plan: its output equals
     // the oracle over the rule set restricted to the plan's singletons.
-    const auto spec = engine.Execute(query, k, Strategy::kSpecQp);
+    const auto spec = testing::Execute(engine, query, k, Strategy::kSpecQp);
     RelaxationIndex filtered;
     bool well_defined = true;
     for (size_t i : spec.plan.singletons) {

@@ -1,8 +1,9 @@
 // Integration test for the Engine::OpenFromPath fast path: a mapped
-// (zero-copy SQPSTOR2 view) engine and a parsed (owned store) engine over
-// the same file must return bit-identical top-k answers — bindings AND
-// scores — for every query, strategy, k, and thread count, and both must
-// match an engine over the original in-memory store.
+// (zero-copy SQPSTOR3 view, block-compressed postings) engine and a
+// parsed (owned store) engine over the same file must return bit-identical
+// top-k answers — bindings AND scores — for every query, strategy, k, and
+// thread count, and both must match an engine over the original in-memory
+// store.
 
 #include <memory>
 #include <string>
@@ -89,10 +90,10 @@ TEST_F(MmapEngineTest, MmapAndParsedEnginesAgreeBitForBit) {
       for (size_t qi = 0; qi < queries_.size(); ++qi) {
         const Query& query = queries_[qi];
         const auto from_mmap =
-            mapped.value().engine->Execute(query, k, strategy);
+            testing::Execute(*mapped.value().engine, query, k, strategy);
         const auto from_parsed =
-            parsed.value().engine->Execute(query, k, strategy);
-        const auto from_original = original.Execute(query, k, strategy);
+            testing::Execute(*parsed.value().engine, query, k, strategy);
+        const auto from_original = testing::Execute(original, query, k, strategy);
         ExpectIdenticalRows(from_mmap.rows, from_parsed.rows,
                             "mmap vs parsed");
         ExpectIdenticalRows(from_mmap.rows, from_original.rows,
@@ -118,9 +119,9 @@ TEST_F(MmapEngineTest, MmapEngineAgreesUnderParallelExecution) {
 
   for (const Query& query : queries_) {
     const auto a =
-        serial_engine.value().engine->Execute(query, 10, Strategy::kSpecQp);
+        testing::Execute(*serial_engine.value().engine, query, 10, Strategy::kSpecQp);
     const auto b =
-        parallel_engine.value().engine->Execute(query, 10, Strategy::kSpecQp);
+        testing::Execute(*parallel_engine.value().engine, query, 10, Strategy::kSpecQp);
     ExpectIdenticalRows(a.rows, b.rows, "serial vs parallel over mmap");
   }
 }
@@ -151,8 +152,8 @@ TEST_F(MmapEngineTest, FullyVerifiedOpenServesIdenticalAnswers) {
 
   Engine original(store_.get(), &rules_);
   const auto a =
-      verified.value().engine->Execute(queries_[0], 10, Strategy::kSpecQp);
-  const auto b = original.Execute(queries_[0], 10, Strategy::kSpecQp);
+      testing::Execute(*verified.value().engine, queries_[0], 10, Strategy::kSpecQp);
+  const auto b = testing::Execute(original, queries_[0], 10, Strategy::kSpecQp);
   ExpectIdenticalRows(a.rows, b.rows, "verified mmap vs original");
 }
 
@@ -165,8 +166,8 @@ TEST_F(MmapEngineTest, OpenFromPathReadsV1Files) {
 
   Engine original(store_.get(), &rules_);
   const auto a =
-      opened.value().engine->Execute(queries_[0], 10, Strategy::kSpecQp);
-  const auto b = original.Execute(queries_[0], 10, Strategy::kSpecQp);
+      testing::Execute(*opened.value().engine, queries_[0], 10, Strategy::kSpecQp);
+  const auto b = testing::Execute(original, queries_[0], 10, Strategy::kSpecQp);
   ExpectIdenticalRows(a.rows, b.rows, "v1 vs original");
 }
 

@@ -57,11 +57,11 @@ TEST(ParallelExecutionTest, MusicFixtureIdenticalAcrossThreadCounts) {
       const Query query = fx.TypeQuery(names);
       for (Strategy strategy : kStrategies) {
         Engine serial(&fx.store, &fx.rules, ParallelOptions(1));
-        const auto expected = serial.Execute(query, k, strategy);
+        const auto expected = testing::Execute(serial, query, k, strategy);
         for (int threads : kThreadCounts) {
           Engine engine(&fx.store, &fx.rules, ParallelOptions(threads));
           EXPECT_EQ(engine.num_threads(), threads);
-          const auto actual = engine.Execute(query, k, strategy);
+          const auto actual = testing::Execute(engine, query, k, strategy);
           ExpectIdenticalRows(
               expected, actual,
               std::string(StrategyName(strategy)) + "/threads=" +
@@ -95,10 +95,10 @@ TEST(ParallelExecutionTest, RandomStoresIdenticalAcrossThreadCounts) {
       const Query query = MakeRandomStarQuery(&rng, store, num_patterns);
       for (Strategy strategy : kStrategies) {
         Engine serial(&store, &rules, ParallelOptions(1));
-        const auto expected = serial.Execute(query, 10, strategy);
+        const auto expected = testing::Execute(serial, query, 10, strategy);
         for (int threads : {2, 8}) {
           Engine engine(&store, &rules, ParallelOptions(threads));
-          const auto actual = engine.Execute(query, 10, strategy);
+          const auto actual = testing::Execute(engine, query, 10, strategy);
           ExpectIdenticalRows(
               expected, actual,
               std::string(StrategyName(strategy)) + "/seed=" +
@@ -149,10 +149,10 @@ TEST(ParallelExecutionTest, ChainRelaxationsIdenticalUnderPartitioning) {
 
   for (Strategy strategy : kStrategies) {
     Engine serial(&store, &rules, ParallelOptions(1));
-    const auto expected = serial.Execute(query, 10, strategy);
+    const auto expected = testing::Execute(serial, query, 10, strategy);
     for (int threads : {2, 8}) {
       Engine engine(&store, &rules, ParallelOptions(threads));
-      const auto actual = engine.Execute(query, 10, strategy);
+      const auto actual = testing::Execute(engine, query, 10, strategy);
       ExpectIdenticalRows(expected, actual,
                           std::string(StrategyName(strategy)) +
                               "/chain/threads=" + std::to_string(threads));
@@ -177,9 +177,9 @@ TEST(ParallelExecutionTest, NoCommonVariableFallsBackToSerial) {
   query.AddProjection(t);
 
   Engine serial(&fx.store, &fx.rules, ParallelOptions(1));
-  const auto expected = serial.Execute(query, 5, Strategy::kNoRelax);
+  const auto expected = testing::Execute(serial, query, 5, Strategy::kNoRelax);
   Engine parallel(&fx.store, &fx.rules, ParallelOptions(8));
-  const auto actual = parallel.Execute(query, 5, Strategy::kNoRelax);
+  const auto actual = testing::Execute(parallel, query, 5, Strategy::kNoRelax);
   EXPECT_EQ(actual.stats.parallel_partitions, 0u);
   ExpectIdenticalRows(expected, actual, "cross-product query");
 }
@@ -190,7 +190,7 @@ TEST(ParallelExecutionTest, SizeThresholdKeepsSmallQueriesSerial) {
   options.num_threads = 4;
   options.parallel_min_rows = 1u << 20;  // far above the fixture's lists
   Engine engine(&fx.store, &fx.rules, options);
-  const auto result = engine.Execute(fx.TypeQuery({"singer", "lyricist"}), 5,
+  const auto result = testing::Execute(engine, fx.TypeQuery({"singer", "lyricist"}), 5,
                                      Strategy::kTrinit);
   EXPECT_EQ(result.stats.parallel_partitions, 0u);
   EXPECT_FALSE(result.rows.empty());

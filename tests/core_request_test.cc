@@ -1,7 +1,6 @@
 // Unit surface of the unified request API (core/request.h): token
-// semantics, request helpers, Submit's immediate path, Explain, the
-// per-request execution overrides, and equivalence between the legacy
-// Execute/ExecuteText wrappers and Submit.
+// semantics, request helpers, Submit's immediate path, Explain, and the
+// per-request execution overrides.
 
 #include <future>
 #include <string>
@@ -69,13 +68,13 @@ TEST(QueryRequestTest, HelpersAndTimeout) {
   EXPECT_EQ(from_query.strategy, Strategy::kSpecQp);
 }
 
-TEST(SubmitTest, ImmediateMatchesLegacyExecute) {
+TEST(SubmitTest, ImmediateMatchesHelperExecute) {
   MusicFixture fx = MakeMusicFixture();
   Engine engine(&fx.store, &fx.rules);
   const Query query = fx.TypeQuery({"singer", "lyricist"});
   for (Strategy strategy :
        {Strategy::kSpecQp, Strategy::kTrinit, Strategy::kNoRelax}) {
-    const Engine::QueryResult expected = engine.Execute(query, 5, strategy);
+    const Engine::QueryResult expected = testing::Execute(engine, query, 5, strategy);
     QueryRequest request = QueryRequest::FromQuery(query, 5, strategy);
     request.admission = QueryRequest::Admission::kImmediate;
     std::future<QueryResponse> future = engine.Submit(std::move(request));
@@ -107,7 +106,8 @@ TEST(SubmitTest, TextRequestsParseAndEcho) {
   EXPECT_EQ(response.tag, "request-42");
   EXPECT_FALSE(response.rows.empty());
 
-  const auto expected = engine.ExecuteText(
+  const auto expected = testing::ExecuteText(
+      engine,
       "SELECT ?s WHERE { ?s <rdf:type> <singer> . "
       "?s <rdf:type> <lyricist> }",
       5, Strategy::kSpecQp);
@@ -143,7 +143,7 @@ TEST(SubmitTest, SerialAndParallelMinRowsOverridesKeepAnswers) {
   options.parallel_min_rows = 1u << 30;  // engine-wide: never partition
   Engine engine(&fx.store, &fx.rules, options);
   const Query query = fx.TypeQuery({"singer", "lyricist", "guitarist"});
-  const Engine::QueryResult expected = engine.Execute(query, 5,
+  const Engine::QueryResult expected = testing::Execute(engine, query, 5,
                                                       Strategy::kSpecQp);
   EXPECT_EQ(expected.stats.parallel_partitions, 0u);
 

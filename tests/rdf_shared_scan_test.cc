@@ -1,6 +1,6 @@
 // Tests for the batch-scoped SharedScanCache: derived object lists must be
 // bit-identical to directly built ones (the batch-vs-sequential determinism
-// of ExecuteBatch rests on this), the cost gate must only derive when a
+// of BatchExecutor rests on this), the cost gate must only derive when a
 // shared pass undercuts per-key builds, and resolved lists must be pinned
 // for the batch and published to the underlying cache.
 

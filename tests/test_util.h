@@ -1,9 +1,16 @@
 #ifndef SPECQP_TESTS_TEST_UTIL_H_
 #define SPECQP_TESTS_TEST_UTIL_H_
 
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "core/batch_executor.h"
+#include "core/engine.h"
+#include "core/request.h"
+#include "query/parser.h"
 #include "query/query.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
@@ -11,8 +18,90 @@
 #include "topk/operator.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/result.h"
 
 namespace specqp::testing {
+
+// ---------------------------------------------------------------------------
+// Unified-API execution helpers. Tests execute through the same entry
+// points as any caller — Submit with immediate admission for one query,
+// BatchExecutor for a pre-assembled batch — and unpack the response into
+// the batch layer's QueryResult record for comparison convenience.
+// ---------------------------------------------------------------------------
+
+inline Engine::QueryResult ToQueryResult(QueryResponse response) {
+  Engine::QueryResult result;
+  result.plan = std::move(response.plan);
+  result.diagnostics = std::move(response.diagnostics);
+  result.rows = std::move(response.rows);
+  result.stats = response.stats;
+  return result;
+}
+
+// One pre-parsed query, immediate admission; CHECKs the terminal status
+// (nothing on this path can fail for a well-formed request).
+inline Engine::QueryResult Execute(Engine& engine, const Query& query,
+                                   size_t k, Strategy strategy) {
+  QueryRequest request = QueryRequest::FromQuery(query, k, strategy);
+  request.admission = QueryRequest::Admission::kImmediate;
+  QueryResponse response = engine.Submit(std::move(request)).get();
+  SPECQP_CHECK(response.status.ok()) << response.status.ToString();
+  return ToQueryResult(std::move(response));
+}
+
+// One text query, immediate admission; a parse error comes back as the
+// Result's status.
+inline Result<Engine::QueryResult> ExecuteText(Engine& engine,
+                                               std::string_view text, size_t k,
+                                               Strategy strategy) {
+  QueryRequest request =
+      QueryRequest::FromText(std::string(text), k, strategy);
+  request.admission = QueryRequest::Admission::kImmediate;
+  QueryResponse response = engine.Submit(std::move(request)).get();
+  if (!response.status.ok()) return response.status;
+  return ToQueryResult(std::move(response));
+}
+
+inline std::vector<Engine::QueryResult> ExecuteBatch(
+    Engine& engine, std::span<const Query> queries, size_t k,
+    Strategy strategy, BatchStats* batch_stats = nullptr) {
+  BatchExecutor batch(&engine);
+  return batch.Execute(queries, k, strategy, batch_stats);
+}
+
+// Parses every text and batch-executes the ones that parse; a slot that
+// fails to parse carries its parse error and does not affect the others.
+inline std::vector<Result<Engine::QueryResult>> ExecuteTextBatch(
+    Engine& engine, std::span<const std::string> texts, size_t k,
+    Strategy strategy, BatchStats* batch_stats = nullptr) {
+  std::vector<Result<Engine::QueryResult>> out;
+  out.reserve(texts.size());
+  std::vector<Query> parsed;
+  std::vector<size_t> parsed_slot;
+  std::vector<Status> errors(texts.size(), Status::Ok());
+  constexpr size_t kFailed = static_cast<size_t>(-1);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto query = ParseQuery(texts[i], engine.store().dict());
+    if (query.ok()) {
+      parsed_slot.push_back(parsed.size());
+      parsed.push_back(std::move(query).value());
+    } else {
+      parsed_slot.push_back(kFailed);
+      errors[i] = query.status();
+    }
+  }
+  std::vector<Engine::QueryResult> results =
+      ExecuteBatch(engine, parsed, k, strategy, batch_stats);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    if (parsed_slot[i] == kFailed) {
+      out.push_back(Result<Engine::QueryResult>(errors[i]));
+    } else {
+      out.push_back(
+          Result<Engine::QueryResult>(std::move(results[parsed_slot[i]])));
+    }
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // The "music" fixture: a tiny hand-built knowledge graph shaped like the
