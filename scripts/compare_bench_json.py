@@ -23,7 +23,13 @@ Regression rules (exit 1 on any hit):
     skipped at least one block — skipping is deterministic for a fixed
     workload, so a collapse to zero means a change severed the max-score/
     skip path (e.g. an operator stopped consulting block headers), even
-    if runtimes still look fine.
+    if runtimes still look fine,
+  * vacuous racing: if the head artifact raced plans at all (summed
+    ``plans_raced`` > 0) but the runner-up never won a single race
+    (summed ``race_wins_by_runnerup`` == 0), the gate fails — a race the
+    runner-up cannot win is pure overhead, which means either the
+    certificate gate is broken (never certifies) or the race scenario
+    stopped exercising planner mistakes.
 
 ``--self-test`` builds a synthetic artifact pair, injects a 30% runtime
 regression and an answer-count drop, and asserts the comparison fails —
@@ -60,7 +66,8 @@ NONZERO_KEYS = {"blocks_skipped"}
 # workloads, not perf signals.
 COMPARABILITY_KEYS = ("bench", "schema_version", "threads", "cache_budget_mb",
                       "batch_mode", "scale", "admission_max_batch",
-                      "admission_max_delay_ms")
+                      "admission_max_delay_ms", "speculate_threshold",
+                      "calibration_path")
 
 
 def is_runtime_key(key):
@@ -143,6 +150,18 @@ def compare(base_doc, head_doc, max_regression):
                               f"({base_value:.3g} -> {head_value:.3g})")
             elif ratio < 1.0 - max_regression:
                 notes.append(f"{path}: improved {1.0 / ratio:.2f}x")
+
+    # Vacuous racing: a head that launches races the runner-up can never
+    # win burns speculative work for nothing. Summed over every
+    # plans_raced/race_wins_by_runnerup leaf of the head artifact alone (a
+    # self-consistency check, not a base-vs-head delta).
+    raced = sum(v for p, v in head.items()
+                if p.rsplit(".", 1)[-1] == "plans_raced")
+    runner_up_wins = sum(v for p, v in head.items()
+                         if p.rsplit(".", 1)[-1] == "race_wins_by_runnerup")
+    if raced > 0 and runner_up_wins == 0:
+        errors.append(f"vacuous racing: head raced {raced} plans but the "
+                      "runner-up won 0 races")
     return errors, notes, False
 
 
@@ -166,6 +185,10 @@ def self_test():
              "trinit_answers": 40, "spec_answers": 40},
         ]}],
         "block_skipping": {"blocks_decoded": 2, "blocks_skipped": 948},
+        "speculate_threshold": 2.0,
+        "calibration_path": "",
+        "plan_race": {"plans_raced": 80, "race_wins_by_runnerup": 17,
+                      "speculative_work_wasted_rows": 1200},
     }
 
     # Identical artifacts pass.
@@ -211,11 +234,30 @@ def self_test():
     errors, _, _ = compare(base, fewer_skips, 0.20)
     assert not errors, f"reduced-but-nonzero skips must pass: {errors}"
 
+    # Vacuous racing in the head fails even against an identical base: a
+    # race the runner-up never wins is overhead with no payoff (broken
+    # certificate gate or a dead race scenario). Zero races stay fine —
+    # speculation off is a legitimate configuration.
+    vacuous = copy.deepcopy(base)
+    vacuous["plan_race"]["race_wins_by_runnerup"] = 0
+    errors, _, _ = compare(vacuous, vacuous, 0.20)
+    assert any("vacuous racing" in e for e in errors), \
+        f"raced>0 with 0 runner-up wins must fail, got: {errors}"
+    no_racing = copy.deepcopy(base)
+    no_racing["plan_race"]["plans_raced"] = 0
+    no_racing["plan_race"]["race_wins_by_runnerup"] = 0
+    errors, _, _ = compare(no_racing, no_racing, 0.20)
+    assert not errors, f"speculation-off artifacts must pass: {errors}"
+
     # Mismatched knobs are an operator error (exit 2 path) — including the
-    # scale tier and the admission-window knobs.
+    # scale tier, the admission-window knobs, and the speculation /
+    # calibration configuration (racing changes the work profile, a
+    # correction table changes every estimate).
     for knob, other_value in (("threads", 8), ("scale", 10),
                               ("admission_max_batch", 1),
-                              ("admission_max_delay_ms", 0.0)):
+                              ("admission_max_delay_ms", 0.0),
+                              ("speculate_threshold", 0.0),
+                              ("calibration_path", "corrections.tsv")):
         other_knobs = copy.deepcopy(base)
         other_knobs[knob] = other_value
         errors, _, not_comparable = compare(base, other_knobs, 0.20)
@@ -224,15 +266,18 @@ def self_test():
 
     # A knob absent on one side (older artifact schema) stays comparable.
     legacy = copy.deepcopy(base)
-    for knob in ("scale", "admission_max_batch", "admission_max_delay_ms"):
+    for knob in ("scale", "admission_max_batch", "admission_max_delay_ms",
+                 "speculate_threshold", "calibration_path"):
         del legacy[knob]
+    del legacy["plan_race"]
     errors, _, not_comparable = compare(legacy, base, 0.20)
     assert not errors and not not_comparable, \
         f"absent knobs must stay comparable: {errors}"
 
     print("self-test OK: gate passes identical/jittered artifacts, fails on "
-          "injected runtime, answer-count, and skip-collapse regressions, "
-          "rejects mismatched knobs (incl. scale and admission window)")
+          "injected runtime, answer-count, skip-collapse, and vacuous-racing "
+          "regressions, rejects mismatched knobs (incl. scale, admission "
+          "window, and speculation/calibration)")
     return 0
 
 

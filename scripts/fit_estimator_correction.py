@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Fit per-predicate-class estimator corrections from bench artifacts.
+
+Usage:
+    fit_estimator_correction.py ARTIFACT.json [MORE.json ...] [--out TABLE]
+    fit_estimator_correction.py --self-test
+
+Closes the estimate-calibration loop (stats/calibration.h): bench runs dump
+the engine's CalibrationLog into their ``--json`` artifacts as records of
+the form ``{"signature": ..., "estimated_m": ..., "actual_m": ...}``; this
+script walks any number of artifacts (the records may sit anywhere in the
+JSON tree), groups them by pattern signature — the per-predicate class
+``"?|<predicate>|#"`` shape defined by ``PatternSignature()`` — and fits one
+multiplicative correction per class as the geometric mean of
+``actual_m / estimated_m`` over that class's observations. The geometric
+mean is the right average for a multiplicative error model: it minimises
+squared log-error, and a class that alternates 2x-over and 2x-under fits to
+exactly 1.0 instead of 1.25.
+
+The emitted table is what ``StatisticsCatalog::LoadCalibration`` parses at
+engine open (``EngineOptions::calibration_path``):
+
+    # specqp-calibration v1
+    <signature>\t<multiplier>
+
+Multipliers are clamped to [0.01, 100] (matching the loader) and classes
+with fewer than ``--min-samples`` observations are skipped — a one-off
+observation is noise, not a class-level bias. Records with a non-positive
+estimate or actual are censored (log of zero is undefined; an empty list
+is an emptiness fact, not a scale error).
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+HEADER = "# specqp-calibration v1"
+CLAMP_LO = 0.01
+CLAMP_HI = 100.0
+
+
+def collect_records(node, out):
+    """Walks a JSON tree, appending every calibration pattern record.
+
+    A record is any dict carrying the three fields the engine's
+    CalibrationLog dumps; surrounding structure is irrelevant, so the
+    script keeps working if a bench moves the log inside its artifact.
+    """
+    if isinstance(node, dict):
+        if ("signature" in node and "estimated_m" in node
+                and "actual_m" in node):
+            out.append(node)
+        for value in node.values():
+            collect_records(value, out)
+    elif isinstance(node, list):
+        for value in node:
+            collect_records(value, out)
+
+
+def fit(records, min_samples=1):
+    """Returns {signature: multiplier} from calibration pattern records."""
+    log_ratios = {}
+    for record in records:
+        try:
+            estimated = float(record["estimated_m"])
+            actual = float(record["actual_m"])
+            signature = str(record["signature"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if estimated <= 0.0 or actual <= 0.0:
+            continue
+        log_ratios.setdefault(signature, []).append(
+            math.log(actual / estimated))
+
+    corrections = {}
+    for signature, logs in log_ratios.items():
+        if len(logs) < min_samples:
+            continue
+        multiplier = math.exp(sum(logs) / len(logs))
+        corrections[signature] = min(max(multiplier, CLAMP_LO), CLAMP_HI)
+    return corrections
+
+
+def emit(corrections, stream):
+    stream.write(HEADER + "\n")
+    for signature in sorted(corrections):
+        stream.write(f"{signature}\t{corrections[signature]:.6g}\n")
+
+
+def self_test():
+    records = [
+        # Estimator 4x low on this class, twice observed: fit 4.0.
+        {"signature": "?|plays|#", "estimated_m": 25, "actual_m": 100},
+        {"signature": "?|plays|#", "estimated_m": 50, "actual_m": 200},
+        # Symmetric over/under-estimates cancel: fit 1.0 exactly.
+        {"signature": "?|bornIn|#", "estimated_m": 10, "actual_m": 20},
+        {"signature": "?|bornIn|#", "estimated_m": 20, "actual_m": 10},
+        # Absurd bias clamps at the loader's bound.
+        {"signature": "?|rare|#", "estimated_m": 1, "actual_m": 10**6},
+        # Censored: empty lists and zero estimates carry no scale signal.
+        {"signature": "?|empty|#", "estimated_m": 5, "actual_m": 0},
+        {"signature": "?|fresh|#", "estimated_m": 0, "actual_m": 7},
+    ]
+    corrections = fit(records)
+    assert abs(corrections["?|plays|#"] - 4.0) < 1e-9, corrections
+    assert abs(corrections["?|bornIn|#"] - 1.0) < 1e-9, corrections
+    assert corrections["?|rare|#"] == CLAMP_HI, corrections
+    assert "?|empty|#" not in corrections and "?|fresh|#" not in corrections
+
+    # Records are found wherever the artifact nests them, and min-samples
+    # drops single-observation classes.
+    artifact = {"bench": "micro_operators",
+                "calibration": {"patterns": records[:2]},
+                "runs": [{"calibration": {"patterns": [records[4]]}}]}
+    found = []
+    collect_records(artifact, found)
+    assert len(found) == 3, found
+    filtered = fit(found, min_samples=2)
+    assert set(filtered) == {"?|plays|#"}, filtered
+
+    # Round-trip through the emitted table format.
+    import io
+    buffer = io.StringIO()
+    emit(corrections, buffer)
+    lines = buffer.getvalue().splitlines()
+    assert lines[0] == HEADER
+    parsed = {}
+    for line in lines[1:]:
+        signature, multiplier = line.split("\t")
+        parsed[signature] = float(multiplier)
+    assert abs(parsed["?|plays|#"] - 4.0) < 1e-6
+
+    print("self-test OK: geometric-mean fit, clamping, censoring, nested "
+          "record discovery, min-samples filter, and table round-trip")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="*",
+                        help="BENCH_*.json artifacts holding calibration "
+                             "records")
+    parser.add_argument("--out", default=None,
+                        help="correction table path (default: stdout)")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="observations required per class (default 1)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the fit on synthetic records")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.artifacts:
+        parser.error("at least one artifact is required (or --self-test)")
+
+    records = []
+    for path in args.artifacts:
+        with open(path, encoding="utf-8") as f:
+            collect_records(json.load(f), records)
+    corrections = fit(records, args.min_samples)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            emit(corrections, f)
+    else:
+        emit(corrections, sys.stdout)
+    print(f"fitted {len(corrections)} correction class(es) from "
+          f"{len(records)} record(s) across {len(args.artifacts)} "
+          f"artifact(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,14 +104,15 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
     ++stats_.submitted;
     Window& window = open_[key];
     if (window.pending.empty()) {
+      window.id = ++next_window_id_;
       window.age.Reset();
       wake_dispatcher = true;  // dispatcher must learn the new delay bound
     }
     window.pending.push_back(std::move(pending));
     if (window.pending.size() >= options_.max_batch_size) {
       auto node = open_.extract(key);
-      closed_.emplace_back(key, std::move(node.mapped()));
-      ++stats_.closed_on_size;
+      CloseWindowLocked(key, std::move(node.mapped()),
+                        &Stats::closed_on_size);
       wake_dispatcher = true;
     }
   }
@@ -119,13 +120,20 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
   return future;
 }
 
+void AdmissionController::CloseWindowLocked(const WindowKey& key,
+                                            Window window,
+                                            uint64_t Stats::*counter) {
+  if (window.pending.empty() || window.close_accounted) return;
+  window.close_accounted = true;  // charged exactly once per window id
+  ++(stats_.*counter);
+  closed_.emplace_back(key, std::move(window));
+}
+
 void AdmissionController::Flush() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [key, window] : open_) {
-      if (window.pending.empty()) continue;
-      closed_.emplace_back(key, std::move(window));
-      ++stats_.closed_on_flush;
+      CloseWindowLocked(key, std::move(window), &Stats::closed_on_flush);
     }
     open_.clear();
   }
@@ -146,8 +154,8 @@ void AdmissionController::DispatcherLoop() {
     for (auto it = open_.begin(); it != open_.end();) {
       if (!it->second.pending.empty() &&
           it->second.age.ElapsedMillis() >= max_delay_ms) {
-        closed_.emplace_back(it->first, std::move(it->second));
-        ++stats_.closed_on_delay;
+        CloseWindowLocked(it->first, std::move(it->second),
+                          &Stats::closed_on_delay);
         it = open_.erase(it);
       } else {
         ++it;
@@ -171,8 +179,7 @@ void AdmissionController::DispatcherLoop() {
       bool drained = true;
       for (auto& [key, window] : open_) {
         if (window.pending.empty()) continue;
-        closed_.emplace_back(key, std::move(window));
-        ++stats_.closed_on_flush;
+        CloseWindowLocked(key, std::move(window), &Stats::closed_on_flush);
         drained = false;
       }
       open_.clear();

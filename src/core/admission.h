@@ -102,11 +102,30 @@ class AdmissionController {
   };
 
   struct Window {
+    // Unique per window *generation*: re-opening a (k, strategy) key after
+    // a close mints a fresh id, so close accounting can tell the two
+    // apart.
+    uint64_t id = 0;
+    // Set by CloseWindowLocked when the close is charged to a Stats
+    // counter; a window whose close was already accounted is never counted
+    // again (the Flush()-vs-dispatcher double-count fix).
+    bool close_accounted = false;
     std::vector<Pending> pending;
     WallTimer age;  // since first submission
   };
 
   using WindowKey = std::pair<size_t, int>;  // (k, strategy)
+
+  // Single choke point for closing a window: charges exactly one close
+  // counter (deduped on the window's id via close_accounted) and moves the
+  // window to the closed queue. Empty or already-accounted windows are
+  // dropped without touching any counter, so
+  //   closed_on_size + closed_on_delay + closed_on_flush
+  // always equals the number of windows that reach the closed queue (and,
+  // after a drain, windows_dispatched) — the invariant
+  // core_admission_test locks in. Requires mu_.
+  void CloseWindowLocked(const WindowKey& key, Window window,
+                         uint64_t Stats::*counter);
 
   void DispatcherLoop();
   // Executes one closed window and fulfills its promises. Runs on the
@@ -123,6 +142,7 @@ class AdmissionController {
   std::condition_variable cv_;
   std::map<WindowKey, Window> open_;          // accumulating windows
   std::vector<std::pair<WindowKey, Window>> closed_;  // awaiting dispatch
+  uint64_t next_window_id_ = 0;
   bool stop_ = false;
   Stats stats_;
 

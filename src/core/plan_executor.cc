@@ -131,7 +131,14 @@ VarId PlanExecutor::CommonJoinVariable(const Query& query) {
 std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
                                                        const QueryPlan& plan,
                                                        ExecContext* ctx) {
+  return Build(query, plan, ctx, nullptr);
+}
+
+std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(
+    const Query& query, const QueryPlan& plan, ExecContext* ctx,
+    std::vector<LeafHandle>* leaves) {
   SPECQP_CHECK(ctx != nullptr);
+  if (leaves != nullptr) leaves->clear();
   SPECQP_CHECK(plan.join_group.size() + plan.singletons.size() ==
                query.num_patterns())
       << "plan does not cover the query";
@@ -158,7 +165,7 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
       }
     }
   }
-  if (num_partitions < 2) return BuildTree(query, plan, ctx, nullptr);
+  if (num_partitions < 2) return BuildTree(query, plan, ctx, nullptr, leaves);
 
   PartitionView::PieceMemo memo;
   std::vector<std::unique_ptr<ScoredRowIterator>> roots;
@@ -170,7 +177,8 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
     view.count = num_partitions;
     view.postings = postings_;
     view.memo = &memo;
-    roots.push_back(BuildTree(query, plan, ctx->ForPartition(), &view));
+    roots.push_back(
+        BuildTree(query, plan, ctx->ForPartition(), &view, nullptr));
   }
   ctx->stats()->parallel_partitions += num_partitions;
   return std::make_unique<ParallelRankJoin>(std::move(roots), ctx,
@@ -179,7 +187,7 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::Build(const Query& query,
 
 std::unique_ptr<ScoredRowIterator> PlanExecutor::BuildTree(
     const Query& query, const QueryPlan& plan, ExecContext* ctx,
-    const PartitionView* view) {
+    const PartitionView* view, std::vector<LeafHandle>* leaves) {
   // Chain relaxations bind a fresh intermediate variable each; those get
   // trailing binding slots beyond the query's own variables (cleared again
   // by a projection before the chain's rows reach the merge, so the extra
@@ -213,7 +221,11 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::BuildTree(
   std::vector<Unit> group_units;
   for (size_t i : plan.join_group) {
     const TriplePattern& q = query.pattern(i);
-    group_units.push_back(Unit{make_scan(q, 1.0), PatternBound(q, width)});
+    auto scan = make_scan(q, 1.0);
+    if (leaves != nullptr) {
+      leaves->push_back(LeafHandle{i, /*singleton=*/false, scan.get()});
+    }
+    group_units.push_back(Unit{std::move(scan), PatternBound(q, width)});
   }
 
   // Singleton units: incremental merges over pattern + relaxations.
@@ -243,9 +255,11 @@ std::unique_ptr<ScoredRowIterator> PlanExecutor::BuildTree(
       inputs.push_back(std::make_unique<ProjectIterator>(
           std::move(join), std::vector<VarId>{fresh}));
     }
-    singleton_units.push_back(
-        Unit{std::make_unique<IncrementalMerge>(std::move(inputs), ctx),
-             PatternBound(q, width)});
+    auto merge = std::make_unique<IncrementalMerge>(std::move(inputs), ctx);
+    if (leaves != nullptr) {
+      leaves->push_back(LeafHandle{i, /*singleton=*/true, merge.get()});
+    }
+    singleton_units.push_back(Unit{std::move(merge), PatternBound(q, width)});
   }
 
   // Left-deep fold: join group first (section 3.2.2 step 1), then the

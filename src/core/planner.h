@@ -28,11 +28,21 @@ class Planner {
   Planner(const Planner&) = delete;
   Planner& operator=(const Planner&) = delete;
 
-  // `diagnostics` is optional.
+  // `diagnostics` is optional. When provided it additionally carries the
+  // per-decision confidence signal, the plan-level confidence (minimum over
+  // contested decisions), the runner-up plan (primary with the least
+  // confident decision flipped), and the estimated read cost of both
+  // candidates — the inputs of the speculative plan race
+  // (core/speculation.h) and of Engine::Explain.
   QueryPlan Plan(const Query& query, size_t k,
                  PlanDiagnostics* diagnostics = nullptr);
 
  private:
+  // Estimated read cost of `plan`: summed estimated cardinality over every
+  // posting list it touches (singletons add their relaxation and chain-hop
+  // lists). Memoised via the statistics catalog, so warm plans cost no I/O.
+  double PlanCost(const Query& query, const QueryPlan& plan);
+
   ExpectedScoreEstimator* estimator_;
   const RelaxationIndex* rules_;
 };

@@ -1,0 +1,146 @@
+#ifndef SPECQP_CORE_SPECULATION_H_
+#define SPECQP_CORE_SPECULATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/plan_executor.h"
+#include "core/query_plan.h"
+#include "core/request.h"
+#include "query/query.h"
+#include "rdf/posting_list.h"
+#include "relax/relaxation_index.h"
+#include "topk/exec_context.h"
+#include "topk/exec_stats.h"
+#include "topk/scored_row.h"
+#include "util/thread_pool.h"
+
+namespace specqp {
+
+// Mid-query adaptivity knobs (EngineOptions::replan_*). Disabled unless the
+// divergence factor exceeds 1 — a factor of f means "re-plan once a leaf
+// has emitted more than f times its estimated cardinality".
+struct AdaptivePolicy {
+  double divergence_factor = 0.0;
+  // Cardinality checkpoints fire every this many interrupt polls of the
+  // root context. Operators poll roughly a small constant number of times
+  // per row pulled, so this approximates a row milestone; it is a cadence,
+  // not an exact row count.
+  uint64_t check_rows = 4096;
+
+  bool enabled() const { return divergence_factor > 1.0; }
+};
+
+// How a speculative race was decided (for the calibration log and tests).
+struct RaceReport {
+  bool raced = false;
+  bool runner_up_won = false;
+};
+
+// Speculative execution on top of the plan executor (docs/ARCHITECTURE.md,
+// "Speculative execution & adaptivity"):
+//
+//   - Race(): when the planner's least-confident decision falls below
+//     EngineOptions::speculate_threshold, the primary plan and the
+//     runner-up (primary with that one decision flipped) execute
+//     concurrently on the engine pool, each under a private ExecInterrupt
+//     and ExecStats. The first racer to finish with a *usable* result
+//     claims the win via an atomic CAS and stops its rival with
+//     StopCause::kRaceLost; only the winner's counters reach the caller's
+//     ExecStats (the loser feeds the speculation ledger).
+//
+//     Usability is what keeps answers bit-identical to speculation-off
+//     execution: the primary's result is always usable, the runner-up's
+//     only when the certificate holds — it produced k rows and its k-th
+//     score strictly exceeds CertificateBound() (no answer involving a
+//     relaxation of the flipped pattern can score that high, and rows not
+//     involving one are produced identically by both plans). A bound of
+//     -1.0 means the flipped pattern has no non-empty relaxation lists, so
+//     the two plans read the same inputs and any runner-up result is
+//     usable as-is.
+//
+//   - RunAdaptive(): serial execution with cardinality checkpoints. The
+//     built tree's leaves expose RowsEmitted(); a checkpoint installed on
+//     the ExecContext compares each leaf against its estimate every
+//     AdaptivePolicy::check_rows polls and, past the divergence factor,
+//     stops the execution, re-orders the plan's fold order by *actual*
+//     posting-list sizes (ascending), and restarts on the warm posting
+//     memos — at most once per execution. Join order never changes the
+//     emitted row order (the rank join's bound logic makes the output a
+//     pure function of input contents), so the splice is answer-preserving
+//     by construction.
+//
+// Thread-safety: Race() is safe to call from one execution at a time per
+// engine (the engine's single-execution contract); the racers themselves
+// only touch thread-safe engine state (the posting cache) plus private
+// per-racer state, except the primary racer's estimate lookups against the
+// statistics catalog — the runner-up never reads the catalog, so those
+// stay single-threaded.
+class SpeculativeExecutor {
+ public:
+  SpeculativeExecutor(PlanExecutor* executor, PostingListCache* postings,
+                      const RelaxationIndex* rules,
+                      ExpectedScoreEstimator* estimator);
+
+  SpeculativeExecutor(const SpeculativeExecutor&) = delete;
+  SpeculativeExecutor& operator=(const SpeculativeExecutor&) = delete;
+
+  // The score above which an answer provably involves no relaxation of
+  // `pattern_index`: (n - 1) + (max weight among the pattern's relaxation
+  // and chain rules whose relaxed posting lists are non-empty). Returns
+  // -1.0 when every relaxation list is empty — the flipped decision is
+  // then immaterial and the runner-up's stream is identical to the
+  // primary's unconditionally.
+  double CertificateBound(const Query& query, size_t pattern_index) const;
+
+  // `plan` re-ordered so each phase folds its smallest actual posting list
+  // first (stable: ties keep plan order). The re-plan target.
+  QueryPlan ReorderByActualSize(const Query& query,
+                                const QueryPlan& plan) const;
+
+  // Executes `plan` with mid-query re-planning (see class comment).
+  // `executed_plan` (optional) receives the plan that produced the
+  // returned rows; `on_replan` (optional) runs right after a divergence
+  // commits to re-planning — the race uses it to claim the win before the
+  // restart. Checkpoints only attach when the executor builds a serial
+  // tree; a partitioned parallel tree executes unmodified.
+  std::vector<ScoredRow> RunAdaptive(
+      const Query& query, const QueryPlan& plan, size_t k,
+      const AdaptivePolicy& policy, ExecContext* ctx,
+      QueryPlan* executed_plan = nullptr,
+      const std::function<void()>& on_replan = nullptr);
+
+  // Races `primary` against `runner_up` on `pool` (must be non-null).
+  // `certificate_bound` comes from CertificateBound() for the flipped
+  // pattern. The winner's rows are returned and its counters folded into
+  // `stats` together with the speculation ledger (plans_raced,
+  // race_wins_by_runnerup, speculative_work_wasted_rows,
+  // race_loser_abort_ms). The request supplies k plus the cancellation
+  // flag / deadline both racers honour.
+  std::vector<ScoredRow> Race(const Query& query, const QueryRequest& request,
+                              const QueryPlan& primary,
+                              const QueryPlan& runner_up,
+                              double certificate_bound,
+                              const AdaptivePolicy& policy, ThreadPool* pool,
+                              ExecStats* stats, RaceReport* report,
+                              QueryPlan* executed_plan);
+
+ private:
+  // Estimated rows a leaf will emit: the pattern's (possibly calibrated)
+  // match count, plus — for singleton merges — each relaxation list and
+  // the smaller hop of each chain.
+  double LeafEstimate(const Query& query,
+                      const PlanExecutor::LeafHandle& leaf) const;
+
+  PlanExecutor* executor_;
+  PostingListCache* postings_;
+  const RelaxationIndex* rules_;
+  ExpectedScoreEstimator* estimator_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_CORE_SPECULATION_H_

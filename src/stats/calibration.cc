@@ -1,0 +1,89 @@
+#include "stats/calibration.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace specqp {
+
+namespace {
+
+// Keeps a signature field one whitespace-free token without the separator.
+std::string SanitizeField(std::string_view text) {
+  std::string field(text);
+  for (char& c : field) {
+    if (c == '|' || c == '\t' || c == '\n' || c == '\r' || c == ' ') c = '_';
+  }
+  return field;
+}
+
+}  // namespace
+
+std::string PatternSignature(const TripleStore& store, const PatternKey& key) {
+  std::string signature;
+  signature += key.s_bound() ? "#" : "?";
+  signature += '|';
+  signature +=
+      key.p_bound() ? SanitizeField(store.dict().Name(key.p)) : "?";
+  signature += '|';
+  signature += key.o_bound() ? "#" : "?";
+  return signature;
+}
+
+size_t LoadCalibrationTable(const std::string& path,
+                            std::unordered_map<std::string, double>* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return 0;
+  size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string signature;
+    double multiplier = 0.0;
+    if (!(fields >> signature >> multiplier)) continue;
+    if (!(multiplier > 0.0)) continue;  // also rejects NaN
+    (*out)[signature] = std::clamp(multiplier, 0.01, 100.0);
+    ++loaded;
+  }
+  return loaded;
+}
+
+CalibrationLog::CalibrationLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void CalibrationLog::RecordPattern(CalibrationPatternRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  patterns_.push_back(std::move(record));
+  while (patterns_.size() > capacity_) {
+    patterns_.pop_front();
+    ++dropped_;
+  }
+}
+
+void CalibrationLog::RecordQuery(CalibrationQueryRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.push_back(std::move(record));
+  while (queries_.size() > capacity_) {
+    queries_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<CalibrationPatternRecord> CalibrationLog::PatternRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {patterns_.begin(), patterns_.end()};
+}
+
+std::vector<CalibrationQueryRecord> CalibrationLog::QueryRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {queries_.begin(), queries_.end()};
+}
+
+uint64_t CalibrationLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace specqp

@@ -1,0 +1,94 @@
+#ifndef SPECQP_STATS_CALIBRATION_H_
+#define SPECQP_STATS_CALIBRATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_pattern.h"
+#include "rdf/triple_store.h"
+
+namespace specqp {
+
+// --- estimate-calibration loop -----------------------------------------------
+//
+// Every execution records (pattern signature, estimated cardinality, actual
+// cardinality) pairs plus a per-query summary into the engine's
+// CalibrationLog. Bench runs dump the log into their --json artifacts;
+// scripts/fit_estimator_correction.py fits a per-predicate-class
+// multiplicative correction from the accumulated pairs and emits a table
+// that StatisticsCatalog::LoadCalibration applies to every estimated m at
+// open (EngineOptions::calibration_path). The loop closes the estimator
+// gap offline: estimates feed executions, executions feed the log, the log
+// feeds corrections, corrections feed the next open's estimates.
+
+// The signature grouping patterns into correction classes: one field per
+// position, "?" for a variable, the predicate's dictionary text for a
+// bound predicate (the class identity), "#" for a bound subject/object
+// (entity identity deliberately erased — corrections generalise across
+// entities of one predicate class). Separator "|"; separator/whitespace
+// bytes inside the predicate text are replaced so signatures stay one
+// whitespace-free token in the correction table.
+std::string PatternSignature(const TripleStore& store, const PatternKey& key);
+
+// Parses a correction table written by scripts/fit_estimator_correction.py:
+// '#'-comment and blank lines skipped, otherwise "<signature>\t<multiplier>"
+// (any run of whitespace separates). Multipliers are clamped to
+// [0.01, 100]; malformed lines are ignored. Returns the number of entries
+// loaded into `out` (0 when the file cannot be read — a missing table is
+// "no corrections", never an error).
+size_t LoadCalibrationTable(const std::string& path,
+                            std::unordered_map<std::string, double>* out);
+
+// One (estimate, actual) observation for a pattern's match count.
+struct CalibrationPatternRecord {
+  std::string signature;
+  double estimated_m = 0.0;  // as the planner used it (post-correction)
+  double actual_m = 0.0;     // the posting list's true size
+};
+
+// Per-query summary: what was estimated, what happened, which plan ran,
+// and how a speculative race (if any) was decided.
+struct CalibrationQueryRecord {
+  double estimated_cardinality = 0.0;
+  uint64_t observed_join_results = 0;
+  std::string plan;
+  bool raced = false;
+  bool runner_up_won = false;
+};
+
+// Bounded, thread-safe in-memory log. Appends past the capacity drop the
+// oldest records (the loop wants recent traffic, and an engine serving an
+// unbounded stream must not grow without bound).
+class CalibrationLog {
+ public:
+  explicit CalibrationLog(size_t capacity = 4096);
+
+  CalibrationLog(const CalibrationLog&) = delete;
+  CalibrationLog& operator=(const CalibrationLog&) = delete;
+
+  void RecordPattern(CalibrationPatternRecord record);
+  void RecordQuery(CalibrationQueryRecord record);
+
+  std::vector<CalibrationPatternRecord> PatternRecords() const;
+  std::vector<CalibrationQueryRecord> QueryRecords() const;
+
+  // Records evicted by the capacity bound (both kinds summed).
+  uint64_t dropped() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<CalibrationPatternRecord> patterns_;
+  std::deque<CalibrationQueryRecord> queries_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_STATS_CALIBRATION_H_

@@ -32,6 +32,7 @@ class IncrementalMerge final : public ScoredRowIterator {
   bool Next(ScoredRow* out) override;
   double UpperBound() const override;
   void Discard() override;
+  uint64_t RowsEmitted() const override { return rows_emitted_; }
 
  private:
   struct Head {
@@ -48,6 +49,7 @@ class IncrementalMerge final : public ScoredRowIterator {
   std::unordered_set<std::vector<TermId>, BindingsHash> seen_;
   ExecContext* ctx_;
   ExecStats* stats_;
+  uint64_t rows_emitted_ = 0;
 };
 
 }  // namespace specqp

@@ -37,6 +37,7 @@ bool PatternScan::Next(ScoredRow* out) {
 
     ++stats_->scan_rows;
     ++stats_->answer_objects;
+    ++rows_emitted_;
     return true;
   }
   return false;

@@ -144,6 +144,7 @@ bool RankJoin::Next(ScoredRow* out) {
     if (!queue_.empty() && queue_.top().score > threshold + kEps) {
       *out = queue_.top();
       queue_.pop();
+      ++rows_emitted_;
       return true;
     }
     if (!Advance()) {
@@ -151,6 +152,7 @@ bool RankJoin::Next(ScoredRow* out) {
       if (queue_.empty()) return false;
       *out = queue_.top();
       queue_.pop();
+      ++rows_emitted_;
       return true;
     }
   }
