@@ -17,6 +17,7 @@ struct BenchConfig {
   size_t cache_budget_mb = 0;  // 0 = unbounded
   bool batch = false;          // measure batched runs over whole workloads
   size_t scale = 1;            // XKG/Twitter dataset scale tier (1, 10, ...)
+  size_t shards = 4;           // bundle shard count for sharded variants
   size_t admit_batch = 16;     // EngineOptions::admission_max_batch
   double speculate_threshold = 0.0;  // EngineOptions::speculate_threshold
   std::string calibration_path;      // EngineOptions::calibration_path
@@ -40,6 +41,8 @@ void PrintUsage(const std::string& name) {
                "Twitter workloads (1 = default, 10 = 10x entities/tweets)\n"
                "  --admit-batch N       admission window size for "
                "Submit-driven engines (EngineOptions::admission_max_batch)\n"
+               "  --shards N            shard count for sharded-bundle "
+               "(SQPBNDL1) bench variants (default 4)\n"
                "  --speculate-threshold X  plan-racing confidence threshold "
                "(0 = off; > 1 forces a race whenever a runner-up exists)\n"
                "  --calibration-path P  estimator correction table fitted by "
@@ -109,6 +112,8 @@ void ApplyBenchConfig(EngineOptions* options) {
 }
 
 size_t DatasetScale() { return g_bench_config.scale; }
+
+size_t BenchShards() { return g_bench_config.shards; }
 
 EngineOptions MakeEngineOptions() {
   EngineOptions options;
@@ -193,6 +198,15 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
         return 2;
       }
       g_bench_config.scale = static_cast<size_t>(flag_value);
+    } else if (ParseIntFlag(name, "--shards", argc, argv, &i, &flag_value,
+                            &flag_error)) {
+      if (flag_error) return 2;
+      if (flag_value < 1) {
+        std::fprintf(stderr, "%s: --shards requires a value >= 1\n",
+                     name.c_str());
+        return 2;
+      }
+      g_bench_config.shards = static_cast<size_t>(flag_value);
     } else if (ParseIntFlag(name, "--admit-batch", argc, argv, &i,
                             &flag_value, &flag_error)) {
       if (flag_error) return 2;
@@ -278,6 +292,10 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   doc.Set("cache_budget_mb", g_bench_config.cache_budget_mb);
   doc.Set("batch_mode", g_bench_config.batch);
   doc.Set("scale", g_bench_config.scale);
+  // Shard count of any sharded-bundle variant the bench builds: a bundle's
+  // open cost and per-shard counters are shaped by N, so runs only compare
+  // at equal shard counts (compare_bench_json.py COMPARABILITY_KEYS).
+  doc.Set("shard_count", g_bench_config.shards);
   // Admission knobs of every Submit-driven engine the bench builds; the
   // delay is the EngineOptions default (no CLI override yet).
   doc.Set("admission_max_batch", g_bench_config.admit_batch);

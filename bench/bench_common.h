@@ -25,7 +25,7 @@ namespace specqp::bench {
 // the shared CLI:
 //
 //   <bench> [--json <path>] [--threads N] [--cache-budget-mb N] [--batch]
-//           [--scale N] [--admit-batch N]
+//           [--scale N] [--shards N] [--admit-batch N]
 //
 // --threads feeds EngineOptions::num_threads of every engine built through
 // MakeEngineOptions()/ApplyBenchConfig() (0 = $SPECQP_THREADS, default
@@ -73,6 +73,10 @@ bool BatchModeRequested();
 
 // The --scale tier (>= 1) applied to the XKG/Twitter dataset generators.
 size_t DatasetScale();
+
+// The --shards count (>= 1, default 4) used by sharded-bundle (SQPBNDL1)
+// bench variants; recorded as the "shard_count" artifact knob.
+size_t BenchShards();
 
 // Serialisation helpers shared by the benchmark binaries.
 Json ExecStatsToJson(const ExecStats& stats);

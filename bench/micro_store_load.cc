@@ -1,10 +1,13 @@
 // Store-load microbenchmark: how fast a saved knowledge graph becomes
 // queryable, v1 (parse + re-index) vs v2 (SQPSTOR2 zero-copy mmap) vs v3
-// (SQPSTOR3 block-compressed postings, see docs/FORMATS.md). Reports cold
-// (first load in this process) and warm (best of repeats, page cache hot)
-// figures plus bytes_mapped per format — the v3 footprint reduction
-// (delta-encoded posting blocks, no materialised SPO permutation) is the
-// headline metric — and checks that all engines give identical answers.
+// (SQPSTOR3 block-compressed postings) vs an N-shard SQPBNDL1 bundle of
+// v3 shards (--shards, see docs/FORMATS.md). Reports cold (first load in
+// this process) and warm (best of repeats, page cache hot) figures plus
+// bytes_mapped per format — the v3 footprint reduction (delta-encoded
+// posting blocks, no materialised SPO permutation) is the headline
+// metric; the bundle rows price the N-way open-time merge and record the
+// per-shard scatter-gather counters — and checks that all engines give
+// identical answers.
 //
 // This is the measurement behind the "O(ms) load" line in ROADMAP.md: the
 // mmap opens do no per-triple parsing, so their latency is (near)
@@ -23,6 +26,7 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "rdf/mmap_store.h"
+#include "rdf/sharded_store.h"
 #include "rdf/store_io.h"
 #include "relax/relaxation_index.h"
 #include "util/logging.h"
@@ -141,6 +145,16 @@ void Run(Json& out) {
     SPECQP_CHECK(SaveStore(store, v3_path, save).ok());
   }
   const double save_v3_ms = save_timer.ElapsedMillis();
+  // The sharded variant: the same store as an N-shard bundle of v3 files.
+  const size_t shard_count = BenchShards();
+  const std::string bundle_path = (dir / "store.bundle").string();
+  save_timer.Reset();
+  {
+    ShardBundleOptions bundle_options;
+    bundle_options.shard_count = static_cast<uint32_t>(shard_count);
+    SPECQP_CHECK(WriteShardBundle(store, bundle_path, bundle_options).ok());
+  }
+  const double save_bundle_ms = save_timer.ElapsedMillis();
   const auto v1_bytes = fs::file_size(v1_path);
   const auto v2_bytes = fs::file_size(v2_path);
   const auto v3_bytes = fs::file_size(v3_path);
@@ -189,6 +203,23 @@ void Run(Json& out) {
     SPECQP_CHECK(mapped.ok()) << mapped.status().ToString();
     return mapped.value()->store().size();
   });
+  // Bundle opens: N shard mmaps plus the open-time global SPO merge (the
+  // price of scatter-gather); eager additionally CRC-verifies every shard
+  // section and re-hashes every triple's shard assignment.
+  size_t bytes_mapped_bundle = 0;
+  const LoadTiming bundle_mmap = Measure([&] {
+    auto sharded = ShardedStore::Open(bundle_path);
+    SPECQP_CHECK(sharded.ok()) << sharded.status().ToString();
+    bytes_mapped_bundle = sharded.value()->bytes_mapped();
+    return sharded.value()->store().size();
+  });
+  const LoadTiming bundle_mmap_eager = Measure([&] {
+    ShardedStore::Options sharded_eager;
+    sharded_eager.verify = MmapStore::Verify::kEager;
+    auto sharded = ShardedStore::Open(bundle_path, sharded_eager);
+    SPECQP_CHECK(sharded.ok()) << sharded.status().ToString();
+    return sharded.value()->store().size();
+  });
 
   // --- answer equivalence ----------------------------------------------------
 
@@ -199,11 +230,14 @@ void Run(Json& out) {
   auto mapped_engine = Engine::OpenFromPath(v2_path, &no_rules, mmap_options);
   auto mapped_v3_engine =
       Engine::OpenFromPath(v3_path, &no_rules, mmap_options);
+  auto sharded_engine =
+      Engine::OpenFromPath(bundle_path, &no_rules, mmap_options);
   auto parsed_engine = Engine::OpenFromPath(v2_path, &no_rules, parse_options);
   SPECQP_CHECK(mapped_engine.ok() && mapped_v3_engine.ok() &&
-               parsed_engine.ok());
+               sharded_engine.ok() && parsed_engine.ok());
   SPECQP_CHECK(mapped_engine.value().mmap_backed());
   SPECQP_CHECK(mapped_v3_engine.value().mmap_backed());
+  SPECQP_CHECK(sharded_engine.value().mmap_backed());
   const std::string query_text =
       "SELECT ?s WHERE { ?s <predicate/0> <object/0> . "
       "?s <predicate/1> <object/1> }";
@@ -215,9 +249,14 @@ void Run(Json& out) {
   auto mapped_v3_rows = RunTextQuery(*mapped_v3_engine.value().engine,
                                      query_text, /*k=*/10, Strategy::kNoRelax);
   const double mmap_v3_first_query_ms = first_query_timer.ElapsedMillis();
+  first_query_timer.Reset();
+  auto sharded_rows = RunTextQuery(*sharded_engine.value().engine, query_text,
+                                   /*k=*/10, Strategy::kNoRelax);
+  const double bundle_first_query_ms = first_query_timer.ElapsedMillis();
   auto parsed_rows = RunTextQuery(*parsed_engine.value().engine, query_text,
                                   /*k=*/10, Strategy::kNoRelax);
-  SPECQP_CHECK(mapped_rows.ok() && mapped_v3_rows.ok() && parsed_rows.ok());
+  SPECQP_CHECK(mapped_rows.ok() && mapped_v3_rows.ok() && sharded_rows.ok() &&
+               parsed_rows.ok());
   auto rows_match = [](const Engine::QueryResult& a,
                        const Engine::QueryResult& b) {
     if (a.rows.size() != b.rows.size()) return false;
@@ -231,7 +270,8 @@ void Run(Json& out) {
   };
   const bool answers_match =
       rows_match(mapped_rows.value(), parsed_rows.value()) &&
-      rows_match(mapped_v3_rows.value(), parsed_rows.value());
+      rows_match(mapped_v3_rows.value(), parsed_rows.value()) &&
+      rows_match(sharded_rows.value(), parsed_rows.value());
   SPECQP_CHECK(answers_match) << "mmap and parsed engines disagree";
 
   // --- report ----------------------------------------------------------------
@@ -243,6 +283,10 @@ void Run(Json& out) {
     const char* name;
     const LoadTiming* timing;
   };
+  const std::string bundle_lazy_name =
+      StrFormat("bundle open, %zu shards (lazy CRC)", shard_count);
+  const std::string bundle_eager_name =
+      StrFormat("bundle open, %zu shards (eager CRC)", shard_count);
   const RowSpec rows[] = {
       {"v1 LoadStore (parse + index)", &v1_parse},
       {"v2 LoadStore (parse + index)", &v2_parse},
@@ -250,6 +294,8 @@ void Run(Json& out) {
       {"v3 mmap open (lazy CRC)", &v3_mmap},
       {"v2 mmap open (eager CRC)", &v2_mmap_eager},
       {"v3 mmap open (eager CRC)", &v3_mmap_eager},
+      {bundle_lazy_name.c_str(), &bundle_mmap},
+      {bundle_eager_name.c_str(), &bundle_mmap_eager},
   };
   for (const RowSpec& row : rows) {
     PrintRow({row.name, StrFormat("%.3f", row.timing->cold_ms),
@@ -270,6 +316,12 @@ void Run(Json& out) {
       speedup_cold, speedup_warm, bytes_mapped_v2, bytes_mapped_v3,
       100.0 * v3_reduction, mmap_first_query_ms, mmap_v3_first_query_ms,
       answers_match ? "yes" : "no");
+  std::printf(
+      "%zu-shard bundle: %.3f ms warm open (%.1fx the v3 single file, "
+      "merge included), %zu bytes mapped, first query %.3f ms\n",
+      shard_count, bundle_mmap.warm_ms,
+      v3_mmap.warm_ms > 0.0 ? bundle_mmap.warm_ms / v3_mmap.warm_ms : 0.0,
+      bytes_mapped_bundle, bundle_first_query_ms);
 
   Json& config = out.Set("config", Json::Object());
   config.Set("triples", g_expected_triples);
@@ -282,6 +334,8 @@ void Run(Json& out) {
   config.Set("save_v1_ms", save_v1_ms);
   config.Set("save_v2_ms", save_v2_ms);
   config.Set("save_v3_ms", save_v3_ms);
+  config.Set("save_bundle_ms", save_bundle_ms);
+  config.Set("bundle_shards", shard_count);
 
   Json& loads = out.Set("loads", Json::Array());
   const struct {
@@ -295,6 +349,8 @@ void Run(Json& out) {
       {"v3_mmap_lazy", &v3_mmap, bytes_mapped_v3},
       {"v2_mmap_eager", &v2_mmap_eager, bytes_mapped_v2},
       {"v3_mmap_eager", &v3_mmap_eager, bytes_mapped_v3},
+      {"bundle_mmap_lazy", &bundle_mmap, bytes_mapped_bundle},
+      {"bundle_mmap_eager", &bundle_mmap_eager, bytes_mapped_bundle},
   };
   for (const auto& spec : specs) {
     Json& j = loads.Push(Json::Object());
@@ -308,7 +364,22 @@ void Run(Json& out) {
   out.Set("bytes_mapped_reduction_v3_vs_v2", v3_reduction);
   out.Set("mmap_first_query_ms", mmap_first_query_ms);
   out.Set("mmap_v3_first_query_ms", mmap_v3_first_query_ms);
+  out.Set("bundle_first_query_ms", bundle_first_query_ms);
   out.Set("answers_match", answers_match);
+
+  // Per-shard scatter-gather ledger of the bundle engine after its query:
+  // static shape plus the gather counters, folded into the artifact so the
+  // perf trajectory sees per-shard balance.
+  SPECQP_CHECK(sharded_engine.value().sharded != nullptr);
+  Json& shards_json = out.Set("shards", Json::Array());
+  for (const auto& c : sharded_engine.value().sharded->Counters()) {
+    Json& j = shards_json.Push(Json::Object());
+    j.Set("shard_id", c.shard_id);
+    j.Set("triple_count", c.triple_count);
+    j.Set("bytes_mapped", c.bytes_mapped);
+    j.Set("triples_gathered", c.triples_gathered);
+    j.Set("patterns_scattered", c.patterns_scattered);
+  }
 
   std::error_code ignored;
   fs::remove_all(dir, ignored);

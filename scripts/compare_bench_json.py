@@ -61,13 +61,15 @@ NONZERO_KEYS = {"blocks_skipped"}
 
 # Knobs that must be identical for two artifacts to be comparable
 # (docs/BENCHMARKS.md "knobs held fixed across runs"). `scale` is the
-# dataset scale tier; the `admission_*` knobs shape the Submit-driven batch
-# windows — runs at different tiers or window shapes are different
-# workloads, not perf signals.
+# dataset scale tier; `shard_count` the SQPBNDL1 bundle fan-out (an N-shard
+# open pays an N-way merge, so bundle rows only compare at equal N); the
+# `admission_*` knobs shape the Submit-driven batch windows — runs at
+# different tiers or window shapes are different workloads, not perf
+# signals.
 COMPARABILITY_KEYS = ("bench", "schema_version", "threads", "cache_budget_mb",
-                      "batch_mode", "scale", "admission_max_batch",
-                      "admission_max_delay_ms", "speculate_threshold",
-                      "calibration_path")
+                      "batch_mode", "scale", "shard_count",
+                      "admission_max_batch", "admission_max_delay_ms",
+                      "speculate_threshold", "calibration_path")
 
 
 def is_runtime_key(key):
@@ -174,6 +176,7 @@ def self_test():
         "cache_budget_mb": 64,
         "batch_mode": False,
         "scale": 1,
+        "shard_count": 4,
         "admission_max_batch": 16,
         "admission_max_delay_ms": 2.0,
         "benchmarks": [
@@ -254,6 +257,7 @@ def self_test():
     # calibration configuration (racing changes the work profile, a
     # correction table changes every estimate).
     for knob, other_value in (("threads", 8), ("scale", 10),
+                              ("shard_count", 8),
                               ("admission_max_batch", 1),
                               ("admission_max_delay_ms", 0.0),
                               ("speculate_threshold", 0.0),
@@ -266,8 +270,9 @@ def self_test():
 
     # A knob absent on one side (older artifact schema) stays comparable.
     legacy = copy.deepcopy(base)
-    for knob in ("scale", "admission_max_batch", "admission_max_delay_ms",
-                 "speculate_threshold", "calibration_path"):
+    for knob in ("scale", "shard_count", "admission_max_batch",
+                 "admission_max_delay_ms", "speculate_threshold",
+                 "calibration_path"):
         del legacy[knob]
     del legacy["plan_race"]
     errors, _, not_comparable = compare(legacy, base, 0.20)
@@ -276,8 +281,8 @@ def self_test():
 
     print("self-test OK: gate passes identical/jittered artifacts, fails on "
           "injected runtime, answer-count, skip-collapse, and vacuous-racing "
-          "regressions, rejects mismatched knobs (incl. scale, admission "
-          "window, and speculation/calibration)")
+          "regressions, rejects mismatched knobs (incl. scale, shard count, "
+          "admission window, and speculation/calibration)")
     return 0
 
 

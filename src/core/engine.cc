@@ -63,6 +63,20 @@ Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
 Result<Engine::Opened> Engine::OpenFromPath(const std::string& store_path,
                                             const RelaxationIndex* rules,
                                             const EngineOptions& options) {
+  if (IsBundlePath(store_path)) {
+    // Sharded bundle (SQPBNDL1): N cooperating mapped shards behind one
+    // facade. Per-shard stats snapshots describe shard-local subsets, not
+    // the union, so the catalog is never preloaded from a bundle.
+    ShardedStore::Options open_options;
+    if (options.mmap_verify_all) {
+      open_options.verify = MmapStore::Verify::kEager;
+    }
+    Opened opened;
+    SPECQP_ASSIGN_OR_RETURN(opened.sharded,
+                            ShardedStore::Open(store_path, open_options));
+    opened.engine = std::make_unique<Engine>(&opened.store(), rules, options);
+    return opened;
+  }
   SPECQP_ASSIGN_OR_RETURN(const uint32_t version,
                           PeekStoreVersion(store_path));
   Opened opened;

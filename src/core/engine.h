@@ -19,6 +19,7 @@
 #include "query/query.h"
 #include "rdf/mmap_store.h"
 #include "rdf/posting_list.h"
+#include "rdf/sharded_store.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
 #include "stats/catalog.h"
@@ -152,21 +153,27 @@ class Engine {
   // internal pointers stay valid because the store lives behind a
   // unique_ptr either way.
   struct Opened {
-    std::unique_ptr<MmapStore> mapped;     // v2 / v3 mmap fast path
-    std::unique_ptr<TripleStore> parsed;   // v1 / parse fallback
+    std::unique_ptr<MmapStore> mapped;      // v2 / v3 mmap fast path
+    std::unique_ptr<ShardedStore> sharded;  // SQPBNDL1 bundle facade
+    std::unique_ptr<TripleStore> parsed;    // v1 / parse fallback
     std::unique_ptr<Engine> engine;
 
     const TripleStore& store() const {
+      if (sharded != nullptr) return sharded->store();
       return mapped != nullptr ? mapped->store() : *parsed;
     }
-    bool mmap_backed() const { return mapped != nullptr; }
+    bool mmap_backed() const {
+      return mapped != nullptr || sharded != nullptr;
+    }
     size_t bytes_mapped() const {
+      if (sharded != nullptr) return sharded->bytes_mapped();
       return mapped != nullptr ? mapped->bytes_mapped() : 0;
     }
   };
 
-  // Open-from-path fast path: loads `store_path` (v1, v2, or v3; see
-  // docs/FORMATS.md) and builds an engine over it. With options.mmap, v2
+  // Open-from-path fast path: loads `store_path` (v1, v2, v3, or a
+  // sharded SQPBNDL1 bundle directory/manifest; see docs/FORMATS.md) and
+  // builds an engine over it. With options.mmap, v2
   // and v3 files are memory-mapped — the open does no per-triple parsing,
   // its small metadata sections are CRC-verified eagerly, the bulk
   // sections lazily; a v3 file additionally serves its per-predicate

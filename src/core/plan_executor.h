@@ -39,6 +39,17 @@ namespace specqp {
 // serial result — and the merger reassembles the exact serial emission
 // order (see parallel_rank_join.h). Each partition tree charges its own
 // partition ExecStats, merged after execution.
+//
+// Storage backends: the executor sees only the TripleStore facade, so it
+// runs unchanged over owned, mapped, and sharded (SQPBNDL1, see
+// rdf/sharded_store.h) stores. The sharded facade's scatter-gather
+// resolves every Match() span in GLOBAL index order — the same index
+// space a single-file store would expose — which is what lets the
+// partitioning above hash v-bindings without knowing shards exist: a
+// partition piece is the same set of rows at any shard count. Do not add
+// shard-aware logic here; placement is the store's concern, and the
+// bit-identity tests (core_sharded_engine_test) assume this layer stays
+// shard-oblivious.
 class PlanExecutor {
  public:
   struct Options {

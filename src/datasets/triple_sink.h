@@ -1,0 +1,21 @@
+#ifndef SPECQP_DATASETS_TRIPLE_SINK_H_
+#define SPECQP_DATASETS_TRIPLE_SINK_H_
+
+#include <functional>
+
+#include "rdf/term.h"
+
+namespace specqp {
+
+// Consumer of a generator's triple stream. The streaming entry points
+// (StreamXkgTriples, StreamTwitterTriples) emit every triple of the
+// deterministic dataset for a config through one of these instead of
+// materialising a TripleStore, so a caller can keep any subset — a shard
+// writer keeps only the triples hashing to its shard and a --scale 100
+// graph never exists in memory as a whole, only dictionary + one shard.
+using TripleSink =
+    std::function<void(TermId s, TermId p, TermId o, double score)>;
+
+}  // namespace specqp
+
+#endif  // SPECQP_DATASETS_TRIPLE_SINK_H_

@@ -11,7 +11,9 @@
 
 namespace specqp {
 
-TwitterDataset GenerateTwitter(const TwitterConfig& config) {
+TwitterSchema StreamTwitterTriples(const TwitterConfig& config,
+                                   Dictionary* dict, const TripleSink& sink) {
+  SPECQP_CHECK(dict != nullptr);
   SPECQP_CHECK(config.num_tweets > 0 && config.num_topics > 0);
   SPECQP_CHECK(config.tags_per_topic >= 2);
   SPECQP_CHECK(config.min_tags_per_tweet >= 1 &&
@@ -22,16 +24,14 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
   const size_t num_tweets = config.num_tweets * config.scale;
 
   Rng rng(config.seed);
-  TwitterDataset data;
-  TripleStore& store = data.store;
-  Dictionary& dict = store.dict();
+  TwitterSchema schema;
 
-  data.has_tag = dict.Intern("hasTag");
-  data.topic_tags.resize(config.num_topics);
+  schema.has_tag = dict->Intern("hasTag");
+  schema.topic_tags.resize(config.num_topics);
   for (size_t z = 0; z < config.num_topics; ++z) {
     for (size_t t = 0; t < config.tags_per_topic; ++t) {
-      data.topic_tags[z].push_back(
-          dict.Intern(StrFormat("#topic%zu_tag%zu", z, t)));
+      schema.topic_tags[z].push_back(
+          dict->Intern(StrFormat("#topic%zu_tag%zu", z, t)));
     }
   }
 
@@ -51,7 +51,7 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
   const ZipfDistribution tag_dist(config.tags_per_topic, config.tag_skew);
 
   for (size_t i = 0; i < num_tweets; ++i) {
-    const TermId tweet = dict.Intern(StrFormat("tweet%zu", i));
+    const TermId tweet = dict->Intern(StrFormat("tweet%zu", i));
     const double score = retweets(i);
     const size_t topic = topic_dist.Sample(&rng);
     const size_t span =
@@ -63,14 +63,28 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
       TermId tag;
       if (rng.NextBool(config.global_noise)) {
         const size_t other = topic_dist.Sample(&rng);
-        tag = data.topic_tags[other][tag_dist.Sample(&rng)];
+        tag = schema.topic_tags[other][tag_dist.Sample(&rng)];
       } else {
-        tag = data.topic_tags[topic][tag_dist.Sample(&rng)];
+        tag = schema.topic_tags[topic][tag_dist.Sample(&rng)];
       }
       if (!used.insert(tag).second) continue;  // duplicate tag in this tweet
-      store.AddEncoded(tweet, data.has_tag, tag, score);
+      sink(tweet, schema.has_tag, tag, score);
     }
   }
+
+  return schema;
+}
+
+TwitterDataset GenerateTwitter(const TwitterConfig& config) {
+  TwitterDataset data;
+  TripleStore& store = data.store;
+  data.schema = StreamTwitterTriples(
+      config, &store.dict(),
+      [&store](TermId s, TermId p, TermId o, double score) {
+        store.AddEncoded(s, p, o, score);
+      });
+  data.has_tag = data.schema.has_tag;
+  data.topic_tags = data.schema.topic_tags;
 
   store.Finalize();
 
@@ -84,8 +98,8 @@ TwitterDataset GenerateTwitter(const TwitterConfig& config) {
   SPECQP_CHECK(status.ok()) << status.ToString();
 
   SPECQP_LOG(Info) << "Twitter generated: " << store.size() << " triples, "
-                   << dict.size() << " terms, " << data.rules.total_rules()
-                   << " relaxation rules";
+                   << store.dict().size() << " terms, "
+                   << data.rules.total_rules() << " relaxation rules";
   return data;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "datasets/triple_sink.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
 
@@ -45,14 +46,35 @@ struct TwitterConfig {
   double miner_weight_cap = 0.95;
 };
 
-struct TwitterDataset {
-  TripleStore store;
-  RelaxationIndex rules;
+// Schema handles of the generated graph (shared by the materialised and
+// streaming entry points).
+struct TwitterSchema {
   TermId has_tag = kInvalidTermId;
   // topic_tags[z] — tag TermIds of topic z, hottest topic first.
   std::vector<std::vector<TermId>> topic_tags;
 };
 
+struct TwitterDataset {
+  TripleStore store;
+  RelaxationIndex rules;
+  TwitterSchema schema;
+  // Legacy aliases kept so callers read data.has_tag etc. directly.
+  TermId has_tag = kInvalidTermId;
+  std::vector<std::vector<TermId>> topic_tags;
+};
+
+// Streaming core: emits every triple of the deterministic dataset for
+// `config` into `sink` (generation order) while interning the FULL
+// dictionary into `dict` — identical terms in identical order no matter
+// which triples the sink keeps, so per-shard passes in tools/store_shard
+// produce byte-identical dictionary sections without materialising the
+// graph (memory stays at dictionary + one shard's triples).
+TwitterSchema StreamTwitterTriples(const TwitterConfig& config,
+                                   Dictionary* dict, const TripleSink& sink);
+
+// Builds the store (finalized) and mines tag co-occurrence relaxations.
+// Delegates triple generation to StreamTwitterTriples, so the two entry
+// points are bit-identical.
 TwitterDataset GenerateTwitter(const TwitterConfig& config);
 
 }  // namespace specqp

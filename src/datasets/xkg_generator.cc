@@ -10,7 +10,9 @@
 
 namespace specqp {
 
-XkgDataset GenerateXkg(const XkgConfig& config) {
+XkgSchema StreamXkgTriples(const XkgConfig& config, Dictionary* dict,
+                           const TripleSink& sink) {
+  SPECQP_CHECK(dict != nullptr);
   SPECQP_CHECK(config.num_entities > 0 && config.num_domains > 0);
   SPECQP_CHECK(config.types_per_domain >= 2);
   SPECQP_CHECK(config.scale >= 1);
@@ -18,12 +20,10 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
   const size_t num_entities = config.num_entities * config.scale;
 
   Rng rng(config.seed);
-  XkgDataset data;
-  TripleStore& store = data.store;
-  Dictionary& dict = store.dict();
+  XkgSchema schema;
 
   // --- schema terms ---------------------------------------------------------
-  data.type_predicate = dict.Intern("rdf:type");
+  schema.type_predicate = dict->Intern("rdf:type");
   static const char* kAttributeNames[] = {"plays",    "locatedIn", "memberOf",
                                           "wonAward", "activeIn",  "worksAt",
                                           "speaks",   "produced"};
@@ -32,21 +32,21 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
         (a < std::size(kAttributeNames))
             ? std::string(kAttributeNames[a])
             : StrFormat("attribute%zu", a);
-    data.attribute_predicates.push_back(dict.Intern(name));
+    schema.attribute_predicates.push_back(dict->Intern(name));
   }
 
-  data.domain_types.resize(config.num_domains);
-  data.attribute_values.resize(config.num_domains);
+  schema.domain_types.resize(config.num_domains);
+  schema.attribute_values.resize(config.num_domains);
   for (size_t d = 0; d < config.num_domains; ++d) {
     for (size_t t = 0; t < config.types_per_domain; ++t) {
-      data.domain_types[d].push_back(
-          dict.Intern(StrFormat("domain%zu_type%zu", d, t)));
+      schema.domain_types[d].push_back(
+          dict->Intern(StrFormat("domain%zu_type%zu", d, t)));
     }
-    data.attribute_values[d].resize(config.num_attributes);
+    schema.attribute_values[d].resize(config.num_attributes);
     for (size_t a = 0; a < config.num_attributes; ++a) {
       for (size_t v = 0; v < config.values_per_attribute; ++v) {
-        data.attribute_values[d][a].push_back(
-            dict.Intern(StrFormat("domain%zu_attr%zu_value%zu", d, a, v)));
+        schema.attribute_values[d][a].push_back(
+            dict->Intern(StrFormat("domain%zu_attr%zu_value%zu", d, a, v)));
       }
     }
   }
@@ -73,7 +73,7 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
 
   // --- entities and their triples -------------------------------------------
   for (size_t e = 0; e < num_entities; ++e) {
-    const TermId entity = dict.Intern(StrFormat("entity%zu", e));
+    const TermId entity = dict->Intern(StrFormat("entity%zu", e));
     const double score = popularity(e);
     const size_t domain = domain_dist.Sample(&rng);
     // Fact-density factor: 1 for the most popular entity, ~0 for the tail.
@@ -94,14 +94,14 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
     }
     for (size_t i = 0; i < num_types; ++i) {
       const size_t t = type_dist.Sample(&rng);
-      store.AddEncoded(entity, data.type_predicate,
-                       data.domain_types[domain][t], score);
+      sink(entity, schema.type_predicate, schema.domain_types[domain][t],
+           score);
     }
     if (rng.NextBool(config.cross_domain_noise)) {
       const size_t other = rng.NextBounded(config.num_domains);
       const size_t t = type_dist.Sample(&rng);
-      store.AddEncoded(entity, data.type_predicate,
-                       data.domain_types[other][t], score);
+      sink(entity, schema.type_predicate, schema.domain_types[other][t],
+           score);
     }
 
     // Attribute triples within the entity's domain vocabulary; popular
@@ -118,8 +118,8 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
       const size_t num_values = 1 + rng.NextBounded(value_span);
       for (size_t v = 0; v < num_values; ++v) {
         const size_t value = value_dist.Sample(&rng);
-        store.AddEncoded(entity, data.attribute_predicates[a],
-                         data.attribute_values[domain][a][value], score);
+        sink(entity, schema.attribute_predicates[a],
+             schema.attribute_values[domain][a][value], score);
       }
     }
   }
@@ -128,21 +128,38 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
   // related to its nearest same-attribute neighbours (value indices are
   // popularity-ordered, so neighbours co-occur on similar entities).
   if (config.generate_value_graph) {
-    const TermId related = dict.Intern("relatedTo");
-    data.related_predicate = related;
+    const TermId related = dict->Intern("relatedTo");
+    schema.related_predicate = related;
     for (size_t d = 0; d < config.num_domains; ++d) {
       for (size_t a = 0; a < config.num_attributes; ++a) {
-        const auto& values = data.attribute_values[d][a];
+        const auto& values = schema.attribute_values[d][a];
         for (size_t v = 0; v < values.size(); ++v) {
           for (size_t j = 1; j <= config.related_per_value; ++j) {
             const size_t other = (v + j) % values.size();
             if (other == v) continue;
-            store.AddEncoded(values[other], related, values[v], 1.0);
+            sink(values[other], related, values[v], 1.0);
           }
         }
       }
     }
   }
+
+  return schema;
+}
+
+XkgDataset GenerateXkg(const XkgConfig& config) {
+  XkgDataset data;
+  TripleStore& store = data.store;
+  data.schema = StreamXkgTriples(
+      config, &store.dict(),
+      [&store](TermId s, TermId p, TermId o, double score) {
+        store.AddEncoded(s, p, o, score);
+      });
+  data.type_predicate = data.schema.type_predicate;
+  data.related_predicate = data.schema.related_predicate;
+  data.attribute_predicates = data.schema.attribute_predicates;
+  data.domain_types = data.schema.domain_types;
+  data.attribute_values = data.schema.attribute_values;
 
   store.Finalize();
 
@@ -172,9 +189,9 @@ XkgDataset GenerateXkg(const XkgConfig& config) {
   }
 
   SPECQP_LOG(Info) << "XKG generated: " << store.size() << " triples, "
-                   << dict.size() << " terms, " << data.rules.total_rules()
-                   << " relaxation rules over " << data.rules.num_domains()
-                   << " patterns";
+                   << store.dict().size() << " terms, "
+                   << data.rules.total_rules() << " relaxation rules over "
+                   << data.rules.num_domains() << " patterns";
   return data;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "datasets/triple_sink.h"
 #include "rdf/triple_store.h"
 #include "relax/relaxation_index.h"
 
@@ -76,9 +77,9 @@ struct XkgConfig {
   double chain_weight_cap = 0.9;
 };
 
-struct XkgDataset {
-  TripleStore store;
-  RelaxationIndex rules;
+// Schema handles of the generated graph (shared by the materialised and
+// streaming entry points).
+struct XkgSchema {
   TermId type_predicate = kInvalidTermId;
   // Only set when config.generate_value_graph is true.
   TermId related_predicate = kInvalidTermId;
@@ -89,8 +90,32 @@ struct XkgDataset {
   std::vector<std::vector<std::vector<TermId>>> attribute_values;
 };
 
+struct XkgDataset {
+  TripleStore store;
+  RelaxationIndex rules;
+  XkgSchema schema;
+  // Legacy aliases kept so callers read data.type_predicate etc. directly.
+  TermId type_predicate = kInvalidTermId;
+  TermId related_predicate = kInvalidTermId;
+  std::vector<TermId> attribute_predicates;
+  std::vector<std::vector<TermId>> domain_types;
+  std::vector<std::vector<std::vector<TermId>>> attribute_values;
+};
+
+// Streaming core: emits every triple of the deterministic dataset for
+// `config` into `sink` (in generation order, duplicates included) and
+// interns the FULL dictionary into `dict` — the same terms in the same
+// order no matter which triples the sink keeps. That invariant is what
+// lets tools/store_shard run one pass per shard, keep only the triples
+// hashing to it, and still produce shard files whose TermIds (and
+// dictionary sections, byte for byte) agree across the bundle, without
+// the whole graph ever existing in memory.
+XkgSchema StreamXkgTriples(const XkgConfig& config, Dictionary* dict,
+                           const TripleSink& sink);
+
 // Builds the store (finalized), mines relaxations, and reports the schema
-// handles needed by the workload generator.
+// handles needed by the workload generator. Delegates triple generation
+// to StreamXkgTriples, so the two entry points are bit-identical.
 XkgDataset GenerateXkg(const XkgConfig& config);
 
 }  // namespace specqp

@@ -66,8 +66,13 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
   }
 
   std::unique_ptr<MmapStore> store(new MmapStore());
+  // Read-only MAP_SHARED: the store is never written through the mapping
+  // (PROT_READ), and sharing the pages means N processes serving the same
+  // file — the sharded-bundle deployment shape — keep ONE copy of each
+  // resident page in the page cache instead of N CoW-tracked private
+  // copies (verified by the PSS accounting in core_shared_mapping_test).
   void* base =
-      ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, /*offset=*/0);
+      ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, /*offset=*/0);
   ::close(fd);
   if (base == MAP_FAILED) {
     return Status::IoError(StrFormat("mmap of '%s' failed: %s", path.c_str(),
@@ -391,6 +396,18 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
     if (!verified.ok()) return verified;
   }
   return store;
+}
+
+Dictionary MmapStore::NewDictionaryView() const {
+  const Section* offsets = FindSection(v2::SectionId::kDictOffsets);
+  const Section* blob = FindSection(v2::SectionId::kDictBlob);
+  const Section* sorted = FindSection(v2::SectionId::kDictSorted);
+  SPECQP_CHECK(offsets != nullptr && blob != nullptr && sorted != nullptr);
+  const auto offset_span =
+      RecordSpan<uint64_t>(offsets->data, 0, term_count_ + 1);
+  return Dictionary::FromView(
+      offset_span, blob->data, offset_span[term_count_],
+      RecordSpan<uint32_t>(sorted->data, 0, term_count_));
 }
 
 Status MmapStore::ValidateSectionValues(const Section& section) const {

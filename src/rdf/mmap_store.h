@@ -66,6 +66,13 @@ class MmapStore {
   // The zero-copy store view (finalized, read-only).
   const TripleStore& store() const { return store_; }
 
+  // A fresh zero-copy Dictionary view over this file's mapped dictionary
+  // sections (the same spans store().dict() wraps). Dictionary is
+  // move-only, so facades that need their own instance — ShardedStore
+  // builds its merged view over shard 0's dictionary — re-make one here
+  // instead of copying. Valid only while this MmapStore is alive.
+  Dictionary NewDictionaryView() const;
+
   // The file's format version (2 or 3).
   uint32_t version() const { return version_; }
 

@@ -246,8 +246,12 @@ PostingList BuildPostingList(const TripleStore& store, const PatternKey& key) {
   // blocks_decoded/blocks_skipped accounting) covers every list the store
   // serves, not just the pure-predicate directory views. The codec is
   // lossless, so iterators observe entries bit-identical to the flat
-  // build.
-  if (store.mapped_block_postings() != nullptr && !list.owned.empty()) {
+  // build. Sharded facades over v3 shards take the same branch — they
+  // have no mapped directory of their own, but their lists should stay
+  // block-shaped so skipping behaves identically across backends.
+  if ((store.mapped_block_postings() != nullptr ||
+       store.sharded_block_postings()) &&
+      !list.owned.empty()) {
     EncodedPostingBlocks encoded =
         EncodePostingBlocks(list.owned.data(), list.owned.size());
     const size_t count = list.owned.size();

@@ -1,0 +1,192 @@
+#ifndef SPECQP_RDF_SHARDED_STORE_H_
+#define SPECQP_RDF_SHARDED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/mmap_store.h"
+#include "rdf/store_format.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace specqp {
+
+class ThreadPool;  // util/thread_pool.h
+
+// Sharded store bundles ("SQPBNDL1", docs/FORMATS.md): one manifest plus
+// N self-contained SQPSTOR2/3 shard files, hash-partitioned on subject or
+// predicate. The reader side is ShardedStore below; the writer side is
+// WriteShardBundle (split an existing finalized store) and
+// WriteBundleManifest (seal a directory of shard files written by any
+// producer — tools/store_shard streams per-shard generation through it
+// without ever materialising the whole graph).
+
+// Deterministic shard assignment: a multiplicative hash of the term id,
+// reduced mod shard_count. Part of the on-disk contract — the manifest
+// records only the scheme (subject/predicate), not the hash, so readers
+// and writers must agree on this function forever.
+inline uint32_t BundleShardOf(TermId key, uint32_t shard_count) {
+  const uint64_t h = (uint64_t{key} + 1) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<uint32_t>((h >> 32) % shard_count);
+}
+
+// The triple's shard under a scheme: hash of the subject or predicate.
+inline uint32_t BundleShardOfTriple(const Triple& t,
+                                    bundle::HashScheme scheme,
+                                    uint32_t shard_count) {
+  return BundleShardOf(
+      scheme == bundle::HashScheme::kPredicate ? t.p : t.s, shard_count);
+}
+
+// "shard_0007.sqps" — the bundle's shard file naming contract.
+std::string BundleShardFileName(uint32_t shard_id);
+
+// True when `path` names a bundle: a directory holding manifest.sqpb, or
+// the manifest file itself (identified by its magic). Engine::OpenFromPath
+// probes this before the single-file store formats.
+bool IsBundlePath(const std::string& path);
+
+struct ShardBundleOptions {
+  uint32_t shard_count = 2;
+  bundle::HashScheme scheme = bundle::HashScheme::kSubject;
+  // Per-shard store file format: 3 (block postings, default) or 2.
+  uint32_t format_version = 3;
+  bool posting_directory = true;
+  // Shard files are built and written concurrently when a pool is given
+  // (one task per shard); null builds them sequentially.
+  ThreadPool* pool = nullptr;
+};
+
+// Splits a finalized (non-sharded) store into `options.shard_count` shard
+// files under the directory `dir` (created if absent) and writes the
+// manifest. Every shard file carries the full dictionary in the store's
+// intern order, so shard TermIds are the store's TermIds.
+Status WriteShardBundle(const TripleStore& store, const std::string& dir,
+                        const ShardBundleOptions& options = {});
+
+// Seals a bundle directory: reads back the header + section table of every
+// shard_<id>.sqps (0 <= id < shard_count), checks they agree on format
+// version and dictionary, and writes manifest.sqpb with their sizes,
+// triple counts, and digests. Writers that stream shards to disk call
+// this once after the last shard lands.
+Status WriteBundleManifest(const std::string& dir, uint32_t shard_count,
+                           bundle::HashScheme scheme,
+                           uint32_t format_version);
+
+// N cooperating MmapStores behind one TripleStore facade.
+//
+// Open() validates the manifest (magic, version, counts, trailing CRC,
+// per-shard digests, one dictionary across all shards), maps every shard,
+// and builds the GLOBAL triple index space: an N-way merge of the shards'
+// SPO-sorted triple arrays into locator arrays (global -> shard, local)
+// and (shard, local) -> global. Because each shard is locally SPO-sorted
+// and the merge is by the same total order, the global space IS the SPO
+// order of the union — exactly the index space a single-file store over
+// the same triples would have. PatternScan and posting resolution then
+// scatter per-pattern lookups across the shards' own permutation indexes
+// and gather the subranges back through the same merge order, so posting
+// lists — and therefore top-k answers — are bit-identical to the
+// single-file backend at any shard count (the determinism argument is
+// spelled out in docs/ARCHITECTURE.md).
+//
+// The merge doubles as integrity checking: any cross-shard duplicate
+// triple or locally unsorted shard breaks strict SPO ascent and returns
+// Status::Corruption. Verify::kEager additionally CRC-verifies every
+// shard section and re-hashes every triple's shard assignment, rejecting
+// bundles whose triples landed in the wrong shard.
+//
+// Thread-safe for concurrent queries: per-pattern gathers are memoised
+// under a mutex (spans stay valid for the store's lifetime), per-triple
+// access is lock-free.
+class ShardedStore : public ShardedTripleSource {
+ public:
+  struct Options {
+    Options() : verify(MmapStore::Verify::kLazy) {}
+    MmapStore::Verify verify;
+  };
+
+  static Result<std::unique_ptr<ShardedStore>> Open(
+      const std::string& path, const Options& options = Options());
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  // The merged zero-copy facade (finalized, read-only). Valid while this
+  // ShardedStore is alive.
+  const TripleStore& store() const { return facade_; }
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const MmapStore& shard(size_t i) const { return *shards_[i]; }
+  bundle::HashScheme scheme() const { return scheme_; }
+  uint32_t store_format() const { return store_format_; }
+
+  // Sum of the shard mappings' sizes.
+  size_t bytes_mapped() const;
+
+  // Per-shard slice of the scatter-gather ledger: static shape (triples,
+  // mapped bytes) plus the gather counters accumulated since open —
+  // triples resolved through this shard and patterns whose scatter hit
+  // it. Bench artifacts fold these under the per-run ExecStats.
+  struct ShardCounters {
+    uint32_t shard_id = 0;
+    uint64_t triple_count = 0;
+    uint64_t bytes_mapped = 0;
+    uint64_t triples_gathered = 0;
+    uint64_t patterns_scattered = 0;
+  };
+  std::vector<ShardCounters> Counters() const;
+
+  // --- ShardedTripleSource (consumed via the TripleStore facade) ----------
+  size_t NumTriples() const override { return loc_shard_.size(); }
+  const Triple& TripleAt(uint32_t global_index) const override;
+  std::span<const uint32_t> Match(const PatternKey& key) const override;
+  bool blocked_postings() const override {
+    return store_format_ == v3::kFormatVersion;
+  }
+
+ private:
+  ShardedStore() = default;
+
+  // Uncounted triple access for internal merge/compare paths.
+  const Triple& TripleUncounted(uint32_t global_index) const {
+    return shards_[loc_shard_[global_index]]->store().triple(
+        loc_local_[global_index]);
+  }
+
+  Status BuildGlobalOrder();
+
+  std::vector<std::unique_ptr<MmapStore>> shards_;
+  bundle::HashScheme scheme_ = bundle::HashScheme::kSubject;
+  uint32_t store_format_ = 0;
+
+  // Locators: global index -> (shard, local index) and back.
+  std::vector<uint16_t> loc_shard_;
+  std::vector<uint32_t> loc_local_;
+  std::vector<std::vector<uint32_t>> global_of_;  // [shard][local] -> global
+
+  TripleStore facade_;
+
+  // Memoised per-pattern gathers; vector heap buffers are stable, so the
+  // spans handed out stay valid across rehashes.
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_map<PatternKey, std::vector<uint32_t>,
+                             PatternKeyHash>
+      match_memo_;
+
+  struct alignas(64) GatherCounters {
+    std::atomic<uint64_t> triples{0};
+    std::atomic<uint64_t> patterns{0};
+  };
+  std::unique_ptr<GatherCounters[]> gather_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_RDF_SHARDED_STORE_H_

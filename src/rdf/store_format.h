@@ -157,6 +157,68 @@ static_assert(sizeof(BlockPostingDirEntry) == 40);
 
 }  // namespace v3
 
+// On-disk layout of a sharded store bundle ("SQPBNDL1").
+//
+// A bundle is a directory holding one manifest file (kManifestFileName)
+// plus shard_count complete, self-contained store files named
+// shard_0000.sqps, shard_0001.sqps, ... — each an ordinary SQPSTOR2/3
+// file carrying the FULL dictionary (identical intern order in every
+// shard, enforced via the dictionary section CRCs) and the hash-assigned
+// subset of the triples, locally SPO-sorted with its own permutation
+// indexes and posting directory. Triples are assigned to shards by
+// hashing the subject (HashScheme::kSubject, the default) or the
+// predicate (kPredicate); the scheme is recorded in the manifest.
+//
+// Manifest layout (little-endian, like the store files):
+//
+//   ManifestHeader                       40 bytes
+//   ManifestShardEntry[shard_count]      32 bytes each, shard_id == index
+//   uint32_t crc32c                      over all preceding bytes
+//
+// Each shard entry pins the shard file's exact size, triple count, a
+// CRC-32C digest of the file's header + section table (which itself
+// holds every section's CRC, so the digest transitively covers the whole
+// file), and a digest of the three dictionary-section CRCs (equal across
+// all shards of a well-formed bundle). The reader (rdf/sharded_store.h)
+// returns Status::Corruption for any disagreement and never CHECK-fails
+// on untrusted bytes.
+namespace bundle {
+
+inline constexpr char kMagic[8] = {'S', 'Q', 'P', 'B', 'N', 'D', 'L', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr char kManifestFileName[] = "manifest.sqpb";
+
+// Structural sanity cap, far above any deployment we expect.
+inline constexpr uint32_t kMaxShards = 1024;
+
+enum class HashScheme : uint32_t {
+  kSubject = 1,    // shard on the triple's subject (the default)
+  kPredicate = 2,  // shard on the predicate (co-locates posting lists)
+};
+
+struct ManifestHeader {
+  char magic[8];
+  uint32_t version;        // kFormatVersion
+  uint32_t shard_count;    // in [1, kMaxShards]
+  uint32_t hash_scheme;    // HashScheme
+  uint32_t store_format;   // per-shard file format: 2 or 3
+  uint64_t total_triples;  // sum of the shard triple counts
+  uint64_t term_count;     // shared dictionary size (identical per shard)
+};
+static_assert(sizeof(ManifestHeader) == 40);
+
+struct ManifestShardEntry {
+  uint32_t shard_id;       // must equal the entry's index
+  uint32_t reserved;       // zero
+  uint64_t file_size;      // exact size of shard_<id>.sqps in bytes
+  uint64_t triple_count;   // the shard file's header triple count
+  uint32_t table_crc32c;   // CRC-32C of the file's header + section table
+  uint32_t dict_crc32c;    // CRC-32C over the 3 dictionary section CRCs
+};
+static_assert(sizeof(ManifestShardEntry) == 32);
+
+}  // namespace bundle
+
 // Zero-copy posting directory decoded from a mapped v2 file: hands out
 // PostingList views over the mapped kPostingEntries section so opening a
 // predicate's posting list does no per-entry work. Owned by MmapStore and

@@ -169,6 +169,12 @@ Status SaveStore(const TripleStore& store, const std::string& path,
   if (!store.finalized()) {
     return Status::FailedPrecondition("SaveStore requires a finalized store");
   }
+  if (store.is_sharded()) {
+    // A sharded facade has no contiguous triple array to serialise — its
+    // shard files are already on disk (rdf/sharded_store.h owns them).
+    return Status::FailedPrecondition(
+        "SaveStore cannot serialise a sharded store facade");
+  }
   if (options.format_version != v2::kFormatVersion &&
       options.format_version != v3::kFormatVersion) {
     return Status::InvalidArgument(
@@ -335,6 +341,10 @@ Status SaveStore(const TripleStore& store, const std::string& path,
 Status SaveStoreV1(const TripleStore& store, const std::string& path) {
   if (!store.finalized()) {
     return Status::FailedPrecondition("SaveStore requires a finalized store");
+  }
+  if (store.is_sharded()) {
+    return Status::FailedPrecondition(
+        "SaveStore cannot serialise a sharded store facade");
   }
 
   std::string dict_section;

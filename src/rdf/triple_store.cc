@@ -94,6 +94,16 @@ TripleStore TripleStore::FromView(Dictionary dict,
   return store;
 }
 
+TripleStore TripleStore::FromShardedSource(Dictionary dict,
+                                           const ShardedTripleSource* source) {
+  SPECQP_CHECK(source != nullptr);
+  TripleStore store;
+  store.dict_ = std::move(dict);
+  store.sharded_ = source;
+  store.finalized_ = true;  // sharded facades are born finalized
+  return store;
+}
+
 void TripleStore::Add(std::string_view s, std::string_view p,
                       std::string_view o, double score) {
   AddEncoded(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o), score);
@@ -143,6 +153,11 @@ void TripleStore::CheckFinalized() const {
 std::span<const uint32_t> TripleStore::MatchIndices(
     const PatternKey& key) const {
   CheckFinalized();
+  if (sharded_ != nullptr) {
+    // Scatter-gather backend: the source merges the shards' per-index
+    // subranges into the same value order the branches below produce.
+    return sharded_->Match(key);
+  }
   const bool sb = key.s_bound();
   const bool pb = key.p_bound();
   const bool ob = key.o_bound();
@@ -193,7 +208,7 @@ size_t TripleStore::CountDistinct(const PatternKey& key, int slot) const {
   SPECQP_CHECK(slot >= 0 && slot <= 2);
   std::unordered_set<TermId> seen;
   for (uint32_t idx : MatchIndices(key)) {
-    const Triple& t = triples()[idx];
+    const Triple& t = triple(idx);
     switch (slot) {
       case 0:
         seen.insert(t.s);
@@ -212,7 +227,7 @@ size_t TripleStore::CountDistinct(const PatternKey& key, int slot) const {
 double TripleStore::MaxScore(const PatternKey& key) const {
   double best = 0.0;
   for (uint32_t idx : MatchIndices(key)) {
-    best = std::max(best, triples()[idx].score);
+    best = std::max(best, triple(idx).score);
   }
   return best;
 }

@@ -10,12 +10,41 @@
 #include "rdf/term.h"
 #include "rdf/triple.h"
 #include "rdf/triple_pattern.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace specqp {
 
 struct MappedPostingLists;   // rdf/store_format.h
 struct MappedBlockPostings;  // rdf/store_format.h
+
+// Backend interface of a sharded (bundle-backed) TripleStore facade: the
+// triples live in N cooperating mapped shard stores, addressed through a
+// GLOBAL index space defined as the merged SPO order of all shards — the
+// exact order a single-file store over the same triples would use, which
+// is what keeps posting lists (and therefore answers) bit-identical
+// across backends. Implemented by ShardedStore (rdf/sharded_store.h);
+// TripleStore::FromShardedSource wraps an instance so every query-side
+// consumer (posting lists, statistics, scans) works unchanged.
+class ShardedTripleSource {
+ public:
+  virtual ~ShardedTripleSource() = default;
+
+  // Total triples across all shards (the global index space).
+  virtual size_t NumTriples() const = 0;
+
+  // The triple at a global index; the reference aliases a shard mapping.
+  virtual const Triple& TripleAt(uint32_t global_index) const = 0;
+
+  // Global indices matching `key`, in the same value order single-file
+  // MatchIndices uses (gathered from the shards' indexes and merged).
+  // The span stays valid for the source's lifetime.
+  virtual std::span<const uint32_t> Match(const PatternKey& key) const = 0;
+
+  // True when the shards serve block-compressed (v3) postings, so
+  // facade-built posting lists should be block-encoded too.
+  virtual bool blocked_postings() const = 0;
+};
 
 // In-memory scored triple store with three permutation indexes (SPO, POS,
 // OSP). Together they answer every bound/free combination of a triple
@@ -66,6 +95,14 @@ class TripleStore {
                               const MappedBlockPostings* block_postings =
                                   nullptr);
 
+  // Sharded-backend construction (rdf/sharded_store.h): every query
+  // method delegates per-triple and per-pattern access to `source`,
+  // which must outlive the store. Born finalized and read-only; there
+  // is no contiguous triple array, so triples() CHECK-fails — callers
+  // that need raw iteration (SaveStore) must reject sharded facades.
+  static TripleStore FromShardedSource(Dictionary dict,
+                                       const ShardedTripleSource* source);
+
   // --- loading phase -------------------------------------------------------
 
   // Interns the strings and records the triple. Score must be >= 0.
@@ -83,9 +120,18 @@ class TripleStore {
 
   // --- query phase ---------------------------------------------------------
 
-  size_t size() const { return triples().size(); }
-  const Triple& triple(uint32_t index) const { return triples()[index]; }
+  size_t size() const {
+    return sharded_ != nullptr ? sharded_->NumTriples() : triples().size();
+  }
+  const Triple& triple(uint32_t index) const {
+    return sharded_ != nullptr ? sharded_->TripleAt(index) : triples()[index];
+  }
+  // The contiguous triple array (SPO order). A sharded facade has none —
+  // its triples live in N shard mappings — so iteration must go through
+  // size()/triple() instead; calling triples() on one CHECK-fails.
   std::span<const Triple> triples() const {
+    SPECQP_CHECK(sharded_ == nullptr)
+        << "sharded stores have no contiguous triple array";
     return view_ ? triples_view_ : std::span<const Triple>(triples_);
   }
 
@@ -101,6 +147,14 @@ class TripleStore {
     return mapped_block_postings_;
   }
   bool is_view() const { return view_; }
+  bool is_sharded() const { return sharded_ != nullptr; }
+  // True on sharded facades whose shards serve v3 block postings:
+  // BuildPostingList re-encodes facade-built lists into blocks so the
+  // block accounting (blocks_decoded/blocks_skipped) and header-guided
+  // skipping stay live on sharded backends too.
+  bool sharded_block_postings() const {
+    return sharded_ != nullptr && sharded_->blocked_postings();
+  }
 
   // Indices (into triples()) of all triples matching the key, in index
   // order. The returned span aliases internal storage.
@@ -158,6 +212,9 @@ class TripleStore {
   std::span<const uint32_t> osp_view_;
   const MappedPostingLists* mapped_postings_ = nullptr;
   const MappedBlockPostings* mapped_block_postings_ = nullptr;
+
+  // Sharded backend (bundle facades): non-owning; see FromShardedSource.
+  const ShardedTripleSource* sharded_ = nullptr;
 };
 
 }  // namespace specqp
