@@ -21,6 +21,8 @@ struct BenchConfig {
   size_t admit_batch = 16;     // EngineOptions::admission_max_batch
   double speculate_threshold = 0.0;  // EngineOptions::speculate_threshold
   std::string calibration_path;      // EngineOptions::calibration_path
+  std::string fault_plan;            // EngineOptions::fault_plan
+  bool degraded_reads = false;       // EngineOptions::degraded_reads
 };
 BenchConfig g_bench_config;
 
@@ -46,7 +48,11 @@ void PrintUsage(const std::string& name) {
                "  --speculate-threshold X  plan-racing confidence threshold "
                "(0 = off; > 1 forces a race whenever a runner-up exists)\n"
                "  --calibration-path P  estimator correction table fitted by "
-               "scripts/fit_estimator_correction.py\n",
+               "scripts/fit_estimator_correction.py\n"
+               "  --fault-plan P        deterministic fault-injection plan "
+               "(seed=N;site=prob[@max], util/fault_injector.h)\n"
+               "  --degraded-reads      serve partial answers from the "
+               "surviving shards instead of kUnavailable\n",
                name.c_str());
 }
 
@@ -109,6 +115,8 @@ void ApplyBenchConfig(EngineOptions* options) {
   options->admission_max_batch = g_bench_config.admit_batch;
   options->speculate_threshold = g_bench_config.speculate_threshold;
   options->calibration_path = g_bench_config.calibration_path;
+  options->fault_plan = g_bench_config.fault_plan;
+  options->degraded_reads = g_bench_config.degraded_reads;
 }
 
 size_t DatasetScale() { return g_bench_config.scale; }
@@ -249,6 +257,17 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
     } else if (StartsWith(arg, "--calibration-path=")) {
       g_bench_config.calibration_path =
           arg.substr(std::strlen("--calibration-path="));
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --fault-plan requires a plan string\n",
+                     name.c_str());
+        return 2;
+      }
+      g_bench_config.fault_plan = argv[++i];
+    } else if (StartsWith(arg, "--fault-plan=")) {
+      g_bench_config.fault_plan = arg.substr(std::strlen("--fault-plan="));
+    } else if (arg == "--degraded-reads") {
+      g_bench_config.degraded_reads = true;
     } else if (arg == "--batch") {
       g_bench_config.batch = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -305,6 +324,13 @@ int BenchMain(int argc, char** argv, const std::string& name, BenchFn run) {
   // these agree (scripts/compare_bench_json.py COMPARABILITY_KEYS).
   doc.Set("speculate_threshold", g_bench_config.speculate_threshold);
   doc.Set("calibration_path", g_bench_config.calibration_path);
+  // Fault-tolerance knobs: an injection plan perturbs both runtimes and
+  // answer counts, and degraded reads change which rows exist at all, so
+  // artifacts only compare when these agree — and a run claiming no
+  // faults must not report degraded or shed responses
+  // (compare_bench_json.py enforces both).
+  doc.Set("fault_plan", g_bench_config.fault_plan);
+  doc.Set("degraded_reads", g_bench_config.degraded_reads);
   WallTimer timer;
   run(doc);
   doc.Set("total_seconds", timer.ElapsedSeconds());
@@ -337,6 +363,9 @@ Json ExecStatsToJson(const ExecStats& stats) {
   j.Set("speculative_work_wasted_rows", stats.speculative_work_wasted_rows);
   j.Set("replans_triggered", stats.replans_triggered);
   j.Set("race_loser_abort_ms", stats.race_loser_abort_ms);
+  j.Set("store_faults", stats.store_faults);
+  j.Set("shards_failed", stats.shards_failed);
+  j.Set("shards_total", stats.shards_total);
   j.Set("plan_ms", stats.plan_ms);
   j.Set("exec_ms", stats.exec_ms);
   return j;

@@ -25,6 +25,7 @@
 #include "topk/pattern_scan.h"
 #include "topk/rank_join.h"
 #include "topk/top_k.h"
+#include "util/fault_injector.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -295,6 +296,26 @@ void Run(Json& out) {
           DoNotOptimize(n);
         },
         list->size()));
+  }
+
+  {
+    // The disarmed fault-injection probe: the hook every storage touch
+    // pays in production (one relaxed atomic load). The artifact tracks
+    // it so a change that puts real work on the disarmed path shows up
+    // as a runtime regression here — and the hot-path benches above,
+    // which all run with injection disabled, bound the end-to-end cost.
+    SPECQP_CHECK(!FaultInjector::Global().armed());
+    constexpr uint64_t kProbesPerIter = 1024;
+    results.push_back(RunMicro(
+        "fault_probe_disarmed",
+        [&] {
+          bool fired = false;
+          for (uint64_t i = 0; i < kProbesPerIter; ++i) {
+            fired |= FaultShouldFail("shard.read", i & 7);
+          }
+          DoNotOptimize(fired);
+        },
+        kProbesPerIter));
   }
 
   for (size_t num_inputs : {2u, 5u, 10u}) {

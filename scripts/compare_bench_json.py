@@ -29,7 +29,13 @@ Regression rules (exit 1 on any hit):
     (summed ``race_wins_by_runnerup`` == 0), the gate fails — a race the
     runner-up cannot win is pure overhead, which means either the
     certificate gate is broken (never certifies) or the race scenario
-    stopped exercising planner mistakes.
+    stopped exercising planner mistakes,
+  * fault-free consistency: a head artifact produced without a
+    ``fault_plan`` must report zero ``store_faults``, ``shards_failed``,
+    and shed counters everywhere — a healthy run that degrades or sheds
+    is broken serving, not perf noise. Artifacts also only compare when
+    their ``fault_plan`` / ``degraded_reads`` knobs agree (injection
+    perturbs runtimes and answer counts by design).
 
 ``--self-test`` builds a synthetic artifact pair, injects a 30% runtime
 regression and an answer-count drop, and asserts the comparison fails —
@@ -69,7 +75,16 @@ NONZERO_KEYS = {"blocks_skipped"}
 COMPARABILITY_KEYS = ("bench", "schema_version", "threads", "cache_budget_mb",
                       "batch_mode", "scale", "shard_count",
                       "admission_max_batch", "admission_max_delay_ms",
-                      "speculate_threshold", "calibration_path")
+                      "speculate_threshold", "calibration_path",
+                      "fault_plan", "degraded_reads")
+
+# Counters that must be zero everywhere in an artifact produced WITHOUT a
+# fault plan: a healthy run that reports store faults, failed shards, or
+# shed requests is leaking failure handling into the fast path (or the
+# store under the bench is genuinely broken) — either way the numbers are
+# not perf signal.
+FAULT_ARTIFACT_KEYS = {"store_faults", "shards_failed", "shed_queue_full",
+                       "shed_deadline"}
 
 
 def is_runtime_key(key):
@@ -164,6 +179,21 @@ def compare(base_doc, head_doc, max_regression):
     if raced > 0 and runner_up_wins == 0:
         errors.append(f"vacuous racing: head raced {raced} plans but the "
                       "runner-up won 0 races")
+
+    # No-fault artifacts must be fault-free: with an empty fault plan the
+    # degraded-read and shedding machinery must never have engaged (another
+    # head-only self-consistency check).
+    if not head_doc.get("fault_plan"):
+        for counter in sorted(FAULT_ARTIFACT_KEYS):
+            # A "fault_scenarios" subtree is a deliberate injected-failure
+            # measurement (micro_store_load) — exempt by construction.
+            total = sum(v for p, v in head.items()
+                        if p.rsplit(".", 1)[-1] == counter
+                        and "fault_scenarios" not in p)
+            if total > 0:
+                errors.append(f"fault-free artifact reports {counter}="
+                              f"{total}; a run without a fault plan must "
+                              "not degrade or shed")
     return errors, notes, False
 
 
@@ -190,8 +220,13 @@ def self_test():
         "block_skipping": {"blocks_decoded": 2, "blocks_skipped": 948},
         "speculate_threshold": 2.0,
         "calibration_path": "",
+        "fault_plan": "",
+        "degraded_reads": False,
         "plan_race": {"plans_raced": 80, "race_wins_by_runnerup": 17,
                       "speculative_work_wasted_rows": 1200},
+        "loads": [{"name": "bundle_mmap_lazy", "load_ms": 12.0,
+                   "store_faults": 0, "shards_failed": 0,
+                   "shards_total": 4}],
     }
 
     # Identical artifacts pass.
@@ -261,12 +296,44 @@ def self_test():
                               ("admission_max_batch", 1),
                               ("admission_max_delay_ms", 0.0),
                               ("speculate_threshold", 0.0),
-                              ("calibration_path", "corrections.tsv")):
+                              ("calibration_path", "corrections.tsv"),
+                              ("fault_plan", "seed=7;shard.read=0.01"),
+                              ("degraded_reads", True)):
         other_knobs = copy.deepcopy(base)
         other_knobs[knob] = other_value
         errors, _, not_comparable = compare(base, other_knobs, 0.20)
         assert not_comparable and errors, \
             f"{knob} mismatch must be flagged, got: {errors}"
+
+    # A no-fault artifact that reports failure handling fails even with
+    # identical runtimes and answers: degraded or shed responses in a
+    # healthy run mean the serving path is broken, not slow. The same
+    # numbers under a declared fault plan are expected output.
+    leaky = copy.deepcopy(base)
+    leaky["loads"][0]["shards_failed"] = 1
+    errors, _, _ = compare(base, leaky, 0.20)
+    assert any("fault-free artifact" in e for e in errors), \
+        f"no-fault artifact with failed shards must fail, got: {errors}"
+    shed = copy.deepcopy(base)
+    shed["admission"] = {"shed_queue_full": 3}
+    errors, _, _ = compare(base, shed, 0.20)
+    assert any("shed_queue_full" in e for e in errors), \
+        f"no-fault artifact with shed requests must fail, got: {errors}"
+    fenced = copy.deepcopy(base)
+    fenced["fault_scenarios"] = {
+        "degraded": {"shards_failed": 1, "shards_total": 4,
+                     "first_query_ms": 3.0}}
+    errors, _, _ = compare(base, fenced, 0.20)
+    assert not errors, \
+        f"fenced fault_scenarios subtree must stay exempt: {errors}"
+    chaos_base = copy.deepcopy(base)
+    chaos_base["fault_plan"] = "seed=7;shard.open=1"
+    chaos_head = copy.deepcopy(chaos_base)
+    chaos_head["loads"][0]["shards_failed"] = 1
+    chaos_head["loads"][0]["store_faults"] = 2
+    errors, _, not_comparable = compare(chaos_base, chaos_head, 0.20)
+    assert not errors and not not_comparable, \
+        f"declared fault plan may report faults: {errors}"
 
     # A knob absent on one side (older artifact schema) stays comparable.
     legacy = copy.deepcopy(base)
@@ -280,9 +347,10 @@ def self_test():
         f"absent knobs must stay comparable: {errors}"
 
     print("self-test OK: gate passes identical/jittered artifacts, fails on "
-          "injected runtime, answer-count, skip-collapse, and vacuous-racing "
-          "regressions, rejects mismatched knobs (incl. scale, shard count, "
-          "admission window, and speculation/calibration)")
+          "injected runtime, answer-count, skip-collapse, vacuous-racing, "
+          "and fault-leak regressions, rejects mismatched knobs (incl. "
+          "scale, shard count, admission window, speculation/calibration, "
+          "and fault plan)")
     return 0
 
 

@@ -30,12 +30,17 @@ AdmissionController::~AdmissionController() {
 
 std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
   // Submit-time terminations complete the future immediately, without
-  // touching the window state.
-  auto reject = [this](QueryResponse response) {
+  // touching the window state. Overload sheds additionally charge their
+  // own Stats counter (they still count as rejected_at_submit, so the
+  // submitted/rejected ledger stays a partition of all Submit calls).
+  auto reject = [this](QueryResponse response,
+                       uint64_t Stats::*shed_counter = nullptr) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.rejected_at_submit;
-      if (response.status.code() == StatusCode::kCancelled) {
+      if (shed_counter != nullptr) {
+        ++(stats_.*shed_counter);
+      } else if (response.status.code() == StatusCode::kCancelled) {
         ++stats_.cancelled;
       } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
         ++stats_.deadline_exceeded;
@@ -54,6 +59,21 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
   if (request.k < 1) {
     shell.status = Status::InvalidArgument("k must be >= 1");
     return reject(std::move(shell));
+  }
+  // Queue-depth shedding happens before parsing: overload protection must
+  // be cheaper than the work it sheds.
+  if (options_.max_queue_depth > 0) {
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shed = queued_ >= options_.max_queue_depth;
+    }
+    if (shed) {
+      shell.status = Status::ResourceExhausted("admission queue full");
+      shell.retry_after_ms =
+          static_cast<double>(options_.retry_after_hint.count()) / 1000.0;
+      return reject(std::move(shell), &Stats::shed_queue_full);
+    }
   }
   Query query;
   if (request.query.has_value()) {
@@ -81,6 +101,18 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
         Status::DeadlineExceeded("deadline expired before admission");
     return reject(std::move(shell));
   }
+  // Deadline-aware shedding: a deadline that cannot outlast the
+  // worst-case window delay would only be DOA'd at dispatch. Shed it now
+  // so the caller learns immediately; retry_after_ms stays 0 because
+  // resubmitting the same deadline cannot help.
+  if (options_.deadline_aware_shed && request.deadline.has_value() &&
+      *request.deadline <
+          std::chrono::steady_clock::now() + options_.max_delay) {
+    shell.status = Status::ResourceExhausted(
+        "deadline shorter than the admission window delay");
+    shell.retry_after_ms = 0.0;
+    return reject(std::move(shell), &Stats::shed_deadline);
+  }
 
   Pending pending;
   pending.query = std::move(query);
@@ -102,6 +134,7 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
+    ++queued_;  // balanced in DispatchWindow, once fulfilled
     Window& window = open_[key];
     if (window.pending.empty()) {
       window.id = ++next_window_id_;
@@ -206,9 +239,14 @@ void AdmissionController::DispatcherLoop() {
 
 Status AdmissionController::TerminalStatus(const Pending& pending) {
   if (pending.interrupt != nullptr && pending.interrupt->Stopped()) {
-    return pending.interrupt->cause() == StopCause::kCancelled
-               ? Status::Cancelled("query cancelled")
-               : Status::DeadlineExceeded("query deadline exceeded");
+    switch (pending.interrupt->cause()) {
+      case StopCause::kCancelled:
+        return Status::Cancelled("query cancelled");
+      case StopCause::kStoreFault:
+        return Status::IoError("backing store faulted during execution");
+      default:
+        return Status::DeadlineExceeded("query deadline exceeded");
+    }
   }
   if (pending.request.cancel.cancelled()) {
     return Status::Cancelled("query cancelled");
@@ -222,6 +260,16 @@ Status AdmissionController::TerminalStatus(const Pending& pending) {
 void AdmissionController::DispatchWindow(WindowKey key, Window window) {
   const size_t k = key.first;
   const Strategy strategy = static_cast<Strategy>(key.second);
+
+  // Serving preflight, once for the whole window (every request shares
+  // the store snapshot): fault sweep, strict/degraded decision, stale
+  // cache reconciliation. A refusal (kUnavailable) terminates every
+  // request in the window without executing — individual cancellations
+  // still win below.
+  QueryResponse serving;
+  uint64_t fault_epoch = 0;
+  const Status serving_status =
+      engine_->PreflightServing(&serving, &fault_epoch);
 
   // Requests already stopped at dispatch time (cancelled while queued,
   // deadline expired in the window) terminate without executing; the rest
@@ -240,6 +288,9 @@ void AdmissionController::DispatchWindow(WindowKey key, Window window) {
         (pending.interrupt->Stopped() || pending.interrupt->CheckDeadline())) {
       continue;  // fulfilled below via TerminalStatus
     }
+    if (!serving_status.ok()) {
+      continue;  // fulfilled below with the serving refusal
+    }
     live.push_back(i);
     queries.push_back(std::move(pending.query));
     interrupts.push_back(pending.interrupt.get());
@@ -256,6 +307,10 @@ void AdmissionController::DispatchWindow(WindowKey key, Window window) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.batched_queries += queries.size();
     stats_.shared_scan_hits += batch_stats.shared_scan_hits;
+    // Every pending request in this window is fulfilled below; release
+    // their queue slots so shedding sees the post-dispatch depth.
+    SPECQP_DCHECK(queued_ >= window.pending.size());
+    queued_ -= std::min(queued_, window.pending.size());
   }
 
   size_t next_live = 0;
@@ -279,11 +334,33 @@ void AdmissionController::DispatchWindow(WindowKey key, Window window) {
         response.diagnostics = std::move(result.diagnostics);
         response.rows = std::move(result.rows);
         response.stats = result.stats;
+        // Degraded-read ledger rides on every answer from a store with
+        // quarantined shards; a fault that landed mid-window invalidates
+        // the answer (PostflightServing surfaces it as kIoError).
+        response.partial = serving.partial;
+        response.stats.shards_failed = std::max(
+            response.stats.shards_failed, serving.stats.shards_failed);
+        response.stats.shards_total = std::max(
+            response.stats.shards_total, serving.stats.shards_total);
+        const Status post =
+            engine_->PostflightServing(fault_epoch, &response);
+        if (!post.ok()) {
+          response.rows.clear();
+          response.partial = false;
+          response.status = post;
+        }
       }
       // else: aborted (or terminally late) — no partial rows are returned.
     } else {
       response.status = TerminalStatus(pending);
-      SPECQP_DCHECK(!response.status.ok());
+      if (response.status.ok()) {
+        // Not individually terminal: the whole window was refused by the
+        // serving preflight.
+        SPECQP_DCHECK(!serving_status.ok());
+        response.status = serving_status;
+        response.stats.shards_failed = serving.stats.shards_failed;
+        response.stats.shards_total = serving.stats.shards_total;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -56,6 +56,16 @@ class AdmissionController {
     // per-query windows (still asynchronous, no cross-query sharing).
     size_t max_batch_size = 16;
     std::chrono::microseconds max_delay{2000};
+    // Overload shedding: once this many admitted requests are queued or
+    // in dispatch, new Submits are rejected with kResourceExhausted and
+    // QueryResponse::retry_after_ms = retry_after_hint. 0 = never shed.
+    size_t max_queue_depth = 0;
+    // Deadline-aware shedding: a request whose deadline cannot outlast
+    // the worst-case window delay (it would only be DOA'd at dispatch) is
+    // rejected at submit with kResourceExhausted and retry_after_ms = 0
+    // (retrying the same deadline cannot help).
+    bool deadline_aware_shed = false;
+    std::chrono::microseconds retry_after_hint{5000};
   };
 
   // Counters since construction (snapshot under the controller's lock).
@@ -71,6 +81,8 @@ class AdmissionController {
     uint64_t shared_scan_hits = 0;    // summed over dispatched windows
     uint64_t cancelled = 0;           // terminal kCancelled responses
     uint64_t deadline_exceeded = 0;   // terminal kDeadlineExceeded responses
+    uint64_t shed_queue_full = 0;     // rejected: queue depth at the cap
+    uint64_t shed_deadline = 0;       // rejected: deadline cannot be met
   };
 
   AdmissionController(Engine* engine, const Options& options);
@@ -142,6 +154,9 @@ class AdmissionController {
   std::condition_variable cv_;
   std::map<WindowKey, Window> open_;          // accumulating windows
   std::vector<std::pair<WindowKey, Window>> closed_;  // awaiting dispatch
+  // Admitted requests not yet fulfilled (queued or in dispatch); the
+  // depth max_queue_depth sheds against.
+  size_t queued_ = 0;
   uint64_t next_window_id_ = 0;
   bool stop_ = false;
   Stats stats_;

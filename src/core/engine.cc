@@ -2,16 +2,33 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "query/parser.h"
 #include "rdf/store_io.h"
 #include "relax/expansion.h"
 #include "topk/top_k.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/stop_probe.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace specqp {
+
+namespace {
+
+// Bridges an ExecInterrupt across the rdf/topk layer boundary: installed
+// as the thread-local stop probe for the scope of one execution, so store
+// internals (ShardedStore::Match, posting-list builds) can poll
+// cancellation/deadline without depending on the topk layer.
+bool InterruptStopProbe(const void* ctx) {
+  const auto* interrupt = static_cast<const ExecInterrupt*>(ctx);
+  return interrupt->Stopped() || interrupt->CheckDeadline();
+}
+
+}  // namespace
 
 int ResolveNumThreads(int requested) {
   if (requested >= 1) return std::min(requested, 256);
@@ -52,6 +69,16 @@ Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
       calibration_log_(options.calibration_log_capacity) {
   SPECQP_CHECK(store_ != nullptr && rules_ != nullptr);
   SPECQP_CHECK(store_->finalized()) << "Engine requires a finalized store";
+  if (!options_.fault_plan.empty()) {
+    // Process-wide and idempotent (OpenFromPath may have configured the
+    // same plan already, before the store open, so open-path probes fire).
+    const Status configured =
+        FaultInjector::Global().Configure(options_.fault_plan);
+    if (!configured.ok()) {
+      SPECQP_LOG(Warning) << "ignoring malformed fault plan: "
+                          << configured.ToString();
+    }
+  }
   if (!options_.calibration_path.empty()) {
     // Before the first GetStats, so every estimate this engine ever makes
     // is corrected consistently (including OpenFromPath's Preload, which
@@ -63,6 +90,17 @@ Engine::Engine(const TripleStore* store, const RelaxationIndex* rules,
 Result<Engine::Opened> Engine::OpenFromPath(const std::string& store_path,
                                             const RelaxationIndex* rules,
                                             const EngineOptions& options) {
+  // The fault plan must be live before the store opens so that open-path
+  // probes ("store.open", "shard.open") participate in the schedule; the
+  // Engine constructor re-applies it harmlessly.
+  if (!options.fault_plan.empty()) {
+    const Status configured =
+        FaultInjector::Global().Configure(options.fault_plan);
+    if (!configured.ok()) {
+      SPECQP_LOG(Warning) << "ignoring malformed fault plan: "
+                          << configured.ToString();
+    }
+  }
   if (IsBundlePath(store_path)) {
     // Sharded bundle (SQPBNDL1): N cooperating mapped shards behind one
     // facade. Per-shard stats snapshots describe shard-local subsets, not
@@ -71,6 +109,10 @@ Result<Engine::Opened> Engine::OpenFromPath(const std::string& store_path,
     if (options.mmap_verify_all) {
       open_options.verify = MmapStore::Verify::kEager;
     }
+    // Degraded serving implies shard quarantine; strict-with-isolation is
+    // the explicit allow_quarantine knob.
+    open_options.allow_quarantine =
+        options.allow_quarantine || options.degraded_reads;
     Opened opened;
     SPECQP_ASSIGN_OR_RETURN(opened.sharded,
                             ShardedStore::Open(store_path, open_options));
@@ -112,6 +154,10 @@ AdmissionController& Engine::admission() {
     options.max_batch_size = std::max<size_t>(1, options_.admission_max_batch);
     options.max_delay = std::chrono::microseconds(static_cast<int64_t>(
         std::max(0.0, options_.admission_max_delay_ms) * 1000.0));
+    options.max_queue_depth = options_.admission_max_queue;
+    options.deadline_aware_shed = options_.admission_deadline_shed;
+    options.retry_after_hint = std::chrono::microseconds(static_cast<int64_t>(
+        std::max(0.0, options_.admission_retry_after_ms) * 1000.0));
     admission_ = std::make_unique<AdmissionController>(this, options);
   });
   return *admission_;
@@ -206,14 +252,100 @@ QueryResponse Engine::ExecuteRequest(QueryRequest request) {
     return response;
   }
 
+  // Serving preflight: fault sweep + strict/degraded decision. A store
+  // with quarantined shards either refuses now (strict) or marks the
+  // response partial (degraded_reads).
+  uint64_t fault_epoch = 0;
+  response.status = PreflightServing(&response, &fault_epoch);
+  if (!response.status.ok()) return response;
+
   RunQuery(*request.query, request, interruptible ? &interrupt : nullptr,
            &response);
+
+  if (response.status.ok()) {
+    const Status post = PostflightServing(fault_epoch, &response);
+    if (!post.ok()) {
+      response.rows.clear();
+      response.partial = false;
+      response.status = post;
+    }
+  }
   return response;
+}
+
+Status Engine::PreflightServing(QueryResponse* response,
+                                uint64_t* epoch_out) {
+  const ShardedTripleSource* source = store_->sharded_source();
+  if (source == nullptr) {
+    if (epoch_out != nullptr) *epoch_out = 0;
+    return Status::Ok();
+  }
+  source->PollFaults();
+  const uint64_t epoch = source->FaultEpoch();
+  if (epoch_out != nullptr) *epoch_out = epoch;
+  // Posting lists and statistics built against a retired shard set
+  // describe answers the store can no longer produce; drop them exactly
+  // once per epoch advance (CAS-guarded — concurrent preflights race to
+  // reconcile, only the winner clears).
+  uint64_t seen = seen_fault_epoch_.load(std::memory_order_acquire);
+  while (seen < epoch) {
+    if (seen_fault_epoch_.compare_exchange_weak(seen, epoch,
+                                                std::memory_order_acq_rel)) {
+      postings_.Clear();
+      catalog_.Clear();
+      break;
+    }
+  }
+  const uint32_t failed = source->ShardsFailed();
+  const uint32_t total = source->ShardsTotal();
+  response->stats.shards_failed = failed;
+  response->stats.shards_total = total;
+  if (failed == 0) return Status::Ok();
+  if (failed >= total) {
+    return Status::Unavailable("every shard of the store is quarantined");
+  }
+  if (!options_.degraded_reads) {
+    return Status::Unavailable(
+        StrFormat("%u of %u shards quarantined and degraded reads are "
+                  "disabled",
+                  failed, total));
+  }
+  response->partial = true;  // answers cover the surviving shards only
+  return Status::Ok();
+}
+
+Status Engine::PostflightServing(uint64_t epoch_before,
+                                 QueryResponse* response) {
+  const ShardedTripleSource* source = store_->sharded_source();
+  bool faulted = response->stats.store_faults > 0;  // any backend
+  if (source != nullptr) {
+    source->PollFaults();
+    faulted = faulted || source->FaultEpoch() != epoch_before;
+    if (faulted) {
+      // Refresh the ledger so the caller sees the post-fault serving
+      // state.
+      response->stats.shards_failed = source->ShardsFailed();
+      response->stats.shards_total = source->ShardsTotal();
+    }
+  }
+  if (faulted) {
+    return Status::IoError(
+        "backing store faulted during execution; the answer may mix pre- "
+        "and post-fault data — retry to answer from the surviving state");
+  }
+  return Status::Ok();
 }
 
 void Engine::RunQuery(const Query& query, const QueryRequest& request,
                       const ExecInterrupt* interrupt,
                       QueryResponse* response) {
+  // Store internals poll this thread-local probe between shards and every
+  // few thousand merge steps, so cancellation aborts promptly even while
+  // execution is deep inside a scatter-gather or posting build. Null
+  // interrupt installs a null probe (StopRequested stays false).
+  ScopedStopProbe stop_probe(
+      interrupt != nullptr ? &InterruptStopProbe : nullptr, interrupt);
+
   WallTimer plan_timer;
   switch (request.strategy) {
     case Strategy::kSpecQp:
@@ -274,10 +406,19 @@ void Engine::RunQuery(const Query& query, const QueryRequest& request,
       (interrupt->Stopped() || interrupt->CheckDeadline())) {
     // Aborted (or terminally late): no partial results are returned.
     response->rows.clear();
-    response->status =
-        interrupt->cause() == StopCause::kCancelled
-            ? Status::Cancelled("query cancelled")
-            : Status::DeadlineExceeded("query deadline exceeded");
+    switch (interrupt->cause()) {
+      case StopCause::kCancelled:
+        response->status = Status::Cancelled("query cancelled");
+        break;
+      case StopCause::kStoreFault:
+        response->status =
+            Status::IoError("backing store faulted during execution");
+        break;
+      default:
+        response->status =
+            Status::DeadlineExceeded("query deadline exceeded");
+        break;
+    }
     return;
   }
 
@@ -334,6 +475,29 @@ void Engine::Warm(const Query& query) {
       postings_.Get(hop);
       catalog_.GetStats(hop);
     }
+  }
+}
+
+QueryResponse SubmitWithRetry(Engine& engine, const QueryRequest& request,
+                              const RetryPolicy& policy) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  QueryResponse response;
+  for (int attempt = 1;; ++attempt) {
+    response = engine.Submit(QueryRequest(request)).get();
+    if (response.status.ok() ||
+        !policy.IsRetryable(response.status.code()) ||
+        attempt >= max_attempts) {
+      return response;
+    }
+    // A shed whose hint is 0 says retrying cannot help (the request's own
+    // deadline is unmeetable); stop burning attempts on it.
+    if (response.status.code() == StatusCode::kResourceExhausted &&
+        response.retry_after_ms <= 0.0) {
+      return response;
+    }
+    const auto hint = std::chrono::microseconds(
+        static_cast<int64_t>(std::max(0.0, response.retry_after_ms) * 1000.0));
+    std::this_thread::sleep_for(policy.BackoffFor(attempt, hint));
   }
 }
 

@@ -1,6 +1,8 @@
 #ifndef SPECQP_CORE_ENGINE_H_
 #define SPECQP_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -28,6 +30,7 @@
 #include "topk/exec_stats.h"
 #include "topk/scored_row.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/thread_pool.h"
 
 namespace specqp {
@@ -110,6 +113,38 @@ struct EngineOptions {
   // set this for stores from untrusted sources (costs one pass over the
   // file, still far below a v1 parse).
   bool mmap_verify_all = false;
+
+  // --- fault tolerance (docs/ARCHITECTURE.md "Failure model") --------------
+
+  // Serve PARTIAL answers from the surviving shards when some shards of a
+  // bundle are quarantined (failed at open, lost mapped pages at runtime,
+  // drew an injected fault). Degraded responses carry partial = true and
+  // the shards_failed/shards_total ledger in their stats. Off (default):
+  // strict mode — a bundle with quarantined shards answers every query
+  // kUnavailable until reopened. Implies allow_quarantine.
+  bool degraded_reads = false;
+  // Quarantine failing shards instead of failing the whole bundle open /
+  // crashing the read path, WITHOUT serving degraded answers (strict
+  // serving keeps returning kUnavailable while any shard is out). Useful
+  // when an operator wants fail-static behaviour with fault isolation.
+  // degraded_reads = true implies this.
+  bool allow_quarantine = false;
+  // Deterministic fault plan (util/fault_injector.h grammar, e.g.
+  // "seed=7;shard.open.3=1@2;block.decode=0.01"), configured process-wide
+  // at engine construction. Empty (default): the injector is disarmed and
+  // every probe compiles down to one relaxed atomic load.
+  std::string fault_plan;
+  // Admission-side overload shedding: reject new Submits with
+  // kResourceExhausted (plus a retry_after_ms hint) once this many
+  // requests are queued in the admission controller. 0 = never shed.
+  size_t admission_max_queue = 0;
+  // Deadline-aware shedding: reject a request at submit time when its
+  // deadline cannot outlast the worst-case window delay it would queue
+  // behind — the request would only be DOA'd at dispatch anyway, so shed
+  // it before it occupies queue space.
+  bool admission_deadline_shed = false;
+  // The retry-after hint attached to queue-full rejections.
+  double admission_retry_after_ms = 5.0;
 };
 
 // Facade wiring the whole stack together: posting lists, statistics,
@@ -243,6 +278,22 @@ class Engine {
   void RunQuery(const Query& query, const QueryRequest& request,
                 const ExecInterrupt* interrupt, QueryResponse* response);
 
+  // --- fault-tolerant serving (docs/ARCHITECTURE.md "Failure model") ------
+  // Run before execution: sweeps latched mapping faults on a sharded
+  // backend, drops engine caches built against a shard set that no longer
+  // serves (once per fault-epoch advance), fills the response's
+  // shards_failed/shards_total ledger, and decides whether this engine may
+  // answer right now — Ok (fully serving), Ok with response->partial set
+  // (degraded_reads and some shards out), or kUnavailable (strict mode
+  // with shards out, or every shard out). `epoch_out` receives the fault
+  // epoch the decision was made under. No-op Ok for non-sharded stores.
+  Status PreflightServing(QueryResponse* response, uint64_t* epoch_out);
+  // Run after execution: a quarantine that landed mid-query (epoch moved
+  // past `epoch_before`) or a latched in-flight fault
+  // (stats.store_faults > 0) invalidates the answer — it may mix pre- and
+  // post-fault shard sets — and surfaces as kIoError.
+  Status PostflightServing(uint64_t epoch_before, QueryResponse* response);
+
   const TripleStore* store_;
   const RelaxationIndex* rules_;
   EngineOptions options_;
@@ -258,11 +309,28 @@ class Engine {
   SpeculativeExecutor speculative_;
   CalibrationLog calibration_log_;
 
+  // Highest store fault epoch this engine has reconciled its caches with
+  // (posting lists + statistics built against a retired shard set are
+  // dropped exactly once per epoch advance, CAS-guarded).
+  std::atomic<uint64_t> seen_fault_epoch_{0};
+
   // Declared last: destroyed first, so the admission dispatcher drains all
   // in-flight windows before any engine internals go away.
   std::once_flag admission_once_;
   std::unique_ptr<AdmissionController> admission_;
 };
+
+// Submits `request` and blocks for the response, retrying retryable
+// terminal statuses (overload sheds, degraded-store kUnavailable windows,
+// transient kIoError) under `policy`. Honours the response's
+// retry_after_ms hint — the actual sleep is the larger of the hint and
+// the policy's own backoff for that attempt, capped at the policy's
+// max_backoff — and gives up immediately on a shed whose hint is 0
+// (retrying cannot help, e.g. the request's own deadline is unmeetable).
+// The request is copied per attempt, so the caller's QueryRequest is
+// reusable afterwards.
+QueryResponse SubmitWithRetry(Engine& engine, const QueryRequest& request,
+                              const RetryPolicy& policy = RetryPolicy());
 
 }  // namespace specqp
 

@@ -139,6 +139,10 @@ struct QueryResponse {
   size_t k = 0;
   size_t window_size = 0;   // requests dispatched in this window (0 = immediate)
   double admission_ms = 0.0;  // submit-to-dispatch queueing delay
+  // Set on kResourceExhausted (overload shed): how long the caller should
+  // back off before resubmitting. 0 with a shed status means retrying is
+  // pointless (e.g. the request's own deadline cannot be met).
+  double retry_after_ms = 0.0;
 
   bool ok() const { return status.ok(); }
 };

@@ -1,0 +1,133 @@
+#include "rdf/mapped_fault.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace specqp {
+
+namespace {
+
+// Fixed-size lock-free registry. The SIGBUS handler may run on any thread
+// at any point, so lookups must be async-signal-safe: plain atomic loads
+// over a static array, no locks, no allocation.
+constexpr int kMaxRegions = 1024;
+
+// Slot lifecycle: kFree -> kClaimed (registrar fills base/len) -> kActive.
+// The handler only trusts kActive slots, and the registrar publishes
+// base/len before the release-store of kActive, so a handler that observes
+// kActive observes a coherent region.
+enum SlotState : uint8_t { kFree = 0, kClaimed = 1, kActive = 2 };
+
+struct RegionSlot {
+  std::atomic<uintptr_t> base{0};
+  std::atomic<size_t> len{0};
+  std::atomic<uint64_t> faults{0};
+  std::atomic<uint8_t> state{kFree};
+};
+
+RegionSlot g_regions[kMaxRegions];
+std::atomic<size_t> g_page_size{0};
+struct sigaction g_old_action;
+std::once_flag g_install_once;
+
+size_t PageSize() {
+  size_t cached = g_page_size.load(std::memory_order_relaxed);
+  if (cached == 0) {
+    cached = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    g_page_size.store(cached, std::memory_order_relaxed);
+  }
+  return cached;
+}
+
+// Maps an anonymous zero page over the page containing `addr` and latches
+// the slot's fault counter. Async-signal-safe (mmap is on the POSIX
+// async-signal-safe list as of POSIX.1-2008 TC1 — and on Linux it is a
+// plain syscall either way). Returns false if the kernel refuses.
+bool ZeroFillFaultingPage(RegionSlot* slot, uintptr_t addr) {
+  const size_t page = g_page_size.load(std::memory_order_relaxed);
+  if (page == 0) return false;  // registry never initialised; can't be ours
+  void* page_base = reinterpret_cast<void*>(addr & ~(page - 1));
+  void* mapped = ::mmap(page_base, page, PROT_READ,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  if (mapped == MAP_FAILED) return false;
+  slot->faults.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+RegionSlot* FindSlot(uintptr_t addr) {
+  for (int i = 0; i < kMaxRegions; ++i) {
+    RegionSlot& slot = g_regions[i];
+    if (slot.state.load(std::memory_order_acquire) != kActive) continue;
+    const uintptr_t base = slot.base.load(std::memory_order_relaxed);
+    const size_t len = slot.len.load(std::memory_order_relaxed);
+    if (addr >= base && addr - base < len) return &slot;
+  }
+  return nullptr;
+}
+
+void HandleSigbus(int signo, siginfo_t* info, void* /*ucontext*/) {
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(info->si_addr);
+  RegionSlot* slot = FindSlot(addr);
+  if (slot != nullptr && ZeroFillFaultingPage(slot, addr)) {
+    return;  // the faulting load re-executes and reads zeros
+  }
+  // Not one of our mappings (or the repair failed): chain to whatever was
+  // installed before us — a sanitizer's reporter or the default action —
+  // by restoring it and returning; the instruction re-faults and the old
+  // disposition takes over. sigaction is async-signal-safe.
+  ::sigaction(signo, &g_old_action, nullptr);
+}
+
+void InstallHandler() {
+  PageSize();
+  struct sigaction action;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  action.sa_sigaction = &HandleSigbus;
+  ::sigaction(SIGBUS, &action, &g_old_action);
+}
+
+}  // namespace
+
+int RegisterMappedRegion(const void* base, size_t len) {
+  if (base == nullptr || len == 0) return -1;
+  std::call_once(g_install_once, InstallHandler);
+  for (int i = 0; i < kMaxRegions; ++i) {
+    RegionSlot& slot = g_regions[i];
+    uint8_t expected = kFree;
+    if (!slot.state.compare_exchange_strong(expected, kClaimed,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    slot.base.store(reinterpret_cast<uintptr_t>(base),
+                    std::memory_order_relaxed);
+    slot.len.store(len, std::memory_order_relaxed);
+    slot.faults.store(0, std::memory_order_relaxed);
+    slot.state.store(kActive, std::memory_order_release);
+    return i;
+  }
+  return -1;  // registry full; this mapping stays uncontained
+}
+
+void UnregisterMappedRegion(int token) {
+  if (token < 0 || token >= kMaxRegions) return;
+  g_regions[token].state.store(kFree, std::memory_order_release);
+}
+
+uint64_t MappedRegionFaults(int token) {
+  if (token < 0 || token >= kMaxRegions) return 0;
+  return g_regions[token].faults.load(std::memory_order_acquire);
+}
+
+bool SimulateMappedFault(const void* addr) {
+  const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+  RegionSlot* slot = FindSlot(a);
+  if (slot == nullptr) return false;
+  return ZeroFillFaultingPage(slot, a);
+}
+
+}  // namespace specqp

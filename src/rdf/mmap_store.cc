@@ -9,8 +9,10 @@
 #include <cstring>
 #include <set>
 
+#include "rdf/mapped_fault.h"
 #include "rdf/posting_list.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace specqp {
@@ -34,6 +36,7 @@ Status Corrupt(const char* what) { return Status::Corruption(what); }
 
 MmapStore::~MmapStore() {
   if (map_ != nullptr) {
+    UnregisterMappedRegion(fault_token_);
     ::munmap(map_, map_size_);
   }
 }
@@ -47,6 +50,10 @@ const MmapStore::Section* MmapStore::FindSection(v2::SectionId id) const {
 
 Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
                                                    const Options& options) {
+  if (FaultShouldFail("store.open")) {
+    return Status::IoError(
+        StrFormat("injected fault: store.open for '%s'", path.c_str()));
+  }
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IoError(StrFormat("cannot open '%s': %s", path.c_str(),
@@ -80,6 +87,10 @@ Result<std::unique_ptr<MmapStore>> MmapStore::Open(const std::string& path,
   }
   store->map_ = base;
   store->map_size_ = static_cast<size_t>(file_size);
+  // Contain SIGBUS for the whole lifetime of the mapping: a page lost to
+  // truncate-while-mapped reads back as zeros and latches mapping_faults()
+  // instead of killing the process (rdf/mapped_fault.h).
+  store->fault_token_ = RegisterMappedRegion(base, store->map_size_);
   const char* bytes = static_cast<const char*>(base);
 
   // --- header + section table (structural validation) ----------------------

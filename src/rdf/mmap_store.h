@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "rdf/mapped_fault.h"
 #include "rdf/store_format.h"
 #include "rdf/triple_store.h"
 #include "util/result.h"
@@ -79,6 +80,17 @@ class MmapStore {
   // Total bytes of the mapping (the file size).
   size_t bytes_mapped() const { return map_size_; }
 
+  // Base address of the mapping (for fault-simulation test hooks).
+  const void* mapped_base() const { return map_; }
+
+  // Pages of this mapping the SIGBUS containment handler has zero-filled
+  // (rdf/mapped_fault.h). Nonzero means reads through this store may have
+  // observed zeros instead of file bytes — the data is no longer
+  // trustworthy and the shard should be quarantined. Cheap (one relaxed
+  // atomic load); polled by ShardedStore between queries and after each
+  // scatter pass.
+  uint64_t mapping_faults() const { return MappedRegionFaults(fault_token_); }
+
   // Statistics snapshot (section kStats); empty when the file has none.
   bool has_stats() const { return !stats_entries_.empty(); }
   double stats_head_fraction() const { return stats_head_fraction_; }
@@ -123,6 +135,7 @@ class MmapStore {
 
   void* map_ = nullptr;
   size_t map_size_ = 0;
+  int fault_token_ = -1;  // SIGBUS containment registry slot
   uint64_t triple_count_ = 0;
   uint64_t term_count_ = 0;
   uint32_t version_ = 0;

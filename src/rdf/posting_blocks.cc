@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -210,10 +211,27 @@ std::shared_ptr<const DecodedPostingBlock> PostingBlockSource::Decode(
   std::lock_guard<std::mutex> lock(mu_);
   if (slots_[block] != nullptr) return slots_[block];
   auto decoded = std::make_shared<DecodedPostingBlock>();
-  const Status status =
-      DecodePostingBlock(headers_[block], payload_, id_limit_, decoded.get());
-  SPECQP_CHECK(status.ok()) << "posting block " << block
-                            << " failed to decode: " << status.ToString();
+  Status status;
+  if (FaultShouldFail("block.decode", block)) {
+    status = Status::IoError("injected fault: block.decode");
+  } else {
+    status =
+        DecodePostingBlock(headers_[block], payload_, id_limit_, decoded.get());
+  }
+  if (!status.ok()) {
+    // Serve a shape-correct placeholder instead of CHECK-dying: exactly
+    // the entry count the iterator expects from the header geometry (the
+    // header may itself be damaged — clamp to the format ceiling), ids 0,
+    // scores 0. The fault count makes the scan above abort before any
+    // placeholder row reaches an answer. Not memoised: a later query
+    // against a repaired source decodes afresh.
+    fault_count_.fetch_add(1, std::memory_order_acq_rel);
+    // A full block regardless of what the (possibly damaged) header
+    // claims: iterator positions are always < kPostingBlockEntries into
+    // the block, so this bounds every access.
+    decoded->entries.assign(kPostingBlockEntries, PostingEntry{});
+    return decoded;
+  }
   decoded_bytes_.fetch_add(decoded->entries.capacity() * sizeof(PostingEntry),
                            std::memory_order_relaxed);
   slots_[block] = std::move(decoded);

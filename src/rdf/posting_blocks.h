@@ -119,12 +119,24 @@ class PostingBlockSource {
     return headers_[block];
   }
 
-  // The block's decoded entries, memoised. CHECK-fails on a corrupt
-  // payload: runtime decoding trusts the file the way every other lazily
-  // verified section is trusted — untrusted files must go through
-  // MmapStore's eager verification, which decode-validates every block
-  // through DecodePostingBlock first.
+  // The block's decoded entries, memoised. A payload that fails to decode
+  // — a crafted file that slipped past lazy verification, a mapping page
+  // the SIGBUS handler zero-filled mid-query, or an injected
+  // "block.decode" fault — raises fault_count() and yields a placeholder
+  // block of {id 0, score 0} entries (shape-correct, never cached), so
+  // the iterator stays memory-safe and the scan above notices the fault
+  // at its next poll instead of the process CHECK-dying.
   std::shared_ptr<const DecodedPostingBlock> Decode(size_t block) const;
+
+  // Number of Decode calls that have failed over the source's lifetime.
+  // Iterators snapshot this at construction and treat any increase as
+  // "my data may contain placeholders" — which fails the query with
+  // IoError but does not poison later queries: the placeholder is never
+  // memoised, so a transiently-faulted block decodes afresh next time,
+  // while genuine corruption fails again and re-raises the count.
+  uint64_t fault_count() const {
+    return fault_count_.load(std::memory_order_acquire);
+  }
 
   // Bytes held by the decoded-block memo right now.
   size_t decoded_bytes() const {
@@ -150,6 +162,7 @@ class PostingBlockSource {
   mutable std::mutex mu_;
   mutable std::vector<std::shared_ptr<const DecodedPostingBlock>> slots_;
   mutable std::atomic<size_t> decoded_bytes_{0};
+  mutable std::atomic<uint64_t> fault_count_{0};
 };
 
 }  // namespace specqp

@@ -5,7 +5,9 @@
 
 #include "rdf/posting_partition.h"
 #include "rdf/store_format.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
+#include "util/stop_probe.h"
 
 namespace specqp {
 
@@ -64,6 +66,7 @@ BlockIterator::BlockIterator(const PostingList* list, uint64_t* decoded_counter,
   if (list->blocked()) {
     source_ = list->blocks.get();
     size_ = static_cast<size_t>(source_->entry_count());
+    faults_at_start_ = source_->fault_count();
   } else {
     flat_ = list->entries;
     size_ = flat_.size();
@@ -78,6 +81,10 @@ BlockIterator::~BlockIterator() {
   if (source_ != nullptr && skipped_counter_ != nullptr) {
     *skipped_counter_ += source_->num_blocks() - accounted_until_;
   }
+}
+
+bool BlockIterator::faulted() const {
+  return source_ != nullptr && source_->fault_count() > faults_at_start_;
 }
 
 void BlockIterator::Materialize(size_t b) {
@@ -420,6 +427,16 @@ std::shared_ptr<const PostingList> PostingListCache::GetLocked(
   // waits and then hits; requests for other shards are unaffected.
   auto list = std::make_shared<const PostingList>(
       BuildPostingList(*store_, key));
+  // Two reasons a freshly built list must NOT enter the cache:
+  //  - the query driving this build was stopped (cancel / deadline /
+  //    fault): a sharded Match returns early with a truncated index set,
+  //    so the list may be incomplete — caching it would poison later
+  //    queries long after the cancellation;
+  //  - an injected "cache.alloc" fault simulates allocation pressure on
+  //    the insert path (the list is still served to this caller).
+  if (ScopedStopProbe::StopRequested() || FaultShouldFail("cache.alloc")) {
+    return list;
+  }
   Entry entry;
   entry.list = list;
   entry.bytes = ApproxBytes(*list);

@@ -119,6 +119,14 @@ class BlockIterator {
   size_t position() const { return pos_; }
   bool AtEnd() const { return pos_ >= size_; }
 
+  // True once the backing block source failed a decode during this
+  // iterator's lifetime (always false for flat lists). Scans poll this
+  // each Next(): entries served after a fault are shape-safe
+  // placeholders, not data, so the query must stop and fail with IoError.
+  // Scoped to the iterator — a later query re-decodes and recovers when
+  // the fault was transient, fails afresh when the block is corrupt.
+  bool faulted() const;
+
   // The current entry's score without forcing a decode: exact when the
   // position's block is materialised (or the list is flat), the block
   // header's max_score — bit-equal to the same value — when positioned at
@@ -163,6 +171,7 @@ class BlockIterator {
   std::shared_ptr<const DecodedPostingBlock> cur_;
   size_t cur_block_ = SIZE_MAX;
   size_t accounted_until_ = 0;  // first block not yet charged either way
+  uint64_t faults_at_start_ = 0;  // source fault_count() at construction
   uint64_t* decoded_counter_ = nullptr;
   uint64_t* skipped_counter_ = nullptr;
 };

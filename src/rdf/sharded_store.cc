@@ -9,6 +9,9 @@
 
 #include "rdf/store_io.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
+#include "util/stop_probe.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace specqp {
@@ -360,9 +363,13 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
 
   // Every shard file the manifest names must exist, and no extra shard
   // files may be present — a stray or missing shard_*.sqps is treated as
-  // corruption, not silently ignored or half-opened.
+  // corruption, not silently ignored or half-opened. Under quarantine a
+  // MISSING shard is a per-shard failure handled below (retry, then serve
+  // degraded), but an EXTRA shard file is still a writer-contract breach
+  // no amount of retrying fixes.
   const uint64_t present = CountBundleShardFiles(dir);
-  if (present != header.shard_count) {
+  if (options.allow_quarantine ? present > header.shard_count
+                               : present != header.shard_count) {
     return Status::Corruption(
         "bundle shard file count disagrees with manifest: " + manifest_path);
   }
@@ -370,42 +377,73 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   auto sharded = std::unique_ptr<ShardedStore>(new ShardedStore());
   sharded->scheme_ = scheme;
   sharded->store_format_ = header.store_format;
+  sharded->runtime_ =
+      std::make_unique<ShardRuntime[]>(header.shard_count);
+  sharded->quarantine_reasons_.resize(header.shard_count);
 
   uint64_t total_triples = 0;
   for (uint32_t i = 0; i < header.shard_count; ++i) {
     const std::string shard_path = (dir / BundleShardFileName(i)).string();
-    SPECQP_ASSIGN_OR_RETURN(ShardTable table, ReadShardTable(shard_path));
-    // The digest check precedes the version check so a v2 file smuggled
-    // into a v3 bundle in place of a shard (different bytes, different
-    // digest) reports as the integrity failure it is.
-    if (table.file_size != entries[i].file_size ||
-        table.table_crc32c != entries[i].table_crc32c) {
-      return Status::Corruption("shard file disagrees with manifest digest: " +
-                                shard_path);
-    }
-    if (table.version != header.store_format) {
-      return Status::Corruption("shard file format differs from manifest: " +
-                                shard_path);
-    }
-    if (table.triple_count != entries[i].triple_count ||
-        table.term_count != header.term_count) {
-      return Status::Corruption("shard counts disagree with manifest: " +
-                                shard_path);
-    }
-    if (table.dict_crc32c != entries[i].dict_crc32c ||
-        table.dict_crc32c != entries[0].dict_crc32c) {
-      return Status::Corruption(
-          "shard dictionary differs across the bundle: " + shard_path);
-    }
-    total_triples += table.triple_count;
+    // One open attempt: validate the prefix against the manifest, then
+    // map. Returned (not thrown) statuses classify retryability:
+    // IoError-class failures (missing file, injected shard.open) may be
+    // transient; Corruption (digest/format/count/dict mismatches) is
+    // final.
+    const auto open_one = [&]() -> Result<std::unique_ptr<MmapStore>> {
+      if (FaultShouldFail("shard.open", i)) {
+        return Status::IoError("injected fault: shard.open for " + shard_path);
+      }
+      SPECQP_ASSIGN_OR_RETURN(ShardTable table, ReadShardTable(shard_path));
+      // The digest check precedes the version check so a v2 file smuggled
+      // into a v3 bundle in place of a shard (different bytes, different
+      // digest) reports as the integrity failure it is.
+      if (table.file_size != entries[i].file_size ||
+          table.table_crc32c != entries[i].table_crc32c) {
+        return Status::Corruption(
+            "shard file disagrees with manifest digest: " + shard_path);
+      }
+      if (table.version != header.store_format) {
+        return Status::Corruption("shard file format differs from manifest: " +
+                                  shard_path);
+      }
+      if (table.triple_count != entries[i].triple_count ||
+          table.term_count != header.term_count) {
+        return Status::Corruption("shard counts disagree with manifest: " +
+                                  shard_path);
+      }
+      if (table.dict_crc32c != entries[i].dict_crc32c ||
+          table.dict_crc32c != entries[0].dict_crc32c) {
+        return Status::Corruption(
+            "shard dictionary differs across the bundle: " + shard_path);
+      }
+      MmapStore::Options open_options;
+      open_options.verify = options.verify;
+      return MmapStore::Open(shard_path, open_options);
+    };
 
-    MmapStore::Options open_options;
-    open_options.verify = options.verify;
-    SPECQP_ASSIGN_OR_RETURN(std::unique_ptr<MmapStore> shard,
-                            MmapStore::Open(shard_path, open_options));
-    sharded->shards_.push_back(std::move(shard));
+    Result<std::unique_ptr<MmapStore>> shard =
+        options.allow_quarantine ? RunWithRetry(options.open_retry, open_one)
+                                 : open_one();
+    if (!shard.ok()) {
+      if (!options.allow_quarantine) return shard.status();
+      // Exhausted its retries (or failed finally): quarantine the slot
+      // and serve from the survivors.
+      sharded->shards_.push_back(nullptr);
+      sharded->runtime_[i].quarantined.store(true, std::memory_order_release);
+      sharded->quarantined_count_.fetch_add(1, std::memory_order_acq_rel);
+      sharded->quarantine_reasons_[i] = shard.status().ToString();
+      continue;
+    }
+    total_triples += entries[i].triple_count;
+    sharded->shards_.push_back(std::move(shard.value()));
   }
-  if (total_triples != header.total_triples) {
+  const uint32_t failed_at_open =
+      sharded->quarantined_count_.load(std::memory_order_acquire);
+  if (failed_at_open == header.shard_count) {
+    return Status::Unavailable(
+        "every shard of the bundle failed to open: " + manifest_path);
+  }
+  if (failed_at_open == 0 && total_triples != header.total_triples) {
     return Status::Corruption("bundle triple total disagrees with manifest: " +
                               manifest_path);
   }
@@ -416,6 +454,7 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   // out-of-process re-shard, so strict readers reject it.
   if (options.verify == MmapStore::Verify::kEager) {
     for (uint32_t shard = 0; shard < sharded->shards_.size(); ++shard) {
+      if (sharded->shards_[shard] == nullptr) continue;
       for (const Triple& t : sharded->shards_[shard]->store().triples()) {
         if (BundleShardOfTriple(t, scheme,
                                 static_cast<uint32_t>(
@@ -432,8 +471,17 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
 
   sharded->gather_ =
       std::make_unique<GatherCounters[]>(sharded->shards_.size());
+  const MmapStore* first_alive = nullptr;
+  for (const auto& shard : sharded->shards_) {
+    if (shard != nullptr) {
+      first_alive = shard.get();
+      break;
+    }
+  }
+  // Every shard carries the full dictionary in identical intern order, so
+  // any survivor's view is THE bundle dictionary.
   sharded->facade_ = TripleStore::FromShardedSource(
-      sharded->shards_[0]->NewDictionaryView(), sharded.get());
+      first_alive->NewDictionaryView(), sharded.get());
   return sharded;
 }
 
@@ -442,7 +490,10 @@ Status ShardedStore::BuildGlobalOrder() {
   uint64_t total = 0;
   std::vector<std::span<const Triple>> rows(n);
   for (size_t s = 0; s < n; ++s) {
-    rows[s] = shards_[s]->store().triples();
+    // A shard quarantined at open contributes nothing: the global space
+    // is the SPO merge of the SURVIVORS (what a single-file store over
+    // the surviving triples would look like).
+    if (shards_[s] != nullptr) rows[s] = shards_[s]->store().triples();
     total += rows[s].size();
   }
   if (total > UINT32_MAX) {
@@ -491,58 +542,143 @@ const Triple& ShardedStore::TripleAt(uint32_t global_index) const {
 }
 
 std::span<const uint32_t> ShardedStore::Match(const PatternKey& key) const {
-  {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
-    auto it = match_memo_.find(key);
-    if (it != match_memo_.end()) return it->second;
-  }
-
-  // Scatter: each shard answers the pattern from its own permutation
-  // indexes, in the route's value order, as local indices mapped to the
-  // global space here.
-  const Route route = RouteOf(key);
   const size_t n = shards_.size();
-  std::vector<std::vector<uint32_t>> scattered(n);
-  size_t total = 0;
-  for (size_t s = 0; s < n; ++s) {
-    const std::span<const uint32_t> local =
-        shards_[s]->store().MatchIndices(key);
-    scattered[s].reserve(local.size());
-    for (uint32_t idx : local) scattered[s].push_back(global_of_[s][idx]);
-    total += local.size();
-    gather_[s].patterns.fetch_add(1, std::memory_order_relaxed);
-    gather_[s].triples.fetch_add(local.size(), std::memory_order_relaxed);
-  }
-
-  // Gather: K-way merge under the route's total order. Each per-shard
-  // list is already in that order and the orders are total over unique
-  // triples, so the merge has no ties and reproduces exactly the
-  // subrange a single-file store's index would return.
-  std::vector<uint32_t> merged;
-  merged.reserve(total);
-  std::vector<size_t> head(n, 0);
-  while (merged.size() < total) {
-    size_t best = n;
-    for (size_t s = 0; s < n; ++s) {
-      if (head[s] == scattered[s].size()) continue;
-      if (best == n ||
-          RouteBefore(TripleUncounted(scattered[s][head[s]]),
-                      TripleUncounted(scattered[best][head[best]]), route)) {
-        best = s;
+  // A shard can fault mid-gather (zero-filled pages, injected
+  // shard.read): quarantine it and RESTART the whole scatter over the
+  // survivors rather than patching a half-built merge. Each restart
+  // needs a fresh quarantine, so the loop is bounded by the shard count.
+  for (size_t attempt = 0; attempt <= n + 1; ++attempt) {
+    const uint64_t epoch0 = fault_epoch_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<std::mutex> lock(memo_mutex_);
+      auto it = match_memo_.find(key);
+      if (it != match_memo_.end() && it->second.epoch == epoch0) {
+        return it->second.ids;
       }
     }
-    merged.push_back(scattered[best][head[best]++]);
-  }
 
-  std::lock_guard<std::mutex> lock(memo_mutex_);
-  auto [it, inserted] = match_memo_.emplace(key, std::move(merged));
-  // A racing thread may have inserted first; its (identical) result wins.
-  return it->second;
+    // Scatter: each live shard answers the pattern from its own
+    // permutation indexes, in the route's value order, as local indices
+    // mapped to the global space here.
+    const Route route = RouteOf(key);
+    std::vector<std::vector<uint32_t>> scattered(n);
+    size_t total = 0;
+    bool restart = false;
+    for (size_t s = 0; s < n && !restart; ++s) {
+      if (!shard_alive(s)) continue;
+      // Poll cancellation between per-shard probes so a cancelled query
+      // aborts promptly even mid-scatter over large shards. Returned
+      // early results are NEVER memoised (and the posting-list cache
+      // skips inserts under an active stop), so a truncated gather can't
+      // poison later queries.
+      if (ScopedStopProbe::StopRequested()) return {};
+      if (FaultShouldFail("shard.read", s)) {
+        Quarantine(s, "injected fault: shard.read");
+        restart = true;
+        break;
+      }
+      const std::span<const uint32_t> local =
+          shards_[s]->store().MatchIndices(key);
+      scattered[s].reserve(local.size());
+      // Bound-check against zero-page garbage: a faulted mapping's index
+      // pages read as zeros, which can produce out-of-range locals. The
+      // sweep below catches the fault; the clamp keeps this pass safe.
+      const std::vector<uint32_t>& to_global = global_of_[s];
+      for (uint32_t idx : local) {
+        if (idx < to_global.size()) scattered[s].push_back(to_global[idx]);
+      }
+      total += scattered[s].size();
+    }
+    PollFaults();
+    if (restart || fault_epoch_.load(std::memory_order_acquire) != epoch0) {
+      continue;
+    }
+
+    // Gather: K-way merge under the route's total order. Each per-shard
+    // list is already in that order and the orders are total over unique
+    // triples, so the merge has no ties and reproduces exactly the
+    // subrange a single-file store's index would return.
+    std::vector<uint32_t> merged;
+    merged.reserve(total);
+    std::vector<size_t> head(n, 0);
+    uint32_t steps = 0;
+    while (merged.size() < total) {
+      if ((++steps & 8191u) == 0 && ScopedStopProbe::StopRequested()) {
+        return {};
+      }
+      size_t best = n;
+      for (size_t s = 0; s < n; ++s) {
+        if (head[s] == scattered[s].size()) continue;
+        if (best == n ||
+            RouteBefore(TripleUncounted(scattered[s][head[s]]),
+                        TripleUncounted(scattered[best][head[best]]), route)) {
+          best = s;
+        }
+      }
+      merged.push_back(scattered[best][head[best]++]);
+    }
+    // The merge dereferenced triples through the shard mappings; sweep
+    // again so a page lost DURING the merge invalidates this pass.
+    PollFaults();
+
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (fault_epoch_.load(std::memory_order_acquire) != epoch0) continue;
+    for (size_t s = 0; s < n; ++s) {
+      if (scattered[s].empty() && !shard_alive(s)) continue;
+      gather_[s].patterns.fetch_add(1, std::memory_order_relaxed);
+      gather_[s].triples.fetch_add(scattered[s].size(),
+                                   std::memory_order_relaxed);
+    }
+    auto [it, inserted] = match_memo_.try_emplace(key);
+    if (!inserted) {
+      if (it->second.epoch == epoch0) return it->second.ids;  // racer won
+      // Stale generation: its buffer may back spans already handed out,
+      // so retire it instead of freeing it.
+      retired_.push_back(std::move(it->second.ids));
+    }
+    it->second.epoch = epoch0;
+    it->second.ids = std::move(merged);
+    return it->second.ids;
+  }
+  // Unreachable without a quarantine per attempt; by then every shard is
+  // gone and the empty answer is the right degraded one.
+  return {};
+}
+
+void ShardedStore::Quarantine(size_t i, const std::string& reason) const {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  if (runtime_[i].quarantined.load(std::memory_order_acquire)) return;
+  // Order matters for readers without the lock: the per-shard flag first
+  // (scatters stop touching the shard), the epoch last (a reader that
+  // sees the old epoch and serves a pre-fault answer is then invalidated
+  // by its own post-pass epoch check).
+  runtime_[i].quarantined.store(true, std::memory_order_release);
+  quarantined_count_.fetch_add(1, std::memory_order_acq_rel);
+  quarantine_reasons_[i] = reason;
+  fault_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::string ShardedStore::quarantine_reason(size_t i) const {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  return quarantine_reasons_[i];
+}
+
+void ShardedStore::PollFaults() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_alive(s) && shards_[s]->mapping_faults() > 0) {
+      Quarantine(s, StrFormat("mapping lost %llu page(s) (SIGBUS contained, "
+                              "zero-filled)",
+                              static_cast<unsigned long long>(
+                                  shards_[s]->mapping_faults())));
+    }
+  }
 }
 
 size_t ShardedStore::bytes_mapped() const {
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->bytes_mapped();
+  for (const auto& shard : shards_) {
+    if (shard != nullptr) total += shard->bytes_mapped();
+  }
   return total;
 }
 
@@ -550,8 +686,10 @@ std::vector<ShardedStore::ShardCounters> ShardedStore::Counters() const {
   std::vector<ShardCounters> out(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     out[s].shard_id = static_cast<uint32_t>(s);
-    out[s].triple_count = shards_[s]->store().size();
-    out[s].bytes_mapped = shards_[s]->bytes_mapped();
+    if (shards_[s] != nullptr) {
+      out[s].triple_count = shards_[s]->store().size();
+      out[s].bytes_mapped = shards_[s]->bytes_mapped();
+    }
     out[s].triples_gathered =
         gather_[s].triples.load(std::memory_order_relaxed);
     out[s].patterns_scattered =

@@ -12,6 +12,7 @@
 #include "rdf/store_format.h"
 #include "rdf/triple_store.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace specqp {
@@ -103,11 +104,52 @@ Status WriteBundleManifest(const std::string& dir, uint32_t shard_count,
 // Thread-safe for concurrent queries: per-pattern gathers are memoised
 // under a mutex (spans stay valid for the store's lifetime), per-triple
 // access is lock-free.
+// Shard failure isolation (opt-in via Options::allow_quarantine):
+//
+//   open time   A shard that fails to open — missing file, IO error,
+//               digest/format/count mismatch, injected "shard.open" fault
+//               — is retried under Options::open_retry (IO-class failures
+//               only; corruption is final) and then QUARANTINED: the
+//               bundle opens over the survivors, whose N-way merge
+//               defines the (reduced) global space. All shards failing
+//               turns Open into kUnavailable.
+//
+//   runtime     A shard whose mapping loses pages (SIGBUS containment,
+//               rdf/mapped_fault.h) or that draws an injected
+//               "shard.read" fault is quarantined mid-flight: it keeps
+//               its slots in the ORIGINAL global space (locators stay
+//               valid — quarantine never renumbers anything) but every
+//               later scatter skips it, so new answers cover survivors
+//               only. Each quarantine bumps fault_epoch(); memoised
+//               gathers are epoch-tagged and stale entries are retired
+//               (never freed while the store lives, so previously handed
+//               out spans stay valid) and recomputed on next use. The
+//               engine snapshots the epoch around each query: a bump
+//               mid-query invalidates that query's answer and derived
+//               caches.
+//
+// With allow_quarantine false (the default) every failure above is
+// surfaced exactly as before: Open returns the shard's error and runtime
+// faults surface through the engine's poll as IoError — nothing is
+// masked. This keeps strict single-writer deployments and the hostile-
+// input battery byte-for-byte unchanged.
 class ShardedStore : public ShardedTripleSource {
  public:
   struct Options {
-    Options() : verify(MmapStore::Verify::kLazy) {}
+    Options() : verify(MmapStore::Verify::kLazy), allow_quarantine(false) {
+      // Shard opens are latency-sensitive (N of them, serial): keep the
+      // default retry budget small. Callers tune open_retry directly.
+      open_retry.max_attempts = 3;
+      open_retry.initial_backoff = std::chrono::microseconds(500);
+      open_retry.max_backoff = std::chrono::microseconds(10000);
+    }
     MmapStore::Verify verify;
+    // Opt into degraded serving: failed shards are quarantined instead of
+    // failing the whole bundle (see the class comment).
+    bool allow_quarantine;
+    // Backoff schedule for transient (IO-class) shard-open failures; only
+    // consulted when allow_quarantine is set.
+    RetryPolicy open_retry;
   };
 
   static Result<std::unique_ptr<ShardedStore>> Open(
@@ -123,9 +165,40 @@ class ShardedStore : public ShardedTripleSource {
   uint32_t shard_count() const {
     return static_cast<uint32_t>(shards_.size());
   }
+  // Precondition: shard_alive(i) — a quarantined-at-open shard has no
+  // mapping behind it.
   const MmapStore& shard(size_t i) const { return *shards_[i]; }
   bundle::HashScheme scheme() const { return scheme_; }
   uint32_t store_format() const { return store_format_; }
+
+  // --- failure surface ------------------------------------------------------
+
+  // True when shard i opened and has not been quarantined.
+  bool shard_alive(size_t i) const {
+    return shards_[i] != nullptr &&
+           !runtime_[i].quarantined.load(std::memory_order_acquire);
+  }
+  // Why shard i is quarantined; empty for live shards.
+  std::string quarantine_reason(size_t i) const;
+  // Pulls shard i out of serving (idempotent): later scatters skip it,
+  // the fault epoch bumps, memoised gathers against the old shard set go
+  // stale. Exposed for tests and operational tooling; production callers
+  // are the fault sweeps.
+  void Quarantine(size_t i, const std::string& reason) const;
+
+  uint32_t ShardsTotal() const override {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  uint32_t ShardsFailed() const override {
+    return quarantined_count_.load(std::memory_order_acquire);
+  }
+  uint64_t FaultEpoch() const override {
+    return fault_epoch_.load(std::memory_order_acquire);
+  }
+  // Quarantines every live shard whose mapping latched a SIGBUS
+  // containment fault. Cheap (one relaxed load per shard) — called
+  // before/after each query and between Match scatter passes.
+  void PollFaults() const override;
 
   // Sum of the shard mappings' sizes.
   size_t bytes_mapped() const;
@@ -162,6 +235,8 @@ class ShardedStore : public ShardedTripleSource {
 
   Status BuildGlobalOrder();
 
+  // nullptr = failed at open under allow_quarantine (excluded from the
+  // global order; no mapping behind the slot).
   std::vector<std::unique_ptr<MmapStore>> shards_;
   bundle::HashScheme scheme_ = bundle::HashScheme::kSubject;
   uint32_t store_format_ = 0;
@@ -173,12 +248,31 @@ class ShardedStore : public ShardedTripleSource {
 
   TripleStore facade_;
 
-  // Memoised per-pattern gathers; vector heap buffers are stable, so the
-  // spans handed out stay valid across rehashes.
+  // Per-shard runtime quarantine flag (separate from shards_ so the flag
+  // is atomic and the mapping stays alive for in-flight readers).
+  struct ShardRuntime {
+    std::atomic<bool> quarantined{false};
+  };
+  std::unique_ptr<ShardRuntime[]> runtime_;
+  mutable std::atomic<uint32_t> quarantined_count_{0};
+  mutable std::atomic<uint64_t> fault_epoch_{0};
+  // Serialises Quarantine() (reason bookkeeping); never held on read
+  // paths.
+  mutable std::mutex quarantine_mutex_;
+  mutable std::vector<std::string> quarantine_reasons_;
+
+  // Memoised per-pattern gathers, tagged with the fault epoch they were
+  // computed under; a stale entry is recomputed and its old buffer moved
+  // to retired_ (spans already handed out must stay valid for the store's
+  // lifetime — bounded: one generation per quarantine event).
+  struct MemoEntry {
+    uint64_t epoch = 0;
+    std::vector<uint32_t> ids;
+  };
   mutable std::mutex memo_mutex_;
-  mutable std::unordered_map<PatternKey, std::vector<uint32_t>,
-                             PatternKeyHash>
+  mutable std::unordered_map<PatternKey, MemoEntry, PatternKeyHash>
       match_memo_;
+  mutable std::vector<std::vector<uint32_t>> retired_;
 
   struct alignas(64) GatherCounters {
     std::atomic<uint64_t> triples{0};

@@ -8,6 +8,7 @@
 #include "rdf/mmap_store.h"
 #include "rdf/posting_list.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace specqp {
@@ -506,6 +507,10 @@ Result<TripleStore> MaterializeMapped(const MmapStore& mapped) {
 }  // namespace
 
 Result<TripleStore> LoadStore(const std::string& path) {
+  if (FaultShouldFail("store.open")) {
+    return Status::IoError(
+        StrFormat("injected fault: store.open for '%s'", path.c_str()));
+  }
   SPECQP_ASSIGN_OR_RETURN(const uint32_t version, PeekStoreVersion(path));
   if (version == v2::kFormatVersion || version == v3::kFormatVersion) {
     // Full (eager) checksum verification before any byte is trusted —

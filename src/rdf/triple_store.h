@@ -44,6 +44,29 @@ class ShardedTripleSource {
   // True when the shards serve block-compressed (v3) postings, so
   // facade-built posting lists should be block-encoded too.
   virtual bool blocked_postings() const = 0;
+
+  // --- failure surface (rdf/mapped_fault.h, degraded reads) ---------------
+  //
+  // A source that can lose shards at runtime reports the loss here; the
+  // defaults describe a monolithic source that is either fully up or gone.
+
+  // Number of shards behind this source (1 for monolithic sources).
+  virtual uint32_t ShardsTotal() const { return 1; }
+
+  // Shards currently quarantined (failed at open or faulted at runtime).
+  // Answers computed while this is nonzero cover only the survivors.
+  virtual uint32_t ShardsFailed() const { return 0; }
+
+  // Monotonic counter bumped every time a shard is quarantined. The
+  // engine snapshots it around a query: a change mid-query means derived
+  // state (posting-list caches, partial answers) may mix pre- and
+  // post-fault data and must be discarded.
+  virtual uint64_t FaultEpoch() const { return 0; }
+
+  // Sweeps for latched mapping faults (SIGBUS containment) and
+  // quarantines affected shards. Called by the engine before and after
+  // each query; a no-op for monolithic sources.
+  virtual void PollFaults() const {}
 };
 
 // In-memory scored triple store with three permutation indexes (SPO, POS,
@@ -148,6 +171,9 @@ class TripleStore {
   }
   bool is_view() const { return view_; }
   bool is_sharded() const { return sharded_ != nullptr; }
+  // The sharded backend behind this facade (nullptr for monolithic
+  // stores); the engine uses it to poll the failure surface above.
+  const ShardedTripleSource* sharded_source() const { return sharded_; }
   // True on sharded facades whose shards serve v3 block postings:
   // BuildPostingList re-encodes facade-built lists into blocks so the
   // block accounting (blocks_decoded/blocks_skipped) and header-guided

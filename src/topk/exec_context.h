@@ -21,6 +21,7 @@ enum class StopCause : int {
   kCancelled = 1,         // an external cancellation flag was raised
   kDeadlineExceeded = 2,  // the execution's deadline passed
   kRaceLost = 3,          // a speculative racer was beaten by its rival
+  kStoreFault = 4,        // backing store data faulted mid-execution
 };
 
 // Cooperative stop signal for one query execution.

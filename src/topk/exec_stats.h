@@ -1,6 +1,7 @@
 #ifndef SPECQP_TOPK_EXEC_STATS_H_
 #define SPECQP_TOPK_EXEC_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace specqp {
@@ -32,6 +33,17 @@ struct ExecStats {
   uint64_t blocks_decoded = 0;  // posting blocks materialised by scans
   uint64_t blocks_skipped = 0;  // posting blocks bypassed via headers
 
+  // Degraded-read ledger (rdf/sharded_store.h). store_faults counts
+  // posting-block decode failures observed by scans during this query —
+  // nonzero means the answer was computed over damaged data and the
+  // engine fails the query with IoError. shards_failed / shards_total
+  // record the quarantine state the query was served under: failed > 0
+  // with an OK status means a degraded (partial = true) answer covering
+  // only the surviving shards.
+  uint64_t store_faults = 0;
+  uint64_t shards_failed = 0;
+  uint64_t shards_total = 0;
+
   // Speculation ledger (core/speculation.h). A raced query executes its
   // primary plan and the planner's runner-up concurrently; the main
   // counters above come from the *winner only* — the loser's aborted work
@@ -59,6 +71,12 @@ struct ExecStats {
     parallel_refill_rounds += other.parallel_refill_rounds;
     blocks_decoded += other.blocks_decoded;
     blocks_skipped += other.blocks_skipped;
+    store_faults += other.store_faults;
+    // shards_failed / shards_total describe the serving state, not work
+    // done by a partition; the root query's snapshot wins, so folding a
+    // partition in must not double them.
+    shards_failed = std::max(shards_failed, other.shards_failed);
+    shards_total = std::max(shards_total, other.shards_total);
     plans_raced += other.plans_raced;
     race_wins_by_runnerup += other.race_wins_by_runnerup;
     speculative_work_wasted_rows += other.speculative_work_wasted_rows;

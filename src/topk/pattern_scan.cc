@@ -25,6 +25,19 @@ bool PatternScan::Next(ScoredRow* out) {
   while (!iter_.AtEnd()) {
     if (ctx_->Interrupted()) return false;  // cancellation / deadline
     const PostingEntry& entry = iter_.Entry();
+    if (iter_.faulted()) {
+      // The block source latched a decode fault: `entry` is a placeholder,
+      // not data. Record it once, stop the whole execution (the engine
+      // maps kStoreFault to IoError), and end this stream.
+      if (!fault_reported_) {
+        fault_reported_ = true;
+        ++stats_->store_faults;
+        if (ctx_->interrupt() != nullptr) {
+          ctx_->interrupt()->RequestStop(StopCause::kStoreFault);
+        }
+      }
+      return false;
+    }
     iter_.Advance();
     const Triple& t = store_->triple(entry.triple_index);
     if (!ConsistentMatch(pattern_, t)) continue;

@@ -49,6 +49,7 @@ class PatternScan final : public ScoredRowIterator {
   ExecContext* ctx_;
   ExecStats* stats_;
   uint64_t rows_emitted_ = 0;
+  bool fault_reported_ = false;  // store_faults charged once per scan
   // Canonical access path over flat or block-compressed lists. At an
   // undecoded block boundary PeekScore() answers from the block header
   // (bit-equal to the first entry's score), so UpperBound() never forces a

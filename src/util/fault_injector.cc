@@ -1,0 +1,226 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace specqp {
+
+namespace fault_internal {
+std::atomic<bool> g_fault_armed{false};
+}  // namespace fault_internal
+
+namespace {
+
+// splitmix64 finalizer: a full-avalanche 64-bit mix. The fire decision is
+// Mix(seed ^ site-hash ^ probe-index) compared against the probability
+// threshold, making every decision a pure function of the plan and the
+// per-site probe counter.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (std::numeric_limits<uint64_t>::max() - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseProbability(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("SPECQP_FAULT_PLAN");
+  if (env != nullptr && env[0] != '\0') {
+    Status s = Configure(env);
+    if (!s.ok()) {
+      SPECQP_LOG(Warning) << "ignoring malformed SPECQP_FAULT_PLAN: "
+                          << s.ToString();
+    }
+  }
+}
+
+Status FaultInjector::Configure(std::string_view plan) {
+  uint64_t seed = 0;
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites;
+  for (std::string_view piece : StrSplit(plan, ';')) {
+    piece = StripWhitespace(piece);
+    if (piece.empty()) continue;
+    const size_t eq = piece.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("fault plan entry '%.*s' is not site=spec",
+                    static_cast<int>(piece.size()), piece.data()));
+    }
+    std::string_view key = StripWhitespace(piece.substr(0, eq));
+    std::string_view value = StripWhitespace(piece.substr(eq + 1));
+    if (key == "seed") {
+      if (!ParseUint64(value, &seed)) {
+        return Status::InvalidArgument(
+            StrFormat("fault plan seed '%.*s' is not a uint64",
+                      static_cast<int>(value.size()), value.data()));
+      }
+      continue;
+    }
+    auto site = std::make_unique<Site>();
+    std::string_view prob = value;
+    const size_t at = value.find('@');
+    if (at != std::string_view::npos) {
+      prob = value.substr(0, at);
+      if (!ParseUint64(value.substr(at + 1), &site->max_fires)) {
+        return Status::InvalidArgument(
+            StrFormat("fault plan cap '%.*s' is not a uint64",
+                      static_cast<int>(value.size()), value.data()));
+      }
+    }
+    if (!ParseProbability(prob, &site->probability)) {
+      return Status::InvalidArgument(
+          StrFormat("fault plan probability '%.*s' for site '%.*s' is not "
+                    "in [0,1]",
+                    static_cast<int>(prob.size()), prob.data(),
+                    static_cast<int>(key.size()), key.data()));
+    }
+    site->key_hash = HashSite(key);
+    sites[std::string(key)] = std::move(site);
+  }
+
+  // Disarm first so no probe walks the map while we swap it. Callers must
+  // not configure concurrently with probes (documented contract); this
+  // ordering just keeps the single-configurator case airtight.
+  fault_internal::g_fault_armed.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = std::string(StripWhitespace(plan));
+    seed_ = seed;
+    sites_ = std::move(sites);
+  }
+  if (!sites_.empty()) {
+    fault_internal::g_fault_armed.store(true, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Disarm() {
+  fault_internal::g_fault_armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_.clear();
+  seed_ = 0;
+  sites_.clear();
+}
+
+bool FaultInjector::armed() const {
+  return fault_internal::g_fault_armed.load(std::memory_order_acquire);
+}
+
+std::string FaultInjector::plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_;
+}
+
+bool FaultInjector::ProbeSite(Site* site) const {
+  const uint64_t index = site->probes.fetch_add(1, std::memory_order_relaxed);
+  if (site->fires.load(std::memory_order_relaxed) >= site->max_fires) {
+    return false;
+  }
+  bool fire;
+  if (site->probability >= 1.0) {
+    fire = true;
+  } else if (site->probability <= 0.0) {
+    fire = false;
+  } else {
+    const uint64_t h = Mix(seed_ ^ site->key_hash ^ Mix(index));
+    fire = static_cast<double>(h) <
+           site->probability *
+               static_cast<double>(std::numeric_limits<uint64_t>::max());
+  }
+  if (!fire) return false;
+  const uint64_t prev = site->fires.fetch_add(1, std::memory_order_relaxed);
+  return prev < site->max_fires;
+}
+
+bool FaultInjector::Probe(std::string_view site) {
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return false;
+  return ProbeSite(it->second.get());
+}
+
+bool FaultInjector::Probe(std::string_view site, uint64_t instance) {
+  std::string qualified =
+      StrFormat("%.*s.%llu", static_cast<int>(site.size()), site.data(),
+                static_cast<unsigned long long>(instance));
+  auto it = sites_.find(qualified);
+  if (it != sites_.end()) return ProbeSite(it->second.get());
+  return Probe(site);
+}
+
+uint64_t FaultInjector::FireCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0
+                            : it->second->fires.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::ProbeCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end()
+             ? 0
+             : it->second->probes.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, site] : sites_) {
+    site->probes.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedFaultPlan::ScopedFaultPlan(std::string_view plan)
+    : previous_(FaultInjector::Global().plan()) {
+  Status s = FaultInjector::Global().Configure(plan);
+  SPECQP_CHECK(s.ok()) << "ScopedFaultPlan: " << s.ToString();
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  Status s = FaultInjector::Global().Configure(previous_);
+  SPECQP_CHECK(s.ok()) << "ScopedFaultPlan restore: " << s.ToString();
+}
+
+}  // namespace specqp

@@ -1,0 +1,149 @@
+#ifndef SPECQP_UTIL_FAULT_INJECTOR_H_
+#define SPECQP_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace specqp {
+
+// Process-wide deterministic fault injection.
+//
+// Code that touches failure-prone resources declares a *fault site* — a short
+// dotted identifier such as "shard.open", "shard.read", "block.decode",
+// "cache.alloc", "store.open" — and probes it on the failure-prone path:
+//
+//   if (FaultShouldFail("shard.open", shard_index)) {
+//     return Status::IoError("injected fault: shard.open");
+//   }
+//
+// Whether a probe fires is decided by a *fault plan*, a semicolon-separated
+// list of `site=spec` entries plus an optional seed:
+//
+//   "seed=42;shard.open=0.5;block.decode=0.01"   // probabilistic
+//   "shard.open.3=1"                             // shard 3 always fails
+//   "shard.open=1@2"                             // first two probes fail,
+//                                                // later ones succeed
+//
+// A spec is `<probability>` in [0,1], optionally followed by `@<max_fires>`
+// capping the total number of times the site may fire. Instance-qualified
+// probes (`FaultShouldFail(site, i)`) first look up "<site>.<i>" and fall
+// back to the bare site, so a plan can target one shard or all of them.
+//
+// Decisions are a pure function of (seed, site, per-site probe counter), so a
+// given plan replays the identical fault schedule on every run — including
+// across processes — as long as the probe order is deterministic. Probe
+// counters are per-site atomics, so under multi-threaded execution the
+// *number* of fires converges but their assignment to threads may vary; the
+// chaos harness relies only on the former.
+//
+// With no plan configured the injector is disarmed and every probe is a
+// single relaxed atomic load plus an untaken branch — cheap enough to leave
+// in release builds (verified by the micro_operators overhead check).
+//
+// Configuration is NOT thread-safe with respect to in-flight probes:
+// configure before serving (Engine::OpenFromPath does this from
+// EngineOptions::fault_plan) or between queries in tests.
+class FaultInjector {
+ public:
+  // The process-wide injector. First access reads SPECQP_FAULT_PLAN from the
+  // environment (a malformed env plan is ignored with a warning so that a
+  // typo cannot make every binary unusable).
+  static FaultInjector& Global();
+
+  // Parses and installs `plan`; an empty plan disarms the injector. On a
+  // parse error the previous plan is left untouched. Resets all counters.
+  Status Configure(std::string_view plan);
+
+  // Removes the active plan; probes return to the no-op fast path.
+  void Disarm();
+
+  bool armed() const;
+  // The currently installed plan string (empty when disarmed).
+  std::string plan() const;
+
+  // Decides whether the probe at `site` fires now. Called via the
+  // FaultShouldFail free functions below, which handle the disarmed fast
+  // path; calling Probe directly skips that fast path.
+  bool Probe(std::string_view site);
+  // Instance-qualified probe: tries "<site>.<instance>" first, then `site`.
+  bool Probe(std::string_view site, uint64_t instance);
+
+  // Observability for tests and benches. Counts are cumulative since the
+  // last Configure()/ResetCounters(). An unknown site reads as zero.
+  uint64_t FireCount(std::string_view site) const;
+  uint64_t ProbeCount(std::string_view site) const;
+  void ResetCounters();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector();
+
+  struct Site {
+    double probability = 0.0;
+    uint64_t max_fires = ~0ull;
+    uint64_t key_hash = 0;  // hash of the site name, for the fire decision
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> fires{0};
+  };
+
+  bool ProbeSite(Site* site) const;
+
+  mutable std::mutex mutex_;  // guards plan_ / seed_ / sites_ mutation
+  std::string plan_;
+  uint64_t seed_ = 0;
+  // Heap-allocated Sites so lookups can hand out stable pointers; the map
+  // itself is only mutated under mutex_ in Configure (probes happen-after
+  // the armed release-store, see fault_internal::g_fault_armed).
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+};
+
+namespace fault_internal {
+// Hot-path armed flag, separate from the singleton so the disarmed check
+// never pays the Global() magic-static guard. Store with release in
+// Configure/Disarm; load with acquire in probes so a probe that observes
+// armed==true also observes the fully-built site map.
+extern std::atomic<bool> g_fault_armed;
+}  // namespace fault_internal
+
+// Returns true when the active fault plan says the probe at `site` fires.
+// Disarmed cost: one relaxed-ish atomic load and an untaken branch.
+inline bool FaultShouldFail(std::string_view site) {
+  if (!fault_internal::g_fault_armed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  return FaultInjector::Global().Probe(site);
+}
+
+inline bool FaultShouldFail(std::string_view site, uint64_t instance) {
+  if (!fault_internal::g_fault_armed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  return FaultInjector::Global().Probe(site, instance);
+}
+
+// Test helper: installs `plan` for the lifetime of the scope, restoring the
+// previously active plan (including "no plan") on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(std::string_view plan);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_FAULT_INJECTOR_H_

@@ -1,0 +1,50 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace specqp {
+
+namespace {
+
+// splitmix64 finalizer; deterministic jitter comes from mixing the policy
+// seed with the attempt number, never from a global RNG, so a fixed policy
+// replays the exact same backoff schedule.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool RetryPolicy::IsRetryable(StatusCode code) const {
+  for (StatusCode c : retryable) {
+    if (c == code) return true;
+  }
+  return false;
+}
+
+std::chrono::microseconds RetryPolicy::BackoffFor(int attempt) const {
+  if (attempt < 1) attempt = 1;
+  const double base = static_cast<double>(initial_backoff.count()) *
+                      std::pow(multiplier, static_cast<double>(attempt - 1));
+  const double capped =
+      std::min(base, static_cast<double>(max_backoff.count()));
+  const double u = static_cast<double>(Mix(seed ^ static_cast<uint64_t>(
+                                                      attempt))) /
+                   static_cast<double>(std::numeric_limits<uint64_t>::max());
+  const double jitter =
+      1.0 + jitter_fraction * (2.0 * u - 1.0);  // [1-j, 1+j]
+  const double scaled = std::max(0.0, capped * jitter);
+  return std::chrono::microseconds(static_cast<int64_t>(scaled));
+}
+
+std::chrono::microseconds RetryPolicy::BackoffFor(
+    int attempt, std::chrono::microseconds hint) const {
+  return std::min(std::max(BackoffFor(attempt), hint), max_backoff);
+}
+
+}  // namespace specqp

@@ -1,0 +1,80 @@
+#ifndef SPECQP_UTIL_RETRY_H_
+#define SPECQP_UTIL_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace specqp {
+
+// Bounded-attempt retry with exponential backoff and deterministic jitter.
+// Reused by shard opens (ShardedStore::Open) and Submit callers
+// (SubmitWithRetry in core/engine.h); construct once and share — the policy
+// itself is immutable state, so it is safe to use from multiple threads.
+struct RetryPolicy {
+  // Total tries including the first one; <= 1 means "no retries".
+  int max_attempts = 3;
+  std::chrono::microseconds initial_backoff{1000};
+  std::chrono::microseconds max_backoff{100000};
+  double multiplier = 2.0;
+  // Backoff is scaled by a uniform factor in [1-j, 1+j]; keeps concurrent
+  // retriers from stampeding in lockstep while staying deterministic for a
+  // fixed (seed, attempt) pair.
+  double jitter_fraction = 0.25;
+  uint64_t seed = 0x5eedULL;
+  // Codes worth retrying: transient resource states, not semantic errors.
+  std::vector<StatusCode> retryable = {
+      StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted,
+      StatusCode::kIoError,
+  };
+
+  bool IsRetryable(StatusCode code) const;
+
+  // Deterministic backoff (including jitter) before retry number `attempt`
+  // (1 = the delay after the first failure). Exposed separately so tests
+  // and benches can account for the exact schedule without sleeping.
+  std::chrono::microseconds BackoffFor(int attempt) const;
+
+  // Convenience for propagating a server-suggested delay (e.g.
+  // QueryResponse::retry_after_ms): the larger of the hint and the policy's
+  // own backoff for this attempt, still capped at max_backoff.
+  std::chrono::microseconds BackoffFor(int attempt,
+                                       std::chrono::microseconds hint) const;
+};
+
+// Adapters so RunWithRetry works for both Status and Result<T> callables.
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename R>
+auto StatusOf(const R& r) -> decltype(r.status()) {
+  return r.status();
+}
+
+// Runs `fn` (returning Status or Result<T>) up to policy.max_attempts times,
+// sleeping policy.BackoffFor(i) between attempts while the outcome is
+// retryable. Returns the last outcome; on success, stops immediately. If
+// `attempts_out` is non-null it receives the number of calls made.
+template <typename Fn>
+auto RunWithRetry(const RetryPolicy& policy, Fn&& fn,
+                  int* attempts_out = nullptr) -> decltype(fn()) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  int attempt = 1;
+  for (;; ++attempt) {
+    auto outcome = fn();
+    const bool retryable = !outcome.ok() &&
+                           policy.IsRetryable(StatusOf(outcome).code()) &&
+                           attempt < max_attempts;
+    if (!retryable) {
+      if (attempts_out != nullptr) *attempts_out = attempt;
+      return outcome;
+    }
+    std::this_thread::sleep_for(policy.BackoffFor(attempt));
+  }
+}
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_RETRY_H_

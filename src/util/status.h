@@ -23,6 +23,12 @@ enum class StatusCode : int {
   kInternal = 9,
   kCancelled = 10,
   kDeadlineExceeded = 11,
+  // The backing data (a quarantined shard, a store mid-reopen) is not
+  // servable right now; retrying after the store recovers may succeed.
+  kUnavailable = 12,
+  // The server shed the request before execution (admission queue full,
+  // deadline unmeetable); the caller should back off and retry.
+  kResourceExhausted = 13,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -74,6 +80,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

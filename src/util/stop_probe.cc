@@ -1,0 +1,25 @@
+#include "util/stop_probe.h"
+
+namespace specqp {
+
+namespace {
+thread_local StopProbeFn t_probe_fn = nullptr;
+thread_local const void* t_probe_ctx = nullptr;
+}  // namespace
+
+ScopedStopProbe::ScopedStopProbe(StopProbeFn fn, const void* ctx)
+    : prev_fn_(t_probe_fn), prev_ctx_(t_probe_ctx) {
+  t_probe_fn = fn;
+  t_probe_ctx = ctx;
+}
+
+ScopedStopProbe::~ScopedStopProbe() {
+  t_probe_fn = prev_fn_;
+  t_probe_ctx = prev_ctx_;
+}
+
+bool ScopedStopProbe::StopRequested() {
+  return t_probe_fn != nullptr && t_probe_fn(t_probe_ctx);
+}
+
+}  // namespace specqp

@@ -1,0 +1,39 @@
+#ifndef SPECQP_UTIL_STOP_PROBE_H_
+#define SPECQP_UTIL_STOP_PROBE_H_
+
+namespace specqp {
+
+// A thread-local, type-erased "should this work stop?" probe.
+//
+// Long store-layer operations (the ShardedStore scatter-gather merge,
+// posting-list builds) want to honour query cancellation, but the rdf
+// layer sits below topk and cannot see ExecInterrupt. The engine instead
+// installs a probe for the duration of query execution; store code polls
+// StopRequested() at its natural checkpoints and bails out early with an
+// empty (never memoised) result when it returns true.
+//
+// With no probe installed — index build, tools, benches — StopRequested()
+// is a null check returning false.
+using StopProbeFn = bool (*)(const void* ctx);
+
+class ScopedStopProbe {
+ public:
+  // Installs `fn(ctx)` as this thread's probe, remembering the previous
+  // one (probes nest across re-entrant execution).
+  ScopedStopProbe(StopProbeFn fn, const void* ctx);
+  ~ScopedStopProbe();
+
+  ScopedStopProbe(const ScopedStopProbe&) = delete;
+  ScopedStopProbe& operator=(const ScopedStopProbe&) = delete;
+
+  // True when the current thread's installed probe reports a stop.
+  static bool StopRequested();
+
+ private:
+  StopProbeFn prev_fn_;
+  const void* prev_ctx_;
+};
+
+}  // namespace specqp
+
+#endif  // SPECQP_UTIL_STOP_PROBE_H_

@@ -1,0 +1,186 @@
+#include "util/fault_injector.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace specqp {
+namespace {
+
+// Only meaningful in a fresh process with the env var exported BEFORE the
+// first injector access — CI runs it in isolation:
+//   SPECQP_FAULT_PLAN="seed=7;env.probe=1" \
+//     util_fault_injector_test --gtest_filter='*EnvPlanIsPickedUp*'
+// In a full-suite run (no env var, or earlier tests already reconfigured
+// the singleton) it skips instead of asserting on clobbered state.
+TEST(FaultInjectorTest, EnvPlanIsPickedUp) {
+  const char* env = std::getenv("SPECQP_FAULT_PLAN");
+  if (env == nullptr || std::string(env).find("env.probe=1") ==
+                            std::string::npos) {
+    GTEST_SKIP() << "SPECQP_FAULT_PLAN with an env.probe=1 clause not set";
+  }
+  EXPECT_TRUE(FaultInjector::Global().armed());
+  EXPECT_EQ(FaultInjector::Global().plan(), env);
+  EXPECT_TRUE(FaultShouldFail("env.probe"));
+  EXPECT_GE(FaultInjector::Global().FireCount("env.probe"), 1u);
+}
+
+TEST(FaultInjectorTest, DisarmedByDefaultAndProbesAreNoOps) {
+  FaultInjector::Global().Disarm();
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  EXPECT_FALSE(FaultShouldFail("shard.open"));
+  EXPECT_FALSE(FaultShouldFail("shard.open", 3));
+  EXPECT_EQ(FaultInjector::Global().plan(), "");
+}
+
+TEST(FaultInjectorTest, EmptyPlanDisarms) {
+  ScopedFaultPlan plan("shard.open=1");
+  EXPECT_TRUE(FaultInjector::Global().armed());
+  ASSERT_TRUE(FaultInjector::Global().Configure("").ok());
+  EXPECT_FALSE(FaultInjector::Global().armed());
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires) {
+  ScopedFaultPlan plan("shard.open=1");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultShouldFail("shard.open"));
+  }
+  EXPECT_EQ(FaultInjector::Global().FireCount("shard.open"), 10u);
+  EXPECT_EQ(FaultInjector::Global().ProbeCount("shard.open"), 10u);
+}
+
+TEST(FaultInjectorTest, ProbabilityZeroNeverFires) {
+  ScopedFaultPlan plan("shard.open=0");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FaultShouldFail("shard.open"));
+  }
+  EXPECT_EQ(FaultInjector::Global().FireCount("shard.open"), 0u);
+}
+
+TEST(FaultInjectorTest, UnknownSiteNeverFires) {
+  ScopedFaultPlan plan("shard.open=1");
+  EXPECT_FALSE(FaultShouldFail("block.decode"));
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsInjection) {
+  // "1@2": the first two probes fire, every later probe passes — the shape
+  // used to exercise open-retry success after transient failures.
+  ScopedFaultPlan plan("shard.open=1@2");
+  EXPECT_TRUE(FaultShouldFail("shard.open"));
+  EXPECT_TRUE(FaultShouldFail("shard.open"));
+  EXPECT_FALSE(FaultShouldFail("shard.open"));
+  EXPECT_FALSE(FaultShouldFail("shard.open"));
+  EXPECT_EQ(FaultInjector::Global().FireCount("shard.open"), 2u);
+}
+
+TEST(FaultInjectorTest, InstanceQualifiedSiteTargetsOneShard) {
+  ScopedFaultPlan plan("shard.open.3=1");
+  EXPECT_FALSE(FaultShouldFail("shard.open", 0));
+  EXPECT_FALSE(FaultShouldFail("shard.open", 2));
+  EXPECT_TRUE(FaultShouldFail("shard.open", 3));
+  // The bare site is not configured, so the unqualified probe passes too.
+  EXPECT_FALSE(FaultShouldFail("shard.open"));
+}
+
+TEST(FaultInjectorTest, InstanceFallsBackToBareSite) {
+  ScopedFaultPlan plan("shard.open=1");
+  EXPECT_TRUE(FaultShouldFail("shard.open", 7));
+}
+
+TEST(FaultInjectorTest, DeterministicScheduleForFixedSeed) {
+  std::vector<bool> first;
+  {
+    ScopedFaultPlan plan("seed=42;shard.read=0.3");
+    for (int i = 0; i < 64; ++i) first.push_back(FaultShouldFail("shard.read"));
+  }
+  std::vector<bool> second;
+  {
+    ScopedFaultPlan plan("seed=42;shard.read=0.3");
+    for (int i = 0; i < 64; ++i) {
+      second.push_back(FaultShouldFail("shard.read"));
+    }
+  }
+  EXPECT_EQ(first, second);
+  // A fair-ish share of probes fired; probability 0.3 over 64 draws should
+  // essentially never produce 0 or 64 fires.
+  int fires = 0;
+  for (bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  std::vector<bool> a, b;
+  {
+    ScopedFaultPlan plan("seed=1;shard.read=0.5");
+    for (int i = 0; i < 128; ++i) a.push_back(FaultShouldFail("shard.read"));
+  }
+  {
+    ScopedFaultPlan plan("seed=2;shard.read=0.5");
+    for (int i = 0; i < 128; ++i) b.push_back(FaultShouldFail("shard.read"));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjectorTest, SitesAreIndependentStreams) {
+  ScopedFaultPlan plan("seed=9;shard.read=0.5;block.decode=0.5");
+  std::vector<bool> a, b;
+  for (int i = 0; i < 128; ++i) {
+    a.push_back(FaultShouldFail("shard.read"));
+    b.push_back(FaultShouldFail("block.decode"));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjectorTest, MalformedPlansAreRejected) {
+  FaultInjector& g = FaultInjector::Global();
+  g.Disarm();
+  EXPECT_FALSE(g.Configure("shard.open").ok());
+  EXPECT_FALSE(g.Configure("=0.5").ok());
+  EXPECT_FALSE(g.Configure("shard.open=1.5").ok());
+  EXPECT_FALSE(g.Configure("shard.open=-0.1").ok());
+  EXPECT_FALSE(g.Configure("shard.open=abc").ok());
+  EXPECT_FALSE(g.Configure("shard.open=0.5@xyz").ok());
+  EXPECT_FALSE(g.Configure("seed=notanumber;shard.open=1").ok());
+  // A failed Configure leaves the previous (empty) plan in place.
+  EXPECT_FALSE(g.armed());
+}
+
+TEST(FaultInjectorTest, MalformedConfigurePreservesPreviousPlan) {
+  ScopedFaultPlan plan("shard.open=1");
+  EXPECT_FALSE(FaultInjector::Global().Configure("bogus").ok());
+  EXPECT_TRUE(FaultInjector::Global().armed());
+  EXPECT_TRUE(FaultShouldFail("shard.open"));
+}
+
+TEST(FaultInjectorTest, ScopedPlanRestoresPrevious) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("shard.open=1").ok());
+  {
+    ScopedFaultPlan inner("block.decode=1");
+    EXPECT_FALSE(FaultShouldFail("shard.open"));
+    EXPECT_TRUE(FaultShouldFail("block.decode"));
+  }
+  EXPECT_TRUE(FaultShouldFail("shard.open"));
+  EXPECT_FALSE(FaultShouldFail("block.decode"));
+  FaultInjector::Global().Disarm();
+}
+
+TEST(FaultInjectorTest, ResetCountersZeroesObservability) {
+  ScopedFaultPlan plan("shard.open=1");
+  EXPECT_TRUE(FaultShouldFail("shard.open"));
+  FaultInjector::Global().ResetCounters();
+  EXPECT_EQ(FaultInjector::Global().FireCount("shard.open"), 0u);
+  EXPECT_EQ(FaultInjector::Global().ProbeCount("shard.open"), 0u);
+}
+
+TEST(FaultInjectorTest, WhitespaceAndEmptyPiecesTolerated) {
+  ScopedFaultPlan plan("  seed=7 ; shard.open=1 ; ;; block.decode=0 ");
+  EXPECT_TRUE(FaultShouldFail("shard.open"));
+  EXPECT_FALSE(FaultShouldFail("block.decode"));
+}
+
+}  // namespace
+}  // namespace specqp

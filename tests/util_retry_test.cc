@@ -1,0 +1,138 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace specqp {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(RetryPolicyTest, DefaultRetryableCodes) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(policy.IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(policy.IsRetryable(StatusCode::kIoError));
+  EXPECT_FALSE(policy.IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(policy.IsRetryable(StatusCode::kCorruption));
+  EXPECT_FALSE(policy.IsRetryable(StatusCode::kCancelled));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff = microseconds(1000);
+  policy.max_backoff = microseconds(8000);
+  policy.multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(policy.BackoffFor(1), microseconds(1000));
+  EXPECT_EQ(policy.BackoffFor(2), microseconds(2000));
+  EXPECT_EQ(policy.BackoffFor(3), microseconds(4000));
+  EXPECT_EQ(policy.BackoffFor(4), microseconds(8000));
+  EXPECT_EQ(policy.BackoffFor(10), microseconds(8000));  // capped
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff = microseconds(10000);
+  policy.max_backoff = microseconds(10000000);
+  policy.jitter_fraction = 0.25;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const microseconds a = policy.BackoffFor(attempt);
+    const microseconds b = policy.BackoffFor(attempt);
+    EXPECT_EQ(a, b) << "attempt " << attempt;
+    const double base = 10000.0 * std::pow(2.0, attempt - 1);
+    EXPECT_GE(a.count(), static_cast<int64_t>(base * 0.75) - 1);
+    EXPECT_LE(a.count(), static_cast<int64_t>(base * 1.25) + 1);
+  }
+  // Different seeds shift the jitter.
+  RetryPolicy other = policy;
+  other.seed = policy.seed + 1;
+  bool any_diff = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    any_diff |= other.BackoffFor(attempt) != policy.BackoffFor(attempt);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RetryPolicyTest, HintedBackoffTakesTheMaxButStaysCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff = microseconds(1000);
+  policy.max_backoff = microseconds(5000);
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(policy.BackoffFor(1, microseconds(3000)), microseconds(3000));
+  EXPECT_EQ(policy.BackoffFor(1, microseconds(500)), microseconds(1000));
+  EXPECT_EQ(policy.BackoffFor(1, microseconds(90000)), microseconds(5000));
+}
+
+RetryPolicy FastPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff = microseconds(1);
+  policy.max_backoff = microseconds(10);
+  return policy;
+}
+
+TEST(RunWithRetryTest, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  int attempts = 0;
+  Status s = RunWithRetry(
+      FastPolicy(5),
+      [&] {
+        ++calls;
+        if (calls < 3) return Status::Unavailable("warming up");
+        return Status::Ok();
+      },
+      &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RunWithRetryTest, StopsAtMaxAttempts) {
+  int calls = 0;
+  Status s = RunWithRetry(FastPolicy(3), [&] {
+    ++calls;
+    return Status::IoError("still broken");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunWithRetryTest, NonRetryableFailsImmediately) {
+  int calls = 0;
+  Status s = RunWithRetry(FastPolicy(5), [&] {
+    ++calls;
+    return Status::Corruption("bad bytes");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunWithRetryTest, WorksWithResultValues) {
+  int calls = 0;
+  Result<int> r = RunWithRetry(FastPolicy(4), [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("not yet");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RunWithRetryTest, ZeroOrNegativeMaxAttemptsMeansOneTry) {
+  int calls = 0;
+  Status s = RunWithRetry(FastPolicy(0), [&] {
+    ++calls;
+    return Status::Unavailable("nope");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace specqp

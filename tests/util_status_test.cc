@@ -26,6 +26,12 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
@@ -43,6 +49,16 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "CORRUPTION");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusTest, ServingCodesToString) {
+  EXPECT_EQ(Status::Unavailable("2 of 8 shards quarantined").ToString(),
+            "UNAVAILABLE: 2 of 8 shards quarantined");
+  EXPECT_EQ(Status::ResourceExhausted("admission queue full").ToString(),
+            "RESOURCE_EXHAUSTED: admission queue full");
 }
 
 Status FailIfNegative(int x) {
