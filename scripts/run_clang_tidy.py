@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a committed-baseline ratchet.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over every
+first-party translation unit in a compile_commands.json database and
+compares the findings against scripts/clang_tidy_baseline.txt:
+
+  * a finding in the run but NOT in the baseline  -> NEW, fails the run;
+  * a finding in the baseline but NOT in the run  -> fixed, reported as
+    such (tighten the baseline with --update-baseline);
+  * the intersection is tolerated legacy debt.
+
+Findings are normalised to (relative path, check, message) — line numbers
+are deliberately dropped so unrelated edits shifting a legacy finding by a
+few lines don't page anyone. The baseline is committed, so burning it down
+is an ordinary reviewed diff.
+
+Typical use (CI runs exactly this; see .github/workflows/ci.yml):
+  cmake --preset tidy && cmake --build --preset tidy
+  scripts/run_clang_tidy.py --build-dir build-tidy
+
+stdlib-only. Exits 0 with a notice when clang-tidy is not installed, so
+developer machines without LLVM are not blocked — the CI job installs it
+and does the real enforcement.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "clang_tidy_baseline.txt")
+
+# First-party TUs only: system headers and third-party code (none vendored
+# today, but the filter is cheap insurance) are not ours to lint.
+FIRST_PARTY = re.compile(r"/(src|bench|tools|examples)/.*\.cc$")
+
+# "path:line:col: warning: message [check]" — the only line shape we keep.
+FINDING_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+\[(?P<check>[^\]]+)\]$")
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit("error: %s not found — configure with the 'tidy' preset "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS=ON)" % db_path)
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def normalise(root, path, check, message):
+    rel = os.path.relpath(os.path.abspath(path), root)
+    return "%s\t%s\t%s" % (rel, check, message.strip())
+
+
+def run_one(tidy, build_dir, source):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", source],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    return proc.stdout
+
+
+def collect_findings(tidy, build_dir, sources, root, jobs):
+    findings = set()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for out in pool.map(
+                lambda s: run_one(tidy, build_dir, s), sources):
+            for line in out.splitlines():
+                m = FINDING_RE.match(line)
+                if not m:
+                    continue
+                findings.add(normalise(root, m.group("path"),
+                                       m.group("check"),
+                                       m.group("message")))
+    return findings
+
+
+def load_baseline():
+    if not os.path.exists(BASELINE):
+        return set()
+    with open(BASELINE, encoding="utf-8") as f:
+        return {line.rstrip("\n") for line in f
+                if line.strip() and not line.startswith("#")}
+
+
+def write_baseline(findings):
+    with open(BASELINE, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy legacy findings tolerated by "
+                "scripts/run_clang_tidy.py.\n"
+                "# One per line: <relpath>\\t<check>\\t<message>. "
+                "Shrink-only, via --update-baseline.\n")
+        for line in sorted(findings):
+            f.write(line + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build-tidy",
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1))
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings")
+    args = parser.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not installed on this machine; "
+              "skipping (CI enforces this gate)")
+        return 0
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    db = load_compile_db(args.build_dir)
+    sources = sorted({entry["file"] for entry in db
+                      if FIRST_PARTY.search(entry["file"])})
+    if not sources:
+        sys.exit("error: no first-party sources in the compile database")
+
+    print("run_clang_tidy: %d TUs, %d jobs" % (len(sources), args.jobs))
+    findings = collect_findings(tidy, args.build_dir, sources, root,
+                                args.jobs)
+
+    if args.update_baseline:
+        write_baseline(findings)
+        print("baseline rewritten: %d finding(s)" % len(findings))
+        return 0
+
+    baseline = load_baseline()
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+
+    if fixed:
+        print("%d baseline finding(s) no longer fire — consider "
+              "--update-baseline to lock the win in:" % len(fixed))
+        for line in fixed:
+            print("  fixed: " + line.replace("\t", " "))
+    if new:
+        print("%d NEW clang-tidy finding(s) (not in %s):"
+              % (len(new), os.path.relpath(BASELINE, root)))
+        for line in new:
+            print("  " + line.replace("\t", " "))
+        return 1
+    print("run_clang_tidy: no new findings "
+          "(%d tolerated legacy)" % len(baseline & findings))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,414 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for Spec-QP.
+
+Enforces cross-cutting contracts that neither the compiler nor clang-tidy
+can see, because each one spans multiple files or encodes a project-level
+convention:
+
+  interrupt-poll       Every operator Next() in src/topk/*.cc polls
+                       ExecContext::Interrupted() (the cancellation /
+                       deadline contract from the admission layer), or
+                       carries an explicit waiver comment saying why a
+                       poll is unnecessary.
+
+  fault-site-registry  Every fault-injection site string used with
+                       FaultShouldFail(...) is registered in
+                       kFaultSiteRegistry (src/util/fault_injector.h), and
+                       every registered site is actually probed somewhere.
+                       Keeps `--fault-plan` spellings discoverable and
+                       typo-proof in both directions.
+
+  comparability-keys   Every key scripts/compare_bench_json.py treats as a
+                       run-comparability dimension is stamped into bench
+                       artifacts by bench/bench_common.cc. A key the gate
+                       compares but the writer never emits would silently
+                       pass every A/B check.
+
+  mutex-guard          No raw std::mutex / std::shared_mutex data members
+                       outside the annotated wrapper (src/util/mutex.h) —
+                       raw mutexes are invisible to Clang -Wthread-safety.
+                       Every `Mutex` member must guard at least one field
+                       via SPECQP_GUARDED_BY(<member>), or carry a waiver.
+
+Waivers: append `// specqp-lint: allow-<rule>` (plus a justification) on
+or directly above the offending line. Waivers are themselves part of the
+reviewed diff, so every exception has an owner and a reason.
+
+stdlib-only by design; runs anywhere Python 3.8+ exists, including the CI
+static-analysis job (see .github/workflows/ci.yml) and `--self-test` mode,
+which proves each rule still trips on a synthetic violation before
+trusting its silence on the real tree.
+
+Usage:
+  scripts/specqp_lint.py [--root DIR]      lint the tree (exit 1 on findings)
+  scripts/specqp_lint.py --self-test       run the fixture battery first,
+                                           then lint the real tree
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# Shared helpers
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def walk_sources(root, subdir, exts):
+    base = os.path.join(root, subdir)
+    for dirpath, _, files in os.walk(base):
+        for name in sorted(files):
+            if os.path.splitext(name)[1] in exts:
+                yield os.path.join(dirpath, name)
+
+
+def has_waiver(lines, idx, rule):
+    """True when line idx or one of the 3 lines above carries the waiver."""
+    tag = "specqp-lint: allow-" + rule
+    for i in range(max(0, idx - 3), idx + 1):
+        if tag in lines[i]:
+            return True
+    return False
+
+
+def extract_function_body(lines, start_idx):
+    """Lines of the function whose definition starts at start_idx (brace
+    counted; good enough for clang-format'ed code, which this tree is)."""
+    depth = 0
+    body = []
+    opened = False
+    for i in range(start_idx, len(lines)):
+        body.append(lines[i])
+        depth += lines[i].count("{") - lines[i].count("}")
+        if "{" in lines[i]:
+            opened = True
+        if opened and depth <= 0:
+            break
+    return body
+
+
+# --------------------------------------------------------------------------
+# Rule: interrupt-poll
+
+NEXT_DEF_RE = re.compile(r"^\s*bool\s+\w+::Next\s*\(")
+
+
+def check_interrupt_poll(root):
+    findings = []
+    for path in walk_sources(root, os.path.join("src", "topk"), {".cc"}):
+        lines = read_lines(path)
+        for idx, line in enumerate(lines):
+            if not NEXT_DEF_RE.match(line):
+                continue
+            if has_waiver(lines, idx, "no-interrupt-poll"):
+                continue
+            body = extract_function_body(lines, idx)
+            if not any("Interrupted()" in b for b in body):
+                findings.append(Finding(
+                    "interrupt-poll", path, idx + 1,
+                    "operator Next() neither polls Interrupted() nor "
+                    "carries '// specqp-lint: allow-no-interrupt-poll'"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: fault-site-registry
+
+FAULT_CALL_RE = re.compile(r'FaultShouldFail\s*\(\s*"([^"]+)"')
+REGISTRY_RE = re.compile(r'kFaultSiteRegistry\[\]\s*=\s*\{([^}]*)\}',
+                         re.DOTALL)
+
+
+def parse_fault_registry(root):
+    header = os.path.join(root, "src", "util", "fault_injector.h")
+    with open(header, encoding="utf-8") as f:
+        text = f.read()
+    m = REGISTRY_RE.search(text)
+    if not m:
+        return None, header
+    return set(re.findall(r'"([^"]+)"', m.group(1))), header
+
+
+def check_fault_sites(root):
+    registry, header = parse_fault_registry(root)
+    if registry is None:
+        return [Finding("fault-site-registry", header, 1,
+                        "kFaultSiteRegistry not found")]
+    findings = []
+    used = {}
+    for path in walk_sources(root, "src", {".cc", ".h"}):
+        if path.endswith(os.path.join("util", "fault_injector.h")):
+            continue
+        lines = read_lines(path)
+        for idx, line in enumerate(lines):
+            for site in FAULT_CALL_RE.findall(line):
+                used.setdefault(site, (path, idx + 1))
+                if site not in registry and not has_waiver(
+                        lines, idx, "unregistered-fault-site"):
+                    findings.append(Finding(
+                        "fault-site-registry", path, idx + 1,
+                        "fault site \"%s\" is not in kFaultSiteRegistry "
+                        "(src/util/fault_injector.h)" % site))
+    for site in sorted(registry - set(used)):
+        findings.append(Finding(
+            "fault-site-registry", header, 1,
+            "registered fault site \"%s\" is never probed under src/"
+            % site))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: comparability-keys
+
+COMPARABILITY_RE = re.compile(r"COMPARABILITY_KEYS\s*=\s*\(([^)]*)\)",
+                              re.DOTALL)
+
+
+def check_comparability_keys(root):
+    gate = os.path.join(root, "scripts", "compare_bench_json.py")
+    writer = os.path.join(root, "bench", "bench_common.cc")
+    with open(gate, encoding="utf-8") as f:
+        m = COMPARABILITY_RE.search(f.read())
+    if not m:
+        return [Finding("comparability-keys", gate, 1,
+                        "COMPARABILITY_KEYS tuple not found")]
+    keys = re.findall(r'"([^"]+)"', m.group(1))
+    with open(writer, encoding="utf-8") as f:
+        writer_text = f.read()
+    findings = []
+    for key in keys:
+        if ('doc.Set("%s"' % key) not in writer_text:
+            findings.append(Finding(
+                "comparability-keys", writer, 1,
+                "comparability key \"%s\" (compare_bench_json.py) is never "
+                "stamped via doc.Set in BenchMain — the perf gate would "
+                "compare runs that never record it" % key))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: mutex-guard
+
+RAW_MUTEX_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::(?:shared_)?mutex\s+\w+\s*;")
+# A Mutex data member: `Mutex mu_;` / `mutable Mutex quarantine_mutex_;`.
+# References (`Mutex& mu`) and locals inside functions are not members; we
+# only scan headers, where class bodies live and locals are rare, and
+# require the declaration shape `Mutex <name>;`.
+MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;")
+
+
+def check_mutex_guards(root):
+    findings = []
+    wrapper = os.path.join("util", "mutex.h")
+    for path in walk_sources(root, "src", {".cc", ".h"}):
+        if path.endswith(wrapper):
+            continue
+        lines = read_lines(path)
+        text = "\n".join(lines)
+        for idx, line in enumerate(lines):
+            if RAW_MUTEX_RE.match(line):
+                if not has_waiver(lines, idx, "raw-mutex"):
+                    findings.append(Finding(
+                        "mutex-guard", path, idx + 1,
+                        "raw std::mutex member is invisible to Clang "
+                        "-Wthread-safety; use specqp::Mutex "
+                        "(src/util/mutex.h)"))
+                continue
+            m = MUTEX_MEMBER_RE.match(line)
+            if m and path.endswith(".h"):
+                name = m.group(1)
+                if ("SPECQP_GUARDED_BY(%s)" % name) not in text and \
+                        not has_waiver(lines, idx, "unguarded-mutex"):
+                    findings.append(Finding(
+                        "mutex-guard", path, idx + 1,
+                        "Mutex member '%s' guards nothing: no field is "
+                        "annotated SPECQP_GUARDED_BY(%s)" % (name, name)))
+    return findings
+
+
+RULES = (
+    ("interrupt-poll", check_interrupt_poll),
+    ("fault-site-registry", check_fault_sites),
+    ("comparability-keys", check_comparability_keys),
+    ("mutex-guard", check_mutex_guards),
+)
+
+
+def run_lint(root):
+    findings = []
+    for _, fn in RULES:
+        findings.extend(fn(root))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: synthetic trees that must trip each rule, plus clean variants
+# that must not. A rule whose violation fixture passes is a dead rule.
+
+
+def _write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+MINIMAL_REGISTRY = """\
+inline constexpr std::string_view kFaultSiteRegistry[] = {
+    "store.open",
+};
+"""
+
+MINIMAL_GATE = """\
+COMPARABILITY_KEYS = ("bench", "threads")
+"""
+
+MINIMAL_WRITER = """\
+  doc.Set("bench", name);
+  doc.Set("threads", threads);
+"""
+
+
+def _scaffold_clean_tree(root):
+    """Smallest tree that passes every rule."""
+    _write(root, "src/util/fault_injector.h", MINIMAL_REGISTRY)
+    _write(root, "src/util/mutex.h", "class Mutex {};\n")
+    _write(root, "scripts/compare_bench_json.py", MINIMAL_GATE)
+    _write(root, "bench/bench_common.cc", MINIMAL_WRITER)
+    _write(root, "src/topk/scan.cc",
+           "bool ScanIterator::Next(ScoredRow* out) {\n"
+           "  if (ctx_->Interrupted()) return false;\n"
+           "  return true;\n"
+           "}\n")
+    _write(root, "src/rdf/io.cc",
+           '  if (FaultShouldFail("store.open")) return Fail();\n')
+    _write(root, "src/rdf/cache.h",
+           "  mutable Mutex mu_;\n"
+           "  int guarded SPECQP_GUARDED_BY(mu_);\n")
+
+
+def self_test():
+    cases = []  # (name, mutate(root), expected_rule or None)
+
+    cases.append(("clean tree has no findings", lambda r: None, None))
+    cases.append((
+        "Next() without a poll trips interrupt-poll",
+        lambda r: _write(r, "src/topk/bad.cc",
+                         "bool BadIterator::Next(ScoredRow* out) {\n"
+                         "  return input_->Next(out);\n"
+                         "}\n"),
+        "interrupt-poll"))
+    cases.append((
+        "waived Next() passes interrupt-poll",
+        lambda r: _write(r, "src/topk/waived.cc",
+                         "// specqp-lint: allow-no-interrupt-poll (reason)\n"
+                         "bool WaivedIterator::Next(ScoredRow* out) {\n"
+                         "  return input_->Next(out);\n"
+                         "}\n"),
+        None))
+    cases.append((
+        "unregistered fault site trips fault-site-registry",
+        lambda r: _write(r, "src/rdf/typo.cc",
+                         '  if (FaultShouldFail("store.opne")) return;\n'),
+        "fault-site-registry"))
+    cases.append((
+        "never-probed registry entry trips fault-site-registry",
+        lambda r: _write(r, "src/util/fault_injector.h",
+                         MINIMAL_REGISTRY.replace(
+                             '"store.open",',
+                             '"store.open", "ghost.site",')),
+        "fault-site-registry"))
+    cases.append((
+        "unstamped comparability key trips comparability-keys",
+        lambda r: _write(r, "bench/bench_common.cc",
+                         '  doc.Set("bench", name);\n'),
+        "comparability-keys"))
+    cases.append((
+        "raw std::mutex member trips mutex-guard",
+        lambda r: _write(r, "src/core/raw.h",
+                         "  std::mutex mu_;\n"),
+        "mutex-guard"))
+    cases.append((
+        "unguarded Mutex member trips mutex-guard",
+        lambda r: _write(r, "src/core/unguarded.h",
+                         "  Mutex lonely_mu_;\n"),
+        "mutex-guard"))
+    cases.append((
+        "waived unguarded Mutex passes mutex-guard",
+        lambda r: _write(r, "src/core/waived.h",
+                         "  // specqp-lint: allow-unguarded-mutex (reason)\n"
+                         "  Mutex condition_only_mu_;\n"),
+        None))
+
+    failures = 0
+    for name, mutate, expected_rule in cases:
+        with tempfile.TemporaryDirectory(prefix="specqp_lint_") as tmp:
+            _scaffold_clean_tree(tmp)
+            mutate(tmp)
+            findings = run_lint(tmp)
+            rules_hit = {f.rule for f in findings}
+            if expected_rule is None:
+                ok = not findings
+                detail = "; ".join(str(f) for f in findings)
+            else:
+                ok = expected_rule in rules_hit
+                detail = "expected a %s finding, got %s" % (
+                    expected_rule, sorted(rules_hit) or "none")
+            print("  %s  %s" % ("PASS" if ok else "FAIL", name))
+            if not ok:
+                if detail:
+                    print("        %s" % detail)
+                failures += 1
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture battery, then lint the tree")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.self_test:
+        print("specqp_lint self-test:")
+        failures = self_test()
+        if failures:
+            print("self-test: %d case(s) FAILED" % failures)
+            return 1
+        print("self-test: all cases passed")
+
+    findings = run_lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print("specqp_lint: %d finding(s)" % len(findings))
+        return 1
+    print("specqp_lint: clean (%d rules)" % len(RULES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

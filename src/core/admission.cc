@@ -19,10 +19,10 @@ AdmissionController::AdmissionController(Engine* engine,
 
 AdmissionController::~AdmissionController() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   dispatcher_.join();
   // The dispatcher drained every open and closed window before exiting, so
   // no promise is ever abandoned.
@@ -36,7 +36,7 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
   auto reject = [this](QueryResponse response,
                        uint64_t Stats::*shed_counter = nullptr) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.rejected_at_submit;
       if (shed_counter != nullptr) {
         ++(stats_.*shed_counter);
@@ -65,7 +65,7 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
   if (options_.max_queue_depth > 0) {
     bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shed = queued_ >= options_.max_queue_depth;
     }
     if (shed) {
@@ -132,7 +132,7 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
                       static_cast<int>(pending.request.strategy)};
   bool wake_dispatcher = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.submitted;
     ++queued_;  // balanced in DispatchWindow, once fulfilled
     Window& window = open_[key];
@@ -149,7 +149,7 @@ std::future<QueryResponse> AdmissionController::Submit(QueryRequest request) {
       wake_dispatcher = true;
     }
   }
-  if (wake_dispatcher) cv_.notify_all();
+  if (wake_dispatcher) cv_.NotifyAll();
   return future;
 }
 
@@ -164,22 +164,25 @@ void AdmissionController::CloseWindowLocked(const WindowKey& key,
 
 void AdmissionController::Flush() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [key, window] : open_) {
       CloseWindowLocked(key, std::move(window), &Stats::closed_on_flush);
     }
     open_.clear();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void AdmissionController::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit Lock/Unlock so the thread-safety analysis follows the lock
+  // being dropped around DispatchWindow (which must run unlocked: it
+  // executes queries and takes mu_ itself for stats).
+  mu_.Lock();
   while (true) {
     // Move delay-expired windows to the closed queue.
     const double max_delay_ms =
@@ -201,9 +204,9 @@ void AdmissionController::DispatcherLoop() {
       ++stats_.windows_dispatched;
       stats_.max_window_size =
           std::max(stats_.max_window_size, window.pending.size());
-      lock.unlock();
+      mu_.Unlock();
       DispatchWindow(key, std::move(window));
-      lock.lock();
+      mu_.Lock();
       continue;
     }
 
@@ -216,14 +219,12 @@ void AdmissionController::DispatcherLoop() {
         drained = false;
       }
       open_.clear();
-      if (drained) return;
+      if (drained) break;
       continue;
     }
 
     if (open_.empty()) {
-      cv_.wait(lock, [this] {
-        return stop_ || !closed_.empty() || !open_.empty();
-      });
+      while (!stop_ && closed_.empty() && open_.empty()) cv_.Wait(mu_);
     } else {
       // Sleep until the oldest window's delay expires (or new work).
       double oldest_ms = 0.0;
@@ -231,10 +232,11 @@ void AdmissionController::DispatcherLoop() {
         oldest_ms = std::max(oldest_ms, window.age.ElapsedMillis());
       }
       const double remaining_ms = std::max(0.0, max_delay_ms - oldest_ms);
-      cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
-                             remaining_ms + 0.05));
+      cv_.WaitFor(mu_, std::chrono::duration<double, std::milli>(
+                           remaining_ms + 0.05));
     }
   }
+  mu_.Unlock();
 }
 
 Status AdmissionController::TerminalStatus(const Pending& pending) {
@@ -304,7 +306,7 @@ void AdmissionController::DispatchWindow(WindowKey key, Window window) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.batched_queries += queries.size();
     stats_.shared_scan_hits += batch_stats.shared_scan_hits;
     // Every pending request in this window is fulfilled below; release
@@ -363,7 +365,7 @@ void AdmissionController::DispatchWindow(WindowKey key, Window window) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (response.status.code() == StatusCode::kCancelled) {
         ++stats_.cancelled;
       } else if (response.status.code() == StatusCode::kDeadlineExceeded) {

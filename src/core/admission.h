@@ -2,18 +2,18 @@
 #define SPECQP_CORE_ADMISSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/request.h"
 #include "topk/exec_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace specqp {
@@ -94,8 +94,9 @@ class AdmissionController {
   // Admits one request. Returns immediately; the future completes once the
   // request's window has been dispatched (or the request was terminated at
   // submit/dispatch time: parse error, k == 0, already-cancelled token,
-  // already-expired deadline).
-  std::future<QueryResponse> Submit(QueryRequest request);
+  // already-expired deadline). Discarding the future loses the only handle
+  // on the response, hence [[nodiscard]].
+  [[nodiscard]] std::future<QueryResponse> Submit(QueryRequest request);
 
   // Closes every open window now and hands it to the dispatcher. Does not
   // wait for execution; wait on the returned futures for that.
@@ -135,9 +136,9 @@ class AdmissionController {
   //   closed_on_size + closed_on_delay + closed_on_flush
   // always equals the number of windows that reach the closed queue (and,
   // after a drain, windows_dispatched) — the invariant
-  // core_admission_test locks in. Requires mu_.
+  // core_admission_test locks in.
   void CloseWindowLocked(const WindowKey& key, Window window,
-                         uint64_t Stats::*counter);
+                         uint64_t Stats::*counter) SPECQP_REQUIRES(mu_);
 
   void DispatcherLoop();
   // Executes one closed window and fulfills its promises. Runs on the
@@ -145,21 +146,23 @@ class AdmissionController {
   void DispatchWindow(WindowKey key, Window window);
   // The terminal status of one request observed `now-ish`: cancellation
   // wins over deadline expiry, which wins over OK.
-  static Status TerminalStatus(const Pending& pending);
+  [[nodiscard]] static Status TerminalStatus(const Pending& pending);
 
   Engine* engine_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<WindowKey, Window> open_;          // accumulating windows
-  std::vector<std::pair<WindowKey, Window>> closed_;  // awaiting dispatch
+  mutable Mutex mu_;
+  CondVar cv_;
+  // Accumulating windows.
+  std::map<WindowKey, Window> open_ SPECQP_GUARDED_BY(mu_);
+  // Closed windows awaiting dispatch.
+  std::vector<std::pair<WindowKey, Window>> closed_ SPECQP_GUARDED_BY(mu_);
   // Admitted requests not yet fulfilled (queued or in dispatch); the
   // depth max_queue_depth sheds against.
-  size_t queued_ = 0;
-  uint64_t next_window_id_ = 0;
-  bool stop_ = false;
-  Stats stats_;
+  size_t queued_ SPECQP_GUARDED_BY(mu_) = 0;
+  uint64_t next_window_id_ SPECQP_GUARDED_BY(mu_) = 0;
+  bool stop_ SPECQP_GUARDED_BY(mu_) = false;
+  Stats stats_ SPECQP_GUARDED_BY(mu_);
 
   std::thread dispatcher_;
 };

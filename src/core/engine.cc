@@ -462,17 +462,19 @@ QueryPlan Engine::PlanOnly(const Query& query, size_t k,
 }
 
 void Engine::Warm(const Query& query) {
+  // Warm-only traversal: the pins returned by Get are dropped on purpose —
+  // the point is to populate the cache, not to hold the lists.
   for (const TriplePattern& q : query.patterns()) {
     const PatternKey key = q.Key();
-    postings_.Get(key);
+    (void)postings_.Get(key);
     catalog_.GetStats(key);
     const PatternExpansion expansion = ExpandPattern(*rules_, key);
     for (const PatternKey& relaxed : expansion.relaxed) {
-      postings_.Get(relaxed);
+      (void)postings_.Get(relaxed);
       catalog_.GetStats(relaxed);
     }
     for (const PatternKey& hop : expansion.chain_hops) {
-      postings_.Get(hop);
+      (void)postings_.Get(hop);
       catalog_.GetStats(hop);
     }
   }

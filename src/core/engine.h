@@ -216,7 +216,7 @@ class Engine {
   // statistics catalog is pre-seeded from the file's snapshot when its
   // head_fraction matches the options. `rules` stays caller-owned and must
   // outlive the returned bundle.
-  static Result<Opened> OpenFromPath(const std::string& store_path,
+  [[nodiscard]] static Result<Opened> OpenFromPath(const std::string& store_path,
                                      const RelaxationIndex* rules,
                                      const EngineOptions& options = {});
 
@@ -287,12 +287,12 @@ class Engine {
   // (degraded_reads and some shards out), or kUnavailable (strict mode
   // with shards out, or every shard out). `epoch_out` receives the fault
   // epoch the decision was made under. No-op Ok for non-sharded stores.
-  Status PreflightServing(QueryResponse* response, uint64_t* epoch_out);
+  [[nodiscard]] Status PreflightServing(QueryResponse* response, uint64_t* epoch_out);
   // Run after execution: a quarantine that landed mid-query (epoch moved
   // past `epoch_before`) or a latched in-flight fault
   // (stats.store_faults > 0) invalidates the answer — it may mix pre- and
   // post-fault shard sets — and surfaces as kIoError.
-  Status PostflightServing(uint64_t epoch_before, QueryResponse* response);
+  [[nodiscard]] Status PostflightServing(uint64_t epoch_before, QueryResponse* response);
 
   const TripleStore* store_;
   const RelaxationIndex* rules_;

@@ -35,12 +35,12 @@ struct ParseOptions {
 // Constants may be written <iri>, 'single-quoted', "double-quoted", or as
 // bare words; the delimiters are stripped before dictionary lookup, so
 // <singer> and 'singer' denote the same term.
-Result<Query> ParseQuery(std::string_view text, Dictionary* dict,
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text, Dictionary* dict,
                          const ParseOptions& options = {});
 
 // Read-only variant: unknown terms are parse errors and the dictionary is
 // never mutated.
-Result<Query> ParseQuery(std::string_view text, const Dictionary& dict);
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text, const Dictionary& dict);
 
 }  // namespace specqp
 

@@ -30,7 +30,7 @@ class Query {
   // on first use.
   VarId GetOrAddVariable(std::string_view name);
 
-  Result<VarId> FindVariable(std::string_view name) const;
+  [[nodiscard]] Result<VarId> FindVariable(std::string_view name) const;
 
   void AddPattern(const TriplePattern& pattern) {
     patterns_.push_back(pattern);

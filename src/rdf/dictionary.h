@@ -51,7 +51,7 @@ class Dictionary {
   TermId Intern(std::string_view term);
 
   // Returns the id for `term` or NotFound if never interned.
-  Result<TermId> Find(std::string_view term) const;
+  [[nodiscard]] Result<TermId> Find(std::string_view term) const;
 
   // True iff `term` has been interned.
   bool Contains(std::string_view term) const;

@@ -56,7 +56,7 @@ class MmapStore {
     Verify verify;
   };
 
-  static Result<std::unique_ptr<MmapStore>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<MmapStore>> Open(
       const std::string& path, const Options& options = Options());
 
   ~MmapStore();
@@ -106,16 +106,16 @@ class MmapStore {
   // dereferenced without CHECK-failures even on a crafted file; an
   // UNverified section of a lazily opened store is trusted — use
   // Verify::kEager (or VerifyAllSections) for untrusted input.
-  Status VerifySection(v2::SectionId id);
+  [[nodiscard]] Status VerifySection(v2::SectionId id);
 
   // Verifies every section in the file (memoised per section).
-  Status VerifyAllSections();
+  [[nodiscard]] Status VerifyAllSections();
 
   // Verifies only the small metadata sections the reader dereferences
   // eagerly (the whole dictionary, posting directory, statistics
   // snapshot) — the O(triples) bulk sections stay lazy. This is the
   // default integrity level of Engine::OpenFromPath.
-  Status VerifyMetadataSections();
+  [[nodiscard]] Status VerifyMetadataSections();
 
  private:
   MmapStore() = default;
@@ -128,10 +128,10 @@ class MmapStore {
   };
 
   const Section* FindSection(v2::SectionId id) const;
-  Status VerifySectionIndex(size_t index);
+  [[nodiscard]] Status VerifySectionIndex(size_t index);
   // Value-range validation behind VerifySection (checksums alone cannot
   // reject crafted files, whose CRCs are self-consistent).
-  Status ValidateSectionValues(const Section& section) const;
+  [[nodiscard]] Status ValidateSectionValues(const Section& section) const;
 
   void* map_ = nullptr;
   size_t map_size_ = 0;

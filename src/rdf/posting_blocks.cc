@@ -208,7 +208,7 @@ PostingBlockSource::PostingBlockSource(std::vector<PostingBlockHeader> headers,
 std::shared_ptr<const DecodedPostingBlock> PostingBlockSource::Decode(
     size_t block) const {
   SPECQP_CHECK(block < headers_.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (slots_[block] != nullptr) return slots_[block];
   auto decoded = std::make_shared<DecodedPostingBlock>();
   Status status;
@@ -239,7 +239,7 @@ std::shared_ptr<const DecodedPostingBlock> PostingBlockSource::Decode(
 }
 
 size_t PostingBlockSource::ReleaseDecodedBlocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t released = 0;
   for (auto& slot : slots_) {
     if (slot != nullptr) {

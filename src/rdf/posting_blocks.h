@@ -5,12 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "rdf/posting_entry.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -87,9 +88,10 @@ struct DecodedPostingBlock {
 // payload section. `id_limit` bounds triple indexes (pass the store's
 // triple count; UINT32_MAX disables the check). On success `out->entries`
 // holds exactly header.entry_count entries.
-Status DecodePostingBlock(const PostingBlockHeader& header,
-                          std::span<const uint8_t> payload, uint32_t id_limit,
-                          DecodedPostingBlock* out);
+[[nodiscard]] Status DecodePostingBlock(const PostingBlockHeader& header,
+                                        std::span<const uint8_t> payload,
+                                        uint32_t id_limit,
+                                        DecodedPostingBlock* out);
 
 // The block backend of a PostingList: block headers plus the encoded
 // payload (zero-copy spans into a mapping, or owned buffers), with a
@@ -159,8 +161,9 @@ class PostingBlockSource {
   uint32_t id_limit_ = UINT32_MAX;
   size_t owned_bytes_ = 0;
 
-  mutable std::mutex mu_;
-  mutable std::vector<std::shared_ptr<const DecodedPostingBlock>> slots_;
+  mutable Mutex mu_;
+  mutable std::vector<std::shared_ptr<const DecodedPostingBlock>> slots_
+      SPECQP_GUARDED_BY(mu_);
   mutable std::atomic<size_t> decoded_bytes_{0};
   mutable std::atomic<uint64_t> fault_count_{0};
 };

@@ -450,7 +450,7 @@ std::shared_ptr<const PostingList> PostingListCache::GetLocked(
 std::shared_ptr<const PostingList> PostingListCache::Get(
     const PatternKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto list = GetLocked(shard, key, /*count_stats=*/true);
   EvictIfOver(shard, key);
   return list;
@@ -459,7 +459,7 @@ std::shared_ptr<const PostingList> PostingListCache::Get(
 std::shared_ptr<const PostingList> PostingListCache::GetUncounted(
     const PatternKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto list = GetLocked(shard, key, /*count_stats=*/false);
   EvictIfOver(shard, key);
   return list;
@@ -468,7 +468,7 @@ std::shared_ptr<const PostingList> PostingListCache::GetUncounted(
 std::shared_ptr<const PostingList> PostingListCache::Peek(
     const PatternKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   return it == shard.map.end() ? nullptr : it->second.list;
 }
@@ -476,7 +476,7 @@ std::shared_ptr<const PostingList> PostingListCache::Peek(
 std::shared_ptr<const PostingList> PostingListCache::Put(
     const PatternKey& key, std::shared_ptr<const PostingList> list) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) return it->second.list;
   Entry entry;
@@ -494,7 +494,7 @@ std::vector<std::shared_ptr<const PostingList>>
 PostingListCache::GetPartitions(const PatternKey& key, int slot,
                                 uint32_t num_partitions) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const PartitionKey part_key{key.s, key.p, key.o, slot, num_partitions};
   auto it = shard.partitions.find(part_key);
   if (it != shard.partitions.end()) {
@@ -531,7 +531,7 @@ PostingListCache::GetPartitions(const PatternKey& key, int slot,
 
 void PostingListCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.clear();
     shard.partitions.clear();
     shard.bytes = 0;
@@ -546,7 +546,7 @@ void PostingListCache::Clear() {
 uint64_t PostingListCache::hits() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.hits;
   }
   return total;
@@ -555,7 +555,7 @@ uint64_t PostingListCache::hits() const {
 uint64_t PostingListCache::misses() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.misses;
   }
   return total;
@@ -564,7 +564,7 @@ uint64_t PostingListCache::misses() const {
 uint64_t PostingListCache::evictions() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.evictions;
   }
   return total;
@@ -573,7 +573,7 @@ uint64_t PostingListCache::evictions() const {
 size_t PostingListCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;
@@ -582,7 +582,7 @@ size_t PostingListCache::size() const {
 size_t PostingListCache::bytes() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.bytes;
   }
   return total;

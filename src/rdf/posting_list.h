@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <tuple>
 #include <unordered_map>
@@ -16,6 +15,8 @@
 #include "rdf/posting_entry.h"
 #include "rdf/triple_pattern.h"
 #include "rdf/triple_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -182,7 +183,8 @@ class BlockIterator {
 // predicate pattern (?s <p> ?o), returns a zero-copy list over the file's
 // posting directory instead of building: a flat span for v2 stores, a
 // block-compressed BlockView for v3 stores.
-PostingList BuildPostingList(const TripleStore& store, const PatternKey& key);
+[[nodiscard]] PostingList BuildPostingList(const TripleStore& store,
+                                           const PatternKey& key);
 
 // Materialised posting lists keyed by PatternKey, built on first use.
 //
@@ -237,18 +239,21 @@ class PostingListCache {
   PostingListCache(const PostingListCache&) = delete;
   PostingListCache& operator=(const PostingListCache&) = delete;
 
-  // Shared ownership so operator trees can outlive cache eviction.
-  std::shared_ptr<const PostingList> Get(const PatternKey& key);
+  // Shared ownership so operator trees can outlive cache eviction. The
+  // returned pin is what keeps the list resident — discarding it silently
+  // re-triggers a build on the next Get, hence [[nodiscard]].
+  [[nodiscard]] std::shared_ptr<const PostingList> Get(const PatternKey& key);
 
   // Like Get() but without touching the hit/miss counters — for internal
   // probes (e.g. the executor's parallel-eligibility sizing pass) that
   // should not skew the telemetry exported to bench artifacts.
-  std::shared_ptr<const PostingList> GetUncounted(const PatternKey& key);
+  [[nodiscard]] std::shared_ptr<const PostingList> GetUncounted(
+      const PatternKey& key);
 
   // The key's list if resident, nullptr otherwise — never builds and never
   // touches the counters or the LRU clock. Used by the shared-scan layer
   // to decide whether a base list is free to reuse.
-  std::shared_ptr<const PostingList> Peek(const PatternKey& key);
+  [[nodiscard]] std::shared_ptr<const PostingList> Peek(const PatternKey& key);
 
   // Inserts an externally built list (e.g. one derived by a shared scan)
   // if the key is not already resident, so later Gets hit instead of
@@ -262,7 +267,7 @@ class PostingListCache {
   // parallel executions of the same query do not re-partition on every
   // Execute(). Piece sets share the key's shard (lock, LRU clock, byte
   // budget) with the plain lists.
-  std::vector<std::shared_ptr<const PostingList>> GetPartitions(
+  [[nodiscard]] std::vector<std::shared_ptr<const PostingList>> GetPartitions(
       const PatternKey& key, int slot, uint32_t num_partitions);
 
   // Drops every resident list AND resets the hit/miss/eviction counters,
@@ -306,35 +311,36 @@ class PostingListCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PatternKey, Entry, PatternKeyHash> map;
-    std::map<PartitionKey, PartitionEntry> partitions;
-    uint64_t clock = 0;
-    size_t bytes = 0;  // lists + partition pieces
-    double inflation = 0.0;  // floor for cost-aware priorities
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::unordered_map<PatternKey, Entry, PatternKeyHash> map
+        SPECQP_GUARDED_BY(mu);
+    std::map<PartitionKey, PartitionEntry> partitions SPECQP_GUARDED_BY(mu);
+    uint64_t clock SPECQP_GUARDED_BY(mu) = 0;
+    size_t bytes SPECQP_GUARDED_BY(mu) = 0;  // lists + partition pieces
+    double inflation SPECQP_GUARDED_BY(mu) = 0.0;  // cost-aware floor
+    uint64_t hits SPECQP_GUARDED_BY(mu) = 0;
+    uint64_t misses SPECQP_GUARDED_BY(mu) = 0;
+    uint64_t evictions SPECQP_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const PatternKey& key);
-  // The key's list, building and inserting on miss. Caller holds shard.mu.
+  // The key's list, building and inserting on miss.
   // `count_stats` is false for internal lookups (e.g. the base list behind
   // a partition request) so one logical Get counts one hit or miss.
   std::shared_ptr<const PostingList> GetLocked(Shard& shard,
                                                const PatternKey& key,
-                                               bool count_stats);
+                                               bool count_stats)
+      SPECQP_REQUIRES(shard.mu);
   // Brings the shard's byte accounting for blocked lists up to date
   // (decoded-block memos grow outside the lock while operators iterate).
-  // Caller holds the shard lock.
-  void SyncBlockBytes(Shard& shard);
+  void SyncBlockBytes(Shard& shard) SPECQP_REQUIRES(shard.mu);
   // Evicts until the shard fits its budget slice: first releases decoded
   // blocks from blocked lists (LRU order, pinned and `keep` included —
   // release never invalidates readers), then evicts LRU unpinned
-  // lists/piece sets (never `keep` or `keep_parts`). Caller holds the
-  // shard lock.
+  // lists/piece sets (never `keep` or `keep_parts`).
   void EvictIfOver(Shard& shard, const PatternKey& keep,
-                   const PartitionKey* keep_parts = nullptr);
+                   const PartitionKey* keep_parts = nullptr)
+      SPECQP_REQUIRES(shard.mu);
 
   const TripleStore* store_;
   size_t budget_bytes_;

@@ -379,7 +379,12 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   sharded->store_format_ = header.store_format;
   sharded->runtime_ =
       std::make_unique<ShardRuntime[]>(header.shard_count);
-  sharded->quarantine_reasons_.resize(header.shard_count);
+  {
+    // Pre-publication (no concurrent readers yet), but taking the lock
+    // keeps the guarded_by contract unconditional.
+    MutexLock lock(sharded->quarantine_mutex_);
+    sharded->quarantine_reasons_.resize(header.shard_count);
+  }
 
   uint64_t total_triples = 0;
   for (uint32_t i = 0; i < header.shard_count; ++i) {
@@ -431,7 +436,10 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
       sharded->shards_.push_back(nullptr);
       sharded->runtime_[i].quarantined.store(true, std::memory_order_release);
       sharded->quarantined_count_.fetch_add(1, std::memory_order_acq_rel);
-      sharded->quarantine_reasons_[i] = shard.status().ToString();
+      {
+        MutexLock lock(sharded->quarantine_mutex_);
+        sharded->quarantine_reasons_[i] = shard.status().ToString();
+      }
       continue;
     }
     total_triples += entries[i].triple_count;
@@ -550,7 +558,7 @@ std::span<const uint32_t> ShardedStore::Match(const PatternKey& key) const {
   for (size_t attempt = 0; attempt <= n + 1; ++attempt) {
     const uint64_t epoch0 = fault_epoch_.load(std::memory_order_acquire);
     {
-      std::lock_guard<std::mutex> lock(memo_mutex_);
+      MutexLock lock(memo_mutex_);
       auto it = match_memo_.find(key);
       if (it != match_memo_.end() && it->second.epoch == epoch0) {
         return it->second.ids;
@@ -621,7 +629,7 @@ std::span<const uint32_t> ShardedStore::Match(const PatternKey& key) const {
     // again so a page lost DURING the merge invalidates this pass.
     PollFaults();
 
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    MutexLock lock(memo_mutex_);
     if (fault_epoch_.load(std::memory_order_acquire) != epoch0) continue;
     for (size_t s = 0; s < n; ++s) {
       if (scattered[s].empty() && !shard_alive(s)) continue;
@@ -646,7 +654,7 @@ std::span<const uint32_t> ShardedStore::Match(const PatternKey& key) const {
 }
 
 void ShardedStore::Quarantine(size_t i, const std::string& reason) const {
-  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  MutexLock lock(quarantine_mutex_);
   if (runtime_[i].quarantined.load(std::memory_order_acquire)) return;
   // Order matters for readers without the lock: the per-shard flag first
   // (scatters stop touching the shard), the epoch last (a reader that
@@ -659,7 +667,7 @@ void ShardedStore::Quarantine(size_t i, const std::string& reason) const {
 }
 
 std::string ShardedStore::quarantine_reason(size_t i) const {
-  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  MutexLock lock(quarantine_mutex_);
   return quarantine_reasons_[i];
 }
 

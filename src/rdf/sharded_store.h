@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,9 +10,11 @@
 #include "rdf/mmap_store.h"
 #include "rdf/store_format.h"
 #include "rdf/triple_store.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/retry.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -67,7 +68,7 @@ struct ShardBundleOptions {
 // files under the directory `dir` (created if absent) and writes the
 // manifest. Every shard file carries the full dictionary in the store's
 // intern order, so shard TermIds are the store's TermIds.
-Status WriteShardBundle(const TripleStore& store, const std::string& dir,
+[[nodiscard]] Status WriteShardBundle(const TripleStore& store, const std::string& dir,
                         const ShardBundleOptions& options = {});
 
 // Seals a bundle directory: reads back the header + section table of every
@@ -75,7 +76,7 @@ Status WriteShardBundle(const TripleStore& store, const std::string& dir,
 // version and dictionary, and writes manifest.sqpb with their sizes,
 // triple counts, and digests. Writers that stream shards to disk call
 // this once after the last shard lands.
-Status WriteBundleManifest(const std::string& dir, uint32_t shard_count,
+[[nodiscard]] Status WriteBundleManifest(const std::string& dir, uint32_t shard_count,
                            bundle::HashScheme scheme,
                            uint32_t format_version);
 
@@ -152,7 +153,7 @@ class ShardedStore : public ShardedTripleSource {
     RetryPolicy open_retry;
   };
 
-  static Result<std::unique_ptr<ShardedStore>> Open(
+  [[nodiscard]] static Result<std::unique_ptr<ShardedStore>> Open(
       const std::string& path, const Options& options = Options());
 
   ShardedStore(const ShardedStore&) = delete;
@@ -233,7 +234,7 @@ class ShardedStore : public ShardedTripleSource {
         loc_local_[global_index]);
   }
 
-  Status BuildGlobalOrder();
+  [[nodiscard]] Status BuildGlobalOrder();
 
   // nullptr = failed at open under allow_quarantine (excluded from the
   // global order; no mapping behind the slot).
@@ -258,8 +259,9 @@ class ShardedStore : public ShardedTripleSource {
   mutable std::atomic<uint64_t> fault_epoch_{0};
   // Serialises Quarantine() (reason bookkeeping); never held on read
   // paths.
-  mutable std::mutex quarantine_mutex_;
-  mutable std::vector<std::string> quarantine_reasons_;
+  mutable Mutex quarantine_mutex_;
+  mutable std::vector<std::string> quarantine_reasons_
+      SPECQP_GUARDED_BY(quarantine_mutex_);
 
   // Memoised per-pattern gathers, tagged with the fault epoch they were
   // computed under; a stale entry is recomputed and its old buffer moved
@@ -269,10 +271,11 @@ class ShardedStore : public ShardedTripleSource {
     uint64_t epoch = 0;
     std::vector<uint32_t> ids;
   };
-  mutable std::mutex memo_mutex_;
-  mutable std::unordered_map<PatternKey, MemoEntry, PatternKeyHash>
-      match_memo_;
-  mutable std::vector<std::vector<uint32_t>> retired_;
+  mutable Mutex memo_mutex_;
+  mutable std::unordered_map<PatternKey, MemoEntry, PatternKeyHash> match_memo_
+      SPECQP_GUARDED_BY(memo_mutex_);
+  mutable std::vector<std::vector<uint32_t>> retired_
+      SPECQP_GUARDED_BY(memo_mutex_);
 
   struct alignas(64) GatherCounters {
     std::atomic<uint64_t> triples{0};

@@ -67,7 +67,7 @@ PostingList SharedScanCache::DeriveObjectList(const TripleStore& store,
 std::shared_ptr<const PostingList> SharedScanCache::ResolveOne(
     const PatternKey& key) {
   auto list = base_->Get(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (map_.emplace(key, list).second) ++counters_.resolved_lists;
   return list;
 }
@@ -76,7 +76,12 @@ void SharedScanCache::DeriveGroup(TermId p,
                                   const std::vector<TermId>& objects) {
   const PatternKey base_key{kInvalidTermId, p, kInvalidTermId};
   const auto base = base_->Get(base_key);
-  ++counters_.base_scans;
+  {
+    // counters_ is guarded: even though Prepare runs single-threaded, a
+    // concurrent Get() may be copying the counters snapshot.
+    MutexLock lock(mu_);
+    ++counters_.base_scans;
+  }
 
   // One pass over the predicate's base list, routing each entry (with its
   // exact RAW triple score) to its object's bucket.
@@ -98,9 +103,11 @@ void SharedScanCache::DeriveGroup(TermId p,
     const PatternKey key{kInvalidTermId, p, objects[i]};
     // Publish into the base cache so post-batch queries (and the batch's
     // statistics pass) reuse the derived list instead of rebuilding it.
-    base_->Put(key, list);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (map_.emplace(key, std::move(list)).second) {
+    // Put returns the list actually resident (an earlier insert wins a
+    // race); memoise that one so every layer pins the same object.
+    auto resident = base_->Put(key, std::move(list));
+    MutexLock lock(mu_);
+    if (map_.emplace(key, std::move(resident)).second) {
       ++counters_.resolved_lists;
       ++counters_.derived_lists;
     }
@@ -112,7 +119,7 @@ void SharedScanCache::Prepare(std::span<const PatternKey> keys) {
   std::vector<PatternKey> todo;
   todo.reserve(keys.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const PatternKey& key : keys) {
       if (map_.find(key) == map_.end()) todo.push_back(key);
     }
@@ -175,7 +182,7 @@ void SharedScanCache::Prepare(std::span<const PatternKey> keys) {
 std::shared_ptr<const PostingList> SharedScanCache::Get(
     const PatternKey& key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       ++counters_.hits;
@@ -188,17 +195,17 @@ std::shared_ptr<const PostingList> SharedScanCache::Get(
   // build may be slow — then memoise. The first resolver wins so every
   // caller sees one stable list.
   auto list = base_->Get(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.emplace(key, std::move(list)).first->second;
 }
 
 SharedScanCache::Counters SharedScanCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 size_t SharedScanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,8 @@
 #include "rdf/posting_list.h"
 #include "rdf/triple_pattern.h"
 #include "rdf/triple_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -61,7 +62,7 @@ class SharedScanCache {
   // The key's posting list: from the batch map when prepared (a shared
   // scan hit), else through the base cache (counted as a miss here, and
   // inserted so the next Get hits). Thread-safe.
-  std::shared_ptr<const PostingList> Get(const PatternKey& key);
+  [[nodiscard]] std::shared_ptr<const PostingList> Get(const PatternKey& key);
 
   Counters counters() const;
   size_t size() const;
@@ -83,11 +84,11 @@ class SharedScanCache {
   const TripleStore* store_;
   PostingListCache* base_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<PatternKey, std::shared_ptr<const PostingList>,
                      PatternKeyHash>
-      map_;
-  Counters counters_;
+      map_ SPECQP_GUARDED_BY(mu_);
+  Counters counters_ SPECQP_GUARDED_BY(mu_);
 };
 
 }  // namespace specqp

@@ -60,14 +60,14 @@ struct SaveStoreOptions {
   double stats_head_fraction = 0.0;
 };
 
-Status SaveStore(const TripleStore& store, const std::string& path,
+[[nodiscard]] Status SaveStore(const TripleStore& store, const std::string& path,
                  const SaveStoreOptions& options = {});
 
-Status SaveStoreV1(const TripleStore& store, const std::string& path);
+[[nodiscard]] Status SaveStoreV1(const TripleStore& store, const std::string& path);
 
-Result<TripleStore> LoadStore(const std::string& path);
+[[nodiscard]] Result<TripleStore> LoadStore(const std::string& path);
 
-Result<uint32_t> PeekStoreVersion(const std::string& path);
+[[nodiscard]] Result<uint32_t> PeekStoreVersion(const std::string& path);
 
 }  // namespace specqp
 

@@ -34,7 +34,7 @@ struct MinerOptions {
 // co-instance containment used for XKG-style type relaxations
 // (<singer> ~> <vocalist> with high weight because most singers are also
 // vocalists). Emitted rules are appended to `index`.
-Status MineObjectCooccurrence(const TripleStore& store, TermId predicate,
+[[nodiscard]] Status MineObjectCooccurrence(const TripleStore& store, TermId predicate,
                               const MinerOptions& options,
                               RelaxationIndex* index);
 
@@ -53,7 +53,7 @@ struct ChainMinerOptions {
 // with weight = |subjects(chain) ∩ subjects(?s predicate o)| /
 // |subjects(chain)| — the precision of "matches something related to o" as
 // a predictor of "matches o", clamped to weight_cap.
-Status MineChainRelaxations(const TripleStore& store, TermId predicate,
+[[nodiscard]] Status MineChainRelaxations(const TripleStore& store, TermId predicate,
                             TermId related_predicate,
                             const ChainMinerOptions& options,
                             RelaxationIndex* index);

@@ -26,12 +26,12 @@ struct RelaxationRule {
 
 // Validates structural well-formedness: weight in (0, 1], identical bound
 // mask on both sides, from != to.
-Status ValidateRule(const RelaxationRule& rule);
+[[nodiscard]] Status ValidateRule(const RelaxationRule& rule);
 
 // Rewrites `pattern` (whose Key() must equal rule.from) by substituting the
 // constants of rule.to; variables keep their positions and ids. Definition 8's
 // "result of applying r to Q" for a single pattern.
-Result<TriplePattern> ApplyRule(const TriplePattern& pattern,
+[[nodiscard]] Result<TriplePattern> ApplyRule(const TriplePattern& pattern,
                                 const RelaxationRule& rule);
 
 // "<singer> ~> <vocalist> (w=0.8)" — for logs and examples.
@@ -68,7 +68,7 @@ struct ChainRelaxationRule {
 };
 
 // weight in (0, 1]; domain has exactly subject free; hop terms valid.
-Status ValidateChainRule(const ChainRelaxationRule& rule);
+[[nodiscard]] Status ValidateChainRule(const ChainRelaxationRule& rule);
 
 // The two concrete hop patterns for `pattern` (whose Key() must equal
 // rule.from and whose subject must be a variable); `fresh_var` is the
@@ -77,7 +77,7 @@ struct ChainPatterns {
   TriplePattern hop1;
   TriplePattern hop2;
 };
-Result<ChainPatterns> ApplyChainRule(const TriplePattern& pattern,
+[[nodiscard]] Result<ChainPatterns> ApplyChainRule(const TriplePattern& pattern,
                                      const ChainRelaxationRule& rule,
                                      VarId fresh_var);
 

@@ -26,7 +26,7 @@ class RelaxationIndex {
 
   // Validates and inserts. A duplicate (from, to) pair keeps the higher
   // weight.
-  Status AddRule(const RelaxationRule& rule);
+  [[nodiscard]] Status AddRule(const RelaxationRule& rule);
 
   // Rules whose domain is `key`, sorted by weight descending (ties by
   // target ids for determinism). Empty span if none.
@@ -49,7 +49,7 @@ class RelaxationIndex {
 
   // Validates and inserts; duplicates (same domain and hops) keep the
   // higher weight.
-  Status AddChainRule(const ChainRelaxationRule& rule);
+  [[nodiscard]] Status AddChainRule(const ChainRelaxationRule& rule);
 
   // Chain rules for `key`, sorted by weight descending.
   std::span<const ChainRelaxationRule> ChainRulesFor(

@@ -22,9 +22,9 @@ namespace specqp {
 // rdf/store_io.h). Load validates magic, version, CRC, and each rule's
 // structural invariants.
 
-Status SaveRules(const RelaxationIndex& rules, const std::string& path);
+[[nodiscard]] Status SaveRules(const RelaxationIndex& rules, const std::string& path);
 
-Result<RelaxationIndex> LoadRules(const std::string& path);
+[[nodiscard]] Result<RelaxationIndex> LoadRules(const std::string& path);
 
 }  // namespace specqp
 

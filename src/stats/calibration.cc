@@ -54,7 +54,7 @@ CalibrationLog::CalibrationLog(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {}
 
 void CalibrationLog::RecordPattern(CalibrationPatternRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   patterns_.push_back(std::move(record));
   while (patterns_.size() > capacity_) {
     patterns_.pop_front();
@@ -63,7 +63,7 @@ void CalibrationLog::RecordPattern(CalibrationPatternRecord record) {
 }
 
 void CalibrationLog::RecordQuery(CalibrationQueryRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queries_.push_back(std::move(record));
   while (queries_.size() > capacity_) {
     queries_.pop_front();
@@ -72,17 +72,17 @@ void CalibrationLog::RecordQuery(CalibrationQueryRecord record) {
 }
 
 std::vector<CalibrationPatternRecord> CalibrationLog::PatternRecords() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {patterns_.begin(), patterns_.end()};
 }
 
 std::vector<CalibrationQueryRecord> CalibrationLog::QueryRecords() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {queries_.begin(), queries_.end()};
 }
 
 uint64_t CalibrationLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 

@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "rdf/triple_pattern.h"
 #include "rdf/triple_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -83,10 +84,10 @@ class CalibrationLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<CalibrationPatternRecord> patterns_;
-  std::deque<CalibrationQueryRecord> queries_;
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::deque<CalibrationPatternRecord> patterns_ SPECQP_GUARDED_BY(mu_);
+  std::deque<CalibrationQueryRecord> queries_ SPECQP_GUARDED_BY(mu_);
+  uint64_t dropped_ SPECQP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace specqp

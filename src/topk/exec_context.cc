@@ -32,13 +32,13 @@ size_t ExecContext::num_threads() const {
 }
 
 ExecContext* ExecContext::ForPartition() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitions_.push_back(std::make_unique<Partition>(shared_scans_, interrupt_));
   return &partitions_.back()->ctx;
 }
 
 void ExecContext::MergePartitionStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& partition : partitions_) {
     *stats_ += partition->stats;
     // Zero rather than destroy: operators of a still-alive tree may hold

@@ -6,9 +6,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "topk/exec_stats.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -245,8 +246,10 @@ class ExecContext {
   bool checkpoint_fired_ = false;
   bool has_parallel_min_rows_override_ = false;
   size_t parallel_min_rows_override_ = 0;
-  std::mutex mu_;
-  std::deque<std::unique_ptr<Partition>> partitions_;
+  // Guards the partition arena only; everything above is either atomic
+  // (via ExecInterrupt) or single-threaded by the execution contract.
+  Mutex mu_;
+  std::deque<std::unique_ptr<Partition>> partitions_ SPECQP_GUARDED_BY(mu_);
 };
 
 }  // namespace specqp

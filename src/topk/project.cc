@@ -10,6 +10,9 @@ ProjectIterator::ProjectIterator(std::unique_ptr<ScoredRowIterator> input,
   SPECQP_CHECK(input_ != nullptr);
 }
 
+// specqp-lint: allow-no-interrupt-poll (pure per-row transform; the child
+// iterator's Next polls ExecInterrupt on every pull, so projection adds no
+// uninterruptible work between polls)
 bool ProjectIterator::Next(ScoredRow* out) {
   if (!input_->Next(out)) return false;
   for (VarId v : cleared_vars_) {

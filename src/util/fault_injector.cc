@@ -122,15 +122,18 @@ Status FaultInjector::Configure(std::string_view plan) {
 
   // Disarm first so no probe walks the map while we swap it. Callers must
   // not configure concurrently with probes (documented contract); this
-  // ordering just keeps the single-configurator case airtight.
+  // ordering just keeps the single-configurator case airtight. Decide
+  // arming from the local map before it is moved: reading sites_ after the
+  // lock is released would race with a concurrent Configure.
+  const bool arm = !sites.empty();
   fault_internal::g_fault_armed.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     plan_ = std::string(StripWhitespace(plan));
     seed_ = seed;
     sites_ = std::move(sites);
   }
-  if (!sites_.empty()) {
+  if (arm) {
     fault_internal::g_fault_armed.store(true, std::memory_order_release);
   }
   return Status::Ok();
@@ -138,7 +141,7 @@ Status FaultInjector::Configure(std::string_view plan) {
 
 void FaultInjector::Disarm() {
   fault_internal::g_fault_armed.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   plan_.clear();
   seed_ = 0;
   sites_.clear();
@@ -149,7 +152,7 @@ bool FaultInjector::armed() const {
 }
 
 std::string FaultInjector::plan() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return plan_;
 }
 
@@ -190,14 +193,14 @@ bool FaultInjector::Probe(std::string_view site, uint64_t instance) {
 }
 
 uint64_t FaultInjector::FireCount(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(std::string(site));
   return it == sites_.end() ? 0
                             : it->second->fires.load(std::memory_order_relaxed);
 }
 
 uint64_t FaultInjector::ProbeCount(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(std::string(site));
   return it == sites_.end()
              ? 0
@@ -205,7 +208,7 @@ uint64_t FaultInjector::ProbeCount(std::string_view site) const {
 }
 
 void FaultInjector::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, site] : sites_) {
     site->probes.store(0, std::memory_order_relaxed);
     site->fires.store(0, std::memory_order_relaxed);

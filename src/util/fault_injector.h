@@ -4,14 +4,36 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
+
+// Registry of every fault site the tree probes. A site string used with
+// FaultShouldFail anywhere under src/ MUST appear here (enforced by
+// scripts/specqp_lint.py rule 2), so a fault plan cannot silently name a
+// site that no longer exists — and the chaos harness can enumerate every
+// injection point without grepping.
+inline constexpr std::string_view kFaultSiteRegistry[] = {
+    "store.open",    // store_io.cc / mmap_store.cc: opening a store file
+    "shard.open",    // sharded_store.cc: opening one shard of a bundle
+    "shard.read",    // sharded_store.cc: per-shard scatter-gather read
+    "block.decode",  // posting_blocks.cc: decoding one compressed block
+    "cache.alloc",   // posting_list.cc: posting-list build/cache insert
+};
+
+// True when `site` is registered in kFaultSiteRegistry.
+constexpr bool IsRegisteredFaultSite(std::string_view site) {
+  for (std::string_view s : kFaultSiteRegistry) {
+    if (s == site) return true;
+  }
+  return false;
+}
 
 // Process-wide deterministic fault injection.
 //
@@ -59,7 +81,7 @@ class FaultInjector {
 
   // Parses and installs `plan`; an empty plan disarms the injector. On a
   // parse error the previous plan is left untouched. Resets all counters.
-  Status Configure(std::string_view plan);
+  [[nodiscard]] Status Configure(std::string_view plan);
 
   // Removes the active plan; probes return to the no-op fast path.
   void Disarm();
@@ -71,9 +93,17 @@ class FaultInjector {
   // Decides whether the probe at `site` fires now. Called via the
   // FaultShouldFail free functions below, which handle the disarmed fast
   // path; calling Probe directly skips that fast path.
-  bool Probe(std::string_view site);
+  //
+  // Deliberately lock-free: probes read sites_/seed_ without mutex_. Safe
+  // because the map is only mutated in Configure/Disarm, which are
+  // documented not to run concurrently with probes, and a probe that
+  // observes g_fault_armed==true happens-after the release-store that
+  // published the fully-built map. The thread-safety analysis cannot see
+  // that protocol, so these two are opted out.
+  bool Probe(std::string_view site) SPECQP_NO_THREAD_SAFETY_ANALYSIS;
   // Instance-qualified probe: tries "<site>.<instance>" first, then `site`.
-  bool Probe(std::string_view site, uint64_t instance);
+  bool Probe(std::string_view site,
+             uint64_t instance) SPECQP_NO_THREAD_SAFETY_ANALYSIS;
 
   // Observability for tests and benches. Counts are cumulative since the
   // last Configure()/ResetCounters(). An unknown site reads as zero.
@@ -95,15 +125,17 @@ class FaultInjector {
     std::atomic<uint64_t> fires{0};
   };
 
-  bool ProbeSite(Site* site) const;
+  // Same armed-flag protocol as Probe: reads seed_ without the lock.
+  bool ProbeSite(Site* site) const SPECQP_NO_THREAD_SAFETY_ANALYSIS;
 
-  mutable std::mutex mutex_;  // guards plan_ / seed_ / sites_ mutation
-  std::string plan_;
-  uint64_t seed_ = 0;
+  mutable Mutex mutex_;  // guards plan_ / seed_ / sites_ mutation
+  std::string plan_ SPECQP_GUARDED_BY(mutex_);
+  uint64_t seed_ SPECQP_GUARDED_BY(mutex_) = 0;
   // Heap-allocated Sites so lookups can hand out stable pointers; the map
   // itself is only mutated under mutex_ in Configure (probes happen-after
   // the armed release-store, see fault_internal::g_fault_armed).
-  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_
+      SPECQP_GUARDED_BY(mutex_);
 };
 
 namespace fault_internal {
@@ -131,8 +163,10 @@ inline bool FaultShouldFail(std::string_view site, uint64_t instance) {
 }
 
 // Test helper: installs `plan` for the lifetime of the scope, restoring the
-// previously active plan (including "no plan") on destruction.
-class ScopedFaultPlan {
+// previously active plan (including "no plan") on destruction. [[nodiscard]]
+// so `ScopedFaultPlan("...");` — a guard that dies immediately, arming
+// nothing — is a compile-time warning instead of a silent no-op.
+class [[nodiscard]] ScopedFaultPlan {
  public:
   explicit ScopedFaultPlan(std::string_view plan);
   ~ScopedFaultPlan();

@@ -12,8 +12,10 @@ namespace specqp {
 // Result<T> holds either a value of type T or a non-OK Status, mirroring
 // absl::StatusOr. Accessing the value of an errored Result aborts (program
 // logic error); callers must check ok() first or use value_or().
+// [[nodiscard]] for the same reason as Status: a dropped Result is a
+// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit, so functions returning Result<T> can
   // `return value;` and `return SomeStatus;` symmetrically.

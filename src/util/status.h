@@ -36,7 +36,12 @@ std::string_view StatusCodeToString(StatusCode code);
 
 // Value-type carrying a StatusCode plus an optional message. The OK status
 // carries no message and is cheap to copy.
-class Status {
+//
+// [[nodiscard]] on the class makes every by-value Status return checked at
+// the call site: a dropped kIoError/kUnavailable is a compile warning (an
+// error under -Werror), not a silently shipped fault. Intentional drops
+// spell it out with a (void) cast or SPECQP_IGNORE_STATUS below.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -112,6 +117,13 @@ class Status {
   do {                                                \
     ::specqp::Status _specqp_status = (expr);         \
     if (!_specqp_status.ok()) return _specqp_status;  \
+  } while (false)
+
+// Explicitly discards a Status. Use only where dropping the error is the
+// design (e.g. a best-effort cleanup path) and say why in a comment.
+#define SPECQP_IGNORE_STATUS(expr) \
+  do {                             \
+    (void)(expr);                  \
   } while (false)
 
 #endif  // SPECQP_UTIL_STATUS_H_

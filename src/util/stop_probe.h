@@ -16,7 +16,10 @@ namespace specqp {
 // is a null check returning false.
 using StopProbeFn = bool (*)(const void* ctx);
 
-class ScopedStopProbe {
+// [[nodiscard]] on the class: constructing-and-discarding the guard
+// (`ScopedStopProbe(fn, ctx);`) installs and immediately removes the
+// probe, which is never what the caller meant.
+class [[nodiscard]] ScopedStopProbe {
  public:
   // Installs `fn(ctx)` as this thread's probe, remembering the previous
   // one (probes nest across re-entrant execution).

@@ -1,0 +1,80 @@
+#ifndef SPECQP_UTIL_THREAD_ANNOTATIONS_H_
+#define SPECQP_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (the Capability-system
+// approach of "C/C++ Thread Safety Analysis", Hutchins et al.). Under
+// Clang with -Wthread-safety these turn the locking comments that used to
+// live in prose ("caller holds mu_", "guarded by shard.mu") into
+// compile-time checked contracts; under GCC and MSVC every macro expands
+// to nothing, so the portable build is unaffected.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md for the full catalog):
+//  - Every long-lived mutex member is a specqp::Mutex (util/mutex.h), the
+//    annotated wrapper — std::mutex itself carries no capability attribute
+//    and is invisible to the analysis. specqp_lint.py rule 4 enforces this.
+//  - Data members touched only under a lock carry
+//    SPECQP_GUARDED_BY(mu_); private helpers that assume the lock is
+//    already held carry SPECQP_REQUIRES(mu_) instead of a `Locked` name
+//    suffix alone.
+//  - Deliberate lock-free fast paths (the fault injector's armed-flag
+//    probe) are marked SPECQP_NO_THREAD_SAFETY_ANALYSIS with a comment
+//    explaining the protocol that makes them safe.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SPECQP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SPECQP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// Declares a type to be a capability ("mutex") the analysis can track.
+#define SPECQP_CAPABILITY(x) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SPECQP_SCOPED_CAPABILITY \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data member may only be read or written while holding `x`.
+#define SPECQP_GUARDED_BY(x) SPECQP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer member: the *pointed-to* data is protected by `x`.
+#define SPECQP_PT_GUARDED_BY(x) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function requires the listed capabilities to be held on entry (and does
+// not release them). This replaces the old `FooLocked()` naming-only
+// convention with a checked contract.
+#define SPECQP_REQUIRES(...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function requires the capabilities NOT to be held on entry (deadlock
+// guard for public entry points that take the lock themselves).
+#define SPECQP_EXCLUDES(...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define SPECQP_ACQUIRE(...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SPECQP_RELEASE(...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Function tries to acquire the capability; returns `b` on success.
+#define SPECQP_TRY_ACQUIRE(b, ...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+// Lock ordering: this capability must be acquired after the listed ones.
+#define SPECQP_ACQUIRED_AFTER(...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#define SPECQP_ACQUIRED_BEFORE(...) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+// Return value is a reference to the named capability (used by raw()).
+#define SPECQP_RETURN_CAPABILITY(x) \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Opts a function out of the analysis entirely. Every use must carry a
+// comment justifying why the unchecked access is safe.
+#define SPECQP_NO_THREAD_SAFETY_ANALYSIS \
+  SPECQP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SPECQP_UTIL_THREAD_ANNOTATIONS_H_

@@ -15,11 +15,11 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     SPECQP_CHECK(queue_.empty()) << "ThreadPool destroyed with work in flight";
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -34,10 +34,12 @@ void ThreadPool::RemoveFromQueue(Batch* batch) {
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit Lock/Unlock (not unique_lock) so the analysis can follow the
+  // lock being dropped around task execution and re-taken for bookkeeping.
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
+    if (stop_) break;
     Batch* batch = queue_.front();
     if (batch->next >= batch->tasks->size()) {
       // Fully claimed (stragglers may still be running); stop advertising.
@@ -46,11 +48,12 @@ void ThreadPool::WorkerLoop() {
     }
     const size_t index = batch->next++;
     if (batch->next >= batch->tasks->size()) RemoveFromQueue(batch);
-    lock.unlock();
+    mu_.Unlock();
     (*batch->tasks)[index]();
-    lock.lock();
-    if (++batch->done == batch->tasks->size()) done_cv_.notify_all();
+    mu_.Lock();
+    if (++batch->done == batch->tasks->size()) done_cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::RunAndWait(std::vector<std::function<void()>>* tasks) {
@@ -63,25 +66,26 @@ void ThreadPool::RunAndWait(std::vector<std::function<void()>>* tasks) {
 
   Batch batch{tasks};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(&batch);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller claims tasks too, so the batch makes progress even when all
   // workers are busy with other batches.
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (batch.next < tasks->size()) {
     const size_t index = batch.next++;
     if (batch.next >= tasks->size()) RemoveFromQueue(&batch);
-    lock.unlock();
+    mu_.Unlock();
     (*tasks)[index]();
-    lock.lock();
+    mu_.Lock();
     ++batch.done;
   }
-  done_cv_.wait(lock, [&] { return batch.done == tasks->size(); });
+  while (batch.done < tasks->size()) done_cv_.Wait(mu_);
   // `batch` goes out of scope on return; it must not linger in the queue.
   RemoveFromQueue(&batch);
+  mu_.Unlock();
 }
 
 }  // namespace specqp

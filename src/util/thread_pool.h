@@ -1,13 +1,14 @@
 #ifndef SPECQP_UTIL_THREAD_POOL_H_
 #define SPECQP_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace specqp {
 
@@ -47,19 +48,23 @@ class ThreadPool {
  private:
   struct Batch {
     std::vector<std::function<void()>>* tasks;
+    // next/done are guarded by the pool's mu_ too, but a nested struct
+    // cannot name the outer class's member in a guarded_by attribute, so
+    // the contract is enforced at the access sites instead (all of which
+    // live in functions the analysis sees holding mu_).
     size_t next = 0;  // next unclaimed task index
     size_t done = 0;  // completed task count
   };
 
   void WorkerLoop();
-  // Pops `batch` from queue_ if still enqueued. Caller holds mu_.
-  void RemoveFromQueue(Batch* batch);
+  // Pops `batch` from queue_ if still enqueued.
+  void RemoveFromQueue(Batch* batch) SPECQP_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for batches
-  std::condition_variable done_cv_;  // callers wait for batch completion
-  std::deque<Batch*> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait for batches
+  CondVar done_cv_;  // callers wait for batch completion
+  std::deque<Batch*> queue_ SPECQP_GUARDED_BY(mu_);
+  bool stop_ SPECQP_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

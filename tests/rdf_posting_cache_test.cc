@@ -38,9 +38,9 @@ TEST(PostingCacheClearTest, ClearResetsCounters) {
   // hit rates measured across warm/cold bench phases were wrong.
   TripleStore store = MakeWideStore(4);
   PostingListCache cache(&store);
-  cache.Get(KeyFor(store, 0));
-  cache.Get(KeyFor(store, 0));
-  cache.Get(KeyFor(store, 1));
+  (void)cache.Get(KeyFor(store, 0));
+  (void)cache.Get(KeyFor(store, 0));
+  (void)cache.Get(KeyFor(store, 1));
   EXPECT_EQ(cache.misses(), 2u);
   EXPECT_EQ(cache.hits(), 1u);
 
@@ -52,8 +52,8 @@ TEST(PostingCacheClearTest, ClearResetsCounters) {
   EXPECT_EQ(cache.evictions(), 0u);
 
   // The post-Clear phase counts from zero: one cold miss, one warm hit.
-  cache.Get(KeyFor(store, 0));
-  cache.Get(KeyFor(store, 0));
+  (void)cache.Get(KeyFor(store, 0));
+  (void)cache.Get(KeyFor(store, 0));
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
 }
@@ -77,7 +77,7 @@ TEST(PostingCacheEvictionTest, BudgetRespectedUnderChurn) {
 TEST(PostingCacheEvictionTest, UnboundedByDefault) {
   TripleStore store = MakeWideStore(64);
   PostingListCache cache(&store);
-  for (size_t o = 0; o < 64; ++o) cache.Get(KeyFor(store, o));
+  for (size_t o = 0; o < 64; ++o) (void)cache.Get(KeyFor(store, o));
   EXPECT_EQ(cache.size(), 64u);
   EXPECT_EQ(cache.evictions(), 0u);
 }
@@ -87,7 +87,7 @@ TEST(PostingCacheEvictionTest, PinnedListsSurviveEviction) {
   // A budget of 1 byte forces every unpinned list out.
   PostingListCache cache(&store, 1);
   auto pinned = cache.Get(KeyFor(store, 0));
-  for (size_t o = 1; o < 128; ++o) cache.Get(KeyFor(store, o));
+  for (size_t o = 1; o < 128; ++o) (void)cache.Get(KeyFor(store, o));
   // The pinned list must still be resident: getting it again is a hit and
   // returns the same object.
   const uint64_t hits_before = cache.hits();
@@ -104,7 +104,7 @@ TEST(PostingCacheEvictionTest, EvictedListStaysUsableThroughSharedPtr) {
   // Drop the pin and churn: the entry is now evictable.
   std::shared_ptr<const PostingList> weak_copy = held;
   held.reset();
-  for (size_t o = 1; o < 64; ++o) cache.Get(KeyFor(store, o));
+  for (size_t o = 1; o < 64; ++o) (void)cache.Get(KeyFor(store, o));
   // Whatever the cache did, the surviving shared_ptr still reads fine.
   ASSERT_EQ(weak_copy->size(), 3u);
   EXPECT_DOUBLE_EQ(weak_copy->entries[0].score, 1.0);
@@ -116,10 +116,10 @@ TEST(PostingCacheEvictionTest, LruOrderEvictsColdestFirst) {
   // Two keys in (usually) different shards; regardless of sharding, after
   // churning every other key, re-getting an old key must be a miss if it
   // was evicted — and the counters must reflect exactly one outcome.
-  cache.Get(KeyFor(store, 0));
-  for (size_t o = 1; o < 32; ++o) cache.Get(KeyFor(store, o));
+  (void)cache.Get(KeyFor(store, 0));
+  for (size_t o = 1; o < 32; ++o) (void)cache.Get(KeyFor(store, o));
   const uint64_t gets_before = cache.hits() + cache.misses();
-  cache.Get(KeyFor(store, 0));
+  (void)cache.Get(KeyFor(store, 0));
   EXPECT_EQ(cache.hits() + cache.misses(), gets_before + 1);
   // With a 1-byte budget nothing unpinned survives, so this was a miss.
   EXPECT_GT(cache.evictions(), 0u);
@@ -158,13 +158,13 @@ TEST(PostingCachePartitionsTest, CountTowardsBudgetAndClear) {
   TripleStore store = MakeWideStore(16, 4);
   PostingListCache cache(&store);
   const size_t before = cache.bytes();
-  cache.GetPartitions(KeyFor(store, 0), 0, 4);
+  (void)cache.GetPartitions(KeyFor(store, 0), 0, 4);
   EXPECT_GT(cache.bytes(), before) << "pieces must be accounted";
   cache.Clear();
   EXPECT_EQ(cache.bytes(), 0u);
   // And they are evictable: a tiny budget churns them out.
   PostingListCache bounded(&store, 1);
-  for (size_t o = 0; o < 16; ++o) bounded.GetPartitions(KeyFor(store, o), 0, 4);
+  for (size_t o = 0; o < 16; ++o) (void)bounded.GetPartitions(KeyFor(store, o), 0, 4);
   EXPECT_GT(bounded.evictions(), 0u);
   EXPECT_LE(bounded.bytes(), 4096u);  // only the most recent survivors
 }
@@ -238,9 +238,9 @@ TEST(PostingCacheCostAwareTest, ExpensiveListOutlivesCheaperMoreRecent) {
   // room for.
   {
     PostingListCache lru(&store, budget, /*cost_aware=*/false);
-    lru.Get(big);
-    lru.Get(small[0]);
-    lru.Get(small[1]);  // over budget -> evict
+    (void)lru.Get(big);
+    (void)lru.Get(small[0]);
+    (void)lru.Get(small[1]);  // over budget -> evict
     EXPECT_EQ(lru.Peek(big), nullptr) << "LRU evicts the cold big list";
     EXPECT_GT(lru.evictions(), 0u);
   }
@@ -249,9 +249,9 @@ TEST(PostingCacheCostAwareTest, ExpensiveListOutlivesCheaperMoreRecent) {
   // outlives the cheaper, more recently used one.
   {
     PostingListCache cost(&store, budget, /*cost_aware=*/true);
-    cost.Get(big);
-    cost.Get(small[0]);
-    cost.Get(small[1]);  // over budget -> evict
+    (void)cost.Get(big);
+    (void)cost.Get(small[0]);
+    (void)cost.Get(small[1]);  // over budget -> evict
     EXPECT_NE(cost.Peek(big), nullptr)
         << "cost-aware keeps the expensive list";
     EXPECT_EQ(cost.Peek(small[0]), nullptr)
@@ -259,7 +259,7 @@ TEST(PostingCacheCostAwareTest, ExpensiveListOutlivesCheaperMoreRecent) {
     EXPECT_GT(cost.evictions(), 0u);
     // Re-getting the survivor is a hit.
     const uint64_t hits_before = cost.hits();
-    cost.Get(big);
+    (void)cost.Get(big);
     EXPECT_EQ(cost.hits(), hits_before + 1);
   }
 }
@@ -273,7 +273,7 @@ TEST(PostingCacheEvictionTest, CountersMonotoneUnderChurn) {
   uint64_t gets = 0;
   for (int round = 0; round < 4; ++round) {
     for (size_t o = 0; o < 64; ++o) {
-      cache.Get(KeyFor(store, o));
+      (void)cache.Get(KeyFor(store, o));
       ++gets;
       const uint64_t h = cache.hits();
       const uint64_t m = cache.misses();

@@ -134,7 +134,7 @@ TEST(SharedScanCacheTest, DerivesSiblingsWhenBaseIsResident) {
   const TermId p = store.MustId("p");
 
   PostingListCache base(&store);
-  base.Get(PatternKey{kInvalidTermId, p, kInvalidTermId});  // warm the base
+  (void)base.Get(PatternKey{kInvalidTermId, p, kInvalidTermId});  // warm the base
 
   SharedScanCache shared(&store, &base);
   std::vector<PatternKey> keys;
@@ -155,6 +155,41 @@ TEST(SharedScanCacheTest, DerivesSiblingsWhenBaseIsResident) {
     // ...and bit-identical to a direct build.
     ExpectSameList(*shared.Get(key), BuildPostingList(store, key),
                    "derived sibling");
+  }
+}
+
+TEST(SharedScanCacheTest, DerivedListsAliasTheBaseCacheResident) {
+  // Regression test: DeriveGroup used to memoise the list it built rather
+  // than the resident the base cache's Put returned. If Put coalesces onto
+  // an existing resident (or ever copies), the batch map and the base
+  // cache would pin two different objects for one key — double memory and
+  // a broken "same object for the whole batch" guarantee. The batch map
+  // must alias exactly what the base cache holds.
+  TripleStore store;
+  for (int o = 0; o < 16; ++o) {
+    for (int t = 0; t < 48; ++t) {
+      store.Add("s" + std::to_string(o) + "_" + std::to_string(t), "p",
+                "o" + std::to_string(o), 1.0 + t);
+    }
+  }
+  store.Finalize();
+  const TermId p = store.MustId("p");
+
+  PostingListCache base(&store);
+  (void)base.Get(PatternKey{kInvalidTermId, p, kInvalidTermId});
+
+  SharedScanCache shared(&store, &base);
+  std::vector<PatternKey> keys;
+  for (int o = 0; o < 16; ++o) {
+    keys.push_back(PatternKey{kInvalidTermId, p,
+                              store.MustId("o" + std::to_string(o))});
+  }
+  shared.Prepare(keys);
+  ASSERT_EQ(shared.counters().derived_lists, 16u);
+
+  for (const PatternKey& key : keys) {
+    EXPECT_EQ(shared.Get(key).get(), base.Peek(key).get())
+        << "batch map and base cache pin different objects";
   }
 }
 
@@ -206,7 +241,7 @@ TEST(SharedScanCacheTest, PinsResolvedListsAgainstEviction) {
   const auto held = shared.Get(keys[0]);
   // Churn the base cache; the held list must stay readable and Get must
   // keep returning the same object.
-  for (const PatternKey& key : keys) base.Get(key);
+  for (const PatternKey& key : keys) (void)base.Get(key);
   EXPECT_EQ(shared.Get(keys[0]).get(), held.get());
   EXPECT_EQ(held->size(), 1u);
 }

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 namespace specqp {
@@ -12,8 +14,8 @@ namespace {
 
 // Only meaningful in a fresh process with the env var exported BEFORE the
 // first injector access — CI runs it in isolation:
-//   SPECQP_FAULT_PLAN="seed=7;env.probe=1" \
-//     util_fault_injector_test --gtest_filter='*EnvPlanIsPickedUp*'
+//   SPECQP_FAULT_PLAN="seed=7;env.probe=1" util_fault_injector_test
+//     (--gtest_filter='*EnvPlanIsPickedUp*')
 // In a full-suite run (no env var, or earlier tests already reconfigured
 // the singleton) it skips instead of asserting on clobbered state.
 TEST(FaultInjectorTest, EnvPlanIsPickedUp) {
@@ -180,6 +182,29 @@ TEST(FaultInjectorTest, WhitespaceAndEmptyPiecesTolerated) {
   ScopedFaultPlan plan("  seed=7 ; shard.open=1 ; ;; block.decode=0 ");
   EXPECT_TRUE(FaultShouldFail("shard.open"));
   EXPECT_FALSE(FaultShouldFail("block.decode"));
+}
+
+TEST(FaultInjectorTest, ConcurrentConfigureNeverDisarmsNonEmptyPlans) {
+  // Regression test: Configure used to decide the armed flag by reading
+  // the member site map AFTER releasing its lock — a concurrent Configure
+  // could observe the map mid-swap and publish "disarmed" even though both
+  // threads installed non-empty plans. The arm decision must come from the
+  // plan being installed, so any interleaving of non-empty Configures
+  // leaves the injector armed. (TSan CI additionally proves the old
+  // unsynchronised read is gone.)
+  auto& injector = FaultInjector::Global();
+  constexpr int kRounds = 200;
+  std::thread other([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(injector.Configure("shard.open=1;seed=7").ok());
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(injector.Configure("block.decode=1;seed=9").ok());
+  }
+  other.join();
+  EXPECT_TRUE(injector.armed());
+  injector.Disarm();
 }
 
 }  // namespace
